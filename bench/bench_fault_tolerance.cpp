@@ -1,0 +1,88 @@
+// E10 — §3.3: fault tolerance of the local algorithm A.  Crashed particles
+// never act; Byzantine particles expand away and refuse to contract.  The
+// paper argues the healthy particles simply compress around these fixed
+// points; we quantify the achieved compression versus fault fraction.
+#include <cstdio>
+#include <vector>
+
+#include "amoebot/faults.hpp"
+#include "amoebot/local_compression.hpp"
+#include "amoebot/scheduler.hpp"
+#include "analysis/csv.hpp"
+#include "bench_util.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace {
+
+struct Outcome {
+  double alpha;
+  bool connected;
+};
+
+Outcome runWithFaults(std::int64_t n, double lambda, double crashFraction,
+                      double byzantineFraction, std::uint64_t activations,
+                      std::uint64_t seed) {
+  using namespace sops;
+  rng::Random rng(seed);
+  // A dendrite start has many movable ends, so compression can proceed
+  // around faulty fixed points; a line start would be degenerate (its only
+  // movable particles are the two endpoints, so one crashed endpoint
+  // freezes half the dynamics — an artifact of the start, not of A).
+  rng::Random shapeRng(seed + 17);
+  amoebot::AmoebotSystem sys(system::randomDendrite(n, shapeRng), rng);
+  rng::Random faultRng(seed + 1);
+  amoebot::FaultPlan plan = amoebot::randomCrashes(sys.size(), crashFraction, faultRng);
+  const amoebot::FaultPlan byz =
+      amoebot::randomByzantine(sys.size(), byzantineFraction, faultRng);
+  plan.byzantine = byz.byzantine;
+  amoebot::applyFaults(sys, plan);
+
+  const amoebot::LocalCompressionAlgorithm algo({lambda});
+  amoebot::PoissonScheduler scheduler(sys.size(), rng::Random(seed + 2));
+  rng::Random coin(seed + 3);
+  for (std::uint64_t i = 0; i < activations; ++i) {
+    algo.activate(sys, scheduler.next().particle, coin);
+  }
+  const system::ParticleSystem tails = sys.tailConfiguration();
+  Outcome outcome{};
+  outcome.connected = system::isConnected(tails);
+  outcome.alpha = outcome.connected
+                      ? static_cast<double>(system::perimeter(tails)) /
+                            static_cast<double>(system::pMin(n))
+                      : -1.0;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sops;
+  const auto n = bench::envInt("SOPS_FAULT_N", 100);
+  const auto activations =
+      static_cast<std::uint64_t>(bench::envInt("SOPS_FAULT_ACTIVATIONS", 6000000));
+  const double lambda = bench::envDouble("SOPS_FAULT_LAMBDA", 4.0);
+
+  bench::banner("E10 / §3.3", "compression under crash and Byzantine faults");
+  analysis::CsvWriter csv(bench::csvPath("fault_tolerance.csv"),
+                          {"crash_fraction", "byzantine_fraction", "alpha",
+                           "connected"});
+  bench::Table table({"crashed", "byzantine", "alpha=p/pmin", "connected"});
+  const std::vector<std::pair<double, double>> scenarios = {
+      {0.00, 0.00}, {0.05, 0.00}, {0.10, 0.00}, {0.20, 0.00},
+      {0.00, 0.05}, {0.00, 0.10}};
+  for (const auto& [crash, byzantine] : scenarios) {
+    const Outcome outcome =
+        runWithFaults(n, lambda, crash, byzantine, activations, 1603);
+    table.row({bench::fmt(crash, 2), bench::fmt(byzantine, 2),
+               outcome.connected ? bench::fmt(outcome.alpha) : "n/a",
+               outcome.connected ? "yes" : "no"});
+    csv.writeRow({analysis::formatDouble(crash), analysis::formatDouble(byzantine),
+                  analysis::formatDouble(outcome.alpha),
+                  outcome.connected ? "1" : "0"});
+  }
+  std::printf(
+      "\npaper shape: compression degrades gracefully with fault fraction;\n"
+      "healthy particles aggregate around faulty fixed points (§3.3).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Performance guardrails (google-benchmark): the chain step is O(1) and the
+// simulator sustains millions of iterations per second — the property that
+// makes the paper's 5M/20M-iteration experiments (Figs 2, 10) cheap.
+#include <benchmark/benchmark.h>
+
+#include "amoebot/local_compression.hpp"
+#include "amoebot/scheduler.hpp"
+#include "core/compression_chain.hpp"
+#include "core/properties.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+#include "util/flat_hash.hpp"
+
+namespace {
+
+using namespace sops;
+
+void BM_ChainStep(benchmark::State& state) {
+  core::ChainOptions options;
+  options.lambda = 4.0;
+  core::CompressionChain chain(
+      system::lineConfiguration(state.range(0)), options, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChainStep)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_EvaluateMove(benchmark::State& state) {
+  const system::ParticleSystem sys = system::spiralConfiguration(100);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const core::MoveEvaluation eval = core::evaluateMove(
+        sys, sys.position(i % sys.size()),
+        lattice::directionFromIndex(static_cast<int>(i % 6)));
+    benchmark::DoNotOptimize(eval);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvaluateMove);
+
+void BM_PropertyChecks(benchmark::State& state) {
+  std::uint8_t mask = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::property1Holds(mask));
+    benchmark::DoNotOptimize(core::property2Holds(mask));
+    ++mask;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PropertyChecks);
+
+void BM_PerimeterClosedForm(benchmark::State& state) {
+  const system::ParticleSystem sys =
+      system::spiralConfiguration(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system::perimeter(sys));
+  }
+}
+BENCHMARK(BM_PerimeterClosedForm)->Arg(100)->Arg(1000);
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  util::FlatMap64<std::int32_t> map(1024);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    map.insert(k * 0x9e3779b97f4a7c15ULL, static_cast<std::int32_t>(k));
+  }
+  std::uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(probe * 0x9e3779b97f4a7c15ULL));
+    probe = (probe + 1) % 2000;  // half hits, half misses
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatMapLookup);
+
+void BM_AmoebotActivation(benchmark::State& state) {
+  rng::Random rng(7);
+  amoebot::AmoebotSystem sys(system::lineConfiguration(100), rng);
+  const amoebot::LocalCompressionAlgorithm algo({4.0});
+  amoebot::PoissonScheduler scheduler(sys.size(), rng::Random(8));
+  rng::Random coin(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo.activate(sys, scheduler.next().particle, coin));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AmoebotActivation);
+
+void BM_SchedulerNext(benchmark::State& state) {
+  amoebot::PoissonScheduler scheduler(
+      static_cast<std::size_t>(state.range(0)), rng::Random(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.next());
+  }
+}
+BENCHMARK(BM_SchedulerNext)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E8 — §6's conjectured phase transition in λ: expansion provably for
+// λ < 2.17, compression provably for λ > 2+√2 ≈ 3.414, crossover
+// conjectured in [2.17, 3.41].
+//
+// We sweep λ and report the quasi-stationary perimeter ratio α = p/p_min
+// and the expansion fraction β = p/p_max for n=100 after a long run; the
+// curve must fall from the expanded plateau to the compressed plateau
+// somewhere inside the paper's window.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/csv.hpp"
+#include "analysis/time_series.hpp"
+#include "bench_util.hpp"
+#include "core/compression_chain.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+int main() {
+  using namespace sops;
+  const auto n = bench::envInt("SOPS_PHASE_N", 100);
+  const auto iterations = bench::envInt("SOPS_PHASE_ITERS", 8000000);
+  const auto seed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
+
+  bench::banner("E8 / §6", "quasi-stationary perimeter vs lambda (n=" +
+                               std::to_string(n) + ")");
+
+  const std::vector<double> lambdas = {1.0, 1.5,  2.0, 2.17, 2.5,
+                                       3.0, 3.41, 4.0, 5.0,  6.0};
+  analysis::CsvWriter csv(bench::csvPath("phase_transition.csv"),
+                          {"lambda", "alpha", "beta", "regime"});
+  bench::Table table({"lambda", "alpha=p/pmin", "beta=p/pmax", "paper regime"});
+
+  const double pMin = static_cast<double>(system::pMin(n));
+  const double pMax = static_cast<double>(system::pMax(n));
+  for (const double lambda : lambdas) {
+    core::ChainOptions options;
+    options.lambda = lambda;
+    core::CompressionChain chain(system::lineConfiguration(n), options, seed);
+    analysis::TimeSeries series;
+    chain.runWithCheckpoints(
+        static_cast<std::uint64_t>(iterations),
+        static_cast<std::uint64_t>(iterations) / 40, [&](std::uint64_t done) {
+          series.record(done,
+                        static_cast<double>(system::perimeter(chain.system())));
+        });
+    // Quasi-stationary average over the last quarter of the run.
+    const double p = series.meanAfter(static_cast<std::uint64_t>(
+        3 * iterations / 4));
+    const char* regime = lambda < 2.17  ? "expansion (Thm 5.7)"
+                         : lambda > 3.42 ? "compression (Thm 4.5)"
+                                         : "conjectured window";
+    table.row({bench::fmt(lambda, 2), bench::fmt(p / pMin), bench::fmt(p / pMax),
+               regime});
+    csv.writeRow({analysis::formatDouble(lambda), analysis::formatDouble(p / pMin),
+                  analysis::formatDouble(p / pMax), regime});
+  }
+  std::printf(
+      "\npaper shape to hold: beta ~ constant for lambda <= 2.17; alpha small\n"
+      "for lambda >= 4; monotone crossover inside [2.17, 3.41].\n");
+  return 0;
+}

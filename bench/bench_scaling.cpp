@@ -1,0 +1,90 @@
+// E7 — §3.7's convergence conjecture: "doubling the number of particles
+// consistently results in about a ten-fold increase in iterations until
+// compression" (i.e. between Ω(n³) and O(n⁴) iterations of M, equivalently
+// Ω(n²)–O(n³) asynchronous rounds of A).
+//
+// We measure the median (over seeds) first iteration at which
+// p(σ) ≤ α·p_min from a line start at λ=4 and report the per-doubling
+// ratio, which should sit near 10 (within 8–16 on this scale says the
+// conjectured n³–n⁴ window).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/csv.hpp"
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "core/compression_chain.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace {
+
+std::uint64_t iterationsToCompression(std::int64_t n, double lambda,
+                                      double alpha, std::uint64_t seed,
+                                      std::uint64_t cap) {
+  sops::core::ChainOptions options;
+  options.lambda = lambda;
+  sops::core::CompressionChain chain(sops::system::lineConfiguration(n), options,
+                                     seed);
+  const double threshold = alpha * static_cast<double>(sops::system::pMin(n));
+  const std::uint64_t stride = static_cast<std::uint64_t>(n) * 250;
+  while (chain.iterations() < cap) {
+    chain.run(stride);
+    const std::int64_t edges = sops::system::countEdges(chain.system());
+    // hole-free after burn-in; p = 3n - e - 3 (checked cheaply via edges)
+    const std::int64_t p = 3 * n - edges - 3;
+    if (static_cast<double>(p) <= threshold &&
+        sops::system::countHoles(chain.system()) == 0) {
+      return chain.iterations();
+    }
+  }
+  return cap;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sops;
+  const double lambda = bench::envDouble("SOPS_SCALING_LAMBDA", 4.0);
+  const double alpha = bench::envDouble("SOPS_SCALING_ALPHA", 1.75);
+  const auto maxN = bench::envInt("SOPS_SCALING_MAX_N", 200);
+  const auto seeds = bench::envInt("SOPS_SCALING_SEEDS", 3);
+
+  bench::banner("E7 / §3.7", "iterations to alpha-compression vs n (alpha=" +
+                                 bench::fmt(alpha, 2) + ", lambda=" +
+                                 bench::fmt(lambda, 2) + ")");
+
+  analysis::CsvWriter csv(bench::csvPath("scaling.csv"),
+                          {"n", "median_iterations", "median_rounds",
+                           "ratio_vs_half"});
+  bench::Table table({"n", "median iters", "iters/n (rounds)",
+                      "ratio vs n/2", "paper shape"});
+
+  double previousMedian = 0.0;
+  for (std::int64_t n = 25; n <= maxN; n *= 2) {
+    std::vector<double> hits;
+    for (std::int64_t s = 0; s < seeds; ++s) {
+      const std::uint64_t cap =
+          static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
+          static_cast<std::uint64_t>(n) * 24;
+      hits.push_back(static_cast<double>(iterationsToCompression(
+          n, lambda, alpha, static_cast<std::uint64_t>(1603 + 7 * s), cap)));
+    }
+    const double median = analysis::quantile(hits, 0.5);
+    const double ratio = previousMedian > 0 ? median / previousMedian : 0.0;
+    table.row({bench::fmtInt(n), bench::fmtInt(static_cast<std::int64_t>(median)),
+               bench::fmtInt(static_cast<std::int64_t>(
+                   median / static_cast<double>(n))),
+               previousMedian > 0 ? bench::fmt(ratio, 2) : "-",
+               previousMedian > 0 ? "~10x per doubling" : "-"});
+    csv.writeRow({std::to_string(n),
+                  analysis::formatDouble(median, 10),
+                  analysis::formatDouble(median / static_cast<double>(n), 10),
+                  analysis::formatDouble(ratio)});
+    previousMedian = median;
+  }
+  std::printf(
+      "\npaper shape to hold: per-doubling ratio near 10 (conjectured\n"
+      "Omega(n^3)..O(n^4) iterations; 2^3=8 to 2^4=16 bracket the ratio).\n");
+  return 0;
+}

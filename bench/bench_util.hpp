@@ -1,0 +1,83 @@
+#ifndef SOPS_BENCH_BENCH_UTIL_HPP
+#define SOPS_BENCH_BENCH_UTIL_HPP
+
+/// \file bench_util.hpp
+/// Shared helpers for the experiment harnesses: environment-variable
+/// overrides (so CI can shrink runs), aligned table printing, and CSV
+/// output locations.  Every bench runs with sensible defaults via
+/// `for b in build/bench/*; do $b; done`.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace sops::bench {
+
+/// Integer override: SOPS_<NAME> environment variable, else fallback.
+inline std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoll(raw, nullptr, 10);
+}
+
+inline double envDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtod(raw, nullptr);
+}
+
+/// Where benches drop plot-ready CSVs (next to the working directory).
+inline std::string csvPath(const std::string& fileName) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + fileName;
+}
+
+/// Prints a header for an experiment section.
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Simple fixed-width row printer: column widths inferred from the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header, int columnWidth = 14)
+      : header_(std::move(header)), width_(columnWidth) {
+    for (const std::string& cell : header_) {
+      std::printf("%-*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      for (int c = 0; c < width_ - 2; ++c) std::printf("-");
+      std::printf("  ");
+    }
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (const std::string& cell : cells) {
+      std::printf("%-*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> header_;
+  int width_;
+};
+
+inline std::string fmt(double value, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+inline std::string fmtInt(std::int64_t value) { return std::to_string(value); }
+
+}  // namespace sops::bench
+
+#endif  // SOPS_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,108 @@
+#include "amoebot/amoebot_system.hpp"
+
+namespace sops::amoebot {
+
+AmoebotSystem::AmoebotSystem(const system::ParticleSystem& initial,
+                             rng::Random& rng)
+    : occupancy_(initial.size() * 2) {
+  SOPS_REQUIRE(initial.size() > 0, "AmoebotSystem requires particles");
+  particles_.reserve(initial.size());
+  for (std::size_t id = 0; id < initial.size(); ++id) {
+    Particle p;
+    p.tail = initial.position(id);
+    p.head = p.tail;
+    p.orientationOffset = static_cast<std::uint8_t>(rng.below(6));
+    p.mirrored = rng.bernoulli(0.5);
+    particles_.push_back(p);
+    setCell(p.tail, static_cast<std::int32_t>(id), false);
+  }
+}
+
+AmoebotSystem::CellView AmoebotSystem::at(TriPoint cell) const noexcept {
+  const std::int32_t* raw = occupancy_.find(lattice::pack(cell));
+  if (raw == nullptr) return {};
+  return {*raw >> 1, (*raw & 1) != 0};
+}
+
+Direction AmoebotSystem::globalDirection(std::size_t id, int port) const {
+  SOPS_REQUIRE(id < particles_.size(), "globalDirection: bad id");
+  SOPS_REQUIRE(port >= 0 && port < lattice::kNumDirections,
+               "globalDirection: bad port");
+  const Particle& p = particles_[id];
+  const int step = p.mirrored ? -port : port;
+  return lattice::rotated(
+      static_cast<Direction>(p.orientationOffset), step);
+}
+
+bool AmoebotSystem::expandedParticleAdjacent(TriPoint cell,
+                                             std::size_t self) const {
+  for (const Direction d : lattice::kAllDirections) {
+    const CellView view = at(lattice::neighbor(cell, d));
+    if (view.empty()) continue;
+    if (static_cast<std::size_t>(view.particle) == self) continue;
+    if (particles_[static_cast<std::size_t>(view.particle)].expanded) return true;
+  }
+  return false;
+}
+
+bool AmoebotSystem::occupiedExcludingHeads(TriPoint cell,
+                                           std::size_t self) const {
+  const CellView view = at(cell);
+  if (view.empty()) return false;
+  if (static_cast<std::size_t>(view.particle) == self) return false;
+  const Particle& p = particles_[static_cast<std::size_t>(view.particle)];
+  if (p.expanded && view.isHead) return false;
+  return true;
+}
+
+void AmoebotSystem::expand(std::size_t id, Direction d) {
+  SOPS_REQUIRE(id < particles_.size(), "expand: bad id");
+  Particle& p = particles_[id];
+  SOPS_REQUIRE(!p.expanded, "expand: particle already expanded");
+  const TriPoint target = lattice::neighbor(p.tail, d);
+  SOPS_REQUIRE(!occupied(target), "expand: target occupied");
+  p.head = target;
+  p.expanded = true;
+  setCell(target, static_cast<std::int32_t>(id), true);
+  ++expandedCount_;
+}
+
+void AmoebotSystem::contractToHead(std::size_t id) {
+  SOPS_REQUIRE(id < particles_.size(), "contractToHead: bad id");
+  Particle& p = particles_[id];
+  SOPS_REQUIRE(p.expanded, "contractToHead: particle not expanded");
+  clearCell(p.tail);
+  p.tail = p.head;
+  p.expanded = false;
+  setCell(p.tail, static_cast<std::int32_t>(id), false);
+  --expandedCount_;
+}
+
+void AmoebotSystem::contractBack(std::size_t id) {
+  SOPS_REQUIRE(id < particles_.size(), "contractBack: bad id");
+  Particle& p = particles_[id];
+  SOPS_REQUIRE(p.expanded, "contractBack: particle not expanded");
+  clearCell(p.head);
+  p.head = p.tail;
+  p.expanded = false;
+  setCell(p.tail, static_cast<std::int32_t>(id), false);
+  --expandedCount_;
+}
+
+system::ParticleSystem AmoebotSystem::tailConfiguration() const {
+  std::vector<TriPoint> tails;
+  tails.reserve(particles_.size());
+  for (const Particle& p : particles_) tails.push_back(p.tail);
+  return system::ParticleSystem(tails);
+}
+
+void AmoebotSystem::setCell(TriPoint cell, std::int32_t id, bool isHead) {
+  occupancy_.insertOrAssign(lattice::pack(cell), (id << 1) | (isHead ? 1 : 0));
+}
+
+void AmoebotSystem::clearCell(TriPoint cell) {
+  const bool removed = occupancy_.erase(lattice::pack(cell));
+  SOPS_REQUIRE(removed, "clearCell: cell was not occupied");
+}
+
+}  // namespace sops::amoebot

@@ -1,0 +1,117 @@
+#ifndef SOPS_AMOEBOT_AMOEBOT_SYSTEM_HPP
+#define SOPS_AMOEBOT_AMOEBOT_SYSTEM_HPP
+
+/// \file amoebot_system.hpp
+/// The geometric amoebot model substrate (paper §2.1).
+///
+/// Particles occupy one vertex (contracted) or two adjacent vertices
+/// (expanded, with head and tail).  Particles are anonymous, have no global
+/// compass or chirality (each gets a private random port labeling), and
+/// carry the single bit of persistent memory Algorithm A needs (the flag).
+/// Movement is by expansion into an empty adjacent vertex followed by a
+/// contraction onto head or tail.  Atomicity of activations is provided by
+/// the schedulers in scheduler.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/direction.hpp"
+#include "lattice/tri_point.hpp"
+#include "rng/random.hpp"
+#include "system/particle_system.hpp"
+#include "util/flat_hash.hpp"
+
+namespace sops::amoebot {
+
+using lattice::Direction;
+using lattice::TriPoint;
+
+struct Particle {
+  TriPoint tail;
+  TriPoint head;  ///< equals tail while contracted
+  bool expanded = false;
+  bool flag = false;  ///< Algorithm A's one bit of persistent memory
+  /// Private port labeling: global direction = rotated(offset, ±port).
+  std::uint8_t orientationOffset = 0;
+  bool mirrored = false;  ///< chirality of the private labeling
+  bool crashed = false;    ///< crash fault (§3.3): never acts again
+  bool byzantine = false;  ///< adversarial: expands and refuses to contract
+};
+
+class AmoebotSystem {
+ public:
+  /// What a lattice cell currently holds.
+  struct CellView {
+    std::int32_t particle = kEmpty;  ///< particle id, or kEmpty
+    bool isHead = false;             ///< head of an *expanded* particle
+    static constexpr std::int32_t kEmpty = -1;
+    [[nodiscard]] bool empty() const noexcept { return particle == kEmpty; }
+  };
+
+  /// Builds an all-contracted system from a configuration, assigning each
+  /// particle a private random orientation and chirality.
+  AmoebotSystem(const system::ParticleSystem& initial, rng::Random& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return particles_.size(); }
+  [[nodiscard]] const Particle& particle(std::size_t id) const {
+    SOPS_DASSERT(id < particles_.size());
+    return particles_[id];
+  }
+
+  [[nodiscard]] CellView at(TriPoint cell) const noexcept;
+  [[nodiscard]] bool occupied(TriPoint cell) const noexcept {
+    return !at(cell).empty();
+  }
+
+  /// Translates a particle's private port (0..5) to a global direction.
+  [[nodiscard]] Direction globalDirection(std::size_t id, int port) const;
+
+  /// True iff any cell adjacent to `cell` holds (head or tail of) an
+  /// *expanded* particle other than `self`.
+  [[nodiscard]] bool expandedParticleAdjacent(TriPoint cell,
+                                              std::size_t self) const;
+
+  /// Occupancy oracle N* of Algorithm A (step 9): cell counts as occupied
+  /// unless empty, part of particle `self`, or the head of an expanded
+  /// particle.
+  [[nodiscard]] bool occupiedExcludingHeads(TriPoint cell,
+                                            std::size_t self) const;
+
+  // --- atomic movements (enforce the model's physical constraints) ---
+
+  /// Expands a contracted particle into the adjacent empty cell in the
+  /// given global direction.
+  void expand(std::size_t id, Direction d);
+
+  /// Completes the movement: particle occupies only its head.
+  void contractToHead(std::size_t id);
+
+  /// Aborts the movement: particle occupies only its (original) tail.
+  void contractBack(std::size_t id);
+
+  void setFlag(std::size_t id, bool value) {
+    SOPS_DASSERT(id < particles_.size());
+    particles_[id].flag = value;
+  }
+  void markCrashed(std::size_t id) { particles_[id].crashed = true; }
+  void markByzantine(std::size_t id) { particles_[id].byzantine = true; }
+
+  /// Number of currently expanded particles (diagnostics).
+  [[nodiscard]] std::size_t expandedCount() const noexcept { return expandedCount_; }
+
+  /// Projection to the chain's state space: contracted particles at their
+  /// location, expanded particles at their tails (§3.2, footnote 2).
+  [[nodiscard]] system::ParticleSystem tailConfiguration() const;
+
+ private:
+  std::vector<Particle> particles_;
+  util::FlatMap64<std::int32_t> occupancy_;  ///< cell -> (id << 1) | isHead
+  std::size_t expandedCount_ = 0;
+
+  void setCell(TriPoint cell, std::int32_t id, bool isHead);
+  void clearCell(TriPoint cell);
+};
+
+}  // namespace sops::amoebot
+
+#endif  // SOPS_AMOEBOT_AMOEBOT_SYSTEM_HPP

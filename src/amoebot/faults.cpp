@@ -1,0 +1,40 @@
+#include "amoebot/faults.hpp"
+
+#include <numeric>
+
+namespace sops::amoebot {
+
+namespace {
+std::vector<std::size_t> pickDistinct(std::size_t particleCount, double fraction,
+                                      rng::Random& rng) {
+  SOPS_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction in [0,1]");
+  const auto want = static_cast<std::size_t>(fraction *
+                                             static_cast<double>(particleCount));
+  std::vector<std::size_t> ids(particleCount);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  rng.shuffle(ids);
+  ids.resize(want);
+  return ids;
+}
+}  // namespace
+
+FaultPlan randomCrashes(std::size_t particleCount, double fraction,
+                        rng::Random& rng) {
+  FaultPlan plan;
+  plan.crashed = pickDistinct(particleCount, fraction, rng);
+  return plan;
+}
+
+FaultPlan randomByzantine(std::size_t particleCount, double fraction,
+                          rng::Random& rng) {
+  FaultPlan plan;
+  plan.byzantine = pickDistinct(particleCount, fraction, rng);
+  return plan;
+}
+
+void applyFaults(AmoebotSystem& sys, const FaultPlan& plan) {
+  for (const std::size_t id : plan.crashed) sys.markCrashed(id);
+  for (const std::size_t id : plan.byzantine) sys.markByzantine(id);
+}
+
+}  // namespace sops::amoebot

@@ -1,0 +1,37 @@
+#ifndef SOPS_AMOEBOT_FAULTS_HPP
+#define SOPS_AMOEBOT_FAULTS_HPP
+
+/// \file faults.hpp
+/// Fault injection for §3.3: crash failures (a particle abruptly stops
+/// acting forever) and Byzantine stationary adversaries (particles that
+/// expand away from the aggregate and refuse to contract).  The paper
+/// argues the stochastic algorithm tolerates both because non-faulty
+/// particles simply compress around the fixed points; bench_fault_tolerance
+/// measures this.
+
+#include <cstddef>
+#include <vector>
+
+#include "amoebot/amoebot_system.hpp"
+#include "rng/random.hpp"
+
+namespace sops::amoebot {
+
+struct FaultPlan {
+  std::vector<std::size_t> crashed;
+  std::vector<std::size_t> byzantine;
+};
+
+/// Chooses ⌊fraction·n⌋ distinct particles uniformly at random to crash.
+[[nodiscard]] FaultPlan randomCrashes(std::size_t particleCount, double fraction,
+                                      rng::Random& rng);
+
+/// Chooses ⌊fraction·n⌋ distinct particles to behave Byzantine.
+[[nodiscard]] FaultPlan randomByzantine(std::size_t particleCount,
+                                        double fraction, rng::Random& rng);
+
+void applyFaults(AmoebotSystem& sys, const FaultPlan& plan);
+
+}  // namespace sops::amoebot
+
+#endif  // SOPS_AMOEBOT_FAULTS_HPP

@@ -1,0 +1,98 @@
+#include "amoebot/local_compression.hpp"
+
+#include <cmath>
+
+#include "core/properties.hpp"
+
+namespace sops::amoebot {
+
+LocalCompressionAlgorithm::LocalCompressionAlgorithm(LocalOptions options)
+    : options_(options) {
+  SOPS_REQUIRE(options_.lambda > 0.0, "lambda must be positive");
+  for (int delta = -5; delta <= 5; ++delta) {
+    lambdaPow_[delta + 5] = std::pow(options_.lambda, delta);
+  }
+}
+
+ActivationResult LocalCompressionAlgorithm::activate(AmoebotSystem& sys,
+                                                     std::size_t id,
+                                                     rng::Random& rng) const {
+  const Particle& p = sys.particle(id);
+  if (p.crashed) return ActivationResult::Idle;
+  if (p.byzantine) return activateByzantine(sys, id, rng);
+  return p.expanded ? activateExpanded(sys, id, rng)
+                    : activateContracted(sys, id, rng);
+}
+
+ActivationResult LocalCompressionAlgorithm::activateContracted(
+    AmoebotSystem& sys, std::size_t id, rng::Random& rng) const {
+  const Particle& p = sys.particle(id);
+  // Step 2: a uniformly random *private* port; the particle has no global
+  // compass, but uniform over its own labels is uniform over directions.
+  const Direction d = sys.globalDirection(id, static_cast<int>(rng.below(6)));
+  const TriPoint l = p.tail;
+  const TriPoint target = lattice::neighbor(l, d);
+
+  // Step 3: ℓ' must be empty and P must have no expanded neighbor.
+  if (sys.occupied(target)) return ActivationResult::Idle;
+  if (sys.expandedParticleAdjacent(l, id)) return ActivationResult::Idle;
+
+  // Step 4: expand.
+  sys.expand(id, d);
+
+  // Steps 5–7: flag records whether the expansion happened in a
+  // neighborhood free of other expanded particles.
+  const bool nearbyExpanded = sys.expandedParticleAdjacent(l, id) ||
+                              sys.expandedParticleAdjacent(target, id);
+  sys.setFlag(id, !nearbyExpanded);
+  return ActivationResult::Expanded;
+}
+
+ActivationResult LocalCompressionAlgorithm::activateExpanded(
+    AmoebotSystem& sys, std::size_t id, rng::Random& rng) const {
+  const Particle& p = sys.particle(id);
+  const TriPoint l = p.tail;
+  const TriPoint head = p.head;
+  const auto dOpt = lattice::directionBetween(l, head);
+  SOPS_REQUIRE(dOpt.has_value(), "expanded particle with non-adjacent head");
+  const Direction d = *dOpt;
+
+  // Steps 9–10 with the N* oracle: ignore heads of expanded neighbors
+  // (those neighbors are obligated to contract back).
+  const auto oracle = [&sys, id](TriPoint cell) {
+    return sys.occupiedExcludingHeads(cell, id);
+  };
+  const std::uint8_t mask = core::ringMask(l, d, oracle);
+  const int e = core::neighborsBefore(mask);
+  const int ePrime = core::neighborsAfter(mask);
+
+  // Step 11, conditions (1)-(4).
+  const bool conditions =
+      e != 5 && (core::property1Holds(mask) || core::property2Holds(mask)) &&
+      rng.uniform() < lambdaPow_[ePrime - e + 5] && p.flag;
+  if (conditions) {
+    sys.contractToHead(id);
+    return ActivationResult::MovedToHead;
+  }
+  sys.contractBack(id);
+  return ActivationResult::ContractedBack;
+}
+
+ActivationResult LocalCompressionAlgorithm::activateByzantine(
+    AmoebotSystem& sys, std::size_t id, rng::Random& rng) const {
+  const Particle& p = sys.particle(id);
+  if (p.expanded) return ActivationResult::Idle;  // refuses to contract
+  // Expands away whenever physically possible, ignoring the protocol.
+  const int firstPort = static_cast<int>(rng.below(6));
+  for (int probe = 0; probe < 6; ++probe) {
+    const Direction d = sys.globalDirection(id, (firstPort + probe) % 6);
+    if (!sys.occupied(lattice::neighbor(p.tail, d))) {
+      sys.expand(id, d);
+      sys.setFlag(id, false);
+      return ActivationResult::Expanded;
+    }
+  }
+  return ActivationResult::Idle;
+}
+
+}  // namespace sops::amoebot

@@ -1,0 +1,65 @@
+#ifndef SOPS_AMOEBOT_LOCAL_COMPRESSION_HPP
+#define SOPS_AMOEBOT_LOCAL_COMPRESSION_HPP
+
+/// \file local_compression.hpp
+/// Algorithm A (paper §3.2): the fully local, distributed, asynchronous
+/// translation of the Markov chain M, executed one particle activation at a
+/// time.
+///
+/// A contracted activation (steps 1–7) picks a uniformly random private
+/// port, expands into it if empty and no neighbor is expanded, and records
+/// in the particle's single flag bit whether the whole (ℓ, ℓ')
+/// neighborhood was free of expanded particles.  An expanded activation
+/// (steps 8–13) re-evaluates the move with the N* oracle (heads of expanded
+/// neighbors are ignored — such neighbors must contract back) and contracts
+/// to the head iff (1) e ≠ 5, (2) Property 1 or 2 holds, (3) q < λ^{e'−e},
+/// and (4) the flag is set; otherwise it contracts back.
+///
+/// Byzantine particles (§3.3) expand whenever physically possible and
+/// refuse to contract; crashed particles never act.
+
+#include <cstdint>
+
+#include "amoebot/amoebot_system.hpp"
+#include "rng/random.hpp"
+
+namespace sops::amoebot {
+
+struct LocalOptions {
+  double lambda = 4.0;
+};
+
+enum class ActivationResult : std::uint8_t {
+  Idle,            ///< crashed, or contracted with no legal expansion
+  Expanded,        ///< contracted particle expanded (movement pending)
+  MovedToHead,     ///< expanded particle completed its move
+  ContractedBack,  ///< expanded particle aborted its move
+};
+
+class LocalCompressionAlgorithm {
+ public:
+  explicit LocalCompressionAlgorithm(LocalOptions options);
+
+  /// One atomic activation of particle `id` (the amoebot model's unit of
+  /// computation).  Randomness is drawn from `rng` — conceptually the
+  /// particle's private coin.
+  ActivationResult activate(AmoebotSystem& sys, std::size_t id,
+                            rng::Random& rng) const;
+
+  [[nodiscard]] const LocalOptions& options() const noexcept { return options_; }
+
+ private:
+  LocalOptions options_;
+  double lambdaPow_[11];  ///< λ^{e'-e}, indexed by (e'-e)+5
+
+  ActivationResult activateContracted(AmoebotSystem& sys, std::size_t id,
+                                      rng::Random& rng) const;
+  ActivationResult activateExpanded(AmoebotSystem& sys, std::size_t id,
+                                    rng::Random& rng) const;
+  ActivationResult activateByzantine(AmoebotSystem& sys, std::size_t id,
+                                     rng::Random& rng) const;
+};
+
+}  // namespace sops::amoebot
+
+#endif  // SOPS_AMOEBOT_LOCAL_COMPRESSION_HPP

@@ -1,0 +1,50 @@
+#include "amoebot/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sops::amoebot {
+
+PoissonScheduler::PoissonScheduler(std::size_t particleCount, rng::Random rng,
+                                   std::vector<double> rates)
+    : rates_(std::move(rates)), rng_(rng) {
+  SOPS_REQUIRE(particleCount > 0, "scheduler needs particles");
+  if (rates_.empty()) {
+    rates_.assign(particleCount, 1.0);
+  }
+  SOPS_REQUIRE(rates_.size() == particleCount, "one rate per particle");
+  for (const double rate : rates_) {
+    SOPS_REQUIRE(rate > 0.0, "Poisson rates must be positive");
+  }
+  for (std::size_t id = 0; id < particleCount; ++id) {
+    queue_.push({rng_.exponential(rates_[id]), id});
+  }
+}
+
+Activation PoissonScheduler::next() {
+  const Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  queue_.push({now_ + rng_.exponential(rates_[event.particle]), event.particle});
+  return {event.time, event.particle};
+}
+
+RoundRobinScheduler::RoundRobinScheduler(std::size_t particleCount,
+                                         rng::Random rng)
+    : order_(particleCount), rng_(rng) {
+  SOPS_REQUIRE(particleCount > 0, "scheduler needs particles");
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  rng_.shuffle(order_);
+}
+
+std::size_t RoundRobinScheduler::next() {
+  const std::size_t particle = order_[cursor_];
+  if (++cursor_ == order_.size()) {
+    cursor_ = 0;
+    ++rounds_;
+    rng_.shuffle(order_);
+  }
+  return particle;
+}
+
+}  // namespace sops::amoebot

@@ -1,0 +1,117 @@
+#ifndef SOPS_AMOEBOT_SCHEDULER_HPP
+#define SOPS_AMOEBOT_SCHEDULER_HPP
+
+/// \file scheduler.hpp
+/// Activation schedulers for the asynchronous amoebot model (§2.1, §3.2).
+///
+/// PoissonScheduler gives each particle an independent Poisson clock
+/// (exponential inter-activation times), the mechanism the paper uses to
+/// realize uniformly-random activations locally.  Per-particle rates are
+/// supported — the paper notes heterogeneous rates do not change the
+/// stationary distribution, and bench_local_algorithm verifies this.
+/// SequentialScheduler activates a uniformly random particle per tick
+/// (exactly M's step 1).  RoundRobinScheduler activates a fresh random
+/// permutation each round (a fair adversarial-ish sequence for tests).
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "rng/random.hpp"
+#include "util/assert.hpp"
+
+namespace sops::amoebot {
+
+struct Activation {
+  double time = 0.0;
+  std::size_t particle = 0;
+};
+
+class PoissonScheduler {
+ public:
+  /// rates empty => all clocks have rate 1.
+  PoissonScheduler(std::size_t particleCount, rng::Random rng,
+                   std::vector<double> rates = {});
+
+  /// Pops the next activation and schedules that particle's next one.
+  Activation next();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+ private:
+  struct Event {
+    double time;
+    std::size_t particle;
+    bool operator>(const Event& other) const noexcept {
+      return time > other.time;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<double> rates_;
+  rng::Random rng_;
+  double now_ = 0.0;
+};
+
+class SequentialScheduler {
+ public:
+  SequentialScheduler(std::size_t particleCount, rng::Random rng)
+      : count_(particleCount), rng_(rng) {
+    SOPS_REQUIRE(particleCount > 0, "scheduler needs particles");
+  }
+
+  std::size_t next() {
+    return static_cast<std::size_t>(rng_.below(static_cast<std::uint32_t>(count_)));
+  }
+
+ private:
+  std::size_t count_;
+  rng::Random rng_;
+};
+
+class RoundRobinScheduler {
+ public:
+  RoundRobinScheduler(std::size_t particleCount, rng::Random rng);
+
+  std::size_t next();
+
+  /// Number of completed rounds (every particle activated once per round).
+  [[nodiscard]] std::uint64_t roundsCompleted() const noexcept { return rounds_; }
+
+ private:
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::uint64_t rounds_ = 0;
+  rng::Random rng_;
+};
+
+/// Tracks asynchronous rounds (§2.1: a round completes once every particle
+/// has been activated at least once) for any activation stream.
+class RoundTracker {
+ public:
+  explicit RoundTracker(std::size_t particleCount)
+      : seen_(particleCount, 0) {}
+
+  void recordActivation(std::size_t particle) {
+    SOPS_DASSERT(particle < seen_.size());
+    if (!seen_[particle]) {
+      seen_[particle] = 1;
+      if (++distinct_ == seen_.size()) {
+        ++rounds_;
+        distinct_ = 0;
+        std::fill(seen_.begin(), seen_.end(), 0);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  std::vector<std::uint8_t> seen_;
+  std::size_t distinct_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace sops::amoebot
+
+#endif  // SOPS_AMOEBOT_SCHEDULER_HPP

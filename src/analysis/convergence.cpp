@@ -1,0 +1,90 @@
+#include "analysis/convergence.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sops::analysis {
+
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t maxLag) {
+  SOPS_REQUIRE(series.size() >= 2, "autocorrelation: need >= 2 samples");
+  SOPS_REQUIRE(maxLag < series.size(), "autocorrelation: maxLag too large");
+  const std::size_t n = series.size();
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  double variance = 0.0;
+  for (const double x : series) variance += (x - mean) * (x - mean);
+  variance /= static_cast<double>(n);
+
+  std::vector<double> rho(maxLag + 1, 0.0);
+  // Robust constant-series detection: rounding in the mean can leave a
+  // variance of order ε² for an exactly-constant input.
+  if (variance <= 1e-20 * (1.0 + mean * mean)) {
+    rho[0] = 1.0;  // constant series: define ρ(0)=1, rest 0
+    return rho;
+  }
+  for (std::size_t lag = 0; lag <= maxLag; ++lag) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      sum += (series[i] - mean) * (series[i + lag] - mean);
+    }
+    rho[lag] = sum / (static_cast<double>(n) * variance);
+  }
+  return rho;
+}
+
+double integratedAutocorrelationTime(std::span<const double> series,
+                                     std::size_t maxLag) {
+  if (maxLag == 0) maxLag = std::min<std::size_t>(series.size() / 4, 2048);
+  const std::vector<double> rho = autocorrelation(series, maxLag);
+  // Geyer initial positive sequence: sum pairs ρ(2k-1)+ρ(2k) while positive.
+  double tau = 1.0;
+  for (std::size_t k = 1; k + 1 <= maxLag; k += 2) {
+    const double pairSum = rho[k] + rho[k + 1];
+    if (pairSum <= 0.0) break;
+    tau += 2.0 * pairSum;
+  }
+  return tau;
+}
+
+double effectiveSampleSize(std::span<const double> series) {
+  return static_cast<double>(series.size()) /
+         integratedAutocorrelationTime(series);
+}
+
+double gewekeZScore(std::span<const double> series, double earlyFraction,
+                    double lateFraction) {
+  SOPS_REQUIRE(earlyFraction > 0.0 && lateFraction > 0.0 &&
+                   earlyFraction + lateFraction <= 1.0,
+               "gewekeZScore: bad fractions");
+  const std::size_t n = series.size();
+  SOPS_REQUIRE(n >= 20, "gewekeZScore: need >= 20 samples");
+  const auto earlyCount = static_cast<std::size_t>(earlyFraction * n);
+  const auto lateCount = static_cast<std::size_t>(lateFraction * n);
+  const std::span<const double> early = series.subspan(0, earlyCount);
+  const std::span<const double> late = series.subspan(n - lateCount);
+
+  const auto meanVar = [](std::span<const double> part) {
+    double mean = 0.0;
+    for (const double x : part) mean += x;
+    mean /= static_cast<double>(part.size());
+    double variance = 0.0;
+    for (const double x : part) variance += (x - mean) * (x - mean);
+    variance /= static_cast<double>(part.size());
+    return std::pair<double, double>{mean, variance};
+  };
+  const auto [earlyMean, earlyVar] = meanVar(early);
+  const auto [lateMean, lateVar] = meanVar(late);
+  const double tauEarly = integratedAutocorrelationTime(early);
+  const double tauLate = integratedAutocorrelationTime(late);
+  const double se =
+      std::sqrt(earlyVar * tauEarly / static_cast<double>(early.size()) +
+                lateVar * tauLate / static_cast<double>(late.size()));
+  if (se == 0.0) return 0.0;
+  return (earlyMean - lateMean) / se;
+}
+
+}  // namespace sops::analysis

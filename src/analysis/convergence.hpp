@@ -1,0 +1,40 @@
+#ifndef SOPS_ANALYSIS_CONVERGENCE_HPP
+#define SOPS_ANALYSIS_CONVERGENCE_HPP
+
+/// \file convergence.hpp
+/// MCMC convergence diagnostics for chain observables (the perimeter trace,
+/// edge counts, …): autocorrelation, integrated autocorrelation time,
+/// effective sample size, and a Geweke-style equal-means z-score.  Used by
+/// the experiment harnesses to justify "quasi-stationary" averages (§3.7
+/// discusses why rigorous mixing bounds are open; these are the standard
+/// empirical stand-ins).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sops::analysis {
+
+/// Sample autocorrelation ρ̂(lag) for lag = 0..maxLag (ρ̂(0) = 1).
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> series,
+                                                  std::size_t maxLag);
+
+/// Integrated autocorrelation time τ = 1 + 2·Σρ̂(k), summed with Geyer's
+/// initial-positive-sequence truncation (stops at the first non-positive
+/// pair sum).  τ ≈ 1 for i.i.d. samples.
+[[nodiscard]] double integratedAutocorrelationTime(std::span<const double> series,
+                                                   std::size_t maxLag = 0);
+
+/// Effective sample size n/τ.
+[[nodiscard]] double effectiveSampleSize(std::span<const double> series);
+
+/// Geweke-style diagnostic: z-score comparing the mean of the first
+/// `earlyFraction` of the series against the last `lateFraction`, using
+/// τ-corrected standard errors.  |z| ≲ 2 is consistent with stationarity.
+[[nodiscard]] double gewekeZScore(std::span<const double> series,
+                                  double earlyFraction = 0.1,
+                                  double lateFraction = 0.5);
+
+}  // namespace sops::analysis
+
+#endif  // SOPS_ANALYSIS_CONVERGENCE_HPP

@@ -1,0 +1,51 @@
+#include "analysis/csv.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sops::analysis {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string_view> header)
+    : out_(path), columns_(header.size()) {
+  SOPS_REQUIRE(columns_ > 0, "CSV needs at least one column");
+  bool first = true;
+  for (const std::string_view cell : header) {
+    if (!first) out_ << ',';
+    out_ << cell;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::writeRow(std::initializer_list<std::string_view> cells) {
+  SOPS_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  bool first = true;
+  for (const std::string_view cell : cells) {
+    if (!first) out_ << ',';
+    out_ << cell;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  SOPS_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  bool first = true;
+  for (const std::string& cell : cells) {
+    if (!first) out_ << ',';
+    out_ << cell;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string formatDouble(double value, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+}  // namespace sops::analysis

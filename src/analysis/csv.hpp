@@ -1,0 +1,36 @@
+#ifndef SOPS_ANALYSIS_CSV_HPP
+#define SOPS_ANALYSIS_CSV_HPP
+
+/// \file csv.hpp
+/// Minimal CSV writer for experiment outputs (benches write plot-ready
+/// files next to their stdout tables).
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sops::analysis {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row.
+  CsvWriter(const std::string& path, std::initializer_list<std::string_view> header);
+
+  void writeRow(std::initializer_list<std::string_view> cells);
+  void writeRow(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Formats a double compactly for CSV/tables.
+[[nodiscard]] std::string formatDouble(double value, int precision = 6);
+
+}  // namespace sops::analysis
+
+#endif  // SOPS_ANALYSIS_CSV_HPP

@@ -1,0 +1,38 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sops::analysis {
+
+double quantile(std::span<const double> samples, double q) {
+  SOPS_REQUIRE(!samples.empty(), "quantile of empty sample");
+  SOPS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q in [0,1]");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+Summary summarize(std::span<const double> samples) {
+  SOPS_REQUIRE(!samples.empty(), "summarize of empty sample");
+  Summary s;
+  s.count = samples.size();
+  Accumulator acc;
+  for (const double v : samples) acc.add(v);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = quantile(samples, 0.5);
+  return s;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace sops::analysis

@@ -1,0 +1,61 @@
+#ifndef SOPS_ANALYSIS_STATS_HPP
+#define SOPS_ANALYSIS_STATS_HPP
+
+/// \file stats.hpp
+/// Summary statistics for experiment harnesses: mean, variance, quantiles,
+/// and a streaming accumulator (Welford) for long runs.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sops::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Full-pass summary of a sample (copies and sorts for the median).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// q-quantile (0 ≤ q ≤ 1) with linear interpolation.
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+/// Streaming mean/variance accumulator (Welford's algorithm): numerically
+/// stable over millions of observations.
+class Accumulator {
+ public:
+  void add(double value) noexcept {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    if (count_ == 1 || value < min_) min_ = value;
+    if (count_ == 1 || value > max_) max_ = value;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sops::analysis
+
+#endif  // SOPS_ANALYSIS_STATS_HPP

@@ -1,0 +1,36 @@
+#include "analysis/time_series.hpp"
+
+#include "util/assert.hpp"
+
+namespace sops::analysis {
+
+std::optional<std::uint64_t> TimeSeries::firstTimeAtOrBelow(
+    double threshold) const {
+  for (const TimePoint& point : points_) {
+    if (point.value <= threshold) return point.time;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> TimeSeries::firstTimeAtOrAbove(
+    double threshold) const {
+  for (const TimePoint& point : points_) {
+    if (point.value >= threshold) return point.time;
+  }
+  return std::nullopt;
+}
+
+double TimeSeries::meanAfter(std::uint64_t from) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const TimePoint& point : points_) {
+    if (point.time >= from) {
+      sum += point.value;
+      ++count;
+    }
+  }
+  SOPS_REQUIRE(count > 0, "meanAfter: no points in range");
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace sops::analysis

@@ -1,0 +1,49 @@
+#ifndef SOPS_ANALYSIS_TIME_SERIES_HPP
+#define SOPS_ANALYSIS_TIME_SERIES_HPP
+
+/// \file time_series.hpp
+/// (iteration, value) traces recorded during chain runs, plus hitting-time
+/// detection used by the scaling experiment (E7: iterations until
+/// α-compression).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sops::analysis {
+
+struct TimePoint {
+  std::uint64_t time = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  void record(std::uint64_t time, double value) {
+    points_.push_back({time, value});
+  }
+
+  [[nodiscard]] const std::vector<TimePoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// First recorded time at which value ≤ threshold, if any.
+  [[nodiscard]] std::optional<std::uint64_t> firstTimeAtOrBelow(
+      double threshold) const;
+
+  /// First recorded time at which value ≥ threshold, if any.
+  [[nodiscard]] std::optional<std::uint64_t> firstTimeAtOrAbove(
+      double threshold) const;
+
+  /// Mean of the values recorded at time ≥ from (quasi-stationary mean).
+  [[nodiscard]] double meanAfter(std::uint64_t from) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace sops::analysis
+
+#endif  // SOPS_ANALYSIS_TIME_SERIES_HPP

@@ -1,0 +1,162 @@
+#include "baseline/hexagon_builder.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lattice/direction.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::baseline {
+
+namespace {
+
+using lattice::Direction;
+using lattice::kAllDirections;
+using lattice::neighbor;
+using lattice::pack;
+using lattice::TriPoint;
+using system::ParticleSystem;
+
+/// Graph distances from a set of source cells through occupied cells.
+std::unordered_map<std::uint64_t, int> distancesFrom(
+    const ParticleSystem& sys, const std::vector<TriPoint>& sources) {
+  std::unordered_map<std::uint64_t, int> dist;
+  std::deque<TriPoint> frontier;
+  for (const TriPoint s : sources) {
+    if (sys.occupied(s) && !dist.contains(pack(s))) {
+      dist[pack(s)] = 0;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const TriPoint p = frontier.front();
+    frontier.pop_front();
+    const int dp = dist[pack(p)];
+    for (const Direction d : kAllDirections) {
+      const TriPoint q = neighbor(p, d);
+      if (sys.occupied(q) && !dist.contains(pack(q))) {
+        dist[pack(q)] = dp + 1;
+        frontier.push_back(q);
+      }
+    }
+  }
+  return dist;
+}
+
+/// The 1-median particle (minimum summed lattice distance to all others,
+/// ties broken by (y, x)): the "leader" the target spiral is anchored on.
+/// For a spiral-shaped configuration this is its center, which makes the
+/// builder a fixed point on its own output.
+TriPoint medianParticle(const ParticleSystem& sys) {
+  TriPoint best = sys.position(0);
+  std::int64_t bestCost = -1;
+  for (const TriPoint candidate : sys.positions()) {
+    std::int64_t cost = 0;
+    for (const TriPoint other : sys.positions()) {
+      cost += lattice::latticeDistance(candidate, other);
+    }
+    if (bestCost < 0 || cost < bestCost ||
+        (cost == bestCost && (candidate.y < best.y ||
+                              (candidate.y == best.y && candidate.x < best.x)))) {
+      bestCost = cost;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+/// Cost of walking from `from` to `to` through empty cells that border the
+/// structure (the "surface"), as a real relocated particle would.  Falls
+/// back to the lattice distance if the surface path is blocked (e.g. by a
+/// hole in the initial configuration).
+std::uint64_t surfaceWalkCost(const ParticleSystem& sys, TriPoint from,
+                              TriPoint to) {
+  if (from == to) return 0;
+  const auto onSurface = [&sys](TriPoint p) {
+    if (sys.occupied(p)) return false;
+    for (const Direction d : kAllDirections) {
+      if (sys.occupied(neighbor(p, d))) return true;
+    }
+    return false;
+  };
+  std::unordered_map<std::uint64_t, std::uint64_t> dist;
+  std::deque<TriPoint> frontier{from};
+  dist[pack(from)] = 0;
+  while (!frontier.empty()) {
+    const TriPoint p = frontier.front();
+    frontier.pop_front();
+    const std::uint64_t dp = dist[pack(p)];
+    if (p == to) return dp;
+    for (const Direction d : kAllDirections) {
+      const TriPoint q = neighbor(p, d);
+      if (q != to && !onSurface(q)) continue;
+      if (dist.contains(pack(q))) continue;
+      dist[pack(q)] = dp + 1;
+      frontier.push_back(q);
+    }
+  }
+  return static_cast<std::uint64_t>(lattice::latticeDistance(from, to));
+}
+
+}  // namespace
+
+HexagonBuildResult buildHexagon(const ParticleSystem& initial) {
+  SOPS_REQUIRE(!initial.empty(), "buildHexagon: empty system");
+  SOPS_REQUIRE(system::isConnected(initial), "buildHexagon: must be connected");
+
+  const auto n = static_cast<std::int64_t>(initial.size());
+  const TriPoint seed = medianParticle(initial);
+
+  // Target: spiral cells translated so the spiral center sits on the seed
+  // particle (which is occupied, so the first slot is filled from the
+  // start and the growing prefix stays attached to the structure).
+  std::vector<TriPoint> targets = system::spiralCells(n);
+  for (TriPoint& t : targets) t += seed;
+
+  HexagonBuildResult result{initial, 0, 0};
+  ParticleSystem& sys = result.finalSystem;
+
+  std::unordered_set<std::uint64_t> protectedCells;  // filled spiral prefix
+  std::vector<TriPoint> sources{seed};
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    const TriPoint t = targets[k];
+    if (sys.occupied(t)) {
+      protectedCells.insert(pack(t));
+      sources.push_back(t);
+      continue;  // slot already filled; protect it and move on
+    }
+
+    // Pick the farthest candidate (not on the protected prefix), measured
+    // from the protected blob.  Such a particle is never a cut vertex: if
+    // removing it separated a component C from the sources, every particle
+    // in C would be strictly farther, hence protected by maximality — but
+    // protected cells are sources themselves and cannot lie in C,
+    // contradiction.  Tests verify connectivity after every relocation.
+    const auto dist = distancesFrom(sys, sources);
+    std::size_t candidate = sys.size();
+    int candidateDist = -1;
+    for (std::size_t id = 0; id < sys.size(); ++id) {
+      const TriPoint p = sys.position(id);
+      if (protectedCells.contains(pack(p))) continue;
+      const auto it = dist.find(pack(p));
+      SOPS_REQUIRE(it != dist.end(), "configuration became disconnected");
+      if (it->second > candidateDist) {
+        candidateDist = it->second;
+        candidate = id;
+      }
+    }
+    SOPS_REQUIRE(candidate < sys.size(), "no relocatable particle found");
+
+    const TriPoint from = sys.position(candidate);
+    result.unitMoves += surfaceWalkCost(sys, from, t);
+    ++result.relocations;
+    sys.moveParticle(candidate, t);
+    protectedCells.insert(pack(t));
+    sources.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace sops::baseline

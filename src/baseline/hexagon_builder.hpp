@@ -1,0 +1,39 @@
+#ifndef SOPS_BASELINE_HEXAGON_BUILDER_HPP
+#define SOPS_BASELINE_HEXAGON_BUILDER_HPP
+
+/// \file hexagon_builder.hpp
+/// Idealized leader-driven hexagon formation — the outcome baseline for the
+/// leader-based shape-formation line of work the paper contrasts with
+/// ([19, 20] in §1.3).
+///
+/// A designated seed (the "leader") fixes the target: the minimum-perimeter
+/// hexagonal spiral of n cells anchored at the seed.  Particles are
+/// relocated one at a time: always a farthest non-essential particle (never
+/// a cut vertex — see the proof sketch in hexagon_builder.cpp) walks along
+/// the empty cells bordering the structure to the next unfilled spiral
+/// slot.  This reproduces the *outcome* of [19, 20] (a perfect hexagon,
+/// deterministically) while honestly accounting for movement cost; it is
+/// not a re-implementation of their full distributed protocol, and unlike
+/// the paper's Markov chain it requires a leader, global coordination, and
+/// persistent memory (DESIGN.md, substitutions).
+
+#include <cstdint>
+
+#include "system/particle_system.hpp"
+
+namespace sops::baseline {
+
+struct HexagonBuildResult {
+  system::ParticleSystem finalSystem;
+  /// Number of unit particle-moves charged (surface-walk path lengths).
+  std::uint64_t unitMoves = 0;
+  /// Number of relocated particles (leader directives issued).
+  std::uint64_t relocations = 0;
+};
+
+/// Runs the builder to completion.  Precondition: initial is connected.
+[[nodiscard]] HexagonBuildResult buildHexagon(const system::ParticleSystem& initial);
+
+}  // namespace sops::baseline
+
+#endif  // SOPS_BASELINE_HEXAGON_BUILDER_HPP

@@ -1,0 +1,28 @@
+#include "core/chain_stats.hpp"
+
+#include <sstream>
+
+namespace sops::core {
+
+std::string toString(StepOutcome outcome) {
+  switch (outcome) {
+    case StepOutcome::Accepted: return "Accepted";
+    case StepOutcome::TargetOccupied: return "TargetOccupied";
+    case StepOutcome::RejectedGap: return "RejectedGap";
+    case StepOutcome::RejectedProperty: return "RejectedProperty";
+    case StepOutcome::RejectedFilter: return "RejectedFilter";
+  }
+  return "Unknown";
+}
+
+std::string ChainStats::toString() const {
+  std::ostringstream out;
+  out << "steps=" << steps << " accepted=" << accepted
+      << " targetOccupied=" << targetOccupied << " rejectedGap=" << rejectedGap
+      << " rejectedProperty=" << rejectedProperty
+      << " rejectedFilter=" << rejectedFilter << " acceptance="
+      << acceptanceRate();
+  return out.str();
+}
+
+}  // namespace sops::core

@@ -1,0 +1,111 @@
+#include "core/compression_chain.hpp"
+
+#include <cmath>
+
+#include "system/metrics.hpp"
+
+namespace sops::core {
+
+namespace {
+bool propertyPasses(const MoveEvaluation& eval, const ChainOptions& options) noexcept {
+  if (!options.enforceProperties) return true;
+  return eval.property1 || (options.allowProperty2 && eval.property2);
+}
+}  // namespace
+
+double acceptanceProbability(const MoveEvaluation& eval,
+                             const ChainOptions& options) noexcept {
+  if (eval.targetOccupied) return 0.0;
+  if (options.enforceGapCondition && !eval.gapOk) return 0.0;
+  if (!propertyPasses(eval, options)) return 0.0;
+  if (options.greedy) return eval.eAfter >= eval.eBefore ? 1.0 : 0.0;
+  const double ratio =
+      std::pow(options.lambda, static_cast<double>(eval.eAfter - eval.eBefore));
+  return ratio >= 1.0 ? 1.0 : ratio;
+}
+
+CompressionChain::CompressionChain(system::ParticleSystem initial,
+                                   ChainOptions options, std::uint64_t seed)
+    : system_(std::move(initial)), options_(options), rng_(seed) {
+  SOPS_REQUIRE(options_.lambda > 0.0, "lambda must be positive");
+  SOPS_REQUIRE(!system_.empty(), "chain requires at least one particle");
+  SOPS_REQUIRE(system::isConnected(system_),
+               "M requires a connected starting configuration (paper §3.1)");
+  edges_ = system::countEdges(system_);
+  for (int delta = -5; delta <= 5; ++delta) {
+    lambdaPow_[delta + 5] = std::pow(options_.lambda, delta);
+  }
+}
+
+StepOutcome CompressionChain::step() {
+  // Step 1-2 of Algorithm M: uniform particle, uniform neighboring location.
+  const auto particle =
+      static_cast<std::size_t>(rng_.below(static_cast<std::uint32_t>(system_.size())));
+  const Direction d =
+      lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
+
+  const TriPoint l = system_.position(particle);
+  const MoveEvaluation eval = evaluateMove(system_, l, d);
+
+  StepOutcome outcome;
+  if (eval.targetOccupied) {
+    outcome = StepOutcome::TargetOccupied;
+  } else if (options_.enforceGapCondition && !eval.gapOk) {
+    outcome = StepOutcome::RejectedGap;
+  } else if (!propertyPasses(eval, options_)) {
+    outcome = StepOutcome::RejectedProperty;
+  } else {
+    bool accept;
+    if (options_.greedy) {
+      accept = eval.eAfter >= eval.eBefore;
+    } else {
+      const double threshold = lambdaPow_[eval.eAfter - eval.eBefore + 5];
+      // Draw q lazily: distributionally identical to Algorithm M's step 2.
+      accept = threshold >= 1.0 || rng_.uniform() < threshold;
+    }
+    if (accept) {
+      const TriPoint target = lattice::neighbor(l, d);
+      system_.moveParticle(particle, target);
+      edges_ += eval.eAfter - eval.eBefore;
+      lastMove_ = MoveRecord{particle, l, target};
+      outcome = StepOutcome::Accepted;
+    } else {
+      outcome = StepOutcome::RejectedFilter;
+    }
+  }
+  stats_.record(outcome);
+  return outcome;
+}
+
+void CompressionChain::run(std::uint64_t iterations) {
+  for (std::uint64_t i = 0; i < iterations; ++i) step();
+}
+
+StepOutcome CompressionChain::applyProposal(std::size_t particle, Direction d,
+                                            double q) {
+  SOPS_REQUIRE(particle < system_.size(), "applyProposal: bad particle");
+  const TriPoint l = system_.position(particle);
+  const MoveEvaluation eval = evaluateMove(system_, l, d);
+
+  StepOutcome outcome;
+  if (eval.targetOccupied) {
+    outcome = StepOutcome::TargetOccupied;
+  } else if (options_.enforceGapCondition && !eval.gapOk) {
+    outcome = StepOutcome::RejectedGap;
+  } else if (!propertyPasses(eval, options_)) {
+    outcome = StepOutcome::RejectedProperty;
+  } else if (options_.greedy ? eval.eAfter >= eval.eBefore
+                             : q < lambdaPow_[eval.eAfter - eval.eBefore + 5]) {
+    const TriPoint target = lattice::neighbor(l, d);
+    system_.moveParticle(particle, target);
+    edges_ += eval.eAfter - eval.eBefore;
+    lastMove_ = MoveRecord{particle, l, target};
+    outcome = StepOutcome::Accepted;
+  } else {
+    outcome = StepOutcome::RejectedFilter;
+  }
+  stats_.record(outcome);
+  return outcome;
+}
+
+}  // namespace sops::core

@@ -1,0 +1,128 @@
+#ifndef SOPS_CORE_COMPRESSION_CHAIN_HPP
+#define SOPS_CORE_COMPRESSION_CHAIN_HPP
+
+/// \file compression_chain.hpp
+/// The paper's Markov chain M for compression (Algorithm M, §3.1).
+///
+/// One iteration: choose a particle P at ℓ and a direction uniformly at
+/// random; let ℓ' be the neighboring cell.  If ℓ' is unoccupied and
+/// (1) e ≠ 5, (2) ℓ,ℓ' satisfy Property 1 or Property 2, and (3) a uniform
+/// q < λ^{e'−e}, then P moves to ℓ'.  With λ > 2+√2 the stationary
+/// distribution is α-compressed w.h.p. (Theorem 4.5); with λ < 2.17 it is
+/// β-expanded (Theorem 5.7).
+///
+/// The expand/contract mechanics of the amoebot model are atomic at this
+/// level (§3.2 shows the decoupled local algorithm A is equivalent); the
+/// faithful two-phase implementation lives in sops::amoebot.
+///
+/// ChainOptions carries ablation switches (used only by bench_ablation to
+/// demonstrate why each rule exists — E13 in DESIGN.md); defaults implement
+/// the paper's chain exactly.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/chain_stats.hpp"
+#include "core/properties.hpp"
+#include "rng/random.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::core {
+
+struct ChainOptions {
+  /// Bias parameter λ > 0.  λ > 1 favors neighbors (compression regime for
+  /// λ > 2+√2); λ < 1 disfavors them.
+  double lambda = 4.0;
+  /// Condition (1) of step 6: forbid moves when e = 5 (prevents holes).
+  bool enforceGapCondition = true;
+  /// Condition (2): require Property 1 or Property 2 (keeps connectivity).
+  bool enforceProperties = true;
+  /// Fig 3 ablation: with Property 2 disallowed (P1 only), Ω* is no longer
+  /// irreducible.  Only meaningful while enforceProperties is true.
+  bool allowProperty2 = true;
+  /// Zero-temperature baseline: replace the Metropolis filter with
+  /// "accept iff e' ≥ e" (the λ→∞ limit).  Used by bench_ablation/baseline.
+  bool greedy = false;
+};
+
+/// Probability with which M accepts a structurally valid move, per the
+/// Metropolis filter (condition (3)).  Exposed so the exact
+/// transition-matrix builder uses the identical kernel.
+[[nodiscard]] double acceptanceProbability(const MoveEvaluation& eval,
+                                           const ChainOptions& options) noexcept;
+
+class CompressionChain {
+ public:
+  /// A record of the last accepted move, for invariant instrumentation.
+  struct MoveRecord {
+    std::size_t particle;
+    TriPoint from;
+    TriPoint to;
+  };
+
+  CompressionChain(system::ParticleSystem initial, ChainOptions options,
+                   std::uint64_t seed);
+
+  /// Runs a single iteration of M.
+  StepOutcome step();
+
+  /// Runs `iterations` steps.
+  void run(std::uint64_t iterations);
+
+  /// Runs `iterations` steps, invoking callback(iterationsDone) after every
+  /// `checkpointEvery` steps (and once at the end if not aligned).
+  template <typename Callback>
+  void runWithCheckpoints(std::uint64_t iterations, std::uint64_t checkpointEvery,
+                          Callback&& callback) {
+    SOPS_REQUIRE(checkpointEvery > 0, "checkpointEvery must be positive");
+    std::uint64_t done = 0;
+    while (done < iterations) {
+      const std::uint64_t burst = std::min(checkpointEvery, iterations - done);
+      for (std::uint64_t i = 0; i < burst; ++i) step();
+      done += burst;
+      callback(done);
+    }
+  }
+
+  [[nodiscard]] const system::ParticleSystem& system() const noexcept {
+    return system_;
+  }
+  [[nodiscard]] const ChainStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ChainOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::uint64_t iterations() const noexcept { return stats_.steps; }
+
+  /// Current e(σ), maintained incrementally from move deltas — O(1) per
+  /// step instead of O(n) recounts.  Tests verify it against
+  /// system::countEdges along full trajectories.
+  [[nodiscard]] std::int64_t edges() const noexcept { return edges_; }
+
+  /// Current perimeter via Lemma 2.3 (p = 3n − e − 3), valid whenever the
+  /// configuration is hole-free — which is absorbing (Lemma 3.2), so after
+  /// a hole-free start this is always exact under the paper's rules.
+  [[nodiscard]] std::int64_t perimeterIfHoleFree() const noexcept {
+    return 3 * static_cast<std::int64_t>(system_.size()) - edges_ - 3;
+  }
+
+  /// Last accepted move, if any step has accepted yet.
+  [[nodiscard]] const std::optional<MoveRecord>& lastMove() const noexcept {
+    return lastMove_;
+  }
+
+  /// Deterministic single-proposal entry point for tests: evaluates the
+  /// proposal (particle, d) and applies it iff valid and q < λ^{e'-e}.
+  StepOutcome applyProposal(std::size_t particle, Direction d, double q);
+
+ private:
+  system::ParticleSystem system_;
+  ChainOptions options_;
+  rng::Random rng_;
+  ChainStats stats_;
+  std::optional<MoveRecord> lastMove_;
+  std::int64_t edges_ = 0;
+  /// λ^{delta} for delta = e'−e ∈ [−5, 5], indexed by delta+5.
+  double lambdaPow_[11];
+};
+
+}  // namespace sops::core
+
+#endif  // SOPS_CORE_COMPRESSION_CHAIN_HPP

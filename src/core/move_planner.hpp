@@ -1,0 +1,63 @@
+#ifndef SOPS_CORE_MOVE_PLANNER_HPP
+#define SOPS_CORE_MOVE_PLANNER_HPP
+
+/// \file move_planner.hpp
+/// Explicit move-sequence planning between configurations — the executable
+/// witness of the paper's ergodicity results (§3.5): Lemma 3.7 (any
+/// connected configuration reaches the line via valid moves), Lemma 3.8
+/// (holed configurations reach Ω*), and Lemma 3.10 (irreducibility on Ω*).
+///
+/// planMoves() runs breadth-first search over configurations (up to
+/// translation) using exactly the chain's structural validity predicate
+/// (target empty, gap condition, Property 1 or 2 — every structurally
+/// valid move has positive Metropolis probability for any λ > 0), and
+/// returns a shortest sequence of single-particle moves, expressed in the
+/// source arrangement's own coordinates so it can be replayed directly.
+///
+/// Intended for small systems (the state space is Θ(5.18^n)); the
+/// stateLimit parameter bounds the search.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/compression_chain.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::core {
+
+struct PlannedMove {
+  TriPoint from;
+  TriPoint to;
+};
+
+struct MovePlan {
+  /// Moves in source-arrangement coordinates, in execution order.
+  std::vector<PlannedMove> moves;
+  /// Number of configurations expanded by the search.
+  std::size_t statesExplored = 0;
+};
+
+/// Shortest valid-move sequence from `source` to (any translate of)
+/// `target`, or nullopt if unreachable within stateLimit states.
+/// Preconditions: both connected, same particle count.
+[[nodiscard]] std::optional<MovePlan> planMoves(
+    const system::ParticleSystem& source, const system::ParticleSystem& target,
+    const ChainOptions& options = {}, std::size_t stateLimit = 2000000);
+
+/// Convenience: plan from `source` to the straight line of the same size
+/// (the canonical hub configuration of Lemma 3.7).
+[[nodiscard]] std::optional<MovePlan> planToLine(
+    const system::ParticleSystem& source, const ChainOptions& options = {},
+    std::size_t stateLimit = 2000000);
+
+/// Replays a plan on a copy of `source`, validating every move against the
+/// chain's rules; throws ContractViolation on any invalid step.  Returns
+/// the final system.
+[[nodiscard]] system::ParticleSystem replayPlan(
+    const system::ParticleSystem& source, const MovePlan& plan,
+    const ChainOptions& options = {});
+
+}  // namespace sops::core
+
+#endif  // SOPS_CORE_MOVE_PLANNER_HPP

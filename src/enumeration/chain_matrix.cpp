@@ -1,0 +1,66 @@
+#include "enumeration/chain_matrix.hpp"
+
+#include <cmath>
+
+#include "lattice/direction.hpp"
+#include "system/canonical.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::enumeration {
+
+std::vector<double> ChainModel::edgeWeights(double lambda) const {
+  std::vector<double> weights;
+  weights.reserve(states.size());
+  for (const EnumeratedConfig& state : states) {
+    weights.push_back(std::pow(lambda, static_cast<double>(state.edges)));
+  }
+  return weights;
+}
+
+ChainModel buildChainModel(int n, const core::ChainOptions& options) {
+  SOPS_REQUIRE(n >= 1, "buildChainModel: n >= 1");
+  std::vector<EnumeratedConfig> states = enumerateConnected(n);
+
+  std::unordered_map<std::string, std::size_t> indexOfKey;
+  indexOfKey.reserve(states.size() * 2);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    indexOfKey.emplace(system::canonicalKeyFromPoints(states[i].points), i);
+  }
+
+  ChainModel model{std::move(states),
+                   {},
+                   markov::TransitionMatrix(indexOfKey.size()),
+                   std::move(indexOfKey)};
+  model.holeFree.reserve(model.states.size());
+  for (const EnumeratedConfig& state : model.states) {
+    model.holeFree.push_back(state.holeFree() ? 1 : 0);
+  }
+
+  const double proposalProbability = 1.0 / (6.0 * static_cast<double>(n));
+  std::vector<lattice::TriPoint> scratch;
+  for (std::size_t from = 0; from < model.states.size(); ++from) {
+    const system::ParticleSystem sys(model.states[from].points);
+    double stay = 1.0;
+    for (std::size_t particle = 0; particle < sys.size(); ++particle) {
+      for (const lattice::Direction d : lattice::kAllDirections) {
+        const core::MoveEvaluation eval =
+            core::evaluateMove(sys, sys.position(particle), d);
+        const double accept = core::acceptanceProbability(eval, options);
+        if (accept <= 0.0) continue;
+        scratch = sys.positions();
+        scratch[particle] = lattice::neighbor(sys.position(particle), d);
+        const auto it =
+            model.indexOfKey.find(system::canonicalKeyFromPoints(scratch));
+        SOPS_REQUIRE(it != model.indexOfKey.end(),
+                     "valid move left the enumerated state space");
+        model.matrix.add(from, it->second, accept * proposalProbability);
+        stay -= accept * proposalProbability;
+      }
+    }
+    SOPS_REQUIRE(stay > -1e-12, "negative self-loop probability");
+    model.matrix.add(from, from, stay < 0.0 ? 0.0 : stay);
+  }
+  return model;
+}
+
+}  // namespace sops::enumeration

@@ -1,0 +1,46 @@
+#ifndef SOPS_ENUMERATION_CHAIN_MATRIX_HPP
+#define SOPS_ENUMERATION_CHAIN_MATRIX_HPP
+
+/// \file chain_matrix.hpp
+/// The exact transition matrix of the paper's Markov chain M over all
+/// connected configurations of n particles (up to translation), built from
+/// the very same move kernel the simulator executes
+/// (core::evaluateMove / core::acceptanceProbability).
+///
+/// This makes the paper's structural lemmas checkable exactly for tiny n:
+///  * rows are stochastic;
+///  * Ω* (hole-free states) is closed (Lemma 3.2) and strongly connected
+///    (Lemma 3.10), with reversible transitions (Lemma 3.9);
+///  * holed states are transient and reach Ω* (Lemma 3.8);
+///  * detailed balance holds with weights λ^{e(σ)} and the stationary
+///    distribution is λ^{e(σ)}/Z (Lemma 3.13).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compression_chain.hpp"
+#include "enumeration/config_enum.hpp"
+#include "markov/transition_matrix.hpp"
+
+namespace sops::enumeration {
+
+struct ChainModel {
+  std::vector<EnumeratedConfig> states;  ///< all connected configs of size n
+  std::vector<char> holeFree;            ///< indicator of Ω* membership
+  markov::TransitionMatrix matrix;       ///< exact one-step kernel of M
+  std::unordered_map<std::string, std::size_t> indexOfKey;
+
+  [[nodiscard]] std::size_t stateCount() const noexcept { return states.size(); }
+
+  /// λ^{e(σ)} weights aligned with states (zero outside Ω* callers decide).
+  [[nodiscard]] std::vector<double> edgeWeights(double lambda) const;
+};
+
+/// Builds the exact model for n particles under the given chain options.
+/// Intended for n ≤ 6 (the matrix is dense: states² doubles).
+[[nodiscard]] ChainModel buildChainModel(int n, const core::ChainOptions& options);
+
+}  // namespace sops::enumeration
+
+#endif  // SOPS_ENUMERATION_CHAIN_MATRIX_HPP

@@ -1,0 +1,57 @@
+#ifndef SOPS_ENUMERATION_CONFIG_ENUM_HPP
+#define SOPS_ENUMERATION_CONFIG_ENUM_HPP
+
+/// \file config_enum.hpp
+/// Exact enumeration of connected particle configurations up to translation
+/// (the paper's state space Ω and its hole-free restriction Ω*, §3.5).
+///
+/// By the hex-lattice duality (Fig 9a), connected configurations correspond
+/// to fixed polyhexes, and hole-free configurations to benzenoids — the
+/// objects Jensen enumerated to h = 50 for the paper's Lemma 5.5.  Laptop
+/// budgets reach n ≈ 10 here, which suffices for every exact experiment
+/// (E4, E5, E15 in DESIGN.md).
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/tri_point.hpp"
+
+namespace sops::enumeration {
+
+using lattice::TriPoint;
+
+struct EnumeratedConfig {
+  /// Canonical (translation-normalized, sorted) point list.
+  std::vector<TriPoint> points;
+  std::int64_t edges = 0;
+  std::int64_t triangles = 0;
+  std::int64_t perimeter = 0;
+  int holes = 0;
+  [[nodiscard]] bool holeFree() const noexcept { return holes == 0; }
+};
+
+/// All connected configurations of n particles up to translation, with
+/// metrics.  Deterministic order (sorted by canonical key).
+[[nodiscard]] std::vector<EnumeratedConfig> enumerateConnected(int n);
+
+/// Count-only variants (avoid storing configs for larger n).
+struct ConfigCounts {
+  std::uint64_t all = 0;       ///< connected configurations
+  std::uint64_t holeFree = 0;  ///< connected configurations with no holes
+};
+[[nodiscard]] ConfigCounts countConnected(int n);
+
+/// Independent brute-force enumeration for cross-validation (tests only):
+/// enumerates subsets of the n×n canonical window directly.  Exponential;
+/// intended for n ≤ 6.
+[[nodiscard]] ConfigCounts countConnectedBruteForce(int n);
+
+/// The paper's Lemma 5.5 constant: the number of benzenoids with 50 cells
+/// (Jensen 2009), as a decimal string, and the derived expansion threshold
+/// (2·N50)^{1/100} ≈ 2.17 used in Theorem 5.7.
+[[nodiscard]] const char* jensenN50Decimal() noexcept;
+[[nodiscard]] double expansionThresholdFromN50() noexcept;
+
+}  // namespace sops::enumeration
+
+#endif  // SOPS_ENUMERATION_CONFIG_ENUM_HPP

@@ -1,0 +1,100 @@
+#include "enumeration/exact_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sops::enumeration {
+
+ExactEnsemble::ExactEnsemble(int n) : n_(n) {
+  SOPS_REQUIRE(n >= 1, "ExactEnsemble: n >= 1");
+  for (EnumeratedConfig& config : enumerateConnected(n)) {
+    if (config.holeFree()) configs_.push_back(std::move(config));
+  }
+  SOPS_ENSURE(!configs_.empty(), "Ω* must be nonempty");
+  minPerimeter_ = configs_.front().perimeter;
+  maxPerimeter_ = configs_.front().perimeter;
+  for (const EnumeratedConfig& config : configs_) {
+    minPerimeter_ = std::min(minPerimeter_, config.perimeter);
+    maxPerimeter_ = std::max(maxPerimeter_, config.perimeter);
+  }
+}
+
+double ExactEnsemble::partitionFunction(double lambda) const {
+  SOPS_REQUIRE(lambda > 0.0, "lambda must be positive");
+  double z = 0.0;
+  for (const EnumeratedConfig& config : configs_) {
+    z += std::pow(lambda, static_cast<double>(config.edges));
+  }
+  return z;
+}
+
+std::vector<double> ExactEnsemble::stationary(double lambda) const {
+  const double z = partitionFunction(lambda);
+  std::vector<double> pi;
+  pi.reserve(configs_.size());
+  for (const EnumeratedConfig& config : configs_) {
+    pi.push_back(std::pow(lambda, static_cast<double>(config.edges)) / z);
+  }
+  return pi;
+}
+
+double ExactEnsemble::probPerimeterAtLeast(double lambda,
+                                           double threshold) const {
+  const std::vector<double> pi = stationary(lambda);
+  double probability = 0.0;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if (static_cast<double>(configs_[i].perimeter) >= threshold) {
+      probability += pi[i];
+    }
+  }
+  return probability;
+}
+
+double ExactEnsemble::probPerimeterAtMost(double lambda, double threshold) const {
+  const std::vector<double> pi = stationary(lambda);
+  double probability = 0.0;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    if (static_cast<double>(configs_[i].perimeter) <= threshold) {
+      probability += pi[i];
+    }
+  }
+  return probability;
+}
+
+double ExactEnsemble::expectedPerimeter(double lambda) const {
+  const std::vector<double> pi = stationary(lambda);
+  double expectation = 0.0;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    expectation += pi[i] * static_cast<double>(configs_[i].perimeter);
+  }
+  return expectation;
+}
+
+double ExactEnsemble::expectedEdges(double lambda) const {
+  const std::vector<double> pi = stationary(lambda);
+  double expectation = 0.0;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    expectation += pi[i] * static_cast<double>(configs_[i].edges);
+  }
+  return expectation;
+}
+
+std::map<std::int64_t, double> ExactEnsemble::perimeterDistribution(
+    double lambda) const {
+  const std::vector<double> pi = stationary(lambda);
+  std::map<std::int64_t, double> histogram;
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    histogram[configs_[i].perimeter] += pi[i];
+  }
+  return histogram;
+}
+
+std::map<std::int64_t, std::uint64_t> ExactEnsemble::perimeterCounts() const {
+  std::map<std::int64_t, std::uint64_t> counts;
+  for (const EnumeratedConfig& config : configs_) ++counts[config.perimeter];
+  return counts;
+}
+
+}  // namespace sops::enumeration

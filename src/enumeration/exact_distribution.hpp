@@ -1,0 +1,67 @@
+#ifndef SOPS_ENUMERATION_EXACT_DISTRIBUTION_HPP
+#define SOPS_ENUMERATION_EXACT_DISTRIBUTION_HPP
+
+/// \file exact_distribution.hpp
+/// The exact stationary distribution π(σ) = λ^{e(σ)}/Z over Ω* for small n
+/// (Lemma 3.13 / Corollary 3.14), computed by full enumeration.
+///
+/// This powers experiments E5/E6: exact compression probabilities
+/// P_π(p ≥ α·p_min) and expansion probabilities P_π(p ≤ β·p_max) as
+/// functions of λ, against which chain samples are validated.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "enumeration/config_enum.hpp"
+
+namespace sops::enumeration {
+
+class ExactEnsemble {
+ public:
+  /// Builds the ensemble of hole-free connected configurations of n
+  /// particles (the support Ω* of π).
+  explicit ExactEnsemble(int n);
+
+  [[nodiscard]] int particles() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<EnumeratedConfig>& configs() const noexcept {
+    return configs_;
+  }
+
+  /// Partition function Z(λ) = Σ_{σ∈Ω*} λ^{e(σ)}.
+  [[nodiscard]] double partitionFunction(double lambda) const;
+
+  /// Stationary probabilities aligned with configs().
+  [[nodiscard]] std::vector<double> stationary(double lambda) const;
+
+  /// P_π(p(σ) ≥ threshold): non-compression probability (Theorem 4.5 uses
+  /// threshold = α·p_min).
+  [[nodiscard]] double probPerimeterAtLeast(double lambda, double threshold) const;
+
+  /// P_π(p(σ) ≤ threshold): non-expansion probability (Theorem 5.7 uses
+  /// threshold = β·p_max).
+  [[nodiscard]] double probPerimeterAtMost(double lambda, double threshold) const;
+
+  [[nodiscard]] double expectedPerimeter(double lambda) const;
+  [[nodiscard]] double expectedEdges(double lambda) const;
+
+  /// Exact perimeter histogram under π.
+  [[nodiscard]] std::map<std::int64_t, double> perimeterDistribution(
+      double lambda) const;
+
+  /// Number of configurations with each perimeter (c_k of §4.1).
+  [[nodiscard]] std::map<std::int64_t, std::uint64_t> perimeterCounts() const;
+
+  [[nodiscard]] std::int64_t minPerimeter() const noexcept { return minPerimeter_; }
+  [[nodiscard]] std::int64_t maxPerimeter() const noexcept { return maxPerimeter_; }
+
+ private:
+  int n_;
+  std::vector<EnumeratedConfig> configs_;
+  std::int64_t minPerimeter_ = 0;
+  std::int64_t maxPerimeter_ = 0;
+};
+
+}  // namespace sops::enumeration
+
+#endif  // SOPS_ENUMERATION_EXACT_DISTRIBUTION_HPP

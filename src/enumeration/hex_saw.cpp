@@ -1,0 +1,76 @@
+#include "enumeration/hex_saw.hpp"
+
+#include <cmath>
+
+#include "lattice/tri_point.hpp"
+#include "util/assert.hpp"
+#include "util/flat_hash.hpp"
+
+namespace sops::enumeration {
+
+namespace {
+
+using lattice::TriPoint;
+
+/// Vertices of the hexagonal lattice = faces of G∆: an "up" face
+/// {v, v+E, v+NE} or a "down" face {v, v+E, v+SE}, keyed by (v, type).
+struct HexVertex {
+  TriPoint base;
+  bool up;
+};
+
+std::uint64_t key(HexVertex v) {
+  return lattice::pack(TriPoint{2 * v.base.x + (v.up ? 1 : 0), v.base.y});
+}
+
+/// The three neighbors of a hexagonal-lattice vertex.  An up face at v is
+/// edge-adjacent to the down faces at v, v+(0,1), and v+(-1,1); a down face
+/// at v to the up faces at v, v+(0,-1), and v+(1,-1).
+void neighborsOf(HexVertex v, HexVertex out[3]) {
+  if (v.up) {
+    out[0] = {v.base, false};
+    out[1] = {{v.base.x, v.base.y + 1}, false};
+    out[2] = {{v.base.x - 1, v.base.y + 1}, false};
+  } else {
+    out[0] = {v.base, true};
+    out[1] = {{v.base.x, v.base.y - 1}, true};
+    out[2] = {{v.base.x + 1, v.base.y - 1}, true};
+  }
+}
+
+void dfs(HexVertex v, int depth, int maxLength, util::FlatSet64& visited,
+         std::vector<std::uint64_t>& counts) {
+  if (depth == maxLength) return;
+  HexVertex nbrs[3];
+  neighborsOf(v, nbrs);
+  for (const HexVertex next : nbrs) {
+    const std::uint64_t k = key(next);
+    if (visited.contains(k)) continue;
+    ++counts[static_cast<std::size_t>(depth)];
+    visited.insert(k);
+    dfs(next, depth + 1, maxLength, visited, counts);
+    visited.erase(k);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> hexSawCounts(int maxLength) {
+  SOPS_REQUIRE(maxLength >= 1 && maxLength <= 30, "hexSawCounts: 1..30");
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(maxLength), 0);
+  util::FlatSet64 visited(1024);
+  const HexVertex origin{{0, 0}, true};
+  visited.insert(key(origin));
+  dfs(origin, 0, maxLength, visited, counts);
+  return counts;
+}
+
+double connectiveConstantEstimate(const std::vector<std::uint64_t>& counts) {
+  SOPS_REQUIRE(!counts.empty(), "connectiveConstantEstimate: empty counts");
+  const double l = static_cast<double>(counts.size());
+  return std::pow(static_cast<double>(counts.back()), 1.0 / l);
+}
+
+double hexConnectiveConstant() noexcept { return std::sqrt(2.0 + std::sqrt(2.0)); }
+
+}  // namespace sops::enumeration

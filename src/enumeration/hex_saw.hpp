@@ -1,0 +1,31 @@
+#ifndef SOPS_ENUMERATION_HEX_SAW_HPP
+#define SOPS_ENUMERATION_HEX_SAW_HPP
+
+/// \file hex_saw.hpp
+/// Exact counts of self-avoiding walks on the hexagonal (honeycomb) lattice
+/// — the dual of G∆ — from a fixed vertex (Definition 4.1, Fig 8).
+///
+/// Duminil-Copin & Smirnov (Theorem 4.2) proved the connective constant is
+/// μ_hex = √(2+√2) ≈ 1.84776; the compression threshold of Theorem 4.5 is
+/// μ_hex² = 2+√2.  bench_saw reports N_l and the estimates N_l^{1/l}.
+
+#include <cstdint>
+#include <vector>
+
+namespace sops::enumeration {
+
+/// counts[l-1] = number of self-avoiding walks of length l (edges) starting
+/// at a fixed vertex of the hexagonal lattice, for l = 1..maxLength.
+/// Exhaustive DFS; practical for maxLength ≲ 26.
+[[nodiscard]] std::vector<std::uint64_t> hexSawCounts(int maxLength);
+
+/// μ estimate from the last count: counts.back()^{1/maxLength}.
+[[nodiscard]] double connectiveConstantEstimate(
+    const std::vector<std::uint64_t>& counts);
+
+/// The proven connective constant √(2+√2).
+[[nodiscard]] double hexConnectiveConstant() noexcept;
+
+}  // namespace sops::enumeration
+
+#endif  // SOPS_ENUMERATION_HEX_SAW_HPP

@@ -1,0 +1,120 @@
+#include "enumeration/redelmeier.hpp"
+
+#include "lattice/direction.hpp"
+#include "util/assert.hpp"
+#include "util/flat_hash.hpp"
+
+namespace sops::enumeration {
+
+namespace {
+
+using lattice::Direction;
+using lattice::kAllDirections;
+using lattice::neighbor;
+using lattice::pack;
+
+/// Growth is restricted to the half-plane that makes the origin the
+/// lexicographically (y, x)-smallest cell of every generated animal.
+constexpr bool inHalfPlane(TriPoint p) noexcept {
+  return p.y > 0 || (p.y == 0 && p.x >= 0);
+}
+
+class Enumerator {
+ public:
+  Enumerator(int n, const std::function<void(std::span<const TriPoint>)>* visit)
+      : n_(n), visit_(visit), counts_(static_cast<std::size_t>(n), 0) {
+    occupied_.reserve(64);
+    reached_.reserve(256);
+  }
+
+  std::vector<std::uint64_t> run() {
+    const TriPoint origin{0, 0};
+    reached_.insert(pack(origin));
+    std::vector<TriPoint> untried{origin};
+    extend(untried);
+    return counts_;
+  }
+
+ private:
+  /// One recursion level of Redelmeier's algorithm.  `untried` is owned by
+  /// this level; cells it pops stay marked in `reached_` so that sibling
+  /// branches never regenerate the same animal.  Marks are released by the
+  /// level that created them (the caller, via `added` bookkeeping).
+  void extend(std::vector<TriPoint>& untried) {
+    while (!untried.empty()) {
+      const TriPoint cell = untried.back();
+      untried.pop_back();
+
+      cells_.push_back(cell);
+      occupied_.insert(pack(cell));
+      ++counts_[cells_.size() - 1];
+      if (visit_ != nullptr && static_cast<int>(cells_.size()) == n_) {
+        (*visit_)(cells_);
+      }
+
+      if (static_cast<int>(cells_.size()) < n_) {
+        std::vector<TriPoint> next = untried;
+        std::vector<TriPoint> added;
+        for (const Direction d : kAllDirections) {
+          const TriPoint q = neighbor(cell, d);
+          if (!inHalfPlane(q)) continue;
+          if (reached_.contains(pack(q))) continue;
+          reached_.insert(pack(q));
+          next.push_back(q);
+          added.push_back(q);
+        }
+        extend(next);
+        for (const TriPoint q : added) reached_.erase(pack(q));
+      }
+
+      occupied_.erase(pack(cell));
+      cells_.pop_back();
+      // `cell` stays in reached_: its subtree enumerated every animal that
+      // contains it, so siblings must avoid it.
+    }
+  }
+
+  int n_;
+  const std::function<void(std::span<const TriPoint>)>* visit_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<TriPoint> cells_;
+  util::FlatSet64 occupied_;
+  util::FlatSet64 reached_;
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> redelmeierCounts(int n) {
+  SOPS_REQUIRE(n >= 1 && n <= 16, "redelmeierCounts: n in [1,16]");
+  Enumerator enumerator(n, nullptr);
+  return enumerator.run();
+}
+
+void redelmeierEnumerate(
+    int n, const std::function<void(std::span<const TriPoint>)>& visit) {
+  SOPS_REQUIRE(n >= 1 && n <= 16, "redelmeierEnumerate: n in [1,16]");
+  Enumerator enumerator(n, &visit);
+  (void)enumerator.run();
+}
+
+std::vector<std::vector<TriPoint>> staircasePaths(int n) {
+  SOPS_REQUIRE(n >= 1 && n <= 24, "staircasePaths: n in [1,24]");
+  std::vector<std::vector<TriPoint>> paths;
+  paths.reserve(std::size_t{1} << (n - 1));
+  std::vector<TriPoint> current{TriPoint{0, 0}};
+  const std::function<void()> build = [&] {
+    if (static_cast<int>(current.size()) == n) {
+      paths.push_back(current);
+      return;
+    }
+    for (const Direction step : {Direction::East, Direction::NorthEast}) {
+      current.push_back(neighbor(current.back(), step));
+      build();
+      current.pop_back();
+    }
+  };
+  build();
+  return paths;
+}
+
+}  // namespace sops::enumeration

@@ -1,0 +1,45 @@
+#ifndef SOPS_ENUMERATION_REDELMEIER_HPP
+#define SOPS_ENUMERATION_REDELMEIER_HPP
+
+/// \file redelmeier.hpp
+/// Redelmeier-style enumeration of connected configurations up to
+/// translation — an *independent* second method (no canonical-form dedup,
+/// O(n) memory) used to cross-validate config_enum.hpp and to reach larger
+/// n in count-only experiments.
+///
+/// The classic algorithm for lattice animals, adapted to vertex animals on
+/// G∆ (≡ fixed polyhexes): restrict growth to the half-plane
+/// {y > 0} ∪ {y = 0, x ≥ 0} so that every animal is generated exactly once,
+/// rooted at its lexicographically (y, then x) smallest vertex.
+///
+/// Also provides the staircase paths of Lemma 5.1: the 2^{n-1} maximum-
+/// perimeter tree configurations built from "right" / "up-right" steps.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "lattice/tri_point.hpp"
+
+namespace sops::enumeration {
+
+using lattice::TriPoint;
+
+/// counts[k-1] = number of connected configurations with k particles, up to
+/// translation, for k = 1..n.  Must agree with countConnected(k).all.
+[[nodiscard]] std::vector<std::uint64_t> redelmeierCounts(int n);
+
+/// Calls visit(cells) for every connected configuration of exactly n
+/// particles (cells are rooted at the half-plane origin, not canonical).
+void redelmeierEnumerate(int n,
+                         const std::function<void(std::span<const TriPoint>)>& visit);
+
+/// Lemma 5.1's witnesses: all 2^{n-1} staircase paths (steps East or
+/// NorthEast from the origin).  Every one is a tree configuration with the
+/// maximum perimeter 2n−2; tests make the lemma's count argument exact.
+[[nodiscard]] std::vector<std::vector<TriPoint>> staircasePaths(int n);
+
+}  // namespace sops::enumeration
+
+#endif  // SOPS_ENUMERATION_REDELMEIER_HPP

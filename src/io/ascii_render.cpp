@@ -1,0 +1,40 @@
+#include "io/ascii_render.hpp"
+
+#include <algorithm>
+
+#include "system/metrics.hpp"
+
+namespace sops::io {
+
+std::string renderAscii(const system::ParticleSystem& sys,
+                        const AsciiOptions& options) {
+  SOPS_REQUIRE(!sys.empty(), "renderAscii of empty system");
+  const system::BoundingBox box = system::boundingBox(sys);
+
+  // Column of (x, y) in half-cell units: 2x + y, normalized to the minimum
+  // over the box (the smallest column in row y is at x = minX).
+  const std::int64_t colMin = 2 * static_cast<std::int64_t>(box.minX) + box.minY;
+  const std::int64_t colMax = 2 * static_cast<std::int64_t>(box.maxX) + box.maxY;
+  const auto width = static_cast<std::size_t>(colMax - colMin + 1);
+
+  std::string out;
+  for (std::int32_t y = box.maxY; y >= box.minY; --y) {
+    std::string row(width, ' ');
+    for (std::int32_t x = box.minX; x <= box.maxX; ++x) {
+      const auto col = static_cast<std::size_t>(
+          2 * static_cast<std::int64_t>(x) + y - colMin);
+      if (sys.occupied({x, y})) {
+        row[col] = options.particle;
+      } else if (options.showLattice) {
+        row[col] = options.empty;
+      }
+    }
+    // Trim trailing spaces for compact output.
+    const std::size_t end = row.find_last_not_of(' ');
+    out.append(row, 0, end == std::string::npos ? 0 : end + 1);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace sops::io

@@ -1,0 +1,28 @@
+#ifndef SOPS_IO_ASCII_RENDER_HPP
+#define SOPS_IO_ASCII_RENDER_HPP
+
+/// \file ascii_render.hpp
+/// Terminal rendering of configurations on G∆, used by the benches to print
+/// Fig 2 / Fig 10-style snapshots.  Each lattice row is offset by half a
+/// cell per +y step, matching the cartesian embedding.
+
+#include <string>
+
+#include "system/particle_system.hpp"
+
+namespace sops::io {
+
+struct AsciiOptions {
+  char particle = 'o';
+  char empty = '.';
+  /// Draw the empty lattice positions inside the bounding box.
+  bool showLattice = false;
+};
+
+/// Multi-line ASCII rendering (top row = max y).
+[[nodiscard]] std::string renderAscii(const system::ParticleSystem& sys,
+                                      const AsciiOptions& options = {});
+
+}  // namespace sops::io
+
+#endif  // SOPS_IO_ASCII_RENDER_HPP

@@ -1,0 +1,83 @@
+#include "io/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "lattice/direction.hpp"
+#include "system/metrics.hpp"
+
+namespace sops::io {
+
+namespace {
+using lattice::Direction;
+using lattice::TriPoint;
+
+struct Frame {
+  double minX, minY, maxX, maxY;
+};
+
+Frame cartesianFrame(const system::ParticleSystem& sys) {
+  Frame f{1e300, 1e300, -1e300, -1e300};
+  for (const TriPoint p : sys.positions()) {
+    const lattice::Cartesian c = lattice::toCartesian(p);
+    f.minX = std::min(f.minX, c.x);
+    f.minY = std::min(f.minY, c.y);
+    f.maxX = std::max(f.maxX, c.x);
+    f.maxY = std::max(f.maxY, c.y);
+  }
+  return f;
+}
+}  // namespace
+
+std::string renderSvg(const system::ParticleSystem& sys,
+                      const SvgOptions& options) {
+  SOPS_REQUIRE(!sys.empty(), "renderSvg of empty system");
+  const Frame frame = cartesianFrame(sys);
+  const double margin = 1.0;
+  const double scale = options.scale;
+  const double width = (frame.maxX - frame.minX + 2 * margin) * scale;
+  const double height = (frame.maxY - frame.minY + 2 * margin) * scale;
+
+  // SVG's y axis points down; flip so the lattice's +y renders upward.
+  const auto mapX = [&](double x) { return (x - frame.minX + margin) * scale; };
+  const auto mapY = [&](double y) { return height - (y - frame.minY + margin) * scale; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\">\n";
+
+  if (options.drawEdges) {
+    // Each undirected edge once, via the three "positive" directions.
+    constexpr Direction kPositive[3] = {Direction::East, Direction::NorthEast,
+                                        Direction::SouthEast};
+    for (const TriPoint p : sys.positions()) {
+      const lattice::Cartesian a = lattice::toCartesian(p);
+      for (const Direction d : kPositive) {
+        const TriPoint q = lattice::neighbor(p, d);
+        if (!sys.occupied(q)) continue;
+        const lattice::Cartesian b = lattice::toCartesian(q);
+        svg << "  <line x1=\"" << mapX(a.x) << "\" y1=\"" << mapY(a.y)
+            << "\" x2=\"" << mapX(b.x) << "\" y2=\"" << mapY(b.y)
+            << "\" stroke=\"" << options.edgeStroke << "\" stroke-width=\"2\"/>\n";
+      }
+    }
+  }
+  for (const TriPoint p : sys.positions()) {
+    const lattice::Cartesian c = lattice::toCartesian(p);
+    svg << "  <circle cx=\"" << mapX(c.x) << "\" cy=\"" << mapY(c.y)
+        << "\" r=\"" << options.particleRadius << "\" fill=\""
+        << options.particleFill << "\"/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool writeSvg(const system::ParticleSystem& sys, const std::string& path,
+              const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << renderSvg(sys, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sops::io

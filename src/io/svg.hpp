@@ -1,0 +1,33 @@
+#ifndef SOPS_IO_SVG_HPP
+#define SOPS_IO_SVG_HPP
+
+/// \file svg.hpp
+/// SVG rendering of configurations (particles as circles, induced edges as
+/// segments), in the style of the paper's figures.  Examples write these
+/// next to their stdout output.
+
+#include <string>
+
+#include "system/particle_system.hpp"
+
+namespace sops::io {
+
+struct SvgOptions {
+  double scale = 24.0;        ///< pixels per lattice unit
+  double particleRadius = 7.0;
+  bool drawEdges = true;
+  std::string particleFill = "#222222";
+  std::string edgeStroke = "#999999";
+};
+
+/// Returns a complete SVG document for the configuration.
+[[nodiscard]] std::string renderSvg(const system::ParticleSystem& sys,
+                                    const SvgOptions& options = {});
+
+/// Renders and writes to a file; returns false on IO failure.
+bool writeSvg(const system::ParticleSystem& sys, const std::string& path,
+              const SvgOptions& options = {});
+
+}  // namespace sops::io
+
+#endif  // SOPS_IO_SVG_HPP

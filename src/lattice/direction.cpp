@@ -1,0 +1,12 @@
+#include "lattice/direction.hpp"
+
+namespace sops::lattice {
+
+// Compile-time checks of the rotation conventions the move validator
+// depends on (core/properties.cpp documents why).
+static_assert(rotated(Direction::East, 1) == Direction::NorthEast);
+static_assert(rotated(Direction::East, -1) == Direction::SouthEast);
+static_assert(opposite(Direction::NorthWest) == Direction::SouthEast);
+static_assert(directionFromIndex(-1) == Direction::SouthEast);
+
+}  // namespace sops::lattice

@@ -1,0 +1,59 @@
+#ifndef SOPS_LATTICE_DIRECTION_HPP
+#define SOPS_LATTICE_DIRECTION_HPP
+
+/// \file direction.hpp
+/// The six lattice directions of the triangular lattice G∆ (paper §2.1,
+/// Fig 1a), ordered counterclockwise so that rotating by 60° is "+1 mod 6".
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sops::lattice {
+
+/// A direction along an edge of G∆.  The numeric values are load-bearing:
+/// successive values are 60° counterclockwise apart.
+enum class Direction : std::uint8_t {
+  East = 0,
+  NorthEast = 1,
+  NorthWest = 2,
+  West = 3,
+  SouthWest = 4,
+  SouthEast = 5,
+};
+
+inline constexpr int kNumDirections = 6;
+
+/// All six directions in counterclockwise order, for range-for loops.
+inline constexpr std::array<Direction, kNumDirections> kAllDirections = {
+    Direction::East,      Direction::NorthEast, Direction::NorthWest,
+    Direction::West,      Direction::SouthWest, Direction::SouthEast,
+};
+
+[[nodiscard]] constexpr int index(Direction d) noexcept {
+  return static_cast<int>(d);
+}
+
+[[nodiscard]] constexpr Direction directionFromIndex(int i) noexcept {
+  return static_cast<Direction>(((i % kNumDirections) + kNumDirections) %
+                                kNumDirections);
+}
+
+/// Rotates d counterclockwise by k * 60 degrees (k may be negative).
+[[nodiscard]] constexpr Direction rotated(Direction d, int k) noexcept {
+  return directionFromIndex(index(d) + k);
+}
+
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  return rotated(d, 3);
+}
+
+[[nodiscard]] constexpr std::string_view name(Direction d) noexcept {
+  constexpr std::array<std::string_view, kNumDirections> kNames = {
+      "E", "NE", "NW", "W", "SW", "SE"};
+  return kNames[static_cast<std::size_t>(index(d))];
+}
+
+}  // namespace sops::lattice
+
+#endif  // SOPS_LATTICE_DIRECTION_HPP

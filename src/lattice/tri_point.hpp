@@ -1,0 +1,123 @@
+#ifndef SOPS_LATTICE_TRI_POINT_HPP
+#define SOPS_LATTICE_TRI_POINT_HPP
+
+/// \file tri_point.hpp
+/// Vertices of the triangular lattice G∆ in axial coordinates.
+///
+/// A vertex is stored as (x, y) where the cartesian embedding is
+///   (x + y/2,  y·√3/2),
+/// i.e. the x axis runs east and each +y step moves up-and-right by 60°.
+/// Under this convention the six neighbor offsets, counterclockwise from
+/// East, are (1,0), (0,1), (-1,1), (-1,0), (0,-1), (1,-1) — and rotating a
+/// direction by 60° CCW maps offset (x,y) to (-y, x+y).
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "lattice/direction.hpp"
+
+namespace sops::lattice {
+
+struct TriPoint {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr bool operator==(TriPoint, TriPoint) = default;
+  friend constexpr auto operator<=>(TriPoint, TriPoint) = default;
+
+  constexpr TriPoint& operator+=(TriPoint o) noexcept {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr TriPoint& operator-=(TriPoint o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  friend constexpr TriPoint operator+(TriPoint a, TriPoint b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr TriPoint operator-(TriPoint a, TriPoint b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr TriPoint operator-(TriPoint a) noexcept {
+    return {-a.x, -a.y};
+  }
+};
+
+/// Offset of one lattice step in direction d.
+[[nodiscard]] constexpr TriPoint offset(Direction d) noexcept {
+  constexpr TriPoint kOffsets[kNumDirections] = {
+      {1, 0}, {0, 1}, {-1, 1}, {-1, 0}, {0, -1}, {1, -1}};
+  return kOffsets[index(d)];
+}
+
+/// The lattice vertex one step from p in direction d.
+[[nodiscard]] constexpr TriPoint neighbor(TriPoint p, Direction d) noexcept {
+  return p + offset(d);
+}
+
+/// Rotates an offset vector by 60° counterclockwise about the origin.
+[[nodiscard]] constexpr TriPoint rotated60(TriPoint v) noexcept {
+  return {-v.y, v.x + v.y};
+}
+
+/// True iff a and b are joined by a lattice edge.
+[[nodiscard]] constexpr bool areAdjacent(TriPoint a, TriPoint b) noexcept {
+  const TriPoint d = b - a;
+  return (d.x == 1 && d.y == 0) || (d.x == 0 && d.y == 1) ||
+         (d.x == -1 && d.y == 1) || (d.x == -1 && d.y == 0) ||
+         (d.x == 0 && d.y == -1) || (d.x == 1 && d.y == -1);
+}
+
+/// Direction from a to b if they are adjacent, nullopt otherwise.
+[[nodiscard]] constexpr std::optional<Direction> directionBetween(
+    TriPoint a, TriPoint b) noexcept {
+  const TriPoint d = b - a;
+  for (const Direction dir : kAllDirections) {
+    if (offset(dir) == d) return dir;
+  }
+  return std::nullopt;
+}
+
+/// Graph (hop) distance between two lattice vertices.  On the triangular
+/// lattice in axial coordinates this is the hex-grid distance
+/// max(|dx|, |dy|, |dx+dy|).
+[[nodiscard]] constexpr int latticeDistance(TriPoint a, TriPoint b) noexcept {
+  const std::int64_t dx = static_cast<std::int64_t>(b.x) - a.x;
+  const std::int64_t dy = static_cast<std::int64_t>(b.y) - a.y;
+  const std::int64_t s = dx + dy;
+  const std::int64_t ax = dx < 0 ? -dx : dx;
+  const std::int64_t ay = dy < 0 ? -dy : dy;
+  const std::int64_t as = s < 0 ? -s : s;
+  std::int64_t m = ax > ay ? ax : ay;
+  if (as > m) m = as;
+  return static_cast<int>(m);
+}
+
+/// Packs a point into a 64-bit key for hashing (lossless for int32 coords).
+[[nodiscard]] constexpr std::uint64_t pack(TriPoint p) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.y));
+}
+
+[[nodiscard]] constexpr TriPoint unpack(std::uint64_t key) noexcept {
+  return {static_cast<std::int32_t>(static_cast<std::uint32_t>(key >> 32)),
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(key))};
+}
+
+/// Cartesian embedding (unit edge length); used by the SVG renderer and for
+/// geometric diagnostics.
+struct Cartesian {
+  double x;
+  double y;
+};
+
+[[nodiscard]] Cartesian toCartesian(TriPoint p) noexcept;
+
+}  // namespace sops::lattice
+
+#endif  // SOPS_LATTICE_TRI_POINT_HPP

@@ -1,0 +1,82 @@
+#include "markov/stationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sops::markov {
+
+double totalVariation(std::span<const double> a, std::span<const double> b) {
+  SOPS_REQUIRE(a.size() == b.size(), "totalVariation: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return 0.5 * sum;
+}
+
+std::vector<double> normalized(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    SOPS_REQUIRE(w >= 0.0, "normalized: negative weight");
+    total += w;
+  }
+  SOPS_REQUIRE(total > 0.0, "normalized: zero total weight");
+  std::vector<double> out(weights.begin(), weights.end());
+  for (double& w : out) w /= total;
+  return out;
+}
+
+std::vector<double> powerIterate(const TransitionMatrix& matrix,
+                                 std::vector<double> distribution,
+                                 int maxIterations, double tolerance) {
+  SOPS_REQUIRE(distribution.size() == matrix.states(), "powerIterate: size");
+  for (int iteration = 0; iteration < maxIterations; ++iteration) {
+    std::vector<double> next = matrix.applyRight(distribution);
+    const double delta = totalVariation(next, distribution);
+    distribution = std::move(next);
+    if (delta <= tolerance) break;
+  }
+  return distribution;
+}
+
+BalanceAudit auditDetailedBalance(const TransitionMatrix& matrix,
+                                  std::span<const double> weights,
+                                  const std::vector<char>& subset,
+                                  double tolerance) {
+  SOPS_REQUIRE(weights.size() == matrix.states(), "auditDetailedBalance: size");
+  SOPS_REQUIRE(subset.size() == matrix.states(), "auditDetailedBalance: size");
+  BalanceAudit audit;
+  for (std::size_t x = 0; x < matrix.states(); ++x) {
+    if (!subset[x]) continue;
+    for (std::size_t y = 0; y < matrix.states(); ++y) {
+      if (x == y) continue;
+      const double flowOut = weights[x] * matrix.at(x, y);
+      if (!subset[y]) {
+        // Leaving the closed subset would break stationarity outright.
+        if (flowOut > 0.0) {
+          audit.maxViolation = std::max(audit.maxViolation, flowOut);
+        }
+        continue;
+      }
+      const double flowBack = weights[y] * matrix.at(y, x);
+      const double scale = std::max({1.0, flowOut, flowBack});
+      audit.maxViolation =
+          std::max(audit.maxViolation, std::fabs(flowOut - flowBack) / scale);
+    }
+  }
+  audit.holds = audit.maxViolation <= tolerance;
+  return audit;
+}
+
+int mixingTimeFrom(const TransitionMatrix& matrix, std::size_t start,
+                   std::span<const double> pi, double epsilon, int maxT) {
+  SOPS_REQUIRE(start < matrix.states(), "mixingTimeFrom: bad start");
+  SOPS_REQUIRE(pi.size() == matrix.states(), "mixingTimeFrom: size");
+  std::vector<double> distribution(matrix.states(), 0.0);
+  distribution[start] = 1.0;
+  for (int t = 0; t <= maxT; ++t) {
+    if (totalVariation(distribution, pi) <= epsilon) return t;
+    distribution = matrix.applyRight(distribution);
+  }
+  return -1;
+}
+
+}  // namespace sops::markov

@@ -1,0 +1,54 @@
+#ifndef SOPS_MARKOV_STATIONARY_HPP
+#define SOPS_MARKOV_STATIONARY_HPP
+
+/// \file stationary.hpp
+/// Stationary-distribution and convergence utilities for exactly-solvable
+/// chains: power iteration, total variation distance, detailed-balance
+/// audits, and exact mixing-time measurement (§2.4, §3.6, §3.7).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "markov/transition_matrix.hpp"
+
+namespace sops::markov {
+
+/// Total variation distance ½·Σ|a_i − b_i|.
+[[nodiscard]] double totalVariation(std::span<const double> a,
+                                    std::span<const double> b);
+
+/// Normalizes weights into a probability distribution.
+[[nodiscard]] std::vector<double> normalized(std::span<const double> weights);
+
+/// Iterates distribution ← distribution · M until successive iterates are
+/// within `tolerance` in total variation (or maxIterations).  Returns the
+/// final distribution.
+[[nodiscard]] std::vector<double> powerIterate(const TransitionMatrix& matrix,
+                                               std::vector<double> distribution,
+                                               int maxIterations = 100000,
+                                               double tolerance = 1e-13);
+
+/// Result of a detailed-balance audit of π(x)M(x,y) = π(y)M(y,x).
+struct BalanceAudit {
+  bool holds = false;
+  double maxViolation = 0.0;
+};
+
+/// Checks detailed balance with respect to (unnormalized) weights on the
+/// states with subset[s] != 0; transitions leaving the subset must have
+/// zero probability for the audit to pass.
+[[nodiscard]] BalanceAudit auditDetailedBalance(const TransitionMatrix& matrix,
+                                                std::span<const double> weights,
+                                                const std::vector<char>& subset,
+                                                double tolerance = 1e-9);
+
+/// Exact mixing time from the given start state: the least t with
+/// TV(M^t(start,·), pi) ≤ epsilon.  Returns -1 if not reached within maxT.
+[[nodiscard]] int mixingTimeFrom(const TransitionMatrix& matrix, std::size_t start,
+                                 std::span<const double> pi, double epsilon,
+                                 int maxT = 1 << 22);
+
+}  // namespace sops::markov
+
+#endif  // SOPS_MARKOV_STATIONARY_HPP

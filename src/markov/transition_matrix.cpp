@@ -1,0 +1,93 @@
+#include "markov/transition_matrix.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace sops::markov {
+
+double TransitionMatrix::rowSum(std::size_t from) const {
+  SOPS_REQUIRE(from < states_, "rowSum: bad state");
+  double sum = 0.0;
+  for (std::size_t to = 0; to < states_; ++to) sum += at(from, to);
+  return sum;
+}
+
+double TransitionMatrix::maxRowDefect() const {
+  double worst = 0.0;
+  for (std::size_t from = 0; from < states_; ++from) {
+    worst = std::max(worst, std::fabs(rowSum(from) - 1.0));
+  }
+  return worst;
+}
+
+std::vector<double> TransitionMatrix::applyRight(
+    const std::vector<double>& distribution) const {
+  SOPS_REQUIRE(distribution.size() == states_, "applyRight: size mismatch");
+  std::vector<double> next(states_, 0.0);
+  for (std::size_t from = 0; from < states_; ++from) {
+    const double mass = distribution[from];
+    if (mass == 0.0) continue;
+    const double* row = data_.data() + from * states_;
+    for (std::size_t to = 0; to < states_; ++to) {
+      next[to] += mass * row[to];
+    }
+  }
+  return next;
+}
+
+std::vector<char> TransitionMatrix::reachableFrom(std::size_t start) const {
+  SOPS_REQUIRE(start < states_, "reachableFrom: bad state");
+  std::vector<char> seen(states_, 0);
+  std::deque<std::size_t> frontier{start};
+  seen[start] = 1;
+  while (!frontier.empty()) {
+    const std::size_t from = frontier.front();
+    frontier.pop_front();
+    for (std::size_t to = 0; to < states_; ++to) {
+      if (!seen[to] && at(from, to) > 0.0) {
+        seen[to] = 1;
+        frontier.push_back(to);
+      }
+    }
+  }
+  return seen;
+}
+
+bool TransitionMatrix::stronglyConnectedWithin(
+    const std::vector<char>& subset) const {
+  SOPS_REQUIRE(subset.size() == states_, "stronglyConnectedWithin: size mismatch");
+  std::size_t anchor = states_;
+  std::size_t members = 0;
+  for (std::size_t s = 0; s < states_; ++s) {
+    if (subset[s]) {
+      if (anchor == states_) anchor = s;
+      ++members;
+    }
+  }
+  if (members <= 1) return true;
+
+  // BFS forward and backward from the anchor, restricted to the subset.
+  const auto bfs = [&](bool forward) {
+    std::vector<char> seen(states_, 0);
+    std::deque<std::size_t> frontier{anchor};
+    seen[anchor] = 1;
+    std::size_t reached = 1;
+    while (!frontier.empty()) {
+      const std::size_t s = frontier.front();
+      frontier.pop_front();
+      for (std::size_t t = 0; t < states_; ++t) {
+        if (!subset[t] || seen[t]) continue;
+        const double probability = forward ? at(s, t) : at(t, s);
+        if (probability > 0.0) {
+          seen[t] = 1;
+          ++reached;
+          frontier.push_back(t);
+        }
+      }
+    }
+    return reached;
+  };
+  return bfs(true) == members && bfs(false) == members;
+}
+
+}  // namespace sops::markov

@@ -1,0 +1,69 @@
+#ifndef SOPS_MARKOV_TRANSITION_MATRIX_HPP
+#define SOPS_MARKOV_TRANSITION_MATRIX_HPP
+
+/// \file transition_matrix.hpp
+/// Dense transition matrices for exactly-solvable chains.
+///
+/// Used to make the paper's Lemmas 3.1–3.13 executable for tiny particle
+/// counts: we build M's transition matrix over all connected configurations
+/// (enumeration/chain_matrix.hpp) and audit stochasticity, detailed
+/// balance, irreducibility on Ω*, transience of holed states, and the
+/// stationary distribution — exactly, not by sampling.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sops::markov {
+
+class TransitionMatrix {
+ public:
+  explicit TransitionMatrix(std::size_t states)
+      : states_(states), data_(states * states, 0.0) {
+    SOPS_REQUIRE(states > 0, "TransitionMatrix needs at least one state");
+  }
+
+  [[nodiscard]] std::size_t states() const noexcept { return states_; }
+
+  [[nodiscard]] double at(std::size_t from, std::size_t to) const {
+    SOPS_DASSERT(from < states_ && to < states_);
+    return data_[from * states_ + to];
+  }
+
+  void add(std::size_t from, std::size_t to, double probability) {
+    SOPS_DASSERT(from < states_ && to < states_);
+    data_[from * states_ + to] += probability;
+  }
+
+  void set(std::size_t from, std::size_t to, double probability) {
+    SOPS_DASSERT(from < states_ && to < states_);
+    data_[from * states_ + to] = probability;
+  }
+
+  /// Row sum (should be 1 for a stochastic matrix).
+  [[nodiscard]] double rowSum(std::size_t from) const;
+
+  /// Max |rowSum − 1| over all rows.
+  [[nodiscard]] double maxRowDefect() const;
+
+  /// distribution' = distribution · M (row-vector convention).
+  [[nodiscard]] std::vector<double> applyRight(
+      const std::vector<double>& distribution) const;
+
+  /// States reachable from start via positive-probability transitions
+  /// (including start itself).
+  [[nodiscard]] std::vector<char> reachableFrom(std::size_t start) const;
+
+  /// True iff every state in `subset` can reach every other state in
+  /// `subset` using only positive transitions through `subset`.
+  [[nodiscard]] bool stronglyConnectedWithin(const std::vector<char>& subset) const;
+
+ private:
+  std::size_t states_;
+  std::vector<double> data_;
+};
+
+}  // namespace sops::markov
+
+#endif  // SOPS_MARKOV_TRANSITION_MATRIX_HPP

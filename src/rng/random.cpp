@@ -1,0 +1,3 @@
+// Random is header-only; this translation unit exists to anchor the module
+// in the sops archive (and any future out-of-line additions).
+#include "rng/random.hpp"

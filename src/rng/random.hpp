@@ -1,0 +1,104 @@
+#ifndef SOPS_RNG_RANDOM_HPP
+#define SOPS_RNG_RANDOM_HPP
+
+/// \file random.hpp
+/// Simulation-facing randomness facade over xoshiro256++.
+///
+/// All stochastic components of the library (chain steps, Poisson clocks,
+/// workload generators) draw through this class so that every experiment is
+/// reproducible from a single seed and substreams can be forked without
+/// correlation.
+
+#include <cmath>
+#include <cstdint>
+
+#include "rng/xoshiro.hpp"
+#include "util/assert.hpp"
+
+namespace sops::rng {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept
+      : engine_(seed), seed_(seed) {}
+
+  /// Seed this generator was constructed with (for experiment logging).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derives an independent generator for a named substream.  Forked
+  /// streams are decorrelated by hashing (seed, streamId) and jumping.
+  [[nodiscard]] Random fork(std::uint64_t streamId) const noexcept {
+    std::uint64_t sm = seed_ ^ (0x9e3779b97f4a7c15ULL * (streamId + 1));
+    Random child(splitmix64(sm));
+    child.engine_.jump();
+    return child;
+  }
+
+  /// Raw 64 uniform random bits.
+  std::uint64_t bits() noexcept { return engine_(); }
+
+  /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
+  /// method: unbiased for every bound, one division only on rejection.
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    SOPS_DASSERT(bound > 0);
+    std::uint64_t x = engine_() >> 32;  // 32 uniform bits
+    std::uint64_t m = x * bound;
+    auto low = static_cast<std::uint32_t>(m);
+    if (low < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        x = engine_() >> 32;
+        m = x * bound;
+        low = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    SOPS_DASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; safe as an argument to log().
+  double uniformPositive() noexcept {
+    return (static_cast<double>(engine_() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) draw.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Exponential with the given rate (mean 1/rate); used by Poisson clocks.
+  double exponential(double rate = 1.0) noexcept {
+    SOPS_DASSERT(rate > 0.0);
+    return -std::log(uniformPositive()) / rate;
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = below(static_cast<std::uint32_t>(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Exposes the underlying engine for std::distributions in tests.
+  [[nodiscard]] Xoshiro256PlusPlus& engine() noexcept { return engine_; }
+
+ private:
+  Xoshiro256PlusPlus engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sops::rng
+
+#endif  // SOPS_RNG_RANDOM_HPP

@@ -1,0 +1,193 @@
+#include "system/boundary.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "lattice/direction.hpp"
+#include "system/metrics.hpp"
+
+namespace sops::system {
+
+namespace {
+
+using lattice::Direction;
+using lattice::directionBetween;
+using lattice::kAllDirections;
+using lattice::neighbor;
+using lattice::offset;
+using lattice::pack;
+using lattice::rotated;
+
+/// Lexicographically (y, then x) minimal occupied vertex: its W, SW, and SE
+/// neighbors are guaranteed unoccupied, so the exterior is adjacent.
+TriPoint bottomLeftmost(const ParticleSystem& sys) {
+  TriPoint best = sys.position(0);
+  for (const TriPoint p : sys.positions()) {
+    if (p.y < best.y || (p.y == best.y && p.x < best.x)) best = p;
+  }
+  return best;
+}
+
+/// A face of G∆ = a vertex of the dual hexagonal lattice.  Encoded into a
+/// single uint64 by doubling the base x coordinate (valid for |x| < 2^30,
+/// far beyond any reachable configuration).
+struct Face {
+  TriPoint base;
+  bool up;  // up face {v, v+E, v+NE}; down face {v, v+E, v+SE}
+};
+
+std::uint64_t faceKey(Face f) {
+  return pack(TriPoint{2 * f.base.x + (f.up ? 1 : 0), f.base.y});
+}
+
+/// The two faces of G∆ incident to the edge (u, u+d).  For any direction d,
+/// these are the faces whose third corner is u+rotated(d,±1).
+std::array<Face, 2> facesOfEdge(TriPoint u, Direction d) {
+  const TriPoint w = neighbor(u, d);
+  const TriPoint t1 = neighbor(u, rotated(d, 1));
+  const TriPoint t2 = neighbor(u, rotated(d, -1));
+  const auto identify = [](TriPoint a, TriPoint b, TriPoint c) -> Face {
+    // The canonical base of a face is the corner seeing the other two at
+    // (E, NE) for an up face or (E, SE) for a down face.
+    const std::array<TriPoint, 3> corners = {a, b, c};
+    for (const TriPoint q : corners) {
+      const auto has = [&corners](TriPoint want) {
+        return std::find(corners.begin(), corners.end(), want) != corners.end();
+      };
+      if (has(neighbor(q, Direction::East))) {
+        if (has(neighbor(q, Direction::NorthEast))) return {q, true};
+        if (has(neighbor(q, Direction::SouthEast))) return {q, false};
+      }
+    }
+    SOPS_REQUIRE(false, "facesOfEdge: corners do not form a lattice face");
+    return {};
+  };
+  return {identify(u, w, t1), identify(u, w, t2)};
+}
+
+}  // namespace
+
+std::int64_t traceExternalWalk(const ParticleSystem& sys) {
+  SOPS_REQUIRE(!sys.empty(), "traceExternalWalk of empty system");
+  SOPS_REQUIRE(isConnected(sys), "traceExternalWalk requires connectivity");
+  if (sys.size() == 1) return 0;
+
+  const TriPoint start = bottomLeftmost(sys);
+  const auto nextDirection = [&sys](TriPoint v, Direction back) -> Direction {
+    for (int k = 1; k <= lattice::kNumDirections; ++k) {
+      const Direction d = rotated(back, k);
+      if (sys.occupied(neighbor(v, d))) return d;
+    }
+    SOPS_REQUIRE(false, "boundary walk stranded at an isolated vertex");
+    return Direction::East;
+  };
+
+  // Virtual "previous" direction West: W/SW/SE of the bottom-leftmost
+  // vertex are unoccupied, so the scan starts facing the exterior.
+  const Direction firstDir = nextDirection(start, Direction::West);
+  TriPoint v = neighbor(start, firstDir);
+  Direction back = lattice::opposite(firstDir);
+  std::int64_t steps = 1;
+  while (true) {
+    const Direction d = nextDirection(v, back);
+    if (v == start && d == firstDir) break;  // walk state has closed
+    v = neighbor(v, d);
+    back = lattice::opposite(d);
+    ++steps;
+    SOPS_REQUIRE(steps <= 12 * static_cast<std::int64_t>(sys.size()) + 12,
+                 "boundary walk failed to terminate");
+  }
+  return steps;
+}
+
+HexBoundaryDecomposition hexBoundaryCycles(const ParticleSystem& sys) {
+  SOPS_REQUIRE(!sys.empty(), "hexBoundaryCycles of empty system");
+  SOPS_REQUIRE(isConnected(sys), "hexBoundaryCycles requires connectivity");
+
+  const ComplementRegions regions = analyzeComplement(sys);
+
+  struct BoundaryEdge {
+    std::uint64_t faceA;
+    std::uint64_t faceB;
+    std::int32_t region;
+    bool visited = false;
+  };
+  std::vector<BoundaryEdge> edges;
+  edges.reserve(sys.size() * 3);
+
+  // Each face has either zero or exactly two incident boundary edges (the
+  // three corners cannot be pairwise-distinct in a 2-state coloring), so
+  // the boundary decomposes into disjoint simple cycles.
+  util::FlatMap64<std::array<std::int32_t, 2>> edgesAtFace(sys.size() * 4);
+  const auto registerFace = [&edgesAtFace](std::uint64_t face, std::int32_t edgeId) {
+    if (auto* slot = edgesAtFace.find(face)) {
+      SOPS_REQUIRE((*slot)[1] == -1, "face has more than two boundary edges");
+      (*slot)[1] = edgeId;
+    } else {
+      edgesAtFace.insertOrAssign(face, {edgeId, -1});
+    }
+  };
+
+  for (const TriPoint u : sys.positions()) {
+    for (const Direction d : kAllDirections) {
+      const TriPoint w = neighbor(u, d);
+      if (sys.occupied(w)) continue;
+      const std::int32_t* region = regions.regionOf.find(pack(w));
+      SOPS_REQUIRE(region != nullptr, "unoccupied neighbor missing region id");
+      const auto faces = facesOfEdge(u, d);
+      const auto edgeId = static_cast<std::int32_t>(edges.size());
+      edges.push_back({faceKey(faces[0]), faceKey(faces[1]), *region});
+      registerFace(faceKey(faces[0]), edgeId);
+      registerFace(faceKey(faces[1]), edgeId);
+    }
+  }
+
+  HexBoundaryDecomposition result;
+  bool sawExternal = false;
+  for (std::size_t startEdge = 0; startEdge < edges.size(); ++startEdge) {
+    if (edges[startEdge].visited) continue;
+    const std::int32_t region = edges[startEdge].region;
+    std::int64_t length = 0;
+    std::int32_t current = static_cast<std::int32_t>(startEdge);
+    std::uint64_t towardFace = edges[startEdge].faceB;
+    while (true) {
+      BoundaryEdge& e = edges[static_cast<std::size_t>(current)];
+      SOPS_REQUIRE(!e.visited, "boundary cycle self-intersects");
+      SOPS_REQUIRE(e.region == region, "boundary cycle borders two regions");
+      e.visited = true;
+      ++length;
+      const auto* pair = edgesAtFace.find(towardFace);
+      SOPS_REQUIRE(pair != nullptr && (*pair)[1] != -1,
+                   "dangling boundary edge");
+      const std::int32_t next = ((*pair)[0] == current) ? (*pair)[1] : (*pair)[0];
+      if (next == static_cast<std::int32_t>(startEdge)) break;
+      const BoundaryEdge& ne = edges[static_cast<std::size_t>(next)];
+      towardFace = (ne.faceA == towardFace) ? ne.faceB : ne.faceA;
+      current = next;
+    }
+    if (region == ComplementRegions::kExteriorRegion) {
+      SOPS_REQUIRE(!sawExternal, "connected configuration has two external cycles");
+      sawExternal = true;
+      result.externalHexLength = length;
+    } else {
+      result.holeHexLengths.push_back(length);
+    }
+  }
+  SOPS_REQUIRE(sawExternal, "no external boundary found");
+  SOPS_REQUIRE(result.holeHexLengths.size() ==
+                   static_cast<std::size_t>(regions.holeCount),
+               "hole cycle count mismatch");
+  std::sort(result.holeHexLengths.begin(), result.holeHexLengths.end());
+  return result;
+}
+
+std::int64_t perimeterTraced(const ParticleSystem& sys) {
+  const HexBoundaryDecomposition decomposition = hexBoundaryCycles(sys);
+  std::int64_t p = (decomposition.externalHexLength - 6) / 2;
+  for (const std::int64_t hole : decomposition.holeHexLengths) {
+    p += (hole + 6) / 2;
+  }
+  return p;
+}
+
+}  // namespace sops::system

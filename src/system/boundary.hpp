@@ -1,0 +1,49 @@
+#ifndef SOPS_SYSTEM_BOUNDARY_HPP
+#define SOPS_SYSTEM_BOUNDARY_HPP
+
+/// \file boundary.hpp
+/// Boundary-walk tracers, independent of the closed-form perimeter.
+///
+/// Two mechanisms (used to cross-validate metrics.hpp and each other):
+///
+///  1. traceExternalWalk(): walks the external boundary on configuration
+///     vertices with a rotate-scan rule (the walk of §2.2: may repeat
+///     vertices and traverses cut edges twice).
+///
+///  2. hexBoundaryCycles(): traces the boundary cycles of the union of dual
+///     hexagons (Fig 9b).  For a boundary walk of length k the dual cycle
+///     has length 2k + 6 when it encloses the configuration (external) and
+///     2k − 6 when it encloses a hole — the exterior-angle count from the
+///     proofs of Lemmas 2.3 and 4.3.
+
+#include <cstdint>
+#include <vector>
+
+#include "system/particle_system.hpp"
+
+namespace sops::system {
+
+/// Length of the external boundary walk of a connected configuration.
+/// n = 1 gives 0.  Precondition: nonempty, connected.
+[[nodiscard]] std::int64_t traceExternalWalk(const ParticleSystem& sys);
+
+struct HexBoundaryDecomposition {
+  /// Length (number of hexagonal-lattice edges) of the unique external
+  /// boundary cycle of the dual polygon.
+  std::int64_t externalHexLength = 0;
+  /// Lengths of the dual cycles around each hole.
+  std::vector<std::int64_t> holeHexLengths;
+};
+
+/// Traces all boundary cycles of the dual-hexagon polygon of a connected
+/// configuration.  Precondition: nonempty, connected.
+[[nodiscard]] HexBoundaryDecomposition hexBoundaryCycles(const ParticleSystem& sys);
+
+/// Perimeter obtained purely by tracing:
+/// (externalHexLength − 6)/2 + Σ_holes (holeHexLength + 6)/2.
+/// Used by tests to validate system::perimeter().
+[[nodiscard]] std::int64_t perimeterTraced(const ParticleSystem& sys);
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_BOUNDARY_HPP

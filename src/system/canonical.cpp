@@ -1,0 +1,48 @@
+#include "system/canonical.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace sops::system {
+
+std::vector<TriPoint> canonicalPoints(std::vector<TriPoint> points) {
+  SOPS_REQUIRE(!points.empty(), "canonicalPoints of empty set");
+  std::int32_t minX = std::numeric_limits<std::int32_t>::max();
+  std::int32_t minY = std::numeric_limits<std::int32_t>::max();
+  for (const TriPoint p : points) {
+    minX = std::min(minX, p.x);
+    minY = std::min(minY, p.y);
+  }
+  for (TriPoint& p : points) {
+    p.x -= minX;
+    p.y -= minY;
+  }
+  std::sort(points.begin(), points.end(), [](TriPoint a, TriPoint b) {
+    return a.y != b.y ? a.y < b.y : a.x < b.x;
+  });
+  return points;
+}
+
+std::vector<TriPoint> canonicalPoints(const ParticleSystem& sys) {
+  return canonicalPoints(sys.positions());
+}
+
+std::string canonicalKeyFromPoints(std::vector<TriPoint> points) {
+  const std::vector<TriPoint> canon = canonicalPoints(std::move(points));
+  std::string key;
+  key.resize(canon.size() * sizeof(std::uint64_t));
+  char* out = key.data();
+  for (const TriPoint p : canon) {
+    const std::uint64_t packed = lattice::pack(p);
+    std::memcpy(out, &packed, sizeof(packed));
+    out += sizeof(packed);
+  }
+  return key;
+}
+
+std::string canonicalKey(const ParticleSystem& sys) {
+  return canonicalKeyFromPoints(sys.positions());
+}
+
+}  // namespace sops::system

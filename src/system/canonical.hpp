@@ -1,0 +1,32 @@
+#ifndef SOPS_SYSTEM_CANONICAL_HPP
+#define SOPS_SYSTEM_CANONICAL_HPP
+
+/// \file canonical.hpp
+/// Translation-canonical forms of configurations.
+///
+/// The paper's states are *configurations*: equivalence classes of
+/// arrangements under translation (§2.2; rotations remain distinct).  The
+/// canonical representative translates the minimum x and y coordinates to
+/// zero and sorts the points, which is invariant under translation and
+/// nothing else.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/particle_system.hpp"
+
+namespace sops::system {
+
+/// Canonical point list: translated so min x = min y = 0, sorted by (y, x).
+[[nodiscard]] std::vector<TriPoint> canonicalPoints(const ParticleSystem& sys);
+[[nodiscard]] std::vector<TriPoint> canonicalPoints(std::vector<TriPoint> points);
+
+/// Canonical byte-string key (packed canonical points); usable as a map key
+/// for exact dedup in enumeration.
+[[nodiscard]] std::string canonicalKey(const ParticleSystem& sys);
+[[nodiscard]] std::string canonicalKeyFromPoints(std::vector<TriPoint> points);
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_CANONICAL_HPP

@@ -1,0 +1,204 @@
+#include "system/metrics.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "lattice/direction.hpp"
+
+namespace sops::system {
+
+namespace {
+
+using lattice::Direction;
+using lattice::kAllDirections;
+using lattice::neighbor;
+using lattice::pack;
+
+// Directions whose offsets cover each undirected edge exactly once (their
+// opposites cover the other orientation).
+constexpr Direction kPositiveDirs[3] = {Direction::East, Direction::NorthEast,
+                                        Direction::SouthEast};
+
+}  // namespace
+
+std::int64_t countEdges(const ParticleSystem& sys) {
+  std::int64_t edges = 0;
+  for (const TriPoint p : sys.positions()) {
+    for (const Direction d : kPositiveDirs) {
+      edges += sys.occupied(neighbor(p, d)) ? 1 : 0;
+    }
+  }
+  return edges;
+}
+
+std::int64_t countTriangles(const ParticleSystem& sys) {
+  std::int64_t triangles = 0;
+  for (const TriPoint p : sys.positions()) {
+    const bool east = sys.occupied(neighbor(p, Direction::East));
+    if (!east) continue;
+    // Upward face {p, p+E, p+NE} and downward face {p, p+E, p+SE}: p is the
+    // unique corner seeing the other two at (E, NE) resp. (E, SE), so each
+    // face is counted exactly once.
+    triangles += sys.occupied(neighbor(p, Direction::NorthEast)) ? 1 : 0;
+    triangles += sys.occupied(neighbor(p, Direction::SouthEast)) ? 1 : 0;
+  }
+  return triangles;
+}
+
+bool isConnected(const ParticleSystem& sys) {
+  if (sys.size() <= 1) return true;
+  util::FlatSet64 seen(sys.size());
+  std::deque<TriPoint> frontier;
+  frontier.push_back(sys.position(0));
+  seen.insert(pack(sys.position(0)));
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const TriPoint p = frontier.front();
+    frontier.pop_front();
+    for (const Direction d : kAllDirections) {
+      const TriPoint q = neighbor(p, d);
+      if (sys.occupied(q) && seen.insert(pack(q))) {
+        ++reached;
+        frontier.push_back(q);
+      }
+    }
+  }
+  return reached == sys.size();
+}
+
+BoundingBox boundingBox(const ParticleSystem& sys) {
+  SOPS_REQUIRE(!sys.empty(), "boundingBox of empty system");
+  BoundingBox box{std::numeric_limits<std::int32_t>::max(),
+                  std::numeric_limits<std::int32_t>::max(),
+                  std::numeric_limits<std::int32_t>::min(),
+                  std::numeric_limits<std::int32_t>::min()};
+  for (const TriPoint p : sys.positions()) {
+    box.minX = std::min(box.minX, p.x);
+    box.minY = std::min(box.minY, p.y);
+    box.maxX = std::max(box.maxX, p.x);
+    box.maxY = std::max(box.maxY, p.y);
+  }
+  return box;
+}
+
+ComplementRegions analyzeComplement(const ParticleSystem& sys) {
+  SOPS_REQUIRE(!sys.empty(), "analyzeComplement of empty system");
+  ComplementRegions result;
+  const BoundingBox inner = boundingBox(sys);
+  // Window expanded by one: its border ring is entirely unoccupied and
+  // connected (axial rectangles are row/column connected), so the exterior
+  // is exactly the component containing any border cell.
+  const BoundingBox window{inner.minX - 1, inner.minY - 1, inner.maxX + 1,
+                           inner.maxY + 1};
+  result.window = window;
+
+  const auto inWindow = [&window](TriPoint p) {
+    return p.x >= window.minX && p.x <= window.maxX && p.y >= window.minY &&
+           p.y <= window.maxY;
+  };
+
+  // Flood the exterior first, from a guaranteed-exterior corner.
+  const auto flood = [&](TriPoint start, std::int32_t region) {
+    std::deque<TriPoint> frontier;
+    frontier.push_back(start);
+    result.regionOf.insertOrAssign(pack(start), region);
+    while (!frontier.empty()) {
+      const TriPoint p = frontier.front();
+      frontier.pop_front();
+      for (const Direction d : kAllDirections) {
+        const TriPoint q = neighbor(p, d);
+        if (!inWindow(q) || sys.occupied(q)) continue;
+        if (result.regionOf.contains(pack(q))) continue;
+        result.regionOf.insertOrAssign(pack(q), region);
+        frontier.push_back(q);
+      }
+    }
+  };
+
+  flood({window.minX, window.minY}, ComplementRegions::kExteriorRegion);
+
+  // Remaining unflooded unoccupied cells are holes; label by component.
+  std::int32_t nextRegion = 1;
+  for (std::int32_t y = window.minY; y <= window.maxY; ++y) {
+    for (std::int32_t x = window.minX; x <= window.maxX; ++x) {
+      const TriPoint p{x, y};
+      if (sys.occupied(p) || result.regionOf.contains(pack(p))) continue;
+      flood(p, nextRegion);
+      ++nextRegion;
+    }
+  }
+  result.holeCount = nextRegion - 1;
+  return result;
+}
+
+int countHoles(const ParticleSystem& sys) {
+  return analyzeComplement(sys).holeCount;
+}
+
+std::int64_t perimeter(const ParticleSystem& sys) {
+  SOPS_REQUIRE(!sys.empty(), "perimeter of empty system");
+  SOPS_REQUIRE(isConnected(sys), "perimeter requires a connected configuration");
+  const auto n = static_cast<std::int64_t>(sys.size());
+  return perimeterFromCounts(n, countEdges(sys), countHoles(sys));
+}
+
+std::int64_t pMin(std::int64_t n) {
+  SOPS_REQUIRE(n >= 1, "pMin requires n >= 1");
+  // ceil(sqrt(12n-3)) computed exactly with an integer correction step.
+  const double approx = std::sqrt(static_cast<double>(12 * n - 3));
+  auto root = static_cast<std::int64_t>(approx);
+  while (root * root < 12 * n - 3) ++root;
+  while ((root - 1) * (root - 1) >= 12 * n - 3) --root;
+  return root - 3;
+}
+
+int graphDiameter(const ParticleSystem& sys) {
+  SOPS_REQUIRE(!sys.empty(), "graphDiameter of empty system");
+  SOPS_REQUIRE(isConnected(sys), "graphDiameter requires connected configuration");
+  int best = 0;
+  for (const TriPoint source : sys.positions()) {
+    util::FlatMap64<std::int32_t> dist(sys.size());
+    std::deque<TriPoint> frontier;
+    dist.insertOrAssign(pack(source), 0);
+    frontier.push_back(source);
+    while (!frontier.empty()) {
+      const TriPoint p = frontier.front();
+      frontier.pop_front();
+      const std::int32_t dp = *dist.find(pack(p));
+      best = std::max(best, dp);
+      for (const Direction d : kAllDirections) {
+        const TriPoint q = neighbor(p, d);
+        if (sys.occupied(q) && !dist.contains(pack(q))) {
+          dist.insertOrAssign(pack(q), dp + 1);
+          frontier.push_back(q);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+ConfigSummary summarize(const ParticleSystem& sys) {
+  ConfigSummary s;
+  s.particles = static_cast<std::int64_t>(sys.size());
+  if (sys.empty()) {
+    s.connected = true;
+    return s;
+  }
+  s.edges = countEdges(sys);
+  s.triangles = countTriangles(sys);
+  s.holes = countHoles(sys);
+  s.connected = isConnected(sys);
+  if (s.connected) {
+    s.perimeter = perimeterFromCounts(s.particles, s.edges, s.holes);
+    const std::int64_t minimum = pMin(s.particles);
+    s.perimeterRatio = minimum > 0
+                           ? static_cast<double>(s.perimeter) /
+                                 static_cast<double>(minimum)
+                           : (s.perimeter == 0 ? 1.0 : 0.0);
+  }
+  return s;
+}
+
+}  // namespace sops::system

@@ -1,0 +1,102 @@
+#ifndef SOPS_SYSTEM_METRICS_HPP
+#define SOPS_SYSTEM_METRICS_HPP
+
+/// \file metrics.hpp
+/// Configuration measurements from paper §2.2–2.3: edges e(σ), triangles
+/// t(σ), perimeter p(σ), holes, connectivity, and the extremal perimeter
+/// values p_min(n), p_max(n).
+///
+/// Perimeter is computed in closed form as p = 3n − e − 3 + 3·holes for a
+/// connected configuration.  For hole-free configurations this reduces to
+/// Lemma 2.3 (e = 3n − p − 3); the hole term follows from the same
+/// exterior-angle count applied to each hole boundary (each hole boundary
+/// walk of length k contributes 2k − 6 dual edges instead of 2k + 6).  An
+/// independent boundary-walk tracer lives in boundary.hpp and is used by the
+/// test-suite to validate this formula on every enumerated configuration.
+
+#include <cstdint>
+#include <vector>
+
+#include "system/particle_system.hpp"
+#include "util/flat_hash.hpp"
+
+namespace sops::system {
+
+/// Number of lattice edges with both endpoints occupied (e(σ)).
+[[nodiscard]] std::int64_t countEdges(const ParticleSystem& sys);
+
+/// Number of triangular faces of G∆ with all three corners occupied (t(σ)).
+[[nodiscard]] std::int64_t countTriangles(const ParticleSystem& sys);
+
+/// True iff the configuration graph (occupied vertices, induced edges) is
+/// connected.  The empty system counts as connected.
+[[nodiscard]] bool isConnected(const ParticleSystem& sys);
+
+/// Axis-aligned bounding box in axial coordinates.
+struct BoundingBox {
+  std::int32_t minX = 0;
+  std::int32_t minY = 0;
+  std::int32_t maxX = 0;
+  std::int32_t maxY = 0;
+};
+[[nodiscard]] BoundingBox boundingBox(const ParticleSystem& sys);
+
+/// Decomposition of the unoccupied complement (within a margin-1 window
+/// around the configuration) into the exterior region and finite holes.
+struct ComplementRegions {
+  /// Number of holes (finite maximal connected unoccupied regions, §2.2).
+  int holeCount = 0;
+  /// Region id per unoccupied cell in the window: kExteriorRegion for the
+  /// infinite region, 1..holeCount for holes.
+  util::FlatMap64<std::int32_t> regionOf;
+  BoundingBox window;
+  static constexpr std::int32_t kExteriorRegion = 0;
+};
+[[nodiscard]] ComplementRegions analyzeComplement(const ParticleSystem& sys);
+
+/// Number of holes of the configuration.
+[[nodiscard]] int countHoles(const ParticleSystem& sys);
+
+/// Perimeter p(σ) of a connected configuration (sum over all boundary
+/// walks, cut edges counted twice — see §2.2).  Precondition: connected,
+/// n ≥ 1.
+[[nodiscard]] std::int64_t perimeter(const ParticleSystem& sys);
+
+/// Perimeter given precomputed pieces (hot-ish paths that already know e/h).
+[[nodiscard]] constexpr std::int64_t perimeterFromCounts(std::int64_t n,
+                                                         std::int64_t edges,
+                                                         std::int64_t holes) noexcept {
+  return 3 * n - edges - 3 + 3 * holes;
+}
+
+/// Minimum possible perimeter of n particles: ⌈√(12n−3)⌉ − 3 (achieved by
+/// hexagonal spirals; Harary–Harborth via the hex-lattice duality of Fig 9).
+[[nodiscard]] std::int64_t pMin(std::int64_t n);
+
+/// Maximum possible perimeter of a connected hole-free configuration:
+/// 2n − 2 (spanning trees of G∆ with no induced triangles, §2.3).
+[[nodiscard]] constexpr std::int64_t pMax(std::int64_t n) noexcept {
+  return 2 * n - 2;
+}
+
+/// Graph diameter of the configuration (max hop distance between particles
+/// through occupied vertices).  O(n²) — intended for small systems and
+/// diagnostics only.
+[[nodiscard]] int graphDiameter(const ParticleSystem& sys);
+
+/// One-stop summary used by benches and examples.
+struct ConfigSummary {
+  std::int64_t particles = 0;
+  std::int64_t edges = 0;
+  std::int64_t triangles = 0;
+  std::int64_t holes = 0;
+  std::int64_t perimeter = 0;
+  bool connected = false;
+  /// p(σ) / p_min(n): the compression ratio α of Definition 2.2.
+  double perimeterRatio = 0.0;
+};
+[[nodiscard]] ConfigSummary summarize(const ParticleSystem& sys);
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_METRICS_HPP

@@ -1,0 +1,55 @@
+#include "system/particle_system.hpp"
+
+namespace sops::system {
+
+ParticleSystem::ParticleSystem(std::span<const TriPoint> points)
+    : index_(points.size()) {
+  positions_.reserve(points.size());
+  for (const TriPoint p : points) {
+    const bool fresh = index_.insert(lattice::pack(p),
+                                     static_cast<std::int32_t>(positions_.size()));
+    SOPS_REQUIRE(fresh, "duplicate particle position");
+    positions_.push_back(p);
+  }
+}
+
+std::size_t ParticleSystem::add(TriPoint p) {
+  const bool fresh =
+      index_.insert(lattice::pack(p), static_cast<std::int32_t>(positions_.size()));
+  SOPS_REQUIRE(fresh, "add() target already occupied");
+  positions_.push_back(p);
+  return positions_.size() - 1;
+}
+
+void ParticleSystem::remove(std::size_t particle) {
+  SOPS_REQUIRE(particle < positions_.size(), "remove(): bad particle id");
+  const TriPoint p = positions_[particle];
+  index_.erase(lattice::pack(p));
+  const std::size_t last = positions_.size() - 1;
+  if (particle != last) {
+    positions_[particle] = positions_[last];
+    index_.insertOrAssign(lattice::pack(positions_[particle]),
+                          static_cast<std::int32_t>(particle));
+  }
+  positions_.pop_back();
+}
+
+void ParticleSystem::moveParticle(std::size_t particle, TriPoint to) {
+  SOPS_REQUIRE(particle < positions_.size(), "moveParticle(): bad particle id");
+  const TriPoint from = positions_[particle];
+  if (from == to) return;
+  SOPS_REQUIRE(!occupied(to), "moveParticle(): target occupied");
+  index_.erase(lattice::pack(from));
+  index_.insert(lattice::pack(to), static_cast<std::int32_t>(particle));
+  positions_[particle] = to;
+}
+
+bool ParticleSystem::sameArrangement(const ParticleSystem& other) const {
+  if (size() != other.size()) return false;
+  for (const TriPoint p : positions_) {
+    if (!other.occupied(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace sops::system

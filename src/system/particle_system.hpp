@@ -1,0 +1,102 @@
+#ifndef SOPS_SYSTEM_PARTICLE_SYSTEM_HPP
+#define SOPS_SYSTEM_PARTICLE_SYSTEM_HPP
+
+/// \file particle_system.hpp
+/// A configuration of contracted particles on G∆ (paper §2.2).
+///
+/// This is the state type of the Markov chain M: n distinct occupied lattice
+/// vertices.  It maintains a position vector (for uniform particle
+/// selection) and a flat hash index (for O(1) occupancy queries).  Expanded
+/// particles exist only in the amoebot layer (S7); the chain's states
+/// consider contracted particles only, exactly as in the paper (§3.2,
+/// footnote 2).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lattice/tri_point.hpp"
+#include "util/assert.hpp"
+#include "util/flat_hash.hpp"
+
+namespace sops::system {
+
+using lattice::Direction;
+using lattice::TriPoint;
+
+class ParticleSystem {
+ public:
+  ParticleSystem() = default;
+
+  /// Builds a system from distinct lattice points.  Throws ContractViolation
+  /// on duplicates.
+  explicit ParticleSystem(std::span<const TriPoint> points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return positions_.empty(); }
+
+  [[nodiscard]] TriPoint position(std::size_t particle) const {
+    SOPS_DASSERT(particle < positions_.size());
+    return positions_[particle];
+  }
+
+  [[nodiscard]] const std::vector<TriPoint>& positions() const noexcept {
+    return positions_;
+  }
+
+  [[nodiscard]] bool occupied(TriPoint p) const noexcept {
+    return index_.contains(lattice::pack(p));
+  }
+
+  /// Particle id occupying p, if any.
+  [[nodiscard]] std::optional<std::size_t> particleAt(TriPoint p) const noexcept {
+    const std::int32_t* id = index_.find(lattice::pack(p));
+    if (id == nullptr) return std::nullopt;
+    return static_cast<std::size_t>(*id);
+  }
+
+  /// Adds a particle at an unoccupied vertex; returns its id.
+  std::size_t add(TriPoint p);
+
+  /// Removes the particle with the given id (swap-with-last, so ids of other
+  /// particles may change: the last particle takes over the removed id).
+  void remove(std::size_t particle);
+
+  /// Moves a particle to an unoccupied vertex (need not be adjacent; the
+  /// chain enforces adjacency itself).
+  void moveParticle(std::size_t particle, TriPoint to);
+
+  /// Number of occupied neighbors of vertex p (0..6).  p itself does not
+  /// count even if occupied.
+  [[nodiscard]] int neighborCount(TriPoint p) const noexcept {
+    int count = 0;
+    for (const Direction d : lattice::kAllDirections) {
+      count += occupied(lattice::neighbor(p, d)) ? 1 : 0;
+    }
+    return count;
+  }
+
+  /// 6-bit occupancy mask of p's neighborhood; bit i is direction index i.
+  [[nodiscard]] std::uint8_t neighborMask(TriPoint p) const noexcept {
+    std::uint8_t mask = 0;
+    for (const Direction d : lattice::kAllDirections) {
+      if (occupied(lattice::neighbor(p, d))) {
+        mask = static_cast<std::uint8_t>(mask | (1u << index(d)));
+      }
+    }
+    return mask;
+  }
+
+  /// Structural equality as a *set* of occupied vertices (particle ids and
+  /// ordering are irrelevant, matching the paper's notion of arrangement).
+  [[nodiscard]] bool sameArrangement(const ParticleSystem& other) const;
+
+ private:
+  std::vector<TriPoint> positions_;
+  util::FlatMap64<std::int32_t> index_;
+};
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_PARTICLE_SYSTEM_HPP

@@ -1,0 +1,49 @@
+#include "system/serialize.hpp"
+
+#include <charconv>
+#include <vector>
+
+namespace sops::system {
+
+std::string toText(const ParticleSystem& sys) {
+  std::string out;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    const TriPoint p = sys.position(i);
+    if (i > 0) out += ' ';
+    out += std::to_string(p.x);
+    out += ',';
+    out += std::to_string(p.y);
+  }
+  return out;
+}
+
+ParticleSystem fromText(std::string_view text) {
+  std::vector<TriPoint> points;
+  std::size_t i = 0;
+  const auto skipSpace = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
+                               text[i] == '\t' || text[i] == '\r')) {
+      ++i;
+    }
+  };
+  const auto parseInt = [&]() -> std::int32_t {
+    std::int32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + i, text.data() + text.size(), value);
+    SOPS_REQUIRE(ec == std::errc{}, "fromText: expected integer");
+    i = static_cast<std::size_t>(ptr - text.data());
+    return value;
+  };
+  skipSpace();
+  while (i < text.size()) {
+    const std::int32_t x = parseInt();
+    SOPS_REQUIRE(i < text.size() && text[i] == ',', "fromText: expected ','");
+    ++i;
+    const std::int32_t y = parseInt();
+    points.push_back({x, y});
+    skipSpace();
+  }
+  return ParticleSystem(points);
+}
+
+}  // namespace sops::system

@@ -1,0 +1,24 @@
+#ifndef SOPS_SYSTEM_SERIALIZE_HPP
+#define SOPS_SYSTEM_SERIALIZE_HPP
+
+/// \file serialize.hpp
+/// Plain-text (de)serialization of configurations: one "x,y" pair per
+/// particle, space-separated.  Round-trips exactly; used by examples to
+/// save/load configurations and by tests for fixtures.
+
+#include <string>
+#include <string_view>
+
+#include "system/particle_system.hpp"
+
+namespace sops::system {
+
+[[nodiscard]] std::string toText(const ParticleSystem& sys);
+
+/// Parses the format produced by toText.  Throws ContractViolation on
+/// malformed input or duplicate points.
+[[nodiscard]] ParticleSystem fromText(std::string_view text);
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_SERIALIZE_HPP

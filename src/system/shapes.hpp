@@ -1,0 +1,60 @@
+#ifndef SOPS_SYSTEM_SHAPES_HPP
+#define SOPS_SYSTEM_SHAPES_HPP
+
+/// \file shapes.hpp
+/// Generators for initial configurations used throughout the paper's
+/// experiments: the line of Fig 2/Fig 10, the minimum-perimeter hexagonal
+/// spiral (the p_min witness), rings (configurations with holes), and
+/// random connected configurations for tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/random.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::system {
+
+/// n collinear particles (the starting configuration of Fig 2 and Fig 10).
+[[nodiscard]] ParticleSystem lineConfiguration(std::int64_t n);
+
+/// The first n cells of the hexagonal spiral around the origin.  Every
+/// prefix of the spiral attains the minimum perimeter p_min(n)
+/// (Harary–Harborth); tests assert this against metrics::pMin.
+[[nodiscard]] ParticleSystem spiralConfiguration(std::int64_t n);
+
+/// The cells of the spiral, in spiral order (exposed for the baseline
+/// hexagon builder, which fills targets in this order).
+[[nodiscard]] std::vector<TriPoint> spiralCells(std::int64_t n);
+
+/// A hexagonal ring of the given radius >= 1 (6*radius particles enclosing
+/// a hole), e.g. radius 1 is the minimal configuration with a hole.
+[[nodiscard]] ParticleSystem ringConfiguration(std::int32_t radius);
+
+/// Random connected configuration grown by repeatedly attaching a particle
+/// next to a uniformly chosen existing one.  May contain holes.
+[[nodiscard]] ParticleSystem randomConnected(std::int64_t n, rng::Random& rng);
+
+/// Random connected configuration guaranteed hole-free (grown with a
+/// hole-rejection test; O(n^2), intended for tests).
+[[nodiscard]] ParticleSystem randomHoleFree(std::int64_t n, rng::Random& rng);
+
+/// Random tree-like (dendritic) configuration: grows only at empty cells
+/// with exactly one occupied neighbor, so the result has few induced
+/// triangles and large perimeter.
+[[nodiscard]] ParticleSystem randomDendrite(std::int64_t n, rng::Random& rng);
+
+/// A compact blob of n particles perforated by (approximately) the given
+/// number of single-cell holes — the holed initial configurations of the
+/// paper's §3.7 discussion ("we do not expect the presence of holes ... to
+/// significantly delay compression").  Construction: take the spiral of
+/// n + holes cells and delete interior cells that are pairwise
+/// non-adjacent, each deletion opening one unit hole.  Returns a connected
+/// configuration with exactly n particles; the achieved hole count (≤
+/// requested) can be read back with countHoles().
+[[nodiscard]] ParticleSystem perforatedBlob(std::int64_t n, std::int64_t holes,
+                                            rng::Random& rng);
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_SHAPES_HPP

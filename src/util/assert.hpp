@@ -1,0 +1,69 @@
+#ifndef SOPS_UTIL_ASSERT_HPP
+#define SOPS_UTIL_ASSERT_HPP
+
+/// \file assert.hpp
+/// Contract-checking macros for the sops library.
+///
+/// SOPS_REQUIRE / SOPS_ENSURE throw sops::ContractViolation and are always
+/// active; use them on public API boundaries and cold paths.  SOPS_DASSERT
+/// compiles away under NDEBUG; use it in hot loops.
+
+#include <stdexcept>
+#include <string>
+
+namespace sops {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contractFailure(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& msg) {
+  std::string full(kind);
+  full += " failed: ";
+  full += expr;
+  full += " at ";
+  full += file;
+  full += ":";
+  full += std::to_string(line);
+  if (!msg.empty()) {
+    full += " (";
+    full += msg;
+    full += ")";
+  }
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace sops
+
+#define SOPS_REQUIRE(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::sops::detail::contractFailure("precondition", #cond, __FILE__,        \
+                                      __LINE__, (msg));                       \
+  } while (false)
+
+#define SOPS_ENSURE(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::sops::detail::contractFailure("postcondition", #cond, __FILE__,       \
+                                      __LINE__, (msg));                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define SOPS_DASSERT(cond) ((void)0)
+#else
+#define SOPS_DASSERT(cond)                                                    \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::sops::detail::contractFailure("debug invariant", #cond, __FILE__,     \
+                                      __LINE__, "");                          \
+  } while (false)
+#endif
+
+#endif  // SOPS_UTIL_ASSERT_HPP

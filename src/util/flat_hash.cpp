@@ -1,0 +1,12 @@
+// Intentionally (almost) empty: FlatMap64/FlatSet64 are header-only
+// templates.  This translation unit pins the module into the sops archive
+// and provides a home for future non-template helpers.
+#include "util/flat_hash.hpp"
+
+namespace sops::util {
+
+// Compile-time smoke checks for the bit mixer used by the hash containers.
+static_assert(mix64(0) != 0, "mix64 must not fix zero");
+static_assert(mix64(1) != mix64(2), "mix64 must separate small keys");
+
+}  // namespace sops::util

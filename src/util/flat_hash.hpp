@@ -1,0 +1,215 @@
+#ifndef SOPS_UTIL_FLAT_HASH_HPP
+#define SOPS_UTIL_FLAT_HASH_HPP
+
+/// \file flat_hash.hpp
+/// Open-addressing hash containers keyed by 64-bit integers.
+///
+/// Particle occupancy queries are the hottest operation in every chain step
+/// (roughly ten lookups per proposed move), so the library uses a dedicated
+/// flat table instead of std::unordered_map: linear probing, power-of-two
+/// capacity, and backward-shift deletion (no tombstones, so long-running
+/// chains never degrade).  Keys are produced by sops::lattice::pack().
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sops::util {
+
+/// Bit-mixing finalizer from splitmix64; avalanches all input bits, which
+/// matters because packed lattice coordinates differ only in low bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Open-addressing hash map from uint64 keys to small trivially-copyable
+/// values.  Not a general-purpose map: no iterators are invalidation-safe
+/// across mutation, and Value must be cheap to move.
+template <typename Value>
+class FlatMap64 {
+ public:
+  FlatMap64() { rehash(kMinCapacity); }
+
+  explicit FlatMap64(std::size_t expectedSize) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 < expectedSize * 10) cap <<= 1;  // keep load factor < 0.7
+    rehash(cap);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Inserts key->value; returns false (and leaves the map unchanged) if the
+  /// key was already present.
+  bool insert(std::uint64_t key, Value value) {
+    maybeGrow();
+    std::size_t i = slotFor(key);
+    while (full_[i]) {
+      if (keys_[i] == key) return false;
+      i = next(i);
+    }
+    full_[i] = 1;
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Inserts or overwrites.
+  void insertOrAssign(std::uint64_t key, Value value) {
+    maybeGrow();
+    std::size_t i = slotFor(key);
+    while (full_[i]) {
+      if (keys_[i] == key) {
+        values_[i] = std::move(value);
+        return;
+      }
+      i = next(i);
+    }
+    full_[i] = 1;
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    return findSlot(key) != kNotFound;
+  }
+
+  /// Returns a pointer to the stored value, or nullptr if absent.  The
+  /// pointer is invalidated by any mutation of the map.
+  [[nodiscard]] const Value* find(std::uint64_t key) const noexcept {
+    const std::size_t i = findSlot(key);
+    return i == kNotFound ? nullptr : &values_[i];
+  }
+
+  [[nodiscard]] Value* find(std::uint64_t key) noexcept {
+    const std::size_t i = findSlot(key);
+    return i == kNotFound ? nullptr : &values_[i];
+  }
+
+  /// Removes the key; returns whether it was present.  Uses backward-shift
+  /// deletion so lookup chains stay short with no tombstones.
+  bool erase(std::uint64_t key) {
+    std::size_t i = findSlot(key);
+    if (i == kNotFound) return false;
+    std::size_t j = i;
+    while (true) {
+      j = next(j);
+      if (!full_[j]) break;
+      const std::size_t ideal = slotFor(keys_[j]);
+      // Move the entry at j back into the hole at i only if doing so does
+      // not skip past its ideal slot (standard circular-distance test).
+      const std::size_t cap = keys_.size();
+      const std::size_t distIdealToHole = (i + cap - ideal) & (cap - 1);
+      const std::size_t distIdealToHere = (j + cap - ideal) & (cap - 1);
+      if (distIdealToHole <= distIdealToHere) {
+        keys_[i] = keys_[j];
+        values_[i] = std::move(values_[j]);
+        i = j;
+      }
+    }
+    full_[i] = 0;
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    std::fill(full_.begin(), full_.end(), 0);
+    size_ = 0;
+  }
+
+  /// Calls fn(key, value) for every entry, in unspecified order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (full_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+
+  void reserve(std::size_t expectedSize) {
+    std::size_t cap = keys_.size();
+    while (cap * 7 < expectedSize * 10) cap <<= 1;
+    if (cap != keys_.size()) rehash(cap);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t slotFor(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(mix64(key)) & (keys_.size() - 1);
+  }
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) & (keys_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t findSlot(std::uint64_t key) const noexcept {
+    std::size_t i = slotFor(key);
+    while (full_[i]) {
+      if (keys_[i] == key) return i;
+      i = next(i);
+    }
+    return kNotFound;
+  }
+
+  void maybeGrow() {
+    if ((size_ + 1) * 10 >= keys_.size() * 7) rehash(keys_.size() * 2);
+  }
+
+  void rehash(std::size_t newCapacity) {
+    SOPS_DASSERT((newCapacity & (newCapacity - 1)) == 0);
+    std::vector<std::uint64_t> oldKeys = std::move(keys_);
+    std::vector<Value> oldValues = std::move(values_);
+    std::vector<std::uint8_t> oldFull = std::move(full_);
+    keys_.assign(newCapacity, 0);
+    values_.assign(newCapacity, Value{});
+    full_.assign(newCapacity, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+      if (oldFull[i]) insert(oldKeys[i], std::move(oldValues[i]));
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> full_;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing hash set of uint64 keys; same design as FlatMap64.
+class FlatSet64 {
+ public:
+  FlatSet64() = default;
+  explicit FlatSet64(std::size_t expectedSize) : map_(expectedSize) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  bool insert(std::uint64_t key) { return map_.insert(key, Unit{}); }
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    return map_.contains(key);
+  }
+  bool erase(std::uint64_t key) { return map_.erase(key); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t expectedSize) { map_.reserve(expectedSize); }
+
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    map_.forEach([&fn](std::uint64_t key, Unit) { fn(key); });
+  }
+
+ private:
+  struct Unit {};
+  FlatMap64<Unit> map_;
+};
+
+}  // namespace sops::util
+
+#endif  // SOPS_UTIL_FLAT_HASH_HPP

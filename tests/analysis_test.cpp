@@ -1,0 +1,121 @@
+// Tests for the analysis substrate (S9): summary statistics, streaming
+// accumulator, time series, and CSV output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "analysis/csv.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/time_series.hpp"
+#include "util/assert.hpp"
+
+namespace sops::analysis {
+namespace {
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_NEAR(s.mean, 3.0, 1e-12);
+  EXPECT_NEAR(s.median, 3.0, 1e-12);
+  EXPECT_NEAR(s.min, 1.0, 1e-12);
+  EXPECT_NEAR(s.max, 5.0, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);  // sample stddev
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_NEAR(quantile(xs, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(quantile(xs, 0.25), 2.5, 1e-12);
+  EXPECT_NEAR(quantile(xs, 1.0), 10.0, 1e-12);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(quantile(xs, 0.5), 3.0, 1e-12);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)summarize(empty), ContractViolation);
+  EXPECT_THROW((void)quantile(empty, 0.5), ContractViolation);
+}
+
+TEST(Stats, AccumulatorMatchesBatchSummary) {
+  std::vector<double> xs;
+  Accumulator acc;
+  double value = 0.1;
+  for (int i = 0; i < 1000; ++i) {
+    value = value * 1.01 + 0.37;
+    xs.push_back(value);
+    acc.add(value);
+  }
+  const Summary s = summarize(xs);
+  EXPECT_EQ(acc.count(), 1000u);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-9);
+  EXPECT_NEAR(acc.min(), s.min, 1e-12);
+  EXPECT_NEAR(acc.max(), s.max, 1e-12);
+}
+
+TEST(Stats, AccumulatorSingleValue) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_NEAR(acc.mean(), 42.0, 1e-12);
+  EXPECT_NEAR(acc.variance(), 0.0, 1e-12);
+}
+
+TEST(TimeSeries, HittingTimes) {
+  TimeSeries series;
+  series.record(0, 10.0);
+  series.record(100, 7.0);
+  series.record(200, 4.0);
+  series.record(300, 6.0);
+  EXPECT_EQ(series.firstTimeAtOrBelow(7.0), std::optional<std::uint64_t>(100));
+  EXPECT_EQ(series.firstTimeAtOrBelow(4.0), std::optional<std::uint64_t>(200));
+  EXPECT_EQ(series.firstTimeAtOrBelow(1.0), std::nullopt);
+  EXPECT_EQ(series.firstTimeAtOrAbove(10.0), std::optional<std::uint64_t>(0));
+}
+
+TEST(TimeSeries, MeanAfter) {
+  TimeSeries series;
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    series.record(t * 10, static_cast<double>(t));
+  }
+  EXPECT_NEAR(series.meanAfter(50), 7.0, 1e-12);  // mean of 5..9
+  EXPECT_THROW((void)series.meanAfter(1000), ContractViolation);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/sops_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.writeRow({"1", "2"});
+    csv.writeRow(std::vector<std::string>{"x", "y"});
+    EXPECT_TRUE(csv.ok());
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,2\nx,y\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = "/tmp/sops_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b", "c"});
+  EXPECT_THROW(csv.writeRow({"only", "two"}), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.5), "1.5");
+  EXPECT_EQ(formatDouble(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace sops::analysis

@@ -1,0 +1,130 @@
+// Cross-validation of the three perimeter mechanisms (S4): closed form
+// p = 3n − e − 3 + 3h, the dual-hexagon cycle tracer, and the vertex-walk
+// tracer.  Exercises Lemma 2.3 and the 2k+6 duality of Lemma 4.3 / Fig 9b.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "enumeration/config_enum.hpp"
+#include "rng/random.hpp"
+#include "system/boundary.hpp"
+#include "system/metrics.hpp"
+#include "system/particle_system.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::system {
+namespace {
+
+using lattice::TriPoint;
+
+TEST(Boundary, SingleParticle) {
+  const ParticleSystem sys(std::vector<TriPoint>{{0, 0}});
+  EXPECT_EQ(traceExternalWalk(sys), 0);
+  const HexBoundaryDecomposition d = hexBoundaryCycles(sys);
+  EXPECT_EQ(d.externalHexLength, 6);  // a single hexagon
+  EXPECT_TRUE(d.holeHexLengths.empty());
+  EXPECT_EQ(perimeterTraced(sys), 0);
+}
+
+TEST(Boundary, PairCutEdgeCountedTwice) {
+  const ParticleSystem sys(std::vector<TriPoint>{{0, 0}, {1, 0}});
+  EXPECT_EQ(traceExternalWalk(sys), 2);
+  const HexBoundaryDecomposition d = hexBoundaryCycles(sys);
+  EXPECT_EQ(d.externalHexLength, 10);  // 2*2+6
+  EXPECT_EQ(perimeterTraced(sys), 2);
+}
+
+TEST(Boundary, Triangle) {
+  const ParticleSystem sys(std::vector<TriPoint>{{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(traceExternalWalk(sys), 3);
+  EXPECT_EQ(hexBoundaryCycles(sys).externalHexLength, 12);  // 2*3+6
+  EXPECT_EQ(perimeterTraced(sys), 3);
+}
+
+TEST(Boundary, LineWalksBothSides) {
+  const ParticleSystem sys = lineConfiguration(6);
+  EXPECT_EQ(traceExternalWalk(sys), 10);  // 2n-2
+  EXPECT_EQ(perimeterTraced(sys), 10);
+}
+
+TEST(Boundary, HexagonRingHasHoleCycle) {
+  const ParticleSystem sys = ringConfiguration(1);
+  const HexBoundaryDecomposition d = hexBoundaryCycles(sys);
+  EXPECT_EQ(d.externalHexLength, 2 * 6 + 6);
+  ASSERT_EQ(d.holeHexLengths.size(), 1u);
+  EXPECT_EQ(d.holeHexLengths[0], 2 * 6 - 6);  // hole walk of length 6
+  EXPECT_EQ(perimeterTraced(sys), 12);
+  EXPECT_EQ(perimeter(sys), 12);
+}
+
+TEST(Boundary, RingRadiusTwo) {
+  const ParticleSystem sys = ringConfiguration(2);
+  EXPECT_EQ(perimeterTraced(sys), perimeter(sys));
+  const HexBoundaryDecomposition d = hexBoundaryCycles(sys);
+  ASSERT_EQ(d.holeHexLengths.size(), 1u);
+  // Hole region: 7 cells (hexagon of radius 1), its boundary walk has
+  // length 12, so the dual hole cycle has 2*12-6 = 18 edges.
+  EXPECT_EQ(d.holeHexLengths[0], 18);
+}
+
+TEST(Boundary, ExternalWalkMatchesDualEverywhereSmall) {
+  // Exhaustive: every connected configuration with up to 7 particles.
+  for (int n = 1; n <= 7; ++n) {
+    for (const enumeration::EnumeratedConfig& config :
+         enumeration::enumerateConnected(n)) {
+      const ParticleSystem sys(config.points);
+      const HexBoundaryDecomposition d = hexBoundaryCycles(sys);
+      const std::int64_t external = traceExternalWalk(sys);
+      ASSERT_EQ(d.externalHexLength, 2 * external + 6)
+          << "n=" << n << " config mismatch";
+      ASSERT_EQ(perimeterTraced(sys), config.perimeter) << "n=" << n;
+    }
+  }
+}
+
+TEST(Boundary, TracedMatchesClosedFormOnRandomConfigs) {
+  rng::Random rng(424242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t n = 2 + static_cast<std::int64_t>(rng.below(80));
+    const ParticleSystem sys = randomConnected(n, rng);
+    ASSERT_EQ(perimeterTraced(sys), perimeter(sys)) << "trial " << trial;
+  }
+}
+
+TEST(Boundary, TracedMatchesClosedFormOnDendrites) {
+  rng::Random rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ParticleSystem sys = randomDendrite(40, rng);
+    ASSERT_EQ(perimeterTraced(sys), perimeter(sys));
+  }
+}
+
+TEST(Boundary, SpiralPerimetersMatch) {
+  for (std::int64_t n = 1; n <= 120; ++n) {
+    const ParticleSystem sys = spiralConfiguration(n);
+    ASSERT_EQ(perimeterTraced(sys), perimeter(sys)) << n;
+  }
+}
+
+TEST(Boundary, MultiHoleConfiguration) {
+  // Two radius-1 rings sharing one particle: two holes.
+  std::vector<TriPoint> cells;
+  const ParticleSystem ringA = ringConfiguration(1);
+  for (const TriPoint p : ringA.positions()) cells.push_back(p);
+  // Second ring centered at (3,0): shares cell (1,0)? ring around (3,0)
+  // occupies distance-1 cells of (3,0): (4,0),(3,1),(2,1),(2,0),(3,-1),(4,-1).
+  const TriPoint shift{3, 0};
+  for (const TriPoint p : ringA.positions()) {
+    const TriPoint q = p + shift;
+    bool duplicate = false;
+    for (const TriPoint existing : cells) duplicate |= existing == q;
+    if (!duplicate) cells.push_back(q);
+  }
+  const ParticleSystem sys(cells);
+  ASSERT_TRUE(isConnected(sys));
+  EXPECT_EQ(countHoles(sys), 2);
+  EXPECT_EQ(perimeterTraced(sys), perimeter(sys));
+}
+
+}  // namespace
+}  // namespace sops::system

@@ -1,0 +1,252 @@
+// Tests for the exact-enumeration substrate (S8): configuration counts
+// (Fig 11, Lemma 5.4/5.5), the counting lower bounds of §5, and the exact
+// stationary ensemble of Lemma 3.13.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "enumeration/config_enum.hpp"
+#include "enumeration/exact_distribution.hpp"
+#include "system/metrics.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::enumeration {
+namespace {
+
+TEST(ConfigCounts, MatchKnownPolyhexSequence) {
+  // Connected configurations up to translation = fixed polyhexes by the
+  // duality of Fig 9a (OEIS A001207): 1, 3, 11, 44, 186, 814, 3652, 16689.
+  const std::uint64_t expectedAll[] = {1, 3, 11, 44, 186, 814, 3652};
+  for (int n = 1; n <= 7; ++n) {
+    EXPECT_EQ(countConnected(n).all, expectedAll[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(ConfigCounts, Figure11ElevenThreeParticleConfigs) {
+  // Paper Fig 11: exactly 11 connected hole-free configurations with three
+  // particles.
+  EXPECT_EQ(countConnected(3).holeFree, 11u);
+}
+
+TEST(ConfigCounts, PaperStatesFortyTwoForFourParticlesButExactIs44) {
+  // The proof of Lemma 5.4 says "there are 42 configurations on 4
+  // particles"; exhaustive enumeration (two independent methods below) and
+  // OEIS A001207 give 44.  We record the exact value.
+  EXPECT_EQ(countConnected(4).all, 44u);
+  EXPECT_EQ(countConnectedBruteForce(4).all, 44u);
+}
+
+TEST(ConfigCounts, AgreeWithIndependentBruteForce) {
+  for (int n = 1; n <= 5; ++n) {
+    const ConfigCounts fast = countConnected(n);
+    const ConfigCounts brute = countConnectedBruteForce(n);
+    EXPECT_EQ(fast.all, brute.all) << "n=" << n;
+    EXPECT_EQ(fast.holeFree, brute.holeFree) << "n=" << n;
+  }
+}
+
+TEST(ConfigCounts, FirstHoleAppearsAtSixParticles) {
+  // The minimal holed configuration is the hexagon ring (n=6); below that
+  // every connected configuration is hole-free.
+  for (int n = 1; n <= 5; ++n) {
+    const ConfigCounts counts = countConnected(n);
+    EXPECT_EQ(counts.all, counts.holeFree) << "n=" << n;
+  }
+  const ConfigCounts six = countConnected(6);
+  EXPECT_EQ(six.all - six.holeFree, 1u);  // exactly the ring
+  const ConfigCounts seven = countConnected(7);
+  EXPECT_GT(seven.all - seven.holeFree, 1u);
+}
+
+TEST(EnumeratedConfigs, MetricsAreConsistent) {
+  for (int n = 2; n <= 7; ++n) {
+    for (const EnumeratedConfig& config : enumerateConnected(n)) {
+      // Lemma 2.3 generalized: p = 3n − e − 3 + 3h.
+      EXPECT_EQ(config.perimeter,
+                3 * n - config.edges - 3 + 3 * config.holes);
+      if (config.holeFree()) {
+        // Lemma 2.4: t = 2n − p − 2.
+        EXPECT_EQ(config.triangles, 2 * n - config.perimeter - 2);
+        EXPECT_GE(config.perimeter, system::pMin(n));
+        EXPECT_LE(config.perimeter, system::pMax(n));
+      }
+    }
+  }
+}
+
+TEST(EnumeratedConfigs, CanonicalAndDistinct) {
+  for (int n = 2; n <= 6; ++n) {
+    std::set<std::vector<std::pair<int, int>>> seen;
+    for (const EnumeratedConfig& config : enumerateConnected(n)) {
+      ASSERT_EQ(config.points.size(), static_cast<std::size_t>(n));
+      std::vector<std::pair<int, int>> key;
+      int minX = config.points[0].x;
+      int minY = config.points[0].y;
+      for (const auto p : config.points) {
+        key.emplace_back(p.x, p.y);
+        minX = std::min(minX, p.x);
+        minY = std::min(minY, p.y);
+      }
+      EXPECT_EQ(minX, 0);
+      EXPECT_EQ(minY, 0);
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate config";
+    }
+  }
+}
+
+TEST(EnumeratedConfigs, MinimumPerimeterMatchesFormula) {
+  // The enumerated minimum equals p_min(n) = ⌈√(12n−3)⌉ − 3 (exhaustive
+  // confirmation of the Harary–Harborth value for small n).
+  for (int n = 1; n <= 8; ++n) {
+    const ExactEnsemble ensemble(n);
+    EXPECT_EQ(ensemble.minPerimeter(), system::pMin(n)) << "n=" << n;
+    EXPECT_EQ(ensemble.maxPerimeter(), system::pMax(n)) << "n=" << n;
+  }
+}
+
+TEST(CountingBounds, Lemma51TreeLowerBound) {
+  // Lemma 5.1: c_{2n-2} ≥ 2^{n-1} (directed zig-zag paths).
+  for (int n = 2; n <= 8; ++n) {
+    const ExactEnsemble ensemble(n);
+    const auto counts = ensemble.perimeterCounts();
+    const auto it = counts.find(system::pMax(n));
+    ASSERT_NE(it, counts.end());
+    EXPECT_GE(it->second, std::uint64_t{1} << (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(CountingBounds, Lemma54GrowthLowerBound) {
+  // Lemma 5.4: |Ω*| ≥ 0.12 · 1.67^{2n-2}.
+  for (int n = 1; n <= 9; ++n) {
+    const double bound = 0.12 * std::pow(1.67, 2.0 * n - 2.0);
+    EXPECT_GE(static_cast<double>(countConnected(n).holeFree), bound)
+        << "n=" << n;
+  }
+}
+
+TEST(CountingBounds, Lemma56JensenLowerBound) {
+  // Lemma 5.6: |Ω*| ≥ 0.13 · 2.17^{2n-2} (from Jensen's N50).
+  for (int n = 1; n <= 9; ++n) {
+    const double bound = 0.13 * std::pow(2.17, 2.0 * n - 2.0);
+    EXPECT_GE(static_cast<double>(countConnected(n).holeFree), bound)
+        << "n=" << n;
+  }
+}
+
+TEST(CountingBounds, ExpansionThresholdConstant) {
+  // (2·N50)^{1/100} ≈ 2.17 (Theorem 5.7's x).
+  const double x = expansionThresholdFromN50();
+  EXPECT_NEAR(x, 2.17203, 5e-4);
+  EXPECT_GT(x, 2.17);
+  // And the paper's ordering 2.17 < λ_c candidates < 2+√2 ≈ 3.414.
+  EXPECT_LT(x, 2.0 + std::sqrt(2.0));
+  EXPECT_EQ(std::string(jensenN50Decimal()).size(), 34u);
+}
+
+// --- exact stationary ensemble (Lemma 3.13 / Corollary 3.14) ---
+
+TEST(ExactEnsemble, PartitionFunctionForThreeParticles) {
+  // n=3: 2 triangles (e=3) + 9 bent/straight trominoes (e=2), so
+  // Z(λ) = 2λ³ + 9λ².
+  const ExactEnsemble ensemble(3);
+  ASSERT_EQ(ensemble.configs().size(), 11u);
+  for (const double lambda : {0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(ensemble.partitionFunction(lambda),
+                2 * std::pow(lambda, 3) + 9 * std::pow(lambda, 2), 1e-9)
+        << lambda;
+  }
+}
+
+TEST(ExactEnsemble, StationarySumsToOne) {
+  for (int n = 2; n <= 6; ++n) {
+    const ExactEnsemble ensemble(n);
+    for (const double lambda : {0.7, 1.0, 3.0, 5.0}) {
+      const std::vector<double> pi = ensemble.stationary(lambda);
+      double total = 0.0;
+      for (const double p : pi) total += p;
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ExactEnsemble, EdgeAndPerimeterWeightingsAgree) {
+  // Corollary 3.14: weighting by λ^{e} equals weighting by λ^{-p} on Ω*.
+  const ExactEnsemble ensemble(5);
+  const double lambda = 3.0;
+  const std::vector<double> byEdges = ensemble.stationary(lambda);
+  double zPerimeter = 0.0;
+  for (const EnumeratedConfig& config : ensemble.configs()) {
+    zPerimeter += std::pow(lambda, -static_cast<double>(config.perimeter));
+  }
+  for (std::size_t i = 0; i < ensemble.configs().size(); ++i) {
+    const double byPerimeter =
+        std::pow(lambda, -static_cast<double>(ensemble.configs()[i].perimeter)) /
+        zPerimeter;
+    EXPECT_NEAR(byEdges[i], byPerimeter, 1e-12);
+  }
+}
+
+TEST(ExactEnsemble, TriangleWeightingAgrees) {
+  // Corollary 3.15: λ^{t(σ)} weighting is the same distribution.
+  const ExactEnsemble ensemble(5);
+  const double lambda = 2.5;
+  const std::vector<double> byEdges = ensemble.stationary(lambda);
+  double zTriangles = 0.0;
+  for (const EnumeratedConfig& config : ensemble.configs()) {
+    zTriangles += std::pow(lambda, static_cast<double>(config.triangles));
+  }
+  for (std::size_t i = 0; i < ensemble.configs().size(); ++i) {
+    const double byTriangles =
+        std::pow(lambda, static_cast<double>(ensemble.configs()[i].triangles)) /
+        zTriangles;
+    EXPECT_NEAR(byEdges[i], byTriangles, 1e-12);
+  }
+}
+
+TEST(ExactEnsemble, CompressionProbabilityIncreasesWithLambda) {
+  // Theorem 4.5 in miniature: P(p ≥ α·p_min) shrinks as λ grows.
+  const ExactEnsemble ensemble(6);
+  const double alpha = 1.5;
+  const double threshold = alpha * static_cast<double>(system::pMin(6));
+  double previous = 1.0;
+  for (const double lambda : {1.0, 2.0, 3.5, 5.0, 8.0}) {
+    const double probability = ensemble.probPerimeterAtLeast(lambda, threshold);
+    EXPECT_LT(probability, previous) << lambda;
+    previous = probability;
+  }
+}
+
+TEST(ExactEnsemble, ExpansionDominatesAtSmallLambda) {
+  // Theorem 5.7 in miniature: at λ=1 most stationary mass sits on large
+  // perimeters (entropy wins).
+  const ExactEnsemble ensemble(7);
+  const double atMostMid = ensemble.probPerimeterAtMost(
+      1.0, 0.75 * static_cast<double>(system::pMax(7)));
+  EXPECT_LT(atMostMid, 0.5);
+}
+
+TEST(ExactEnsemble, ExpectedPerimeterMonotoneInLambda) {
+  const ExactEnsemble ensemble(6);
+  double previous = 1e300;
+  for (const double lambda : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double expected = ensemble.expectedPerimeter(lambda);
+    EXPECT_LT(expected, previous);
+    previous = expected;
+  }
+}
+
+TEST(ExactEnsemble, PerimeterDistributionSumsToOne) {
+  const ExactEnsemble ensemble(5);
+  const auto histogram = ensemble.perimeterDistribution(2.0);
+  double total = 0.0;
+  for (const auto& [perimeter, probability] : histogram) {
+    EXPECT_GE(perimeter, system::pMin(5));
+    EXPECT_LE(perimeter, system::pMax(5));
+    total += probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sops::enumeration

@@ -1,0 +1,170 @@
+// Tests for the triangular-lattice geometry substrate (S1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lattice/direction.hpp"
+#include "lattice/tri_point.hpp"
+
+namespace sops::lattice {
+namespace {
+
+TEST(Direction, IndexRoundTrip) {
+  for (int i = 0; i < kNumDirections; ++i) {
+    EXPECT_EQ(index(directionFromIndex(i)), i);
+  }
+}
+
+TEST(Direction, NegativeIndexWraps) {
+  EXPECT_EQ(directionFromIndex(-1), Direction::SouthEast);
+  EXPECT_EQ(directionFromIndex(-6), Direction::East);
+  EXPECT_EQ(directionFromIndex(7), Direction::NorthEast);
+  EXPECT_EQ(directionFromIndex(12), Direction::East);
+}
+
+TEST(Direction, OppositeIsInvolution) {
+  for (const Direction d : kAllDirections) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+}
+
+TEST(Direction, RotationIsCyclic) {
+  for (const Direction d : kAllDirections) {
+    EXPECT_EQ(rotated(d, 6), d);
+    EXPECT_EQ(rotated(d, -6), d);
+    EXPECT_EQ(rotated(rotated(d, 2), -2), d);
+  }
+}
+
+TEST(Direction, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (const Direction d : kAllDirections) names.insert(name(d));
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(TriPoint, OffsetsSumToZero) {
+  TriPoint total{0, 0};
+  for (const Direction d : kAllDirections) total += offset(d);
+  EXPECT_EQ(total, (TriPoint{0, 0}));
+}
+
+TEST(TriPoint, OppositeOffsetsCancel) {
+  for (const Direction d : kAllDirections) {
+    EXPECT_EQ(offset(d) + offset(opposite(d)), (TriPoint{0, 0}));
+  }
+}
+
+TEST(TriPoint, SixDistinctNeighbors) {
+  const TriPoint p{3, -7};
+  std::set<std::pair<int, int>> seen;
+  for (const Direction d : kAllDirections) {
+    const TriPoint q = neighbor(p, d);
+    seen.insert({q.x, q.y});
+    EXPECT_TRUE(areAdjacent(p, q));
+    EXPECT_TRUE(areAdjacent(q, p));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(TriPoint, NotAdjacentToSelfOrFar) {
+  const TriPoint p{0, 0};
+  EXPECT_FALSE(areAdjacent(p, p));
+  EXPECT_FALSE(areAdjacent(p, {2, 0}));
+  EXPECT_FALSE(areAdjacent(p, {1, 1}));   // distance 2
+  EXPECT_FALSE(areAdjacent(p, {-1, -1})); // distance 2
+  EXPECT_TRUE(areAdjacent(p, {1, -1}));   // SE neighbor
+}
+
+TEST(TriPoint, DirectionBetweenMatchesOffsets) {
+  const TriPoint p{5, 9};
+  for (const Direction d : kAllDirections) {
+    const auto found = directionBetween(p, neighbor(p, d));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, d);
+  }
+  EXPECT_FALSE(directionBetween(p, p).has_value());
+  EXPECT_FALSE(directionBetween(p, {p.x + 2, p.y}).has_value());
+}
+
+TEST(TriPoint, Rotated60IsOrderSix) {
+  const TriPoint v{3, -1};
+  TriPoint w = v;
+  for (int i = 0; i < 6; ++i) w = rotated60(w);
+  EXPECT_EQ(w, v);
+}
+
+TEST(TriPoint, LatticeDistanceBasics) {
+  EXPECT_EQ(latticeDistance({0, 0}, {0, 0}), 0);
+  for (const Direction d : kAllDirections) {
+    EXPECT_EQ(latticeDistance({0, 0}, offset(d)), 1);
+  }
+  EXPECT_EQ(latticeDistance({0, 0}, {3, 0}), 3);
+  EXPECT_EQ(latticeDistance({0, 0}, {1, 1}), 2);
+  EXPECT_EQ(latticeDistance({0, 0}, {-2, 5}), 5);
+  EXPECT_EQ(latticeDistance({0, 0}, {3, -1}), 3);
+  EXPECT_EQ(latticeDistance({0, 0}, {3, -5}), 5);
+}
+
+TEST(TriPoint, LatticeDistanceIsAMetric) {
+  const TriPoint points[] = {{0, 0}, {3, -2}, {-1, 4}, {7, 7}, {-5, -5}};
+  for (const TriPoint a : points) {
+    for (const TriPoint b : points) {
+      EXPECT_EQ(latticeDistance(a, b), latticeDistance(b, a));
+      for (const TriPoint c : points) {
+        EXPECT_LE(latticeDistance(a, c),
+                  latticeDistance(a, b) + latticeDistance(b, c));
+      }
+    }
+  }
+}
+
+TEST(TriPoint, PackUnpackRoundTripIncludingNegatives) {
+  const TriPoint samples[] = {
+      {0, 0}, {1, -1}, {-1, 1}, {123456, -654321}, {-2147483647, 2147483647}};
+  for (const TriPoint p : samples) {
+    EXPECT_EQ(unpack(pack(p)), p);
+  }
+}
+
+TEST(TriPoint, PackIsInjectiveOnNeighborhood) {
+  std::set<std::uint64_t> keys;
+  for (int x = -4; x <= 4; ++x) {
+    for (int y = -4; y <= 4; ++y) {
+      keys.insert(pack({x, y}));
+    }
+  }
+  EXPECT_EQ(keys.size(), 81u);
+}
+
+TEST(TriPoint, CartesianEmbeddingHasUnitEdges) {
+  const TriPoint p{2, 3};
+  const Cartesian cp = toCartesian(p);
+  for (const Direction d : kAllDirections) {
+    const Cartesian cq = toCartesian(neighbor(p, d));
+    const double dist = std::hypot(cq.x - cp.x, cq.y - cp.y);
+    EXPECT_NEAR(dist, 1.0, 1e-12);
+  }
+}
+
+TEST(TriPoint, CommonNeighborsOfAdjacentPair) {
+  // The two common neighbors of ℓ and ℓ+d are ℓ+rot(d,1) and ℓ+rot(d,-1).
+  const TriPoint l{0, 0};
+  for (const Direction d : kAllDirections) {
+    const TriPoint lp = neighbor(l, d);
+    int common = 0;
+    for (const Direction a : kAllDirections) {
+      const TriPoint q = neighbor(l, a);
+      if (areAdjacent(q, lp)) {
+        ++common;
+        EXPECT_TRUE(q == neighbor(l, rotated(d, 1)) ||
+                    q == neighbor(l, rotated(d, -1)));
+      }
+    }
+    EXPECT_EQ(common, 2);
+  }
+}
+
+}  // namespace
+}  // namespace sops::lattice

@@ -1,0 +1,231 @@
+// Tests for Algorithm A (S7): step semantics, the flag protocol, fault
+// behavior, the paper's invariants under asynchronous execution, and
+// distributional equivalence with M on a tiny system (§3.2, E11).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "amoebot/faults.hpp"
+#include "amoebot/local_compression.hpp"
+#include "amoebot/scheduler.hpp"
+#include "enumeration/exact_distribution.hpp"
+#include "markov/stationary.hpp"
+#include "system/canonical.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::amoebot {
+namespace {
+
+using lattice::Direction;
+using lattice::TriPoint;
+
+TEST(LocalAlgorithm, ContractedActivationExpandsIntoFreeCell) {
+  rng::Random rng(1);
+  AmoebotSystem sys(system::lineConfiguration(2), rng);
+  const LocalCompressionAlgorithm algo({4.0});
+  rng::Random coin(2);
+  // Keep activating particle 0 until it expands (free ports exist).
+  bool expanded = false;
+  for (int i = 0; i < 100 && !expanded; ++i) {
+    expanded = algo.activate(sys, 0, coin) == ActivationResult::Expanded;
+  }
+  EXPECT_TRUE(expanded);
+  EXPECT_TRUE(sys.particle(0).expanded);
+  // With no other expanded particles around, the flag must be set.
+  EXPECT_TRUE(sys.particle(0).flag);
+}
+
+TEST(LocalAlgorithm, ExpandedActivationAlwaysContracts) {
+  rng::Random rng(3);
+  AmoebotSystem sys(system::lineConfiguration(3), rng);
+  const LocalCompressionAlgorithm algo({4.0});
+  rng::Random coin(4);
+  for (int i = 0; i < 200; ++i) {
+    const ActivationResult result = algo.activate(sys, 1, coin);
+    if (result == ActivationResult::Expanded) {
+      const ActivationResult second = algo.activate(sys, 1, coin);
+      EXPECT_TRUE(second == ActivationResult::MovedToHead ||
+                  second == ActivationResult::ContractedBack);
+      EXPECT_FALSE(sys.particle(1).expanded);
+    }
+  }
+}
+
+TEST(LocalAlgorithm, NeighborOfExpandedParticleDoesNotExpand) {
+  rng::Random rng(5);
+  AmoebotSystem sys(system::lineConfiguration(2), rng);
+  const LocalCompressionAlgorithm algo({4.0});
+  sys.expand(0, Direction::NorthEast);
+  rng::Random coin(6);
+  // Particle 1 is adjacent to expanded particle 0: step 3 forbids expanding.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(algo.activate(sys, 1, coin), ActivationResult::Idle);
+  }
+}
+
+TEST(LocalAlgorithm, FlagFalseForcesContractBack) {
+  rng::Random rng(7);
+  AmoebotSystem sys(system::lineConfiguration(3), rng);
+  const LocalCompressionAlgorithm algo({1000.0});  // accepts any move
+  sys.expand(0, Direction::NorthEast);
+  sys.setFlag(0, false);  // simulate a concurrent expansion nearby
+  rng::Random coin(8);
+  EXPECT_EQ(algo.activate(sys, 0, coin), ActivationResult::ContractedBack);
+  EXPECT_EQ(sys.particle(0).tail, (TriPoint{0, 0}));
+}
+
+TEST(LocalAlgorithm, CrashedParticlesNeverAct) {
+  rng::Random rng(9);
+  AmoebotSystem sys(system::lineConfiguration(3), rng);
+  sys.markCrashed(1);
+  const LocalCompressionAlgorithm algo({4.0});
+  rng::Random coin(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(algo.activate(sys, 1, coin), ActivationResult::Idle);
+  }
+  EXPECT_EQ(sys.particle(1).tail, (TriPoint{1, 0}));
+}
+
+TEST(LocalAlgorithm, ByzantineExpandsAndRefusesToContract) {
+  rng::Random rng(11);
+  AmoebotSystem sys(system::lineConfiguration(3), rng);
+  sys.markByzantine(0);
+  const LocalCompressionAlgorithm algo({4.0});
+  rng::Random coin(12);
+  EXPECT_EQ(algo.activate(sys, 0, coin), ActivationResult::Expanded);
+  EXPECT_TRUE(sys.particle(0).expanded);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(algo.activate(sys, 0, coin), ActivationResult::Idle);
+    EXPECT_TRUE(sys.particle(0).expanded);
+  }
+}
+
+TEST(LocalAlgorithm, TailConfigurationInvariantsUnderPoissonExecution) {
+  // The paper's invariants, asserted along an asynchronous run: the tail
+  // configuration stays connected (Lemma 3.1) and, once hole-free, stays
+  // hole-free (Lemma 3.2).
+  rng::Random rng(13);
+  AmoebotSystem sys(system::lineConfiguration(20), rng);
+  const LocalCompressionAlgorithm algo({4.0});
+  PoissonScheduler scheduler(sys.size(), rng::Random(14));
+  rng::Random coin(15);
+  for (int burst = 0; burst < 150; ++burst) {
+    for (int i = 0; i < 1000; ++i) {
+      algo.activate(sys, scheduler.next().particle, coin);
+    }
+    const system::ParticleSystem tails = sys.tailConfiguration();
+    ASSERT_TRUE(system::isConnected(tails)) << "burst " << burst;
+    ASSERT_EQ(system::countHoles(tails), 0) << "burst " << burst;
+  }
+}
+
+TEST(LocalAlgorithm, CompressesLikeM) {
+  // Behavioral equivalence in the large: A at λ=4 compresses a 40-particle
+  // line well below half its initial perimeter.
+  rng::Random rng(16);
+  AmoebotSystem sys(system::lineConfiguration(40), rng);
+  const LocalCompressionAlgorithm algo({4.0});
+  PoissonScheduler scheduler(sys.size(), rng::Random(17));
+  rng::Random coin(18);
+  const std::int64_t initial = system::perimeter(sys.tailConfiguration());
+  for (int i = 0; i < 2500000; ++i) {
+    algo.activate(sys, scheduler.next().particle, coin);
+  }
+  const std::int64_t finalPerimeter = system::perimeter(sys.tailConfiguration());
+  EXPECT_LT(finalPerimeter, initial / 2);
+}
+
+TEST(LocalAlgorithm, StationaryDistributionMatchesExactPi) {
+  // E11: empirical distribution of A's *quiescent* configurations (all
+  // particles contracted — the states of M, §3.2 footnote 2) vs the exact
+  // π(σ) = λ^{e(σ)}/Z on n=4 (44 states), in total variation.  Raw
+  // time-averages over all instants carry a small (~0.06 TV) bias because
+  // expansion attempts correlate with perimeter; quiescent sampling is the
+  // faithful projection (measured explicitly in bench_local_algorithm).
+  const int n = 4;
+  const double lambda = 2.0;
+  const enumeration::ExactEnsemble ensemble(n);
+  std::unordered_map<std::string, std::size_t> indexOf;
+  for (std::size_t i = 0; i < ensemble.configs().size(); ++i) {
+    indexOf.emplace(
+        system::canonicalKeyFromPoints(ensemble.configs()[i].points), i);
+  }
+  const std::vector<double> exact = ensemble.stationary(lambda);
+
+  rng::Random rng(19);
+  AmoebotSystem sys(system::lineConfiguration(n), rng);
+  const LocalCompressionAlgorithm algo({lambda});
+  PoissonScheduler scheduler(sys.size(), rng::Random(20));
+  rng::Random coin(21);
+  for (int i = 0; i < 20000; ++i) {  // burn-in
+    algo.activate(sys, scheduler.next().particle, coin);
+  }
+  std::vector<double> empirical(exact.size(), 0.0);
+  int samples = 0;
+  const int strides = 250000;
+  for (int s = 0; s < strides; ++s) {
+    for (int i = 0; i < 40; ++i) {  // stride between samples
+      algo.activate(sys, scheduler.next().particle, coin);
+    }
+    if (sys.expandedCount() != 0) continue;  // quiescent instants only
+    const auto it = indexOf.find(system::canonicalKey(sys.tailConfiguration()));
+    ASSERT_NE(it, indexOf.end());
+    empirical[it->second] += 1.0;
+    ++samples;
+  }
+  ASSERT_GT(samples, 20000);
+  for (double& p : empirical) p /= samples;
+  const double tv = markov::totalVariation(empirical, exact);
+  EXPECT_LT(tv, 0.04) << "A's quiescent configurations do not sample π";
+}
+
+TEST(Faults, RandomCrashPlanSizes) {
+  rng::Random rng(22);
+  const FaultPlan plan = randomCrashes(100, 0.2, rng);
+  EXPECT_EQ(plan.crashed.size(), 20u);
+  EXPECT_TRUE(plan.byzantine.empty());
+  std::set<std::size_t> distinct(plan.crashed.begin(), plan.crashed.end());
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(Faults, ApplyMarksParticles) {
+  rng::Random rng(23);
+  AmoebotSystem sys(system::lineConfiguration(10), rng);
+  FaultPlan plan;
+  plan.crashed = {1, 3};
+  plan.byzantine = {5};
+  applyFaults(sys, plan);
+  EXPECT_TRUE(sys.particle(1).crashed);
+  EXPECT_TRUE(sys.particle(3).crashed);
+  EXPECT_TRUE(sys.particle(5).byzantine);
+  EXPECT_FALSE(sys.particle(0).crashed);
+}
+
+TEST(Faults, CompressionProceedsAroundCrashes) {
+  // §3.3: with 10% crashed particles, the healthy rest still compresses.
+  rng::Random rng(24);
+  AmoebotSystem sys(system::lineConfiguration(30), rng);
+  rng::Random faultRng(25);
+  applyFaults(sys, randomCrashes(sys.size(), 0.1, faultRng));
+  const LocalCompressionAlgorithm algo({4.0});
+  PoissonScheduler scheduler(sys.size(), rng::Random(26));
+  rng::Random coin(27);
+  const std::int64_t initial = system::perimeter(sys.tailConfiguration());
+  for (int i = 0; i < 2000000; ++i) {
+    algo.activate(sys, scheduler.next().particle, coin);
+  }
+  // Crashed particles pin their (spread-out) line positions, so the
+  // reachable compression is bounded by the crash geometry; a clear drop
+  // below the initial perimeter is the meaningful check here, and
+  // bench_fault_tolerance quantifies the full tradeoff.
+  const system::ParticleSystem tails = sys.tailConfiguration();
+  EXPECT_TRUE(system::isConnected(tails));
+  EXPECT_LT(system::perimeter(tails),
+            (3 * initial) / 4);
+}
+
+}  // namespace
+}  // namespace sops::amoebot

@@ -1,0 +1,134 @@
+// Tests for the generic Markov-chain analysis tools (S5) on hand-built
+// chains with known answers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "markov/stationary.hpp"
+#include "markov/transition_matrix.hpp"
+
+namespace sops::markov {
+namespace {
+
+/// Two-state chain: stays with prob 1-a / 1-b, flips with a / b.
+/// Stationary distribution is (b, a)/(a+b).
+TransitionMatrix twoState(double a, double b) {
+  TransitionMatrix m(2);
+  m.set(0, 0, 1 - a);
+  m.set(0, 1, a);
+  m.set(1, 0, b);
+  m.set(1, 1, 1 - b);
+  return m;
+}
+
+TEST(TransitionMatrix, RowSums) {
+  const TransitionMatrix m = twoState(0.3, 0.1);
+  EXPECT_NEAR(m.rowSum(0), 1.0, 1e-15);
+  EXPECT_NEAR(m.rowSum(1), 1.0, 1e-15);
+  EXPECT_NEAR(m.maxRowDefect(), 0.0, 1e-15);
+}
+
+TEST(TransitionMatrix, ApplyRight) {
+  const TransitionMatrix m = twoState(0.5, 0.5);
+  const std::vector<double> start{1.0, 0.0};
+  const std::vector<double> next = m.applyRight(start);
+  EXPECT_NEAR(next[0], 0.5, 1e-15);
+  EXPECT_NEAR(next[1], 0.5, 1e-15);
+}
+
+TEST(TransitionMatrix, Reachability) {
+  TransitionMatrix m(3);
+  m.set(0, 1, 1.0);
+  m.set(1, 1, 1.0);
+  m.set(2, 2, 1.0);
+  const std::vector<char> fromZero = m.reachableFrom(0);
+  EXPECT_TRUE(fromZero[0]);
+  EXPECT_TRUE(fromZero[1]);
+  EXPECT_FALSE(fromZero[2]);
+}
+
+TEST(TransitionMatrix, StronglyConnectedWithin) {
+  TransitionMatrix m(3);
+  // 0 <-> 1 cycle; 2 absorbs.
+  m.set(0, 1, 1.0);
+  m.set(1, 0, 0.5);
+  m.set(1, 2, 0.5);
+  m.set(2, 2, 1.0);
+  EXPECT_TRUE(m.stronglyConnectedWithin({1, 1, 0}));
+  EXPECT_FALSE(m.stronglyConnectedWithin({1, 1, 1}));
+  EXPECT_TRUE(m.stronglyConnectedWithin({0, 0, 1}));
+}
+
+TEST(Stationary, TotalVariationBasics) {
+  const std::vector<double> a{0.5, 0.5};
+  const std::vector<double> b{1.0, 0.0};
+  EXPECT_NEAR(totalVariation(a, a), 0.0, 1e-15);
+  EXPECT_NEAR(totalVariation(a, b), 0.5, 1e-15);
+}
+
+TEST(Stationary, NormalizedSumsToOne) {
+  const std::vector<double> w{1.0, 3.0, 4.0};
+  const std::vector<double> p = normalized(w);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-15);
+  EXPECT_NEAR(p[2], 0.5, 1e-15);
+}
+
+TEST(Stationary, PowerIterationFindsStationary) {
+  const double a = 0.3;
+  const double b = 0.1;
+  const TransitionMatrix m = twoState(a, b);
+  const std::vector<double> pi =
+      powerIterate(m, {1.0, 0.0}, 100000, 1e-15);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-10);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-10);
+}
+
+TEST(Stationary, DetailedBalanceAuditAcceptsReversibleChain) {
+  // The two-state chain is reversible w.r.t. weights (b, a).
+  const TransitionMatrix m = twoState(0.3, 0.1);
+  const std::vector<double> weights{0.1, 0.3};
+  const BalanceAudit audit = auditDetailedBalance(m, weights, {1, 1});
+  EXPECT_TRUE(audit.holds) << audit.maxViolation;
+}
+
+TEST(Stationary, DetailedBalanceAuditRejectsIrreversibleChain) {
+  // Directed 3-cycle: stationary uniform but not reversible.
+  TransitionMatrix m(3);
+  m.set(0, 1, 1.0);
+  m.set(1, 2, 1.0);
+  m.set(2, 0, 1.0);
+  const std::vector<double> weights{1.0, 1.0, 1.0};
+  const BalanceAudit audit = auditDetailedBalance(m, weights, {1, 1, 1});
+  EXPECT_FALSE(audit.holds);
+}
+
+TEST(Stationary, DetailedBalanceAuditFlagsLeaks) {
+  // Mass escaping the allegedly-closed subset must be reported.
+  TransitionMatrix m(2);
+  m.set(0, 0, 0.9);
+  m.set(0, 1, 0.1);
+  m.set(1, 1, 1.0);
+  const std::vector<double> weights{1.0, 0.0};
+  const BalanceAudit audit = auditDetailedBalance(m, weights, {1, 0});
+  EXPECT_FALSE(audit.holds);
+}
+
+TEST(Stationary, MixingTimeDecreasesWithFasterChains) {
+  const TransitionMatrix slow = twoState(0.01, 0.01);
+  const TransitionMatrix fast = twoState(0.4, 0.4);
+  const std::vector<double> pi{0.5, 0.5};
+  const int slowT = mixingTimeFrom(slow, 0, pi, 0.25);
+  const int fastT = mixingTimeFrom(fast, 0, pi, 0.25);
+  ASSERT_GE(slowT, 0);
+  ASSERT_GE(fastT, 0);
+  EXPECT_GT(slowT, fastT);
+}
+
+TEST(Stationary, MixingTimeZeroWhenStartingAtStationary) {
+  const TransitionMatrix m = twoState(0.2, 0.2);
+  std::vector<double> pi{0.5, 0.5};
+  EXPECT_EQ(mixingTimeFrom(m, 0, pi, 0.51), 0);
+}
+
+}  // namespace
+}  // namespace sops::markov

@@ -1,0 +1,279 @@
+// Exhaustive validation of the Property 1 / Property 2 bitmask evaluators
+// (S6) against straight-from-the-paper geometric reference implementations,
+// for all 256 ring masks × 6 move directions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/properties.hpp"
+#include "lattice/direction.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::core {
+namespace {
+
+using lattice::Direction;
+using lattice::kAllDirections;
+using lattice::neighbor;
+using lattice::TriPoint;
+using system::ParticleSystem;
+
+/// Builds the particle set encoded by `mask` around the move (l, d); the
+/// moving particle itself sits at l.
+std::vector<TriPoint> configFromMask(TriPoint l, Direction d, std::uint8_t mask) {
+  std::vector<TriPoint> points{l};
+  for (int idx = 0; idx < kRingSize; ++idx) {
+    if ((mask >> idx) & 1u) points.push_back(ringCell(l, d, idx));
+  }
+  return points;
+}
+
+/// Geometric N(ℓ ∪ ℓ') = (N(ℓ) ∪ N(ℓ')) \ {ℓ, ℓ'}, straight from §3.1.
+std::vector<TriPoint> unionNeighborhood(TriPoint l, TriPoint lPrime) {
+  std::set<std::pair<int, int>> seen;
+  std::vector<TriPoint> cells;
+  for (const TriPoint base : {l, lPrime}) {
+    for (const Direction a : kAllDirections) {
+      const TriPoint q = neighbor(base, a);
+      if (q == l || q == lPrime) continue;
+      if (seen.insert({q.x, q.y}).second) cells.push_back(q);
+    }
+  }
+  return cells;
+}
+
+/// Reference Property 1: |S| ∈ {1,2} and every particle of N(ℓ∪ℓ') reaches
+/// a particle of S by a path inside N(ℓ∪ℓ') — implemented as literal BFS
+/// over occupied cells with real lattice adjacency.
+bool referenceProperty1(const ParticleSystem& sys, TriPoint l, TriPoint lPrime) {
+  std::vector<TriPoint> common;
+  for (const Direction a : kAllDirections) {
+    const TriPoint q = neighbor(l, a);
+    if (lattice::areAdjacent(q, lPrime) && sys.occupied(q)) common.push_back(q);
+  }
+  if (common.empty()) return false;
+
+  std::vector<TriPoint> occupiedCells;
+  for (const TriPoint q : unionNeighborhood(l, lPrime)) {
+    if (sys.occupied(q)) occupiedCells.push_back(q);
+  }
+  // BFS from S within the occupied union-neighborhood cells.
+  std::set<std::pair<int, int>> reached;
+  std::vector<TriPoint> frontier = common;
+  for (const TriPoint s : common) reached.insert({s.x, s.y});
+  while (!frontier.empty()) {
+    const TriPoint p = frontier.back();
+    frontier.pop_back();
+    for (const TriPoint q : occupiedCells) {
+      if (lattice::areAdjacent(p, q) && reached.insert({q.x, q.y}).second) {
+        frontier.push_back(q);
+      }
+    }
+  }
+  for (const TriPoint q : occupiedCells) {
+    if (!reached.contains({q.x, q.y})) return false;
+  }
+  return true;
+}
+
+/// Reference Property 2: |S| = 0, each of N(ℓ)\{ℓ'} and N(ℓ')\{ℓ} is
+/// nonempty and internally connected — literal BFS again.
+bool referenceProperty2(const ParticleSystem& sys, TriPoint l, TriPoint lPrime) {
+  for (const Direction a : kAllDirections) {
+    const TriPoint q = neighbor(l, a);
+    if (lattice::areAdjacent(q, lPrime) && sys.occupied(q)) return false;
+  }
+  const auto sideConnected = [&sys](TriPoint base, TriPoint excluded) {
+    std::vector<TriPoint> cells;
+    for (const Direction a : kAllDirections) {
+      const TriPoint q = neighbor(base, a);
+      if (q == excluded) continue;
+      if (sys.occupied(q)) cells.push_back(q);
+    }
+    if (cells.empty()) return false;
+    std::set<std::pair<int, int>> reached{{cells[0].x, cells[0].y}};
+    std::vector<TriPoint> frontier{cells[0]};
+    while (!frontier.empty()) {
+      const TriPoint p = frontier.back();
+      frontier.pop_back();
+      for (const TriPoint q : cells) {
+        if (lattice::areAdjacent(p, q) && reached.insert({q.x, q.y}).second) {
+          frontier.push_back(q);
+        }
+      }
+    }
+    return reached.size() == cells.size();
+  };
+  return sideConnected(l, lPrime) && sideConnected(lPrime, l);
+}
+
+TEST(RingGeometry, RingCellsAreExactlyTheUnionNeighborhood) {
+  const TriPoint l{0, 0};
+  for (const Direction d : kAllDirections) {
+    const TriPoint lPrime = neighbor(l, d);
+    std::set<std::pair<int, int>> fromRing;
+    for (int idx = 0; idx < kRingSize; ++idx) {
+      const TriPoint c = ringCell(l, d, idx);
+      EXPECT_TRUE(fromRing.insert({c.x, c.y}).second) << "duplicate ring cell";
+    }
+    std::set<std::pair<int, int>> fromGeometry;
+    for (const TriPoint c : unionNeighborhood(l, lPrime)) {
+      fromGeometry.insert({c.x, c.y});
+    }
+    EXPECT_EQ(fromRing, fromGeometry) << "direction " << index(d);
+  }
+}
+
+TEST(RingGeometry, ConsecutiveRingCellsAreAdjacentAndNoChords) {
+  const TriPoint l{0, 0};
+  for (const Direction d : kAllDirections) {
+    for (int i = 0; i < kRingSize; ++i) {
+      for (int j = i + 1; j < kRingSize; ++j) {
+        const bool adjacent =
+            lattice::areAdjacent(ringCell(l, d, i), ringCell(l, d, j));
+        const bool consecutive = (j - i == 1) || (i == 0 && j == kRingSize - 1);
+        EXPECT_EQ(adjacent, consecutive)
+            << "d=" << index(d) << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(RingGeometry, CommonNeighborsAreIndicesZeroAndFour) {
+  const TriPoint l{2, -3};
+  for (const Direction d : kAllDirections) {
+    const TriPoint lPrime = neighbor(l, d);
+    for (int idx = 0; idx < kRingSize; ++idx) {
+      const TriPoint c = ringCell(l, d, idx);
+      const bool commonNeighbor =
+          lattice::areAdjacent(c, l) && lattice::areAdjacent(c, lPrime);
+      EXPECT_EQ(commonNeighbor, idx == 0 || idx == 4) << idx;
+    }
+  }
+}
+
+TEST(RingGeometry, BeforeAfterMasksMatchGeometry) {
+  const TriPoint l{0, 0};
+  for (const Direction d : kAllDirections) {
+    const TriPoint lPrime = neighbor(l, d);
+    for (int idx = 0; idx < kRingSize; ++idx) {
+      const TriPoint c = ringCell(l, d, idx);
+      EXPECT_EQ(lattice::areAdjacent(c, l), (kBeforeMask >> idx) & 1u) << idx;
+      EXPECT_EQ(lattice::areAdjacent(c, lPrime), (kAfterMask >> idx) & 1u) << idx;
+    }
+  }
+}
+
+TEST(Properties, ExhaustiveAgreementWithGeometricReference) {
+  // All 256 occupancy patterns, all 6 directions: the O(1) bitmask
+  // evaluators must agree exactly with the paper-literal BFS versions.
+  const TriPoint l{0, 0};
+  for (const Direction d : kAllDirections) {
+    const TriPoint lPrime = neighbor(l, d);
+    for (int mask = 0; mask < 256; ++mask) {
+      const auto m = static_cast<std::uint8_t>(mask);
+      const ParticleSystem sys(configFromMask(l, d, m));
+      ASSERT_EQ(property1Holds(m), referenceProperty1(sys, l, lPrime))
+          << "P1 mask=" << mask << " d=" << index(d);
+      ASSERT_EQ(property2Holds(m), referenceProperty2(sys, l, lPrime))
+          << "P2 mask=" << mask << " d=" << index(d);
+    }
+  }
+}
+
+TEST(Properties, MutuallyExclusive) {
+  // S nonempty (P1) and S empty (P2) cannot both hold.
+  for (int mask = 0; mask < 256; ++mask) {
+    const auto m = static_cast<std::uint8_t>(mask);
+    EXPECT_FALSE(property1Holds(m) && property2Holds(m)) << mask;
+  }
+}
+
+TEST(Properties, NeighborCountsMatchBruteForce) {
+  const TriPoint l{0, 0};
+  for (const Direction d : kAllDirections) {
+    const TriPoint lPrime = neighbor(l, d);
+    for (int mask = 0; mask < 256; ++mask) {
+      const auto m = static_cast<std::uint8_t>(mask);
+      const ParticleSystem sys(configFromMask(l, d, m));
+      int e = 0;
+      int ePrime = 0;
+      for (const Direction a : kAllDirections) {
+        const TriPoint q = neighbor(l, a);
+        if (q != lPrime && sys.occupied(q)) ++e;
+        const TriPoint r = neighbor(lPrime, a);
+        if (r != l && sys.occupied(r)) ++ePrime;
+      }
+      ASSERT_EQ(neighborsBefore(m), e) << mask;
+      ASSERT_EQ(neighborsAfter(m), ePrime) << mask;
+    }
+  }
+}
+
+TEST(Properties, PaperExamples) {
+  // Empty neighborhood: no property can hold (isolated pair would detach).
+  EXPECT_FALSE(property1Holds(0));
+  EXPECT_FALSE(property2Holds(0));
+  // Only one common neighbor occupied: P1 holds (|S|=1, nothing else).
+  EXPECT_TRUE(property1Holds(0b0000'0001));
+  EXPECT_TRUE(property1Holds(0b0001'0000));
+  // Full ring: single arc through both common neighbors.
+  EXPECT_TRUE(property1Holds(0xFF));
+  // Two arcs, one not touching a common neighbor: P1 fails.
+  EXPECT_FALSE(property1Holds(0b0000'0101));  // idx 0 and idx 2 isolated
+  // Property 2 canonical case: one particle on each side, S empty.
+  EXPECT_TRUE(property2Holds(0b0100'0100));  // idx 2 and idx 6
+  // Property 2 fails when one side is empty...
+  EXPECT_FALSE(property2Holds(0b0000'0100));
+  // ...or disconnected ({1,3} pattern).
+  EXPECT_FALSE(property2Holds(0b0100'1010));
+}
+
+TEST(Properties, RingMaskOracleMatchesSystemOverload) {
+  const TriPoint l{0, 0};
+  for (const Direction d : kAllDirections) {
+    for (int mask = 0; mask < 256; mask += 7) {
+      const auto m = static_cast<std::uint8_t>(mask);
+      const ParticleSystem sys(configFromMask(l, d, m));
+      EXPECT_EQ(ringMask(sys, l, d), m);
+      const std::uint8_t viaOracle =
+          ringMask(l, d, [&sys](TriPoint p) { return sys.occupied(p); });
+      EXPECT_EQ(viaOracle, m);
+    }
+  }
+}
+
+TEST(EvaluateMove, TargetOccupiedShortCircuits) {
+  const ParticleSystem sys(std::vector<TriPoint>{{0, 0}, {1, 0}});
+  const MoveEvaluation eval = evaluateMove(sys, {0, 0}, Direction::East);
+  EXPECT_TRUE(eval.targetOccupied);
+}
+
+TEST(EvaluateMove, GapConditionDetectsFiveNeighbors) {
+  // Center with 5 neighbors; moving to the 6th cell must trip e=5.
+  std::vector<TriPoint> points{{0, 0}};
+  for (const Direction d : kAllDirections) {
+    if (d != Direction::East) points.push_back(neighbor({0, 0}, d));
+  }
+  const ParticleSystem sys(points);
+  const MoveEvaluation eval = evaluateMove(sys, {0, 0}, Direction::East);
+  EXPECT_FALSE(eval.targetOccupied);
+  EXPECT_EQ(eval.eBefore, 5);
+  EXPECT_FALSE(eval.gapOk);
+}
+
+TEST(EvaluateMove, CountsForTriangleMove) {
+  // Triangle (0,0),(1,0),(0,1): moving (0,1) east keeps contact via P1 and
+  // drops one neighbor (e=2 → e'=1).
+  const ParticleSystem sys(std::vector<TriPoint>{{0, 0}, {1, 0}, {0, 1}});
+  const MoveEvaluation eval = evaluateMove(sys, {0, 1}, Direction::East);
+  EXPECT_FALSE(eval.targetOccupied);
+  EXPECT_EQ(eval.eBefore, 2);
+  EXPECT_EQ(eval.eAfter, 1);
+  EXPECT_TRUE(eval.gapOk);
+  EXPECT_TRUE(eval.propertyOk);
+}
+
+}  // namespace
+}  // namespace sops::core

@@ -1,0 +1,112 @@
+// Tests for the Redelmeier enumerator (independent of the canonical-form
+// grower) and the Lemma 5.1 staircase-path witnesses.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "enumeration/config_enum.hpp"
+#include "enumeration/redelmeier.hpp"
+#include "system/canonical.hpp"
+#include "system/metrics.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::enumeration {
+namespace {
+
+TEST(Redelmeier, CountsMatchKnownSequence) {
+  const std::vector<std::uint64_t> counts = redelmeierCounts(9);
+  const std::uint64_t expected[] = {1,    3,    11,    44,   186,
+                                    814, 3652, 16689, 77359};
+  ASSERT_EQ(counts.size(), 9u);
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    EXPECT_EQ(counts[k], expected[k]) << "k=" << k + 1;
+  }
+}
+
+TEST(Redelmeier, AgreesWithCanonicalGrower) {
+  // Two completely independent enumeration strategies must coincide.
+  const std::vector<std::uint64_t> counts = redelmeierCounts(8);
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(n - 1)], countConnected(n).all)
+        << "n=" << n;
+  }
+}
+
+TEST(Redelmeier, EnumeratesDistinctConnectedAnimals) {
+  for (int n = 1; n <= 6; ++n) {
+    std::set<std::string> seen;
+    redelmeierEnumerate(n, [&](std::span<const TriPoint> cells) {
+      ASSERT_EQ(cells.size(), static_cast<std::size_t>(n));
+      const system::ParticleSystem sys(
+          std::vector<TriPoint>(cells.begin(), cells.end()));
+      ASSERT_TRUE(system::isConnected(sys));
+      ASSERT_TRUE(seen.insert(system::canonicalKey(sys)).second)
+          << "duplicate animal at n=" << n;
+    });
+    EXPECT_EQ(seen.size(), countConnected(n).all);
+  }
+}
+
+TEST(Redelmeier, HoleFreeClassificationMatches) {
+  for (int n = 5; n <= 7; ++n) {
+    std::uint64_t holeFree = 0;
+    redelmeierEnumerate(n, [&](std::span<const TriPoint> cells) {
+      const system::ParticleSystem sys(
+          std::vector<TriPoint>(cells.begin(), cells.end()));
+      if (system::countHoles(sys) == 0) ++holeFree;
+    });
+    EXPECT_EQ(holeFree, countConnected(n).holeFree) << "n=" << n;
+  }
+}
+
+TEST(StaircasePaths, CountIsTwoToTheNMinusOne) {
+  for (int n = 1; n <= 12; ++n) {
+    EXPECT_EQ(staircasePaths(n).size(), std::size_t{1} << (n - 1)) << n;
+  }
+}
+
+TEST(StaircasePaths, AllDistinctUpToTranslation) {
+  for (int n = 2; n <= 10; ++n) {
+    std::set<std::string> seen;
+    for (const auto& path : staircasePaths(n)) {
+      EXPECT_TRUE(seen.insert(system::canonicalKeyFromPoints(path)).second);
+    }
+    EXPECT_EQ(seen.size(), std::size_t{1} << (n - 1));
+  }
+}
+
+TEST(StaircasePaths, AllAreMaximumPerimeterTrees) {
+  // The substance of Lemma 5.1: each staircase path is a connected,
+  // hole-free configuration with e = n−1 (a tree) and p = p_max = 2n−2.
+  for (int n = 2; n <= 10; ++n) {
+    for (const auto& path : staircasePaths(n)) {
+      const system::ParticleSystem sys(path);
+      ASSERT_TRUE(system::isConnected(sys));
+      ASSERT_EQ(system::countHoles(sys), 0);
+      ASSERT_EQ(system::countEdges(sys), n - 1);
+      ASSERT_EQ(system::countTriangles(sys), 0);
+      ASSERT_EQ(system::perimeter(sys), system::pMax(n));
+    }
+  }
+}
+
+TEST(StaircasePaths, LowerBoundsTreeCountExactly) {
+  // c_{2n-2} ≥ 2^{n-1}, verified against the exact tree count.
+  for (int n = 2; n <= 8; ++n) {
+    std::uint64_t trees = 0;
+    for (const EnumeratedConfig& config : enumerateConnected(n)) {
+      if (config.holeFree() && config.perimeter == system::pMax(n)) ++trees;
+    }
+    EXPECT_GE(trees, std::uint64_t{1} << (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(Redelmeier, RejectsOutOfRange) {
+  EXPECT_THROW(redelmeierCounts(0), ContractViolation);
+  EXPECT_THROW(redelmeierCounts(17), ContractViolation);
+  EXPECT_THROW(staircasePaths(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sops::enumeration

@@ -1,0 +1,87 @@
+// Tests for the IO substrate (S10): ASCII rendering, SVG output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/ascii_render.hpp"
+#include "io/svg.hpp"
+#include "system/particle_system.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::io {
+namespace {
+
+using lattice::TriPoint;
+using system::ParticleSystem;
+
+TEST(AsciiRender, HorizontalLine) {
+  const std::string art = renderAscii(system::lineConfiguration(3));
+  EXPECT_EQ(art, "o o o\n");
+}
+
+TEST(AsciiRender, TriangleOffsetsUpperRow) {
+  const ParticleSystem sys(std::vector<TriPoint>{{0, 0}, {1, 0}, {0, 1}});
+  // Row y=1 is shifted half a cell (one character) right.
+  EXPECT_EQ(renderAscii(sys), " o\no o\n");
+}
+
+TEST(AsciiRender, LatticeDotsWhenRequested) {
+  const ParticleSystem sys(std::vector<TriPoint>{{0, 0}, {2, 0}});
+  AsciiOptions options;
+  options.showLattice = true;
+  EXPECT_EQ(renderAscii(sys, options), "o . o\n");
+}
+
+TEST(AsciiRender, SingleParticle) {
+  const ParticleSystem sys(std::vector<TriPoint>{{5, -7}});
+  EXPECT_EQ(renderAscii(sys), "o\n");
+}
+
+TEST(AsciiRender, NegativeCoordinatesNormalized) {
+  const ParticleSystem sys(std::vector<TriPoint>{{-3, -1}, {-2, -1}});
+  EXPECT_EQ(renderAscii(sys), "o o\n");
+}
+
+TEST(Svg, ContainsAllParticlesAndEdges) {
+  const ParticleSystem sys = system::spiralConfiguration(7);
+  const std::string svg = renderSvg(sys);
+  std::size_t circles = 0;
+  std::size_t position = 0;
+  while ((position = svg.find("<circle", position)) != std::string::npos) {
+    ++circles;
+    position += 7;
+  }
+  EXPECT_EQ(circles, 7u);
+  std::size_t lines = 0;
+  position = 0;
+  while ((position = svg.find("<line", position)) != std::string::npos) {
+    ++lines;
+    position += 5;
+  }
+  EXPECT_EQ(lines, 12u);  // e(spiral(7)) = 12
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, EdgeDrawingCanBeDisabled) {
+  SvgOptions options;
+  options.drawEdges = false;
+  const std::string svg = renderSvg(system::spiralConfiguration(7), options);
+  EXPECT_EQ(svg.find("<line"), std::string::npos);
+}
+
+TEST(Svg, WritesFile) {
+  const std::string path = "/tmp/sops_render_test.svg";
+  ASSERT_TRUE(writeSvg(system::lineConfiguration(4), path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sops::io

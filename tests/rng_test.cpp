@@ -1,0 +1,163 @@
+// Tests for the deterministic RNG substrate (S2).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "rng/random.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace sops::rng {
+namespace {
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256PlusPlus a(7);
+  Xoshiro256PlusPlus b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256PlusPlus a(7);
+  Xoshiro256PlusPlus b(8);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, JumpDecorrelates) {
+  Xoshiro256PlusPlus a(7);
+  Xoshiro256PlusPlus b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Random, BelowIsInRange) {
+  Random rng(1);
+  for (std::uint32_t bound : {1u, 2u, 3u, 6u, 7u, 100u, 12345u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Random, BelowIsApproximatelyUniform) {
+  // Chi-square test over 6 buckets (the chain's direction draw).
+  Random rng(42);
+  std::array<int, 6> counts{};
+  const int samples = 600000;
+  for (int i = 0; i < samples; ++i) ++counts[rng.below(6)];
+  const double expected = samples / 6.0;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 5 degrees of freedom: P(chi2 > 20.5) < 0.001.
+  EXPECT_LT(chi2, 20.5);
+}
+
+TEST(Random, BetweenIsInclusive) {
+  Random rng(3);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    sawLo |= v == -2;
+    sawHi |= v == 2;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Random, UniformIsInUnitInterval) {
+  Random rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformMeanIsHalf) {
+  Random rng(5);
+  double sum = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / samples, 0.5, 0.005);
+}
+
+TEST(Random, ExponentialHasRequestedMean) {
+  Random rng(6);
+  for (const double rate : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    const int samples = 200000;
+    for (int i = 0; i < samples; ++i) sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / samples, 1.0 / rate, 0.02 / rate);
+  }
+}
+
+TEST(Random, ExponentialIsPositive) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Random, BernoulliFrequency) {
+  Random rng(8);
+  int hits = 0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.005);
+}
+
+TEST(Random, ForkedStreamsAreIndependent) {
+  Random base(77);
+  Random a = base.fork(1);
+  Random b = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.bits() == b.bits()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Random, ForkIsDeterministic) {
+  Random base(77);
+  Random a = base.fork(9);
+  Random b = Random(77).fork(9);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.bits(), b.bits());
+  }
+}
+
+TEST(Random, ShufflePreservesElements) {
+  Random rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Random, ShuffleIsNotIdentityUsually) {
+  Random rng(12);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+}  // namespace
+}  // namespace sops::rng

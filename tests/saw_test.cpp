@@ -1,0 +1,84 @@
+// Tests for the hexagonal-lattice self-avoiding walk counter (S8) backing
+// Theorem 4.2 / Fig 8: μ_hex = √(2+√2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "enumeration/hex_saw.hpp"
+#include "util/assert.hpp"
+
+namespace sops::enumeration {
+namespace {
+
+TEST(HexSaw, FirstTermsExact) {
+  // l=1..6: 3, 6, 12, 24, 48, 90.  The first shortfall from 3·2^{l-1}
+  // appears at l = 6, where the 6 closed hexagon walks are excluded.
+  const std::vector<std::uint64_t> counts = hexSawCounts(6);
+  ASSERT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 6u);
+  EXPECT_EQ(counts[2], 12u);
+  EXPECT_EQ(counts[3], 24u);
+  EXPECT_EQ(counts[4], 48u);
+  EXPECT_EQ(counts[5], 90u);
+}
+
+TEST(HexSaw, PrefixConsistency) {
+  // Longer enumerations must reproduce shorter ones exactly.
+  const std::vector<std::uint64_t> short8 = hexSawCounts(8);
+  const std::vector<std::uint64_t> long12 = hexSawCounts(12);
+  for (std::size_t l = 0; l < short8.size(); ++l) {
+    EXPECT_EQ(short8[l], long12[l]);
+  }
+}
+
+TEST(HexSaw, GrowthIsSubmultiplicative) {
+  // N_{a+b} ≤ N_a · N_b (Fekete property defining the connective constant).
+  const std::vector<std::uint64_t> counts = hexSawCounts(14);
+  for (std::size_t a = 1; a + 2 <= counts.size(); ++a) {
+    for (std::size_t b = 1; a + b <= counts.size(); ++b) {
+      EXPECT_LE(counts[a + b - 1], counts[a - 1] * counts[b - 1])
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(HexSaw, CountsBoundedByConnectiveGrowth) {
+  // N_l ≥ μ^l for every l (standard supermultiplicative lower bound on the
+  // hexagonal lattice via bridge decompositions holds numerically here).
+  const double mu = hexConnectiveConstant();
+  const std::vector<std::uint64_t> counts = hexSawCounts(16);
+  for (std::size_t l = 1; l <= counts.size(); ++l) {
+    EXPECT_GE(static_cast<double>(counts[l - 1]), std::pow(mu, l) * 0.999)
+        << "l=" << l;
+  }
+}
+
+TEST(HexSaw, RootEstimateApproachesTheorem42Value) {
+  const double mu = hexConnectiveConstant();
+  EXPECT_NEAR(mu, 1.847759, 1e-6);  // √(2+√2)
+  EXPECT_NEAR(mu * mu, 2.0 + std::sqrt(2.0), 1e-12);  // compression threshold
+  const std::vector<std::uint64_t> counts = hexSawCounts(18);
+  const double estimate = connectiveConstantEstimate(counts);
+  EXPECT_GT(estimate, mu);        // finite-l estimates approach from above
+  EXPECT_LT(estimate, mu * 1.08);  // and are already close at l=18
+}
+
+TEST(HexSaw, RootEstimatesDecreaseTowardMu) {
+  const std::vector<std::uint64_t> counts = hexSawCounts(18);
+  double previous = 1e300;
+  for (std::size_t l = 4; l <= counts.size(); l += 2) {
+    const double estimate =
+        std::pow(static_cast<double>(counts[l - 1]), 1.0 / static_cast<double>(l));
+    EXPECT_LT(estimate, previous) << "l=" << l;
+    previous = estimate;
+  }
+}
+
+TEST(HexSaw, RejectsOutOfRangeLength) {
+  EXPECT_THROW(hexSawCounts(0), ContractViolation);
+  EXPECT_THROW(hexSawCounts(31), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sops::enumeration

@@ -1,0 +1,117 @@
+// Tests for the asynchronous schedulers (S7): Poisson clocks, sequential
+// uniform activation, round-robin, and round tracking (§2.1, §3.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amoebot/scheduler.hpp"
+
+namespace sops::amoebot {
+namespace {
+
+TEST(PoissonScheduler, TimesAreStrictlyIncreasing) {
+  PoissonScheduler scheduler(5, rng::Random(1));
+  double last = -1.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Activation a = scheduler.next();
+    EXPECT_GT(a.time, last);
+    last = a.time;
+    EXPECT_LT(a.particle, 5u);
+  }
+}
+
+TEST(PoissonScheduler, UniformRatesActivateUniformly) {
+  const std::size_t particles = 10;
+  PoissonScheduler scheduler(particles, rng::Random(2));
+  std::vector<int> counts(particles, 0);
+  const int total = 100000;
+  for (int i = 0; i < total; ++i) ++counts[scheduler.next().particle];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), total / 10.0, 600.0);
+  }
+}
+
+TEST(PoissonScheduler, HeterogeneousRatesBiasActivations) {
+  // Paper §3.2: per-particle Poisson rates are allowed; a particle with
+  // rate 3 activates about 3x as often as a rate-1 particle.
+  PoissonScheduler scheduler(2, rng::Random(3), {1.0, 3.0});
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[scheduler.next().particle];
+  const double ratio = static_cast<double>(counts[1]) / counts[0];
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(PoissonScheduler, InterActivationGapsAreExponential) {
+  PoissonScheduler scheduler(1, rng::Random(4));
+  double previous = 0.0;
+  double sum = 0.0;
+  double sumSquares = 0.0;
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) {
+    const Activation a = scheduler.next();
+    const double gap = a.time - previous;
+    previous = a.time;
+    sum += gap;
+    sumSquares += gap * gap;
+  }
+  const double mean = sum / samples;
+  const double variance = sumSquares / samples - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.02);      // Exp(1) mean
+  EXPECT_NEAR(variance, 1.0, 0.05);  // Exp(1) variance
+}
+
+TEST(PoissonScheduler, RejectsBadRates) {
+  EXPECT_THROW(PoissonScheduler(2, rng::Random(5), {1.0}), ContractViolation);
+  EXPECT_THROW(PoissonScheduler(2, rng::Random(5), {1.0, 0.0}),
+               ContractViolation);
+}
+
+TEST(SequentialScheduler, UniformSelection) {
+  SequentialScheduler scheduler(6, rng::Random(6));
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[scheduler.next()];
+  for (const int c : counts) EXPECT_NEAR(static_cast<double>(c), 10000.0, 500.0);
+}
+
+TEST(RoundRobinScheduler, EveryParticleOncePerRound) {
+  RoundRobinScheduler scheduler(7, rng::Random(7));
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 7; ++i) ++counts[scheduler.next()];
+    for (const int c : counts) EXPECT_EQ(c, 1);
+  }
+  EXPECT_EQ(scheduler.roundsCompleted(), 20u);
+}
+
+TEST(RoundTracker, CompletesWhenAllSeen) {
+  RoundTracker tracker(3);
+  tracker.recordActivation(0);
+  tracker.recordActivation(0);
+  tracker.recordActivation(1);
+  EXPECT_EQ(tracker.rounds(), 0u);
+  tracker.recordActivation(2);
+  EXPECT_EQ(tracker.rounds(), 1u);
+  tracker.recordActivation(1);
+  tracker.recordActivation(0);
+  tracker.recordActivation(2);
+  EXPECT_EQ(tracker.rounds(), 2u);
+}
+
+TEST(RoundTracker, PoissonRoundsAreCoupnCollectorish) {
+  // With uniform clocks, one round takes ≈ n·H(n) activations in
+  // expectation (coupon collector): for n=20 that is about 72.
+  const std::size_t n = 20;
+  PoissonScheduler scheduler(n, rng::Random(8));
+  RoundTracker tracker(n);
+  std::uint64_t activations = 0;
+  while (tracker.rounds() < 200) {
+    tracker.recordActivation(scheduler.next().particle);
+    ++activations;
+  }
+  const double perRound = static_cast<double>(activations) / 200.0;
+  EXPECT_GT(perRound, 50.0);
+  EXPECT_LT(perRound, 100.0);
+}
+
+}  // namespace
+}  // namespace sops::amoebot
