@@ -3,12 +3,17 @@
 // Theorem 5.7: λ < 2.17).
 //
 // Contrast with Fig 2 (λ=4 compresses by 5M): the perimeter here must stay
-// a constant fraction of p_max = 2n−2.
+// a constant fraction of p_max = 2n−2.  A seed ensemble (thread-pooled via
+// core/ensemble) runs alongside the primary replica to show the plateau is
+// not a single-seed artifact.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/csv.hpp"
 #include "bench_util.hpp"
-#include "core/compression_chain.hpp"
+#include "core/ensemble.hpp"
 #include "io/ascii_render.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
@@ -19,21 +24,58 @@ int main() {
   const double lambda = bench::envDouble("SOPS_FIG10_LAMBDA", 2.0);
   const auto checkpoint = bench::envInt("SOPS_FIG10_CHECKPOINT", 10000000);
   const auto seed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
+  const auto seedCount =
+      std::max<std::int64_t>(1, bench::envInt("SOPS_FIG10_SEEDS", 2));
+  const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
 
   bench::banner("E2 / Fig 10", "non-compression at lambda=" +
                                    bench::fmt(lambda, 2) + " (expanded regime)");
 
-  core::ChainOptions options;
-  options.lambda = lambda;
-  core::CompressionChain chain(system::lineConfiguration(n), options, seed);
-
   const std::int64_t pMax = system::pMax(n);
+
+  struct Row {
+    std::uint64_t iterations;
+    system::ConfigSummary summary;
+  };
+  std::vector<Row> primaryRows;
+  std::string primarySnapshot;
+
+  std::vector<core::ReplicaSpec> specs;
+  for (std::int64_t s = 0; s < seedCount; ++s) {
+    core::ReplicaSpec spec;
+    spec.label = "seed=" + std::to_string(seed + 7 * s);
+    spec.options.lambda = lambda;
+    spec.seed = seed + 7 * static_cast<std::uint64_t>(s);
+    spec.iterations = 2 * static_cast<std::uint64_t>(checkpoint);
+    spec.checkpointEvery = static_cast<std::uint64_t>(checkpoint);
+    spec.makeInitial = [n] { return system::lineConfiguration(n); };
+    spec.observable = [pMax](const core::CompressionChain& chain) {
+      return static_cast<double>(system::perimeter(chain.system())) /
+             static_cast<double>(pMax);
+    };
+    if (s == 0) {
+      spec.observer = [&primaryRows, &primarySnapshot, checkpoint](
+                          const core::CompressionChain& chain,
+                          std::uint64_t done) {
+        primaryRows.push_back({done, system::summarize(chain.system())});
+        if (done == 2 * static_cast<std::uint64_t>(checkpoint)) {
+          primarySnapshot = io::renderAscii(chain.system());
+        }
+      };
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  core::EnsembleOptions ensembleOptions;
+  ensembleOptions.threads = threads;
+  ensembleOptions.keepFinalSystems = false;
+  const auto results = core::runEnsemble(specs, ensembleOptions);
+
   analysis::CsvWriter csv(bench::csvPath("fig10_expansion.csv"),
                           {"iterations", "perimeter", "alpha", "beta"});
-
   bench::Table table({"iterations", "perimeter", "alpha=p/pmin", "beta=p/pmax"});
-  const auto report = [&](std::uint64_t iterations) {
-    const auto summary = system::summarize(chain.system());
+  const auto emitRow = [&](std::uint64_t iterations,
+                           const system::ConfigSummary& summary) {
     const double beta = static_cast<double>(summary.perimeter) /
                         static_cast<double>(pMax);
     table.row({bench::fmtInt(static_cast<std::int64_t>(iterations)),
@@ -43,16 +85,26 @@ int main() {
                   analysis::formatDouble(summary.perimeterRatio),
                   analysis::formatDouble(beta)});
   };
-
-  report(0);
-  chain.run(static_cast<std::uint64_t>(checkpoint));
-  report(chain.iterations());  // Fig 10a: 10M iterations
-  chain.run(static_cast<std::uint64_t>(checkpoint));
-  report(chain.iterations());  // Fig 10b: 20M iterations
+  emitRow(0, system::summarize(system::lineConfiguration(n)));
+  for (const Row& row : primaryRows) emitRow(row.iterations, row.summary);
 
   std::printf("\nsnapshot after %lld iterations (Fig 10b):\n%s\n",
-              static_cast<long long>(chain.iterations()),
-              io::renderAscii(chain.system()).c_str());
+              static_cast<long long>(2 * checkpoint), primarySnapshot.c_str());
+
+  if (results.size() > 1) {
+    const std::string atOne = "beta@" + bench::fmtInt(checkpoint);
+    const std::string atTwo = "beta@" + bench::fmtInt(2 * checkpoint);
+    std::printf("seed ensemble (beta at the two checkpoints):\n");
+    bench::Table seedsTable({"seed", atOne, atTwo, "wall s"});
+    for (const core::ReplicaResult& r : results) {
+      seedsTable.row(
+          {std::to_string(r.seed),
+           bench::fmt(r.samples.size() > 0 ? r.samples[0].value : 0.0),
+           bench::fmt(r.samples.size() > 1 ? r.samples[1].value : 0.0),
+           bench::fmt(r.wallSeconds, 2)});
+    }
+    std::printf("\n");
+  }
   std::printf(
       "paper shape to hold: beta stays a constant fraction (no compression),\n"
       "in contrast to Fig 2 where alpha drops to a small constant by 5M.\n");

@@ -4,11 +4,18 @@
 // Paper claim (shape): the system compresses visibly by a few million
 // iterations and is well-compressed at 5M.  We report p(σ)/p_min (the α of
 // Definition 2.2), edges, and ASCII snapshots.
+//
+// The primary seed reproduces the paper's single trajectory; a seed
+// ensemble (SOPS_FIG2_SEEDS replicas, thread-pooled via core/ensemble)
+// quantifies how typical that trajectory is.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/csv.hpp"
 #include "bench_util.hpp"
-#include "core/compression_chain.hpp"
+#include "core/ensemble.hpp"
 #include "io/ascii_render.hpp"
 #include "io/svg.hpp"
 #include "system/metrics.hpp"
@@ -21,51 +28,108 @@ int main() {
   const auto checkpoint = bench::envInt("SOPS_FIG2_CHECKPOINT", 1000000);
   const auto checkpoints = bench::envInt("SOPS_FIG2_CHECKPOINTS", 5);
   const auto seed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
+  const auto seedCount =
+      std::max<std::int64_t>(1, bench::envInt("SOPS_FIG2_SEEDS", 4));
+  const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
 
   bench::banner("E1 / Fig 2", "compression of a line of " + std::to_string(n) +
                                   " particles at lambda=" + bench::fmt(lambda, 2));
 
-  core::ChainOptions options;
-  options.lambda = lambda;
-  core::CompressionChain chain(system::lineConfiguration(n), options, seed);
-
   const std::int64_t pMin = system::pMin(n);
   const std::int64_t pMax = system::pMax(n);
+
+  core::ChainOptions options;
+  options.lambda = lambda;
+
+  // Per-checkpoint rows and snapshots of the primary replica, captured on
+  // its worker thread and printed once the ensemble completes.
+  struct Row {
+    std::uint64_t iterations;
+    system::ConfigSummary summary;
+    double acceptance;
+  };
+  std::vector<Row> primaryRows;
+  std::vector<std::pair<std::uint64_t, std::string>> primarySnapshots;
+
+  std::vector<core::ReplicaSpec> specs;
+  for (std::int64_t s = 0; s < seedCount; ++s) {
+    core::ReplicaSpec spec;
+    spec.label = "seed=" + std::to_string(seed + 7 * s);
+    spec.options = options;
+    spec.seed = seed + 7 * static_cast<std::uint64_t>(s);
+    spec.iterations =
+        static_cast<std::uint64_t>(checkpoint) *
+        static_cast<std::uint64_t>(checkpoints);
+    spec.checkpointEvery = static_cast<std::uint64_t>(checkpoint);
+    spec.makeInitial = [n] { return system::lineConfiguration(n); };
+    spec.observable = [pMin](const core::CompressionChain& chain) {
+      return static_cast<double>(system::perimeter(chain.system())) /
+             static_cast<double>(pMin);
+    };
+    if (s == 0) {
+      spec.observer = [&primaryRows, &primarySnapshots, checkpoint,
+                       checkpoints](const core::CompressionChain& chain,
+                                    std::uint64_t done) {
+        primaryRows.push_back({done, system::summarize(chain.system()),
+                               chain.stats().acceptanceRate()});
+        const auto k = done / static_cast<std::uint64_t>(checkpoint);
+        if (k == 1 || k == static_cast<std::uint64_t>(checkpoints)) {
+          primarySnapshots.emplace_back(done, io::renderAscii(chain.system()));
+        }
+      };
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  core::EnsembleOptions ensembleOptions;
+  ensembleOptions.threads = threads;
+  const auto results = core::runEnsemble(specs, ensembleOptions);
+
   std::printf("n=%lld  p_min=%lld  p_max=%lld  start perimeter=%lld\n\n",
               static_cast<long long>(n), static_cast<long long>(pMin),
               static_cast<long long>(pMax),
-              static_cast<long long>(system::perimeter(chain.system())));
+              static_cast<long long>(
+                  system::perimeter(system::lineConfiguration(n))));
 
   analysis::CsvWriter csv(bench::csvPath("fig2_compression.csv"),
                           {"iterations", "perimeter", "alpha", "edges"});
-
   bench::Table table({"iterations", "perimeter", "alpha=p/pmin", "edges",
                       "acceptance"});
-  const auto report = [&](std::uint64_t iterations) {
-    const auto summary = system::summarize(chain.system());
-    table.row({bench::fmtInt(static_cast<std::int64_t>(iterations)),
-               bench::fmtInt(summary.perimeter), bench::fmt(summary.perimeterRatio),
-               bench::fmtInt(summary.edges),
-               bench::fmt(chain.stats().acceptanceRate())});
-    csv.writeRow({std::to_string(iterations), std::to_string(summary.perimeter),
-                  analysis::formatDouble(summary.perimeterRatio),
-                  std::to_string(summary.edges)});
-  };
+  // Iteration-0 row: the start of the compression curve.
+  primaryRows.insert(primaryRows.begin(),
+                     {0, system::summarize(system::lineConfiguration(n)), 0.0});
+  for (const Row& row : primaryRows) {
+    table.row({bench::fmtInt(static_cast<std::int64_t>(row.iterations)),
+               bench::fmtInt(row.summary.perimeter),
+               bench::fmt(row.summary.perimeterRatio),
+               bench::fmtInt(row.summary.edges), bench::fmt(row.acceptance)});
+    csv.writeRow({std::to_string(row.iterations),
+                  std::to_string(row.summary.perimeter),
+                  analysis::formatDouble(row.summary.perimeterRatio),
+                  std::to_string(row.summary.edges)});
+  }
+  for (std::size_t i = 0; i < primarySnapshots.size(); ++i) {
+    std::printf("\nsnapshot after %lld iterations (Fig 2%c):\n%s\n",
+                static_cast<long long>(primarySnapshots[i].first),
+                i == 0 ? 'a' : 'e', primarySnapshots[i].second.c_str());
+  }
 
-  report(0);
-  for (std::int64_t k = 1; k <= checkpoints; ++k) {
-    chain.run(static_cast<std::uint64_t>(checkpoint));
-    report(chain.iterations());
-    if (k == 1 || k == checkpoints) {
-      std::printf("\nsnapshot after %lld iterations (Fig 2%c):\n%s\n",
-                  static_cast<long long>(chain.iterations()),
-                  k == 1 ? 'a' : 'e',
-                  io::renderAscii(chain.system()).c_str());
+  if (results.size() > 1) {
+    std::printf("\nseed ensemble (final alpha after %lld iterations):\n",
+                static_cast<long long>(checkpoint * checkpoints));
+    bench::Table seedsTable({"seed", "final alpha", "acceptance", "wall s"});
+    for (const core::ReplicaResult& r : results) {
+      seedsTable.row({std::to_string(r.seed),
+                      bench::fmt(r.samples.empty() ? 0.0
+                                                   : r.samples.back().value),
+                      bench::fmt(r.stats.acceptanceRate()),
+                      bench::fmt(r.wallSeconds, 2)});
     }
   }
 
-  io::writeSvg(chain.system(), bench::csvPath("fig2_final.svg"));
+  io::writeSvg(results.front().finalSystem, bench::csvPath("fig2_final.svg"));
   std::printf("paper shape to hold: alpha decreasing toward a small constant\n");
-  std::printf("final chain stats: %s\n", chain.stats().toString().c_str());
+  std::printf("final chain stats: %s\n",
+              results.front().stats.toString().c_str());
   return 0;
 }

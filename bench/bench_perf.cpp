@@ -1,12 +1,25 @@
 // Performance guardrails (google-benchmark): the chain step is O(1) and the
 // simulator sustains millions of iterations per second — the property that
 // makes the paper's 5M/20M-iteration experiments (Figs 2, 10) cheap.
+//
+// The *Reference benchmarks preserve the pre-bitboard kernel (hash-probe
+// occupancy + per-proposal property recomputation) so the speedup of the
+// optimized hot path (bitboard occupancy + precomputed move/decision
+// tables) stays measurable from a single binary; DESIGN.md records the
+// before/after numbers, BENCH_perf.json the raw run.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "amoebot/local_compression.hpp"
 #include "amoebot/scheduler.hpp"
 #include "core/compression_chain.hpp"
+#include "core/ensemble.hpp"
+#include "core/move_table.hpp"
 #include "core/properties.hpp"
+#include "core/reference_kernel.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
 #include "util/flat_hash.hpp"
@@ -14,6 +27,13 @@
 namespace {
 
 using namespace sops;
+
+// ---------------------------------------------------------------------------
+// Hot path: optimized vs reference.  The reference side is
+// core::ReferenceKernel / evaluateMoveSeed / ringMaskSeed from
+// core/reference_kernel.hpp — the same frozen seed kernel the
+// golden-trajectory tests certify as draw-for-draw identical, so the
+// measured baseline is exactly the certified one.
 
 void BM_ChainStep(benchmark::State& state) {
   core::ChainOptions options;
@@ -27,19 +47,86 @@ void BM_ChainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ChainStep)->Arg(25)->Arg(100)->Arg(400);
 
-void BM_EvaluateMove(benchmark::State& state) {
-  const system::ParticleSystem sys = system::spiralConfiguration(100);
-  std::size_t i = 0;
+void BM_ChainStepReference(benchmark::State& state) {
+  core::ChainOptions options;
+  options.lambda = 4.0;
+  core::ReferenceKernel chain(system::lineConfiguration(state.range(0)),
+                              options, 42);
   for (auto _ : state) {
-    const core::MoveEvaluation eval = core::evaluateMove(
-        sys, sys.position(i % sys.size()),
-        lattice::directionFromIndex(static_cast<int>(i % 6)));
+    benchmark::DoNotOptimize(chain.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChainStepReference)->Arg(25)->Arg(100)->Arg(400);
+
+// Increment-with-wrap proposal cycling (no runtime division) so the
+// optimized and reference kernels are measured over the identical,
+// overhead-free proposal stream.
+struct ProposalCycle {
+  std::size_t particle = 0;
+  std::size_t direction = 0;
+
+  void advance(std::size_t particleCount) {
+    if (++particle == particleCount) particle = 0;
+    if (++direction == 6) direction = 0;
+  }
+};
+
+void BM_EvaluateMove(benchmark::State& state) {
+  // Line start (the paper's canonical initial configuration): most targets
+  // are unoccupied, so the full ring-mask + classification path runs.
+  const system::ParticleSystem sys = system::lineConfiguration(100);
+  ProposalCycle cycle;
+  for (auto _ : state) {
+    const core::MoveEvaluation eval =
+        core::evaluateMove(sys, sys.position(cycle.particle),
+                           lattice::kAllDirections[cycle.direction]);
     benchmark::DoNotOptimize(eval);
-    ++i;
+    cycle.advance(sys.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EvaluateMove);
+
+void BM_EvaluateMoveReference(benchmark::State& state) {
+  const system::ParticleSystem sys = system::lineConfiguration(100);
+  ProposalCycle cycle;
+  for (auto _ : state) {
+    const core::MoveEvaluation eval =
+        core::evaluateMoveSeed(sys, sys.position(cycle.particle),
+                               lattice::kAllDirections[cycle.direction]);
+    benchmark::DoNotOptimize(eval);
+    cycle.advance(sys.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvaluateMoveReference);
+
+void BM_RingMaskBitboard(benchmark::State& state) {
+  const system::ParticleSystem sys = system::spiralConfiguration(100);
+  ProposalCycle cycle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ringMask(sys, sys.position(cycle.particle),
+                       lattice::kAllDirections[cycle.direction]));
+    cycle.advance(sys.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingMaskBitboard);
+
+void BM_RingMaskHash(benchmark::State& state) {
+  const system::ParticleSystem sys = system::spiralConfiguration(100);
+  ProposalCycle cycle;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ringMaskSeed(
+        sys.position(cycle.particle), lattice::kAllDirections[cycle.direction],
+        [&sys](lattice::TriPoint p) { return sys.occupiedSparse(p); }));
+    cycle.advance(sys.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingMaskHash);
 
 void BM_PropertyChecks(benchmark::State& state) {
   std::uint8_t mask = 0;
@@ -51,6 +138,16 @@ void BM_PropertyChecks(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PropertyChecks);
+
+void BM_MoveTableLookup(benchmark::State& state) {
+  std::uint8_t mask = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::moveTableEntry(mask));
+    ++mask;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MoveTableLookup);
 
 void BM_PerimeterClosedForm(benchmark::State& state) {
   const system::ParticleSystem sys =
@@ -74,6 +171,26 @@ void BM_FlatMapLookup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FlatMapLookup);
+
+void BM_EnsembleSweep(benchmark::State& state) {
+  // Small λ × seed grid end-to-end through the thread pool; items are chain
+  // steps, so items/s is directly comparable with BM_ChainStep.
+  const std::vector<double> lambdas = {2.0, 4.0};
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  constexpr std::uint64_t kIterations = 50000;
+  const auto specs = core::lambdaSeedGrid(
+      [] { return system::lineConfiguration(50); }, core::ChainOptions{},
+      lambdas, seeds, kIterations);
+  core::EnsembleOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  options.keepFinalSystems = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::runEnsemble(specs, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * specs.size() * kIterations));
+}
+BENCHMARK(BM_EnsembleSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_AmoebotActivation(benchmark::State& state) {
   rng::Random rng(7);

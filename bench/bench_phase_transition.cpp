@@ -2,17 +2,22 @@
 // λ < 2.17, compression provably for λ > 2+√2 ≈ 3.414, crossover
 // conjectured in [2.17, 3.41].
 //
-// We sweep λ and report the quasi-stationary perimeter ratio α = p/p_min
-// and the expansion fraction β = p/p_max for n=100 after a long run; the
-// curve must fall from the expanded plateau to the compressed plateau
-// somewhere inside the paper's window.
+// We sweep λ (× a seed ensemble) and report the quasi-stationary perimeter
+// ratio α = p/p_min and the expansion fraction β = p/p_max for n=100 after
+// a long run; the curve must fall from the expanded plateau to the
+// compressed plateau somewhere inside the paper's window.
+//
+// The whole (λ × seed) grid runs as one replica ensemble across all cores
+// (core/ensemble); per-replica trajectories are deterministic per seed and
+// independent of the thread count.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "analysis/csv.hpp"
 #include "analysis/time_series.hpp"
 #include "bench_util.hpp"
-#include "core/compression_chain.hpp"
+#include "core/ensemble.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
 
@@ -20,33 +25,56 @@ int main() {
   using namespace sops;
   const auto n = bench::envInt("SOPS_PHASE_N", 100);
   const auto iterations = bench::envInt("SOPS_PHASE_ITERS", 8000000);
-  const auto seed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
+  const auto seedCount =
+      std::max<std::int64_t>(1, bench::envInt("SOPS_PHASE_SEEDS", 2));
+  const auto baseSeed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
+  const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
 
   bench::banner("E8 / §6", "quasi-stationary perimeter vs lambda (n=" +
-                               std::to_string(n) + ")");
+                               std::to_string(n) + ", " +
+                               std::to_string(seedCount) + " seeds)");
 
   const std::vector<double> lambdas = {1.0, 1.5,  2.0, 2.17, 2.5,
                                        3.0, 3.41, 4.0, 5.0,  6.0};
+  std::vector<std::uint64_t> seeds;
+  for (std::int64_t s = 0; s < seedCount; ++s) {
+    seeds.push_back(baseSeed + 7 * static_cast<std::uint64_t>(s));
+  }
+
+  const auto specs = core::lambdaSeedGrid(
+      [n] { return system::lineConfiguration(n); }, core::ChainOptions{},
+      lambdas, seeds, static_cast<std::uint64_t>(iterations),
+      static_cast<std::uint64_t>(iterations) / 40,
+      [](const core::CompressionChain& chain) {
+        return static_cast<double>(system::perimeter(chain.system()));
+      });
+
+  core::EnsembleOptions ensembleOptions;
+  ensembleOptions.threads = threads;
+  ensembleOptions.keepFinalSystems = false;
+  const auto results = core::runEnsemble(specs, ensembleOptions);
+
   analysis::CsvWriter csv(bench::csvPath("phase_transition.csv"),
                           {"lambda", "alpha", "beta", "regime"});
   bench::Table table({"lambda", "alpha=p/pmin", "beta=p/pmax", "paper regime"});
 
   const double pMin = static_cast<double>(system::pMin(n));
   const double pMax = static_cast<double>(system::pMax(n));
-  for (const double lambda : lambdas) {
-    core::ChainOptions options;
-    options.lambda = lambda;
-    core::CompressionChain chain(system::lineConfiguration(n), options, seed);
-    analysis::TimeSeries series;
-    chain.runWithCheckpoints(
-        static_cast<std::uint64_t>(iterations),
-        static_cast<std::uint64_t>(iterations) / 40, [&](std::uint64_t done) {
-          series.record(done,
-                        static_cast<double>(system::perimeter(chain.system())));
-        });
-    // Quasi-stationary average over the last quarter of the run.
-    const double p = series.meanAfter(static_cast<std::uint64_t>(
-        3 * iterations / 4));
+  // Specs are λ-major: results [i*seeds .. (i+1)*seeds) share lambdas[i].
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const double lambda = lambdas[i];
+    // Quasi-stationary estimate: per replica, mean perimeter over the last
+    // quarter of the run; then average across the seed ensemble.
+    double p = 0.0;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const core::ReplicaResult& r = results[i * seeds.size() + s];
+      analysis::TimeSeries series;
+      for (const core::ReplicaSample& sample : r.samples) {
+        series.record(sample.iteration, sample.value);
+      }
+      p += series.meanAfter(static_cast<std::uint64_t>(3 * iterations / 4));
+    }
+    p /= static_cast<double>(seeds.size());
     const char* regime = lambda < 2.17  ? "expansion (Thm 5.7)"
                          : lambda > 3.42 ? "compression (Thm 4.5)"
                                          : "conjectured window";

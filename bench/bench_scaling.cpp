@@ -7,52 +7,68 @@
 // p(σ) ≤ α·p_min from a line start at λ=4 and report the per-doubling
 // ratio, which should sit near 10 (within 8–16 on this scale says the
 // conjectured n³–n⁴ window).
+//
+// Every (n, seed) replica is independent, so the whole study runs as one
+// thread-pooled ensemble (core/ensemble) with per-replica early stopping
+// at the compression threshold.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "analysis/csv.hpp"
 #include "analysis/stats.hpp"
 #include "bench_util.hpp"
-#include "core/compression_chain.hpp"
+#include "core/ensemble.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
-
-namespace {
-
-std::uint64_t iterationsToCompression(std::int64_t n, double lambda,
-                                      double alpha, std::uint64_t seed,
-                                      std::uint64_t cap) {
-  sops::core::ChainOptions options;
-  options.lambda = lambda;
-  sops::core::CompressionChain chain(sops::system::lineConfiguration(n), options,
-                                     seed);
-  const double threshold = alpha * static_cast<double>(sops::system::pMin(n));
-  const std::uint64_t stride = static_cast<std::uint64_t>(n) * 250;
-  while (chain.iterations() < cap) {
-    chain.run(stride);
-    const std::int64_t edges = sops::system::countEdges(chain.system());
-    // hole-free after burn-in; p = 3n - e - 3 (checked cheaply via edges)
-    const std::int64_t p = 3 * n - edges - 3;
-    if (static_cast<double>(p) <= threshold &&
-        sops::system::countHoles(chain.system()) == 0) {
-      return chain.iterations();
-    }
-  }
-  return cap;
-}
-
-}  // namespace
 
 int main() {
   using namespace sops;
   const double lambda = bench::envDouble("SOPS_SCALING_LAMBDA", 4.0);
   const double alpha = bench::envDouble("SOPS_SCALING_ALPHA", 1.75);
   const auto maxN = bench::envInt("SOPS_SCALING_MAX_N", 200);
-  const auto seeds = bench::envInt("SOPS_SCALING_SEEDS", 3);
+  const auto seeds =
+      std::max<std::int64_t>(1, bench::envInt("SOPS_SCALING_SEEDS", 3));
+  const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
 
   bench::banner("E7 / §3.7", "iterations to alpha-compression vs n (alpha=" +
                                  bench::fmt(alpha, 2) + ", lambda=" +
                                  bench::fmt(lambda, 2) + ")");
+
+  // One replica per (n, seed), all stopping early at the compression
+  // threshold; the cap n³·24 encodes the conjectured iteration window.
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t n = 25; n <= maxN; n *= 2) sizes.push_back(n);
+
+  std::vector<core::ReplicaSpec> specs;
+  for (const std::int64_t n : sizes) {
+    const double threshold = alpha * static_cast<double>(system::pMin(n));
+    for (std::int64_t s = 0; s < seeds; ++s) {
+      core::ReplicaSpec spec;
+      spec.label = "n=" + std::to_string(n);
+      spec.options.lambda = lambda;
+      spec.seed = static_cast<std::uint64_t>(1603 + 7 * s);
+      spec.iterations = static_cast<std::uint64_t>(n) *
+                        static_cast<std::uint64_t>(n) *
+                        static_cast<std::uint64_t>(n) * 24;
+      spec.checkpointEvery = static_cast<std::uint64_t>(n) * 250;
+      spec.makeInitial = [n] { return system::lineConfiguration(n); };
+      spec.stopWhen = [n, threshold](const core::CompressionChain& chain,
+                                     std::uint64_t) {
+        // hole-free after burn-in; p = 3n - e - 3 (checked cheaply via the
+        // chain's incrementally maintained edge count)
+        const std::int64_t p = 3 * n - chain.edges() - 3;
+        return static_cast<double>(p) <= threshold &&
+               system::countHoles(chain.system()) == 0;
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  core::EnsembleOptions ensembleOptions;
+  ensembleOptions.threads = threads;
+  ensembleOptions.keepFinalSystems = false;
+  const auto results = core::runEnsemble(specs, ensembleOptions);
 
   analysis::CsvWriter csv(bench::csvPath("scaling.csv"),
                           {"n", "median_iterations", "median_rounds",
@@ -61,14 +77,14 @@ int main() {
                       "ratio vs n/2", "paper shape"});
 
   double previousMedian = 0.0;
-  for (std::int64_t n = 25; n <= maxN; n *= 2) {
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::int64_t n = sizes[i];
     std::vector<double> hits;
     for (std::int64_t s = 0; s < seeds; ++s) {
-      const std::uint64_t cap =
-          static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) *
-          static_cast<std::uint64_t>(n) * 24;
-      hits.push_back(static_cast<double>(iterationsToCompression(
-          n, lambda, alpha, static_cast<std::uint64_t>(1603 + 7 * s), cap)));
+      hits.push_back(static_cast<double>(
+          results[i * static_cast<std::size_t>(seeds) +
+                  static_cast<std::size_t>(s)]
+              .iterationsRun));
     }
     const double median = analysis::quantile(hits, 0.5);
     const double ratio = previousMedian > 0 ? median / previousMedian : 0.0;

@@ -1,6 +1,6 @@
 #include "core/compression_chain.hpp"
 
-#include <cmath>
+#include <limits>
 
 #include "system/metrics.hpp"
 
@@ -19,8 +19,9 @@ double acceptanceProbability(const MoveEvaluation& eval,
   if (options.enforceGapCondition && !eval.gapOk) return 0.0;
   if (!propertyPasses(eval, options)) return 0.0;
   if (options.greedy) return eval.eAfter >= eval.eBefore ? 1.0 : 0.0;
-  const double ratio =
-      std::pow(options.lambda, static_cast<double>(eval.eAfter - eval.eBefore));
+  // lambdaPower is the single λ^δ implementation shared with the chain's
+  // decision table, so this function and step() agree exactly.
+  const double ratio = lambdaPower(options.lambda, eval.eAfter - eval.eBefore);
   return ratio >= 1.0 ? 1.0 : ratio;
 }
 
@@ -29,48 +30,79 @@ CompressionChain::CompressionChain(system::ParticleSystem initial,
     : system_(std::move(initial)), options_(options), rng_(seed) {
   SOPS_REQUIRE(options_.lambda > 0.0, "lambda must be positive");
   SOPS_REQUIRE(!system_.empty(), "chain requires at least one particle");
+  // Particle selection draws 32-bit uniforms; the count is conserved by M,
+  // so one construction-time guard protects every step() from sampling a
+  // truncated prefix of a ≥2³²-particle system.
+  SOPS_REQUIRE(system_.size() <=
+                   std::numeric_limits<std::uint32_t>::max(),
+               "particle selection is 32-bit; system too large");
+  particleCount32_ = static_cast<std::uint32_t>(system_.size());
   SOPS_REQUIRE(system::isConnected(system_),
                "M requires a connected starting configuration (paper §3.1)");
   edges_ = system::countEdges(system_);
-  for (int delta = -5; delta <= 5; ++delta) {
-    lambdaPow_[delta + 5] = std::pow(options_.lambda, delta);
+
+  // Fold the static move table, the ablation switches, and λ into one
+  // 256-entry decision table: Algorithm M's whole per-proposal branch
+  // ladder becomes a single indexed load.
+  const auto& table = moveTable();
+  for (int m = 0; m < 256; ++m) {
+    const MoveTableEntry& entry = table[static_cast<std::size_t>(m)];
+    MoveDecision& decision = decisions_[static_cast<std::size_t>(m)];
+    decision.delta = entry.delta;
+    decision.threshold = lambdaPower(options_.lambda, entry.delta);
+    const bool propertyOk =
+        !options_.enforceProperties ||
+        (entry.flags & kMoveProperty1) != 0 ||
+        (options_.allowProperty2 && (entry.flags & kMoveProperty2) != 0);
+    if (options_.enforceGapCondition && (entry.flags & kMoveGapOk) == 0) {
+      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedGap);
+    } else if (!propertyOk) {
+      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedProperty);
+    } else {
+      decision.stage = kFilterStage;
+    }
+    decision.acceptNoDraw =
+        options_.greedy ? entry.delta >= 0 : decision.threshold >= 1.0;
   }
+}
+
+void CompressionChain::applyAccepted(std::size_t particle, TriPoint l,
+                                     Direction d,
+                                     const MoveDecision& decision) {
+  const TriPoint target = lattice::neighbor(l, d);
+  system_.moveParticle(particle, target);
+  edges_ += decision.delta;
+  lastMove_ = MoveRecord{particle, l, target};
 }
 
 StepOutcome CompressionChain::step() {
   // Step 1-2 of Algorithm M: uniform particle, uniform neighboring location.
-  const auto particle =
-      static_cast<std::size_t>(rng_.below(static_cast<std::uint32_t>(system_.size())));
+  const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
   const Direction d =
       lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
 
   const TriPoint l = system_.position(particle);
-  const MoveEvaluation eval = evaluateMove(system_, l, d);
-
   StepOutcome outcome;
-  if (eval.targetOccupied) {
+  if (system_.occupiedNear(lattice::neighbor(l, d))) {
     outcome = StepOutcome::TargetOccupied;
-  } else if (options_.enforceGapCondition && !eval.gapOk) {
-    outcome = StepOutcome::RejectedGap;
-  } else if (!propertyPasses(eval, options_)) {
-    outcome = StepOutcome::RejectedProperty;
   } else {
-    bool accept;
-    if (options_.greedy) {
-      accept = eval.eAfter >= eval.eBefore;
+    const std::uint8_t mask = ringMask(system_, l, d);
+    const MoveDecision& decision = decisions_[mask];
+    if (decision.stage != kFilterStage) {
+      outcome = static_cast<StepOutcome>(decision.stage);
     } else {
-      const double threshold = lambdaPow_[eval.eAfter - eval.eBefore + 5];
-      // Draw q lazily: distributionally identical to Algorithm M's step 2.
-      accept = threshold >= 1.0 || rng_.uniform() < threshold;
-    }
-    if (accept) {
-      const TriPoint target = lattice::neighbor(l, d);
-      system_.moveParticle(particle, target);
-      edges_ += eval.eAfter - eval.eBefore;
-      lastMove_ = MoveRecord{particle, l, target};
-      outcome = StepOutcome::Accepted;
-    } else {
-      outcome = StepOutcome::RejectedFilter;
+      // Draw q lazily: distributionally identical to Algorithm M's step 2,
+      // and draw-for-draw identical to the reference branch ladder (no
+      // uniform is consumed when the threshold ≥ 1 or in greedy mode).
+      const bool accept =
+          decision.acceptNoDraw ||
+          (!options_.greedy && rng_.uniform() < decision.threshold);
+      if (accept) {
+        applyAccepted(particle, l, d, decision);
+        outcome = StepOutcome::Accepted;
+      } else {
+        outcome = StepOutcome::RejectedFilter;
+      }
     }
   }
   stats_.record(outcome);
@@ -85,24 +117,21 @@ StepOutcome CompressionChain::applyProposal(std::size_t particle, Direction d,
                                             double q) {
   SOPS_REQUIRE(particle < system_.size(), "applyProposal: bad particle");
   const TriPoint l = system_.position(particle);
-  const MoveEvaluation eval = evaluateMove(system_, l, d);
-
   StepOutcome outcome;
-  if (eval.targetOccupied) {
+  if (system_.occupiedNear(lattice::neighbor(l, d))) {
     outcome = StepOutcome::TargetOccupied;
-  } else if (options_.enforceGapCondition && !eval.gapOk) {
-    outcome = StepOutcome::RejectedGap;
-  } else if (!propertyPasses(eval, options_)) {
-    outcome = StepOutcome::RejectedProperty;
-  } else if (options_.greedy ? eval.eAfter >= eval.eBefore
-                             : q < lambdaPow_[eval.eAfter - eval.eBefore + 5]) {
-    const TriPoint target = lattice::neighbor(l, d);
-    system_.moveParticle(particle, target);
-    edges_ += eval.eAfter - eval.eBefore;
-    lastMove_ = MoveRecord{particle, l, target};
-    outcome = StepOutcome::Accepted;
   } else {
-    outcome = StepOutcome::RejectedFilter;
+    const std::uint8_t mask = ringMask(system_, l, d);
+    const MoveDecision& decision = decisions_[mask];
+    if (decision.stage != kFilterStage) {
+      outcome = static_cast<StepOutcome>(decision.stage);
+    } else if (options_.greedy ? decision.acceptNoDraw
+                               : q < decision.threshold) {
+      applyAccepted(particle, l, d, decision);
+      outcome = StepOutcome::Accepted;
+    } else {
+      outcome = StepOutcome::RejectedFilter;
+    }
   }
   stats_.record(outcome);
   return outcome;

@@ -19,10 +19,12 @@
 /// demonstrate why each rule exists — E13 in DESIGN.md); defaults implement
 /// the paper's chain exactly.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
 #include "core/chain_stats.hpp"
+#include "core/move_table.hpp"
 #include "core/properties.hpp"
 #include "rng/random.hpp"
 #include "system/particle_system.hpp"
@@ -113,14 +115,34 @@ class CompressionChain {
   StepOutcome applyProposal(std::size_t particle, Direction d, double q);
 
  private:
+  /// Fully resolved per-ring-mask decision, folding kMoveTable together
+  /// with this chain's ChainOptions and λ.  step() is then: occupancy test
+  /// for ℓ', ring-mask gather, one 16-byte load, and (only when the
+  /// Metropolis threshold is < 1) one lazy uniform draw — RNG draw order
+  /// is bit-identical to the branch-ladder reference kernel.
+  struct MoveDecision {
+    double threshold;      ///< λ^{e'−e} (exact filter threshold)
+    std::int8_t delta;     ///< e' − e
+    /// StepOutcome of the structural rejection (RejectedGap /
+    /// RejectedProperty), or kFilterStage when the move reaches the filter.
+    std::uint8_t stage;
+    /// Accept without drawing q: greedy ? e' ≥ e : threshold ≥ 1.
+    bool acceptNoDraw;
+  };
+  static constexpr std::uint8_t kFilterStage = 0xFF;
+
+  /// Applies an accepted move of `particle` along the decided delta.
+  void applyAccepted(std::size_t particle, TriPoint l, Direction d,
+                     const MoveDecision& decision);
+
   system::ParticleSystem system_;
   ChainOptions options_;
   rng::Random rng_;
   ChainStats stats_;
   std::optional<MoveRecord> lastMove_;
   std::int64_t edges_ = 0;
-  /// λ^{delta} for delta = e'−e ∈ [−5, 5], indexed by delta+5.
-  double lambdaPow_[11];
+  std::uint32_t particleCount32_ = 0;
+  std::array<MoveDecision, 256> decisions_;
 };
 
 }  // namespace sops::core

@@ -1,0 +1,36 @@
+#include "core/move_table.hpp"
+
+#include "core/properties.hpp"
+
+namespace sops::core {
+
+namespace {
+
+std::array<MoveTableEntry, 256> buildMoveTable() {
+  std::array<MoveTableEntry, 256> table{};
+  for (int m = 0; m < 256; ++m) {
+    const auto mask = static_cast<std::uint8_t>(m);
+    MoveTableEntry& entry = table[static_cast<std::size_t>(m)];
+    entry.eBefore = static_cast<std::uint8_t>(neighborsBefore(mask));
+    entry.eAfter = static_cast<std::uint8_t>(neighborsAfter(mask));
+    entry.delta = static_cast<std::int8_t>(entry.eAfter - entry.eBefore);
+    std::uint8_t flags = 0;
+    if (entry.eBefore != 5) flags |= kMoveGapOk;
+    if (property1Holds(mask)) flags |= kMoveProperty1;
+    if (property2Holds(mask)) flags |= kMoveProperty2;
+    if ((flags & kMoveGapOk) && (flags & (kMoveProperty1 | kMoveProperty2))) {
+      flags |= kMoveStructOk;
+    }
+    entry.flags = flags;
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::array<MoveTableEntry, 256>& moveTable() noexcept {
+  static const std::array<MoveTableEntry, 256> kTable = buildMoveTable();
+  return kTable;
+}
+
+}  // namespace sops::core

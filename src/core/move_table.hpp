@@ -1,0 +1,56 @@
+#ifndef SOPS_CORE_MOVE_TABLE_HPP
+#define SOPS_CORE_MOVE_TABLE_HPP
+
+/// \file move_table.hpp
+/// Precomputed per-ring-mask move structure for Algorithm M's hot path.
+///
+/// Every structural quantity the chain needs — e, e', the gap condition
+/// e ≠ 5, Property 1, Property 2 — is a pure function of the 8-bit ring
+/// mask of the proposed move (properties.hpp).  There are only 256 masks,
+/// so all of it is precomputed once into kMoveTable and a chain step
+/// collapses to: one occupancy test for ℓ', one ring-mask gather, one
+/// 4-byte table load.  The table is built from the reference predicates
+/// property1Holds / property2Holds (single source of truth) and the test
+/// suite re-validates every entry against an independent geometric
+/// implementation (tests/move_table_test.cpp).
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace sops::core {
+
+struct MoveTableEntry {
+  std::uint8_t eBefore;  ///< |N(ℓ)\{ℓ'}| — e in the paper
+  std::uint8_t eAfter;   ///< |N(ℓ')\{ℓ}| — e'
+  std::int8_t delta;     ///< e' − e ∈ [−5, 5]
+  std::uint8_t flags;    ///< kGapOk / kProperty1 / kProperty2 / kStructOk
+};
+
+inline constexpr std::uint8_t kMoveGapOk = 1u << 0;      ///< e ≠ 5
+inline constexpr std::uint8_t kMoveProperty1 = 1u << 1;  ///< Property 1 holds
+inline constexpr std::uint8_t kMoveProperty2 = 1u << 2;  ///< Property 2 holds
+/// Conditions (1) and (2) combined: gap OK and Property 1 or 2.
+inline constexpr std::uint8_t kMoveStructOk = 1u << 3;
+
+/// The full 256-entry table, built once on first use (thread-safe).
+[[nodiscard]] const std::array<MoveTableEntry, 256>& moveTable() noexcept;
+
+/// Entry for one ring mask.
+[[nodiscard]] inline const MoveTableEntry& moveTableEntry(
+    std::uint8_t mask) noexcept {
+  return moveTable()[mask];
+}
+
+/// λ^delta, computed identically everywhere it is needed — the chain's
+/// per-mask acceptance thresholds, acceptanceProbability(), and the exact
+/// transition-matrix builder all call this one function, so the Metropolis
+/// filter cannot drift between the sampled and the enumerated kernel even
+/// in the last ulp.
+[[nodiscard]] inline double lambdaPower(double lambda, int delta) noexcept {
+  return std::pow(lambda, static_cast<double>(delta));
+}
+
+}  // namespace sops::core
+
+#endif  // SOPS_CORE_MOVE_TABLE_HPP

@@ -25,6 +25,7 @@
 /// N(ℓ')\{ℓ} = indices 4–7,0.  The test-suite validates all of this against
 /// a brute-force geometric implementation for all 256 masks.
 
+#include <array>
 #include <cstdint>
 
 #include "lattice/direction.hpp"
@@ -56,22 +57,38 @@ inline constexpr std::uint8_t kAfterMask = 0b1111'0001;   // N(ℓ')\{ℓ}: idx 
   }
 }
 
+/// Ring-cell offsets relative to ℓ, precomputed per direction so generic
+/// gathers replace eight 60°-rotation computations with a 16-byte table
+/// row.  kRingOffsets[index(d)][idx] == ringCell({0,0}, d, idx) by
+/// construction (ringCell stays the geometric source of truth; tests
+/// compare the two, and lattice/edge_ring.hpp builds the same table for
+/// the bitboard backend).
+inline constexpr auto& kRingOffsets = lattice::kEdgeRingOffsets;
+static_assert(lattice::kEdgeRingSize == kRingSize);
+
 /// Occupancy bitmask of the 8 ring cells for the move (ℓ, d), from an
 /// arbitrary occupancy oracle (used by both M and the amoebot layer, which
 /// passes the N*-filtered oracle of Algorithm A).
 template <typename OccupiedFn>
 [[nodiscard]] std::uint8_t ringMask(TriPoint l, Direction d, OccupiedFn&& occupied) {
+  const std::array<TriPoint, kRingSize>& offsets = kRingOffsets[index(d)];
   std::uint8_t mask = 0;
   for (int idx = 0; idx < kRingSize; ++idx) {
-    if (occupied(ringCell(l, d, idx))) {
-      mask = static_cast<std::uint8_t>(mask | (1u << idx));
-    }
+    mask |= static_cast<std::uint8_t>(
+        occupied(l + offsets[idx]) ? (1u << idx) : 0u);
   }
   return mask;
 }
 
-[[nodiscard]] std::uint8_t ringMask(const system::ParticleSystem& sys, TriPoint l,
-                                    Direction d);
+/// Ring mask against a ParticleSystem: with the dense bitboard enabled
+/// this is one bit-index computation plus eight precomputed-delta word
+/// loads (BitGrid::ringMaskUnchecked) — inline so the chain step sees
+/// through it.  Precondition: ℓ is an occupied particle position (ring
+/// cells then sit within the grid's interior-margin invariant).
+[[nodiscard]] inline std::uint8_t ringMask(const system::ParticleSystem& sys,
+                                           TriPoint l, Direction d) {
+  return sys.ringMask(l, d);
+}
 
 /// Number of neighbors of P while at ℓ (ℓ' unoccupied): e in the paper.
 [[nodiscard]] constexpr int neighborsBefore(std::uint8_t mask) noexcept {
@@ -111,6 +128,10 @@ struct MoveEvaluation {
   bool propertyOk = false;  // condition (2): Property 1 or Property 2
 };
 
+/// Precondition: ℓ is an occupied particle position.  The dense-bitboard
+/// gather relies on the grid's interior-margin invariant around particles
+/// (SOPS_DASSERT-checked in debug builds); evaluating a move from an
+/// arbitrary unoccupied cell is not meaningful in M and not supported.
 [[nodiscard]] MoveEvaluation evaluateMove(const system::ParticleSystem& sys,
                                           TriPoint l, Direction d);
 

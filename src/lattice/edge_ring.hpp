@@ -1,0 +1,46 @@
+#ifndef SOPS_LATTICE_EDGE_RING_HPP
+#define SOPS_LATTICE_EDGE_RING_HPP
+
+/// \file edge_ring.hpp
+/// The 8-cell ring around a lattice edge (ℓ, ℓ+d) — pure G∆ geometry.
+///
+/// For a move from ℓ in direction d, the union neighborhood
+/// N(ℓ ∪ ℓ') \ {ℓ, ℓ'} is exactly eight cells forming an 8-cycle around
+/// the edge; see core/properties.hpp for the index convention (idx 0 and 4
+/// are the common neighbors of ℓ and ℓ').  This header provides the ring
+/// cells as precomputed per-direction offsets relative to ℓ, so occupancy
+/// backends (system/bit_grid) can turn ring gathers into pointer
+/// arithmetic without depending on the chain layer.
+
+#include <array>
+
+#include "lattice/direction.hpp"
+#include "lattice/tri_point.hpp"
+
+namespace sops::lattice {
+
+inline constexpr int kEdgeRingSize = 8;
+
+/// kEdgeRingOffsets[index(d)][idx] is ring cell idx of the move (ℓ, d),
+/// relative to ℓ.  Same index convention as core::ringCell; the test suite
+/// asserts the two agree for every direction and index.
+inline constexpr auto kEdgeRingOffsets = [] {
+  std::array<std::array<TriPoint, kEdgeRingSize>, kNumDirections> table{};
+  for (int di = 0; di < kNumDirections; ++di) {
+    const Direction d = directionFromIndex(di);
+    const TriPoint lPrime = offset(d);
+    table[di][0] = offset(rotated(d, 1));
+    table[di][1] = offset(rotated(d, 2));
+    table[di][2] = offset(rotated(d, 3));
+    table[di][3] = offset(rotated(d, 4));
+    table[di][4] = offset(rotated(d, 5));
+    table[di][5] = lPrime + offset(rotated(d, 5));
+    table[di][6] = lPrime + offset(d);
+    table[di][7] = lPrime + offset(rotated(d, 1));
+  }
+  return table;
+}();
+
+}  // namespace sops::lattice
+
+#endif  // SOPS_LATTICE_EDGE_RING_HPP

@@ -1,0 +1,57 @@
+#include "system/bit_grid.hpp"
+
+#include <algorithm>
+
+namespace sops::system {
+
+bool BitGrid::rebuild(std::span<const TriPoint> points,
+                      std::int64_t baseMargin) {
+  if (points.empty()) {
+    disable();
+    return false;
+  }
+  std::int64_t minX = points[0].x, maxX = points[0].x;
+  std::int64_t minY = points[0].y, maxY = points[0].y;
+  for (const TriPoint p : points) {
+    minX = std::min<std::int64_t>(minX, p.x);
+    maxX = std::max<std::int64_t>(maxX, p.x);
+    minY = std::min<std::int64_t>(minY, p.y);
+    maxY = std::max<std::int64_t>(maxY, p.y);
+  }
+  const std::int64_t margin =
+      baseMargin + std::max(maxX - minX, maxY - minY) / 4;
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(maxX - minX) + 1 + 2 * margin;
+  const std::uint64_t height =
+      static_cast<std::uint64_t>(maxY - minY) + 1 + 2 * margin;
+  const std::uint64_t strideWords = (width + 63) / 64;
+  // Overflow-safe area check against the dense-window cap.
+  if (height != 0 && strideWords > kMaxWords / height) {
+    disable();
+    return false;
+  }
+  originX_ = minX - margin;
+  originY_ = minY - margin;
+  width_ = width;
+  height_ = height;
+  strideWords_ = strideWords;
+  const auto strideBits = static_cast<std::int64_t>(strideWords * 64);
+  for (int d = 0; d < lattice::kNumDirections; ++d) {
+    for (int idx = 0; idx < lattice::kEdgeRingSize; ++idx) {
+      const TriPoint off = lattice::kEdgeRingOffsets[d][idx];
+      ringDeltas_[d][idx] = off.y * strideBits + off.x;
+    }
+  }
+  words_.assign(static_cast<std::size_t>(strideWords * height), 0);
+  for (const TriPoint p : points) set(p);
+  return true;
+}
+
+void BitGrid::disable() noexcept {
+  words_.clear();
+  words_.shrink_to_fit();
+  originX_ = originY_ = 0;
+  width_ = height_ = strideWords_ = 0;
+}
+
+}  // namespace sops::system

@@ -1,0 +1,171 @@
+#ifndef SOPS_SYSTEM_BIT_GRID_HPP
+#define SOPS_SYSTEM_BIT_GRID_HPP
+
+/// \file bit_grid.hpp
+/// Dense bit-packed occupancy window over the triangular lattice.
+///
+/// Occupancy queries dominate every chain step (the target cell plus the
+/// 8-cell ring, ~9 per proposed move).  The open-addressing index answers
+/// each with a hash probe chain; this grid answers with two subtractions,
+/// two unsigned bound checks, and one word load — the "bitboard" of the
+/// hot path.  Rows are keyed by axial y and bit-packed along axial x with
+/// a 64-bit word stride, so the 8 ring cells of a move touch at most four
+/// consecutive rows and their words stay cache-resident.
+///
+/// The grid covers a rectangular window [originX, originX+width) ×
+/// [originY, originY+height) that ParticleSystem keeps a superset of the
+/// bounding box of all particles (rebuilt with proportional margin when a
+/// particle leaves it).  Cells outside the window are by construction
+/// unoccupied, so test() simply returns false there.  Pathologically
+/// spread-out configurations whose bounding box would exceed kMaxWords
+/// are not representable densely; rebuild() then reports failure and the
+/// caller falls back to its sparse hash index.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lattice/edge_ring.hpp"
+#include "lattice/tri_point.hpp"
+#include "util/assert.hpp"
+
+namespace sops::system {
+
+using lattice::TriPoint;
+
+class BitGrid {
+ public:
+  /// Window size cap: 2^28 bits = 32 MiB, a 16384×16384 cell window.
+  /// Connected configurations of up to ~10^8 particles fit; beyond that
+  /// (or for adversarially sparse point sets) the caller degrades to its
+  /// hash index.
+  static constexpr std::size_t kMaxWords = (std::size_t{1} << 28) / 64;
+
+  BitGrid() = default;
+
+  /// True when a window is allocated and test()/set()/clear() are usable.
+  [[nodiscard]] bool enabled() const noexcept { return !words_.empty(); }
+
+  /// True iff p lies inside the allocated window.
+  [[nodiscard]] bool covers(TriPoint p) const noexcept {
+    const auto dx = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.x) - originX_);
+    const auto dy = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.y) - originY_);
+    return dx < width_ && dy < height_;
+  }
+
+  /// True iff p lies at least kInteriorMargin cells from every window edge.
+  /// ParticleSystem keeps every particle interior in this sense, which is
+  /// what licenses testUnchecked() on any cell within graph distance
+  /// kInteriorMargin of a particle (ring and target cells of a move).
+  [[nodiscard]] bool coversInterior(TriPoint p) const noexcept {
+    const auto dx = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.x) - originX_ - kInteriorMargin);
+    const auto dy = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.y) - originY_ - kInteriorMargin);
+    return dx < width_ - 2 * kInteriorMargin &&
+           dy < height_ - 2 * kInteriorMargin;
+  }
+
+  /// Ring/target cells sit within graph distance 2 of a particle.
+  static constexpr std::int64_t kInteriorMargin = 2;
+
+  /// Occupancy of p without the window bounds check.  Precondition: p is
+  /// within kInteriorMargin cells of some cell satisfying coversInterior()
+  /// — guaranteed by ParticleSystem's interior-margin invariant for any
+  /// cell adjacent-or-ring to a particle.
+  [[nodiscard]] bool testUnchecked(TriPoint p) const noexcept {
+    SOPS_DASSERT(covers(p));
+    const auto dx = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.x) - originX_);
+    const auto dy = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.y) - originY_);
+    return (words_[dy * strideWords_ + (dx >> 6)] >> (dx & 63)) & 1u;
+  }
+
+  /// Occupancy bitmask of the 8 ring cells of the move (ℓ, d): one bit
+  /// index for ℓ, then eight adds against per-direction deltas precomputed
+  /// at rebuild() — no per-cell multiplies or bounds checks.
+  /// Preconditions: enabled(), and ℓ satisfies coversInterior() (it is a
+  /// particle under ParticleSystem's interior-margin invariant).
+  [[nodiscard]] std::uint8_t ringMaskUnchecked(TriPoint l,
+                                               int dirIndex) const noexcept {
+    SOPS_DASSERT(coversInterior(l));
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(l.y) - originY_) *
+            (strideWords_ * 64) +
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(l.x) - originX_);
+    const std::int64_t* deltas = ringDeltas_[dirIndex];
+    std::uint32_t mask = 0;
+    for (int idx = 0; idx < lattice::kEdgeRingSize; ++idx) {
+      const std::uint64_t bit =
+          base + static_cast<std::uint64_t>(deltas[idx]);
+      mask |= static_cast<std::uint32_t>((words_[bit >> 6] >> (bit & 63)) & 1u)
+              << idx;
+    }
+    return static_cast<std::uint8_t>(mask);
+  }
+
+  /// Occupancy of p; false for any cell outside the window.
+  [[nodiscard]] bool test(TriPoint p) const noexcept {
+    const auto dx = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.x) - originX_);
+    const auto dy = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.y) - originY_);
+    if (dx >= width_ || dy >= height_) return false;
+    const std::uint64_t word =
+        words_[dy * strideWords_ + (dx >> 6)];
+    return (word >> (dx & 63)) & 1u;
+  }
+
+  /// Sets the bit for p.  Precondition: covers(p).
+  void set(TriPoint p) noexcept {
+    const auto dx = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.x) - originX_);
+    const auto dy = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.y) - originY_);
+    words_[dy * strideWords_ + (dx >> 6)] |= std::uint64_t{1} << (dx & 63);
+  }
+
+  /// Clears the bit for p.  Precondition: covers(p).
+  void clear(TriPoint p) noexcept {
+    const auto dx = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.x) - originX_);
+    const auto dy = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.y) - originY_);
+    words_[dy * strideWords_ + (dx >> 6)] &=
+        ~(std::uint64_t{1} << (dx & 63));
+  }
+
+  /// Reallocates the window to cover every point with `baseMargin` plus a
+  /// quarter of the bounding-box span of spare cells on each side (so a
+  /// drifting configuration triggers only O(log drift) rebuilds), and sets
+  /// exactly the given points.  Returns false (and disables the grid) when
+  /// the window would exceed kMaxWords or points is empty.
+  bool rebuild(std::span<const TriPoint> points, std::int64_t baseMargin);
+
+  /// Releases the window; enabled() becomes false.
+  void disable() noexcept;
+
+  [[nodiscard]] std::size_t wordCount() const noexcept { return words_.size(); }
+  [[nodiscard]] std::int64_t originX() const noexcept { return originX_; }
+  [[nodiscard]] std::int64_t originY() const noexcept { return originY_; }
+  [[nodiscard]] std::uint64_t width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t height() const noexcept { return height_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::int64_t originX_ = 0;
+  std::int64_t originY_ = 0;
+  std::uint64_t width_ = 0;    // cells per row
+  std::uint64_t height_ = 0;   // rows
+  std::uint64_t strideWords_ = 0;
+  /// Bit-index deltas of the 8 ring cells per direction, valid for the
+  /// current stride: delta = offset.y * strideBits + offset.x.
+  std::int64_t ringDeltas_[lattice::kNumDirections][lattice::kEdgeRingSize] = {};
+};
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_BIT_GRID_HPP

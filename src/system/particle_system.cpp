@@ -2,6 +2,22 @@
 
 namespace sops::system {
 
+namespace {
+/// Base margin around the bounding box when (re)building the dense window
+/// (BitGrid::rebuild adds span/4 proportional headroom on top).
+constexpr std::int64_t kGridBaseMargin = 32;
+}  // namespace
+
+void ParticleSystem::regrowGrid() {
+  if (gridGaveUp_ || positions_.empty()) {
+    grid_.disable();
+    return;
+  }
+  if (!grid_.rebuild(positions_, kGridBaseMargin)) {
+    gridGaveUp_ = true;  // sparse fallback from here on
+  }
+}
+
 ParticleSystem::ParticleSystem(std::span<const TriPoint> points)
     : index_(points.size()) {
   positions_.reserve(points.size());
@@ -11,6 +27,7 @@ ParticleSystem::ParticleSystem(std::span<const TriPoint> points)
     SOPS_REQUIRE(fresh, "duplicate particle position");
     positions_.push_back(p);
   }
+  regrowGrid();
 }
 
 std::size_t ParticleSystem::add(TriPoint p) {
@@ -18,6 +35,11 @@ std::size_t ParticleSystem::add(TriPoint p) {
       index_.insert(lattice::pack(p), static_cast<std::int32_t>(positions_.size()));
   SOPS_REQUIRE(fresh, "add() target already occupied");
   positions_.push_back(p);
+  if (grid_.enabled() && grid_.coversInterior(p)) {
+    grid_.set(p);
+  } else if (!gridGaveUp_) {
+    regrowGrid();
+  }
   return positions_.size() - 1;
 }
 
@@ -25,6 +47,7 @@ void ParticleSystem::remove(std::size_t particle) {
   SOPS_REQUIRE(particle < positions_.size(), "remove(): bad particle id");
   const TriPoint p = positions_[particle];
   index_.erase(lattice::pack(p));
+  if (grid_.enabled()) grid_.clear(p);
   const std::size_t last = positions_.size() - 1;
   if (particle != last) {
     positions_[particle] = positions_[last];
@@ -42,6 +65,19 @@ void ParticleSystem::moveParticle(std::size_t particle, TriPoint to) {
   index_.erase(lattice::pack(from));
   index_.insert(lattice::pack(to), static_cast<std::int32_t>(particle));
   positions_[particle] = to;
+  if (grid_.enabled()) {
+    // Regrow as soon as a particle reaches the 2-cell interior margin, so
+    // ring/target queries around any particle stay safely in-window for
+    // occupiedNear()'s unchecked word load.
+    if (grid_.coversInterior(to)) {
+      grid_.clear(from);
+      grid_.set(to);
+    } else {
+      regrowGrid();  // positions_ already reflects the move
+    }
+  }
+  SOPS_DASSERT(!grid_.enabled() || grid_.test(to));
+  SOPS_DASSERT(!grid_.enabled() || !grid_.test(from));
 }
 
 bool ParticleSystem::sameArrangement(const ParticleSystem& other) const {

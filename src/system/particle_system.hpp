@@ -5,18 +5,28 @@
 /// A configuration of contracted particles on G∆ (paper §2.2).
 ///
 /// This is the state type of the Markov chain M: n distinct occupied lattice
-/// vertices.  It maintains a position vector (for uniform particle
-/// selection) and a flat hash index (for O(1) occupancy queries).  Expanded
-/// particles exist only in the amoebot layer (S7); the chain's states
-/// consider contracted particles only, exactly as in the paper (§3.2,
-/// footnote 2).
+/// vertices.  It maintains three synchronized views:
+///
+///   - a position vector (uniform particle selection, iteration),
+///   - a dense bitboard window (BitGrid) answering occupied() with a single
+///     word load — the hot path of every chain step (~9 queries per
+///     proposed move),
+///   - a flat hash index mapping cell → particle id, which serves
+///     particleAt() and is the occupancy fallback when the configuration
+///     is too spread out for a dense window (BitGrid::kMaxWords).
+///
+/// Expanded particles exist only in the amoebot layer (S7); the chain's
+/// states consider contracted particles only, exactly as in the paper
+/// (§3.2, footnote 2).
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "lattice/edge_ring.hpp"
 #include "lattice/tri_point.hpp"
+#include "system/bit_grid.hpp"
 #include "util/assert.hpp"
 #include "util/flat_hash.hpp"
 
@@ -46,8 +56,33 @@ class ParticleSystem {
   }
 
   [[nodiscard]] bool occupied(TriPoint p) const noexcept {
+    // Dense fast path: one word load.  The grid invariantly covers every
+    // particle, so an out-of-window cell is unoccupied by construction.
+    if (grid_.enabled()) return grid_.test(p);
     return index_.contains(lattice::pack(p));
   }
+
+  /// Occupancy via the hash index only, bypassing the bitboard.  Exposed
+  /// for the reference kernels in tests/benches that measure or validate
+  /// the dense fast path against the sparse implementation.
+  [[nodiscard]] bool occupiedSparse(TriPoint p) const noexcept {
+    return index_.contains(lattice::pack(p));
+  }
+
+  /// Occupancy of a cell within graph distance 2 of some particle — the
+  /// target and ring cells of any proposed move qualify.  Every particle
+  /// is kept ≥ BitGrid::kInteriorMargin cells inside the dense window
+  /// (regrowth triggers on interior escape), so this skips the window
+  /// bounds check: one word load on the hot path.  For arbitrary cells use
+  /// occupied().
+  [[nodiscard]] bool occupiedNear(TriPoint p) const noexcept {
+    if (grid_.enabled()) return grid_.testUnchecked(p);
+    return index_.contains(lattice::pack(p));
+  }
+
+  /// The dense occupancy window (disabled for configurations whose
+  /// bounding box exceeds BitGrid::kMaxWords).
+  [[nodiscard]] const BitGrid& grid() const noexcept { return grid_; }
 
   /// Particle id occupying p, if any.
   [[nodiscard]] std::optional<std::size_t> particleAt(TriPoint p) const noexcept {
@@ -77,6 +112,24 @@ class ParticleSystem {
     return count;
   }
 
+  /// 8-bit occupancy mask of the ring cells of the move (ℓ, d) — see
+  /// lattice/edge_ring.hpp for the cell order (it matches core::ringCell).
+  /// Precondition: ℓ is an occupied particle position, so the grid's
+  /// interior-margin invariant makes the dense gather branch-free.
+  [[nodiscard]] std::uint8_t ringMask(TriPoint l, Direction d) const noexcept {
+    if (grid_.enabled()) {
+      return grid_.ringMaskUnchecked(l, lattice::index(d));
+    }
+    std::uint8_t mask = 0;
+    const auto& offsets = lattice::kEdgeRingOffsets[lattice::index(d)];
+    for (int idx = 0; idx < lattice::kEdgeRingSize; ++idx) {
+      if (index_.contains(lattice::pack(l + offsets[idx]))) {
+        mask = static_cast<std::uint8_t>(mask | (1u << idx));
+      }
+    }
+    return mask;
+  }
+
   /// 6-bit occupancy mask of p's neighborhood; bit i is direction index i.
   [[nodiscard]] std::uint8_t neighborMask(TriPoint p) const noexcept {
     std::uint8_t mask = 0;
@@ -93,8 +146,15 @@ class ParticleSystem {
   [[nodiscard]] bool sameArrangement(const ParticleSystem& other) const;
 
  private:
+  /// Rebuilds the dense window from positions_ (with proportional margin so
+  /// rebuilds stay rare as the configuration drifts).  Falls back to the
+  /// sparse index permanently once a rebuild overflows the window cap.
+  void regrowGrid();
+
   std::vector<TriPoint> positions_;
   util::FlatMap64<std::int32_t> index_;
+  BitGrid grid_;
+  bool gridGaveUp_ = false;
 };
 
 }  // namespace sops::system

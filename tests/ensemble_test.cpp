@@ -1,0 +1,181 @@
+// Tests for the replica ensemble runner (core/ensemble): spec-order
+// results, per-seed determinism independent of thread count, checkpoint
+// sampling, early stopping, error propagation, and the λ×seed grid builder.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/ensemble.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::core {
+namespace {
+
+ReplicaSpec basicSpec(double lambda, std::uint64_t seed,
+                      std::uint64_t iterations) {
+  ReplicaSpec spec;
+  spec.label = "lambda=" + std::to_string(lambda);
+  spec.options.lambda = lambda;
+  spec.seed = seed;
+  spec.iterations = iterations;
+  spec.makeInitial = [] { return system::lineConfiguration(20); };
+  return spec;
+}
+
+TEST(Ensemble, ResultsComeBackInSpecOrderWithLabels) {
+  std::vector<ReplicaSpec> specs;
+  specs.push_back(basicSpec(4.0, 1, 1000));
+  specs.push_back(basicSpec(2.0, 2, 1000));
+  specs.push_back(basicSpec(1.0, 3, 1000));
+  const auto results = runEnsemble(specs);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].label, specs[i].label);
+    EXPECT_EQ(results[i].seed, specs[i].seed);
+    EXPECT_EQ(results[i].lambda, specs[i].options.lambda);
+    EXPECT_EQ(results[i].iterationsRun, 1000u);
+    EXPECT_EQ(results[i].stats.steps, 1000u);
+  }
+}
+
+TEST(Ensemble, DeterministicAcrossThreadCounts) {
+  std::vector<ReplicaSpec> specs;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    specs.push_back(basicSpec(4.0, s, 20000));
+  }
+  EnsembleOptions serial;
+  serial.threads = 1;
+  EnsembleOptions parallel4;
+  parallel4.threads = 4;
+  EnsembleOptions parallel8;
+  parallel8.threads = 8;
+  const auto a = runEnsemble(specs, serial);
+  const auto b = runEnsemble(specs, parallel4);
+  const auto c = runEnsemble(specs, parallel8);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].edges, b[i].edges) << "replica " << i;
+    EXPECT_EQ(a[i].edges, c[i].edges) << "replica " << i;
+    EXPECT_EQ(a[i].stats.accepted, b[i].stats.accepted) << "replica " << i;
+    EXPECT_EQ(a[i].stats.accepted, c[i].stats.accepted) << "replica " << i;
+    EXPECT_TRUE(a[i].finalSystem.sameArrangement(b[i].finalSystem))
+        << "replica " << i;
+    EXPECT_TRUE(a[i].finalSystem.sameArrangement(c[i].finalSystem))
+        << "replica " << i;
+  }
+}
+
+TEST(Ensemble, MatchesStandaloneChainExactly) {
+  // A replica is the same object as a directly driven CompressionChain.
+  auto spec = basicSpec(4.0, 99, 20000);
+  const auto results = runEnsemble(std::vector<ReplicaSpec>{spec});
+  CompressionChain direct(system::lineConfiguration(20), spec.options, 99);
+  direct.run(20000);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].finalSystem.sameArrangement(direct.system()));
+  EXPECT_EQ(results[0].edges, direct.edges());
+  EXPECT_EQ(results[0].stats.accepted, direct.stats().accepted);
+}
+
+TEST(Ensemble, ChecksampledObservableAndFinalStats) {
+  auto spec = basicSpec(4.0, 7, 5000);
+  spec.checkpointEvery = 1000;
+  spec.observable = [](const CompressionChain& chain) {
+    return static_cast<double>(chain.edges());
+  };
+  const auto results = runEnsemble(std::vector<ReplicaSpec>{spec});
+  ASSERT_EQ(results.size(), 1u);
+  const auto& samples = results[0].samples;
+  ASSERT_EQ(samples.size(), 5u);
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    EXPECT_EQ(samples[k].iteration, (k + 1) * 1000);
+  }
+  EXPECT_EQ(samples.back().value, static_cast<double>(results[0].edges));
+}
+
+TEST(Ensemble, StopWhenEndsReplicaEarly) {
+  auto spec = basicSpec(4.0, 11, 1000000);
+  spec.checkpointEvery = 500;
+  spec.stopWhen = [](const CompressionChain&, std::uint64_t done) {
+    return done >= 2000;
+  };
+  const auto results = runEnsemble(std::vector<ReplicaSpec>{spec});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].stoppedEarly);
+  EXPECT_EQ(results[0].iterationsRun, 2000u);
+}
+
+TEST(Ensemble, DropsFinalSystemsWhenAsked) {
+  EnsembleOptions options;
+  options.keepFinalSystems = false;
+  const auto results =
+      runEnsemble(std::vector<ReplicaSpec>{basicSpec(4.0, 1, 100)}, options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].finalSystem.empty());
+  EXPECT_EQ(results[0].stats.steps, 100u);
+}
+
+TEST(Ensemble, OnReplicaDoneFiresOncePerReplica) {
+  std::vector<ReplicaSpec> specs;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    specs.push_back(basicSpec(3.0, s, 500));
+  }
+  std::atomic<int> calls{0};
+  EnsembleOptions options;
+  options.threads = 3;
+  options.onReplicaDone = [&calls](const ReplicaResult&) { ++calls; };
+  const auto results = runEnsemble(specs, options);
+  EXPECT_EQ(results.size(), 5u);
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(Ensemble, MissingFactoryThrows) {
+  ReplicaSpec broken;
+  broken.iterations = 10;
+  EXPECT_THROW(
+      (void)runEnsemble(std::vector<ReplicaSpec>{broken}),
+      ContractViolation);
+}
+
+TEST(Ensemble, ReplicaErrorPropagates) {
+  // Disconnected start: the chain constructor throws on the worker thread;
+  // runEnsemble must surface it on the caller.
+  ReplicaSpec broken = basicSpec(4.0, 1, 10);
+  broken.makeInitial = [] {
+    return system::ParticleSystem(
+        std::vector<lattice::TriPoint>{{0, 0}, {7, 7}});
+  };
+  EnsembleOptions options;
+  options.threads = 2;
+  EXPECT_THROW(
+      (void)runEnsemble(std::vector<ReplicaSpec>{broken, basicSpec(4.0, 2, 10)},
+                        options),
+      ContractViolation);
+}
+
+TEST(Ensemble, LambdaSeedGridBuildsCrossProductLambdaMajor) {
+  const std::vector<double> lambdas = {2.0, 4.0, 6.0};
+  const std::vector<std::uint64_t> seeds = {10, 20};
+  const auto specs = lambdaSeedGrid(
+      [] { return system::lineConfiguration(10); }, ChainOptions{}, lambdas,
+      seeds, 123, 45);
+  ASSERT_EQ(specs.size(), 6u);
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const ReplicaSpec& spec = specs[i * seeds.size() + s];
+      EXPECT_EQ(spec.options.lambda, lambdas[i]);
+      EXPECT_EQ(spec.seed, seeds[s]);
+      EXPECT_EQ(spec.iterations, 123u);
+      EXPECT_EQ(spec.checkpointEvery, 45u);
+      EXPECT_NE(spec.makeInitial, nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sops::core

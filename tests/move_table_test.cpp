@@ -1,0 +1,168 @@
+// Exhaustive validation of the 256-entry precomputed move table against
+// both the reference predicates (properties.hpp) and an independent
+// brute-force implementation of ring connectivity, plus the λ-power /
+// acceptance-probability consistency the decision tables rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/compression_chain.hpp"
+#include "core/move_table.hpp"
+#include "core/properties.hpp"
+
+namespace sops::core {
+namespace {
+
+int popcount8(std::uint8_t v) {
+  int count = 0;
+  for (int i = 0; i < 8; ++i) count += (v >> i) & 1;
+  return count;
+}
+
+/// Independent Property 1: S nonempty and every set bit reaches a common
+/// neighbor (idx 0 or 4) walking the 8-cycle through set bits — literal
+/// graph search on the ring, sharing no code with property1Holds.
+bool bruteForceProperty1(std::uint8_t mask) {
+  if ((mask & kCommonMask) == 0) return false;
+  for (int start = 0; start < 8; ++start) {
+    if (((mask >> start) & 1u) == 0) continue;
+    // BFS along the cycle restricted to set bits.
+    bool visited[8] = {};
+    int stack[8];
+    int top = 0;
+    stack[top++] = start;
+    visited[start] = true;
+    bool reachesCommon = false;
+    while (top > 0) {
+      const int i = stack[--top];
+      if (i == 0 || i == 4) reachesCommon = true;
+      for (const int j : {(i + 1) % 8, (i + 7) % 8}) {
+        if (!visited[j] && ((mask >> j) & 1u)) {
+          visited[j] = true;
+          stack[top++] = j;
+        }
+      }
+    }
+    if (!reachesCommon) return false;
+  }
+  return true;
+}
+
+/// Independent Property 2: S empty, both open 3-paths {1,2,3} and {5,6,7}
+/// nonempty and internally connected (set bits contiguous on the path).
+bool bruteForceProperty2(std::uint8_t mask) {
+  if ((mask & kCommonMask) != 0) return false;
+  const auto sideConnected = [&](int a, int b, int c) {
+    const bool ba = (mask >> a) & 1u, bb = (mask >> b) & 1u,
+               bc = (mask >> c) & 1u;
+    if (!ba && !bb && !bc) return false;  // empty side
+    return !(ba && bc && !bb);            // only {a,c} w/o middle disconnects
+  };
+  return sideConnected(1, 2, 3) && sideConnected(5, 6, 7);
+}
+
+TEST(MoveTable, NeighborCountsMatchPopcountsForAllMasks) {
+  for (int m = 0; m < 256; ++m) {
+    const auto mask = static_cast<std::uint8_t>(m);
+    const MoveTableEntry& entry = moveTableEntry(mask);
+    EXPECT_EQ(entry.eBefore, popcount8(mask & kBeforeMask)) << "mask " << m;
+    EXPECT_EQ(entry.eAfter, popcount8(mask & kAfterMask)) << "mask " << m;
+    EXPECT_EQ(entry.delta, entry.eAfter - entry.eBefore) << "mask " << m;
+  }
+}
+
+TEST(MoveTable, FlagsMatchReferencePredicatesForAllMasks) {
+  for (int m = 0; m < 256; ++m) {
+    const auto mask = static_cast<std::uint8_t>(m);
+    const MoveTableEntry& entry = moveTableEntry(mask);
+    EXPECT_EQ((entry.flags & kMoveGapOk) != 0, neighborsBefore(mask) != 5)
+        << "mask " << m;
+    EXPECT_EQ((entry.flags & kMoveProperty1) != 0, property1Holds(mask))
+        << "mask " << m;
+    EXPECT_EQ((entry.flags & kMoveProperty2) != 0, property2Holds(mask))
+        << "mask " << m;
+    EXPECT_EQ((entry.flags & kMoveStructOk) != 0, moveStructurallyValid(mask))
+        << "mask " << m;
+  }
+}
+
+TEST(MoveTable, FlagsMatchBruteForceRingSearchForAllMasks) {
+  for (int m = 0; m < 256; ++m) {
+    const auto mask = static_cast<std::uint8_t>(m);
+    const MoveTableEntry& entry = moveTableEntry(mask);
+    EXPECT_EQ((entry.flags & kMoveProperty1) != 0, bruteForceProperty1(mask))
+        << "mask " << m;
+    EXPECT_EQ((entry.flags & kMoveProperty2) != 0, bruteForceProperty2(mask))
+        << "mask " << m;
+  }
+}
+
+TEST(MoveTable, PropertiesAreMutuallyExclusive) {
+  // P1 needs S ≠ ∅, P2 needs S = ∅ — no mask can satisfy both.
+  for (int m = 0; m < 256; ++m) {
+    const MoveTableEntry& entry = moveTableEntry(static_cast<std::uint8_t>(m));
+    EXPECT_FALSE((entry.flags & kMoveProperty1) &&
+                 (entry.flags & kMoveProperty2))
+        << "mask " << m;
+  }
+}
+
+TEST(RingOffsets, MatchRingCellForAllDirectionsAndAnchors) {
+  // The precomputed hot-path offset table must agree with the geometric
+  // ringCell source of truth at arbitrary anchors.
+  for (const lattice::TriPoint l :
+       {lattice::TriPoint{0, 0}, lattice::TriPoint{17, -4},
+        lattice::TriPoint{-1000, 1000}}) {
+    for (const auto d : lattice::kAllDirections) {
+      for (int idx = 0; idx < kRingSize; ++idx) {
+        EXPECT_EQ(l + kRingOffsets[lattice::index(d)][idx], ringCell(l, d, idx))
+            << "dir " << lattice::index(d) << " idx " << idx;
+      }
+    }
+  }
+}
+
+TEST(MoveTable, LambdaPowerMatchesStdPowForAllDeltas) {
+  for (const double lambda : {0.5, 1.0, 2.0, 4.0, 6.823}) {
+    for (int delta = -5; delta <= 5; ++delta) {
+      EXPECT_EQ(lambdaPower(lambda, delta),
+                std::pow(lambda, static_cast<double>(delta)))
+          << "lambda " << lambda << " delta " << delta;
+    }
+  }
+}
+
+TEST(MoveTable, AcceptanceProbabilityConsistentWithTableForAllMasks) {
+  // acceptanceProbability (the kernel the exact transition-matrix builder
+  // uses) must agree bit-for-bit with min(1, λ^δ) from the shared
+  // lambdaPower — for every mask and a grid of λ values.
+  for (const double lambda : {0.5, 1.0, 2.0, 4.0}) {
+    ChainOptions options;
+    options.lambda = lambda;
+    for (int m = 0; m < 256; ++m) {
+      const auto mask = static_cast<std::uint8_t>(m);
+      const MoveTableEntry& entry = moveTableEntry(mask);
+      MoveEvaluation eval;
+      eval.mask = mask;
+      eval.eBefore = entry.eBefore;
+      eval.eAfter = entry.eAfter;
+      eval.gapOk = (entry.flags & kMoveGapOk) != 0;
+      eval.property1 = (entry.flags & kMoveProperty1) != 0;
+      eval.property2 = (entry.flags & kMoveProperty2) != 0;
+      eval.propertyOk = eval.property1 || eval.property2;
+      const double p = acceptanceProbability(eval, options);
+      if (!eval.gapOk || !eval.propertyOk) {
+        EXPECT_EQ(p, 0.0) << "mask " << m;
+      } else {
+        const double expected =
+            std::min(1.0, lambdaPower(lambda, entry.delta));
+        EXPECT_EQ(p, expected) << "mask " << m << " lambda " << lambda;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sops::core
