@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "amoebot/local_compression.hpp"
+#include "amoebot/parallel_scheduler.hpp"
+#include "amoebot/reference_local_kernel.hpp"
 #include "amoebot/scheduler.hpp"
 #include "core/compression_chain.hpp"
 #include "core/ensemble.hpp"
@@ -205,6 +207,73 @@ void BM_AmoebotActivation(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_AmoebotActivation);
+
+void BM_AmoebotActivationReference(benchmark::State& state) {
+  // The frozen seed amoebot kernel (hash-probe substrate, per-activation
+  // property recomputation) under the identical activation stream — the
+  // before side of the local fast path, certified draw-for-draw identical
+  // by tests/local_golden_test.cpp.
+  rng::Random rng(7);
+  amoebot::reference::ReferenceAmoebotSystem sys(system::lineConfiguration(100),
+                                                 rng);
+  const amoebot::reference::ReferenceLocalKernel algo({4.0});
+  amoebot::PoissonScheduler scheduler(sys.size(), rng::Random(8));
+  rng::Random coin(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo.activate(sys, scheduler.next().particle, coin));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AmoebotActivationReference);
+
+void BM_LocalActivate(benchmark::State& state) {
+  // Sequential uniform activations (negligible scheduler overhead) so the
+  // per-activation cost of Algorithm A itself is what is measured.
+  rng::Random rng(7);
+  amoebot::AmoebotSystem sys(system::lineConfiguration(state.range(0)), rng);
+  const amoebot::LocalCompressionAlgorithm algo({4.0});
+  amoebot::SequentialScheduler scheduler(sys.size(), rng::Random(8));
+  rng::Random coin(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.activate(sys, scheduler.next(), coin));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalActivate)->Arg(100)->Arg(10000);
+
+void BM_LocalActivateReference(benchmark::State& state) {
+  rng::Random rng(7);
+  amoebot::reference::ReferenceAmoebotSystem sys(
+      system::lineConfiguration(state.range(0)), rng);
+  const amoebot::reference::ReferenceLocalKernel algo({4.0});
+  amoebot::SequentialScheduler scheduler(sys.size(), rng::Random(8));
+  rng::Random coin(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.activate(sys, scheduler.next(), coin));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalActivateReference)->Arg(100)->Arg(10000);
+
+void BM_ShardedActivations(benchmark::State& state) {
+  // Million-particle Algorithm A through the sharded concurrent runner;
+  // Arg is the stripe-phase thread count.  Items are activations, so
+  // items/s is comparable with BM_LocalActivate.  (This repo's CI box is
+  // single-core — run on a multi-core host to see the stripe scaling.)
+  rng::Random rng(7);
+  amoebot::AmoebotSystem sys(system::spiralConfiguration(1000000), rng);
+  const amoebot::LocalCompressionAlgorithm algo({4.0});
+  amoebot::ShardedOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  amoebot::ShardedPoissonRunner runner(sys, algo, 11, options);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    done += runner.runAtLeast(4000000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_ShardedActivations)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_SchedulerNext(benchmark::State& state) {
   amoebot::PoissonScheduler scheduler(

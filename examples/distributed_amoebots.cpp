@@ -1,13 +1,17 @@
 // The fully distributed view: Algorithm A running on the amoebot model
 // (§3.2) with per-particle Poisson clocks, private compasses, a 1-bit flag
-// memory — and optional crash faults (§3.3).
+// memory — and optional crash faults (§3.3).  With a thread count the run
+// goes through the sharded concurrent scheduler (word-aligned lattice
+// stripes + halo deferral, deterministic per seed for every thread count).
 //
-//   ./examples/distributed_amoebots [n] [lambda] [activations] [crash_fraction]
+//   ./examples/distributed_amoebots [n] [lambda] [activations] [crash_fraction] [threads]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "amoebot/faults.hpp"
 #include "amoebot/local_compression.hpp"
+#include "amoebot/parallel_scheduler.hpp"
 #include "amoebot/scheduler.hpp"
 #include "io/ascii_render.hpp"
 #include "system/metrics.hpp"
@@ -20,6 +24,8 @@ int main(int argc, char** argv) {
   const std::uint64_t activations =
       argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 3000000;
   const double crashFraction = argc > 4 ? std::atof(argv[4]) : 0.0;
+  const unsigned threads =
+      argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
 
   rng::Random rng(2016);
   amoebot::AmoebotSystem sys(system::lineConfiguration(n), rng);
@@ -32,22 +38,44 @@ int main(int argc, char** argv) {
   }
 
   const amoebot::LocalCompressionAlgorithm algorithm({lambda});
-  amoebot::PoissonScheduler scheduler(sys.size(), rng::Random(11));
-  amoebot::RoundTracker rounds(sys.size());
-  rng::Random coin(13);
 
-  std::printf("running Algorithm A: each particle acts only on its own\n"
-              "Poisson clock, sees only its neighborhood, and stores 1 bit.\n\n");
-  for (std::uint64_t i = 0; i < activations; ++i) {
-    const amoebot::Activation activation = scheduler.next();
-    algorithm.activate(sys, activation.particle, coin);
-    rounds.recordActivation(activation.particle);
-    if ((i + 1) % (activations / 5) == 0) {
+  if (threads > 0) {
+    std::printf("running Algorithm A on the sharded scheduler: %u stripe\n"
+                "worker(s), same trajectory for every thread count.\n\n",
+                threads);
+    amoebot::ShardedOptions options;
+    options.threads = threads;
+    amoebot::ShardedPoissonRunner runner(sys, algorithm, 11, options);
+    const std::uint64_t burst = std::max<std::uint64_t>(activations / 5, 1);
+    for (int checkpoint = 1; checkpoint <= 5; ++checkpoint) {
+      runner.runAtLeast(burst);
       const system::ConfigSummary s = system::summarize(sys.tailConfiguration());
-      std::printf("activations=%-10llu rounds=%-8llu sim-time=%-9.1f alpha=%.3f\n",
-                  static_cast<unsigned long long>(i + 1),
-                  static_cast<unsigned long long>(rounds.rounds()),
-                  scheduler.now(), s.perimeterRatio);
+      std::printf(
+          "activations=%-10llu sweep-frac=%-6.3f sim-time=%-9.1f alpha=%.3f\n",
+          static_cast<unsigned long long>(runner.activations()),
+          static_cast<double>(runner.sweepActivations()) /
+              static_cast<double>(runner.activations()),
+          runner.now(), s.perimeterRatio);
+    }
+  } else {
+    amoebot::PoissonScheduler scheduler(sys.size(), rng::Random(11));
+    amoebot::RoundTracker rounds(sys.size());
+    rng::Random coin(13);
+
+    std::printf("running Algorithm A: each particle acts only on its own\n"
+                "Poisson clock, sees only its neighborhood, and stores 1 bit.\n\n");
+    const std::uint64_t checkpoint = std::max<std::uint64_t>(activations / 5, 1);
+    for (std::uint64_t i = 0; i < activations; ++i) {
+      const amoebot::Activation activation = scheduler.next();
+      algorithm.activate(sys, activation.particle, coin);
+      rounds.recordActivation(activation.particle);
+      if ((i + 1) % checkpoint == 0) {
+        const system::ConfigSummary s = system::summarize(sys.tailConfiguration());
+        std::printf("activations=%-10llu rounds=%-8llu sim-time=%-9.1f alpha=%.3f\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(rounds.rounds()),
+                    scheduler.now(), s.perimeterRatio);
+      }
     }
   }
   std::printf("\nfinal configuration (tails):\n%s",

@@ -1,6 +1,14 @@
 #include "amoebot/amoebot_system.hpp"
 
+#include "lattice/edge_ring.hpp"
+
 namespace sops::amoebot {
+
+namespace {
+/// Base window margin, matching ParticleSystem's dense-window policy
+/// (BitGrid::rebuild adds span/4 proportional headroom on top).
+constexpr std::int64_t kPlaneBaseMargin = 32;
+}  // namespace
 
 AmoebotSystem::AmoebotSystem(const system::ParticleSystem& initial,
                              rng::Random& rng)
@@ -16,43 +24,182 @@ AmoebotSystem::AmoebotSystem(const system::ParticleSystem& initial,
     particles_.push_back(p);
     setCell(p.tail, static_cast<std::int32_t>(id), false);
   }
+  regrowPlanes();
 }
 
-AmoebotSystem::CellView AmoebotSystem::at(TriPoint cell) const noexcept {
+void AmoebotSystem::regrowPlanes() {
+  if (gridsGaveUp_) return;
+  std::vector<TriPoint> cells;
+  cells.reserve(particles_.size() + expandedCount_);
+  for (const Particle& p : particles_) {
+    cells.push_back(p.tail);
+    if (p.expanded) cells.push_back(p.head);
+  }
+  if (occ_.rebuild(cells, kPlaneBaseMargin)) {
+    heads_.allocateLike(occ_);
+    expanded_.allocateLike(occ_);
+    for (const Particle& p : particles_) {
+      if (!p.expanded) continue;
+      heads_.set(p.head);
+      expanded_.set(p.tail);
+      expanded_.set(p.head);
+    }
+    gridsOn_ = true;
+    return;
+  }
+  // Sparse fallback from here on: the hash index becomes the occupancy
+  // source of truth, so any deferred (or suspended) state must be rebuilt
+  // now — regrows only ever run single-threaded (a sharded runner's
+  // parallel phase defers every regrow-risk event to its sweep).  The
+  // sharded suspension is void with the planes gone: eager maintenance
+  // resumes immediately, so at() is valid again.
+  gridsGaveUp_ = true;
+  gridsOn_ = false;
+  sharded_ = false;
+  heads_.disable();
+  expanded_.disable();
+  rebuildIdIndex();
+  recountExpanded();
+}
+
+void AmoebotSystem::recountExpanded() {
+  std::size_t count = 0;
+  for (const Particle& p : particles_) {
+    if (p.expanded) ++count;
+  }
+  expandedCount_ = count;
+}
+
+void AmoebotSystem::rebuildIdIndex() const {
+  occupancy_.clear();
+  occupancy_.reserve(particles_.size() * 2);
+  for (std::size_t id = 0; id < particles_.size(); ++id) {
+    const Particle& p = particles_[id];
+    occupancy_.insertOrAssign(lattice::pack(p.tail),
+                              (static_cast<std::int32_t>(id) << 1));
+    if (p.expanded) {
+      occupancy_.insertOrAssign(lattice::pack(p.head),
+                                (static_cast<std::int32_t>(id) << 1) | 1);
+    }
+  }
+  idIndexDirty_ = false;
+}
+
+void AmoebotSystem::suspendIdIndex() {
+  SOPS_REQUIRE(gridsOn_, "suspendIdIndex: dense planes required");
+  sharded_ = true;
+}
+
+void AmoebotSystem::restoreIdIndex() {
+  if (!sharded_) return;
+  sharded_ = false;
+  if (gridsOn_) {
+    // The hash refresh stays lazy (at() rebuilds on demand) — a sharded
+    // burst between samples should not pay O(n) hash work nobody reads.
+    idIndexDirty_ = true;
+    recountExpanded();
+  }
+}
+
+AmoebotSystem::CellView AmoebotSystem::at(TriPoint cell) const {
+  SOPS_DASSERT(!sharded_);
+  if (idIndexDirty_) rebuildIdIndex();
   const std::int32_t* raw = occupancy_.find(lattice::pack(cell));
   if (raw == nullptr) return {};
   return {*raw >> 1, (*raw & 1) != 0};
 }
 
-Direction AmoebotSystem::globalDirection(std::size_t id, int port) const {
-  SOPS_REQUIRE(id < particles_.size(), "globalDirection: bad id");
-  SOPS_REQUIRE(port >= 0 && port < lattice::kNumDirections,
-               "globalDirection: bad port");
-  const Particle& p = particles_[id];
-  const int step = p.mirrored ? -port : port;
-  return lattice::rotated(
-      static_cast<Direction>(p.orientationOffset), step);
-}
-
 bool AmoebotSystem::expandedParticleAdjacent(TriPoint cell,
                                              std::size_t self) const {
+  if (gridsOn_) {
+    std::uint8_t mask;
+    if (expanded_.coversInterior(cell)) {
+      mask = expanded_.neighborMaskUnchecked(cell);
+    } else {
+      mask = 0;
+      for (const Direction d : lattice::kAllDirections) {
+        if (expanded_.test(lattice::neighbor(cell, d))) {
+          mask = static_cast<std::uint8_t>(mask | (1u << index(d)));
+        }
+      }
+    }
+    if (mask == 0) return false;
+    const Particle& s = particles_[self];
+    if (s.expanded) {
+      // The only expanded cells belonging to `self` are its own tail and
+      // head; drop their direction bits if they happen to be adjacent.
+      if (const auto d = lattice::directionBetween(cell, s.tail)) {
+        mask = static_cast<std::uint8_t>(mask & ~(1u << index(*d)));
+      }
+      if (const auto d = lattice::directionBetween(cell, s.head)) {
+        mask = static_cast<std::uint8_t>(mask & ~(1u << index(*d)));
+      }
+    }
+    return mask != 0;
+  }
   for (const Direction d : lattice::kAllDirections) {
     const CellView view = at(lattice::neighbor(cell, d));
     if (view.empty()) continue;
     if (static_cast<std::size_t>(view.particle) == self) continue;
-    if (particles_[static_cast<std::size_t>(view.particle)].expanded) return true;
+    if (particles_[static_cast<std::size_t>(view.particle)].expanded) {
+      return true;
+    }
   }
   return false;
 }
 
 bool AmoebotSystem::occupiedExcludingHeads(TriPoint cell,
                                            std::size_t self) const {
+  if (gridsOn_) {
+    if (!occ_.test(cell)) return false;
+    if (heads_.test(cell)) return false;
+    // Of self's cells only the tail can still match here: a contracted
+    // self has head == tail, and an expanded self's head carries the
+    // heads-plane bit just tested.
+    return cell != particles_[self].tail;
+  }
   const CellView view = at(cell);
   if (view.empty()) return false;
   if (static_cast<std::size_t>(view.particle) == self) return false;
   const Particle& p = particles_[static_cast<std::size_t>(view.particle)];
   if (p.expanded && view.isHead) return false;
   return true;
+}
+
+bool AmoebotSystem::expandedAdjacentToMovePair(std::size_t id) const {
+  const Particle& p = particles_[id];
+  SOPS_DASSERT(p.expanded);
+  if (gridsOn_) {
+    // Of the twelve neighbor probes around (tail, head), the only cells of
+    // particle `id` itself are the two ends of the expansion edge: mask
+    // the head's direction bit at the tail and vice versa.
+    const std::uint32_t tailMask =
+        expanded_.neighborMaskUnchecked(p.tail) & ~(1u << p.expandDir);
+    const std::uint32_t headMask =
+        expanded_.neighborMaskUnchecked(p.head) &
+        ~(1u << ((p.expandDir + 3) % 6));
+    return (tailMask | headMask) != 0;
+  }
+  return expandedParticleAdjacent(p.tail, id) ||
+         expandedParticleAdjacent(p.head, id);
+}
+
+std::uint8_t AmoebotSystem::nStarRingMask(std::size_t id) const {
+  const Particle& p = particles_[id];
+  SOPS_DASSERT(p.expanded);
+  const int di = p.expandDir;
+  if (gridsOn_) {
+    return static_cast<std::uint8_t>(occ_.ringMaskUnchecked(p.tail, di) &
+                                     ~heads_.ringMaskUnchecked(p.tail, di));
+  }
+  const auto& offsets = lattice::kEdgeRingOffsets[di];
+  std::uint8_t mask = 0;
+  for (int idx = 0; idx < lattice::kEdgeRingSize; ++idx) {
+    if (occupiedExcludingHeads(p.tail + offsets[idx], id)) {
+      mask = static_cast<std::uint8_t>(mask | (1u << idx));
+    }
+  }
+  return mask;
 }
 
 void AmoebotSystem::expand(std::size_t id, Direction d) {
@@ -63,30 +210,59 @@ void AmoebotSystem::expand(std::size_t id, Direction d) {
   SOPS_REQUIRE(!occupied(target), "expand: target occupied");
   p.head = target;
   p.expanded = true;
-  setCell(target, static_cast<std::int32_t>(id), true);
-  ++expandedCount_;
+  p.expandDir = static_cast<std::uint8_t>(index(d));
+  if (maintainCount()) ++expandedCount_;
+  if (!gridsOn_) {
+    setCell(target, static_cast<std::int32_t>(id), true);
+  } else {
+    noteMutation();
+    occ_.set(target);
+    heads_.set(target);
+    expanded_.set(p.tail);
+    expanded_.set(target);
+    // Keep every particle cell interior so unchecked gathers stay licensed.
+    // Never triggers during a sharded parallel phase: the runner only
+    // activates shardSafe() particles there, and defers the rest to its
+    // single-threaded sweep.
+    if (!occ_.coversInterior(target)) regrowPlanes();
+  }
 }
 
 void AmoebotSystem::contractToHead(std::size_t id) {
   SOPS_REQUIRE(id < particles_.size(), "contractToHead: bad id");
   Particle& p = particles_[id];
   SOPS_REQUIRE(p.expanded, "contractToHead: particle not expanded");
-  clearCell(p.tail);
+  if (gridsOn_) {
+    occ_.clear(p.tail);
+    heads_.clear(p.head);
+    expanded_.clear(p.tail);
+    expanded_.clear(p.head);
+    noteMutation();
+  } else {
+    clearCell(p.tail);
+    setCell(p.head, static_cast<std::int32_t>(id), false);
+  }
+  if (maintainCount()) --expandedCount_;
   p.tail = p.head;
   p.expanded = false;
-  setCell(p.tail, static_cast<std::int32_t>(id), false);
-  --expandedCount_;
 }
 
 void AmoebotSystem::contractBack(std::size_t id) {
   SOPS_REQUIRE(id < particles_.size(), "contractBack: bad id");
   Particle& p = particles_[id];
   SOPS_REQUIRE(p.expanded, "contractBack: particle not expanded");
-  clearCell(p.head);
+  if (gridsOn_) {
+    occ_.clear(p.head);
+    heads_.clear(p.head);
+    expanded_.clear(p.tail);
+    expanded_.clear(p.head);
+    noteMutation();
+  } else {
+    clearCell(p.head);
+  }
+  if (maintainCount()) --expandedCount_;
   p.head = p.tail;
   p.expanded = false;
-  setCell(p.tail, static_cast<std::int32_t>(id), false);
-  --expandedCount_;
 }
 
 system::ParticleSystem AmoebotSystem::tailConfiguration() const {

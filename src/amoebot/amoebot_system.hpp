@@ -2,7 +2,8 @@
 #define SOPS_AMOEBOT_AMOEBOT_SYSTEM_HPP
 
 /// \file amoebot_system.hpp
-/// The geometric amoebot model substrate (paper §2.1).
+/// The geometric amoebot model substrate (paper §2.1), on the dense
+/// bitboard fast path.
 ///
 /// Particles occupy one vertex (contracted) or two adjacent vertices
 /// (expanded, with head and tail).  Particles are anonymous, have no global
@@ -10,14 +11,38 @@
 /// carry the single bit of persistent memory Algorithm A needs (the flag).
 /// Movement is by expansion into an empty adjacent vertex followed by a
 /// contraction onto head or tail.  Atomicity of activations is provided by
-/// the schedulers in scheduler.hpp.
+/// the schedulers in scheduler.hpp / parallel_scheduler.hpp.
+///
+/// Occupancy encoding.  Three bit planes share one window geometry (same
+/// origin/stride, so one bit-index computation addresses all three):
+///
+///   occ       every occupied cell — heads and tails alike,
+///   heads     heads of currently *expanded* particles,
+///   expanded  both cells (head and tail) of currently expanded particles.
+///
+/// Every per-activation query of Algorithm A becomes word loads against
+/// these planes: cell occupancy is one load of `occ`; the N* oracle of
+/// step 9 (ignore heads of expanded neighbors) is the 8-cell ring gather
+/// `occ & ~heads`; the step-3/5 expanded-neighbor scans are one 6-neighbor
+/// gather of `expanded`.  The planes keep ParticleSystem's interior-margin
+/// invariant — every particle cell sits ≥ BitGrid::kInteriorMargin inside
+/// the window, regrown on escape — which licenses the unchecked gathers.
+/// Configurations too spread out for a dense window (BitGrid::kMaxWords)
+/// degrade permanently to the sparse hash index, exactly like
+/// ParticleSystem.
+///
+/// The cell -> (id << 1 | isHead) hash index is still maintained for id
+/// lookups (at()) and as the sparse fallback; a sharded runner may suspend
+/// it during a concurrent section (see suspendIdIndex()).
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "lattice/direction.hpp"
 #include "lattice/tri_point.hpp"
 #include "rng/random.hpp"
+#include "system/bit_grid.hpp"
 #include "system/particle_system.hpp"
 #include "util/flat_hash.hpp"
 
@@ -36,7 +61,27 @@ struct Particle {
   bool mirrored = false;  ///< chirality of the private labeling
   bool crashed = false;    ///< crash fault (§3.3): never acts again
   bool byzantine = false;  ///< adversarial: expands and refuses to contract
+  /// Direction index tail -> head while expanded (set by expand(); avoids
+  /// re-deriving it from coordinates on the contraction path).
+  std::uint8_t expandDir = 0;
 };
+
+/// Private-port translation table: kPortTable[offset][mirrored][port] is
+/// the global direction of port `port` under orientation (offset,
+/// mirrored).  The reference kernel recomputes the same value with 60°
+/// rotations; tests/amoebot_test.cpp asserts the two agree.
+inline constexpr auto kPortTable = [] {
+  std::array<std::array<std::array<Direction, 6>, 2>, 6> table{};
+  for (int offset = 0; offset < 6; ++offset) {
+    for (int port = 0; port < 6; ++port) {
+      table[offset][0][port] =
+          lattice::rotated(static_cast<Direction>(offset), port);
+      table[offset][1][port] =
+          lattice::rotated(static_cast<Direction>(offset), -port);
+    }
+  }
+  return table;
+}();
 
 class AmoebotSystem {
  public:
@@ -58,13 +103,37 @@ class AmoebotSystem {
     return particles_[id];
   }
 
-  [[nodiscard]] CellView at(TriPoint cell) const noexcept;
+  /// Requires the id index to be live (it always is outside a sharded
+  /// runner's concurrent section).  While the dense planes are on, the
+  /// index is refreshed lazily here rather than on every expand/contract —
+  /// activations never consult it, so the hot path pays one dirty-bit
+  /// store instead of hash mutations.  The lazy rebuild allocates, so
+  /// (unlike the seed's pure hash probe) this is not noexcept.
+  [[nodiscard]] CellView at(TriPoint cell) const;
+
   [[nodiscard]] bool occupied(TriPoint cell) const noexcept {
-    return !at(cell).empty();
+    if (gridsOn_) return occ_.test(cell);
+    return occupancy_.contains(lattice::pack(cell));
+  }
+
+  /// Occupancy of a cell within graph distance kInteriorMargin of some
+  /// particle cell (move targets and neighbor probes qualify): skips the
+  /// window bounds check — one word load on the hot path.
+  [[nodiscard]] bool occupiedNear(TriPoint cell) const noexcept {
+    if (gridsOn_) return occ_.testUnchecked(cell);
+    return occupancy_.contains(lattice::pack(cell));
   }
 
   /// Translates a particle's private port (0..5) to a global direction.
-  [[nodiscard]] Direction globalDirection(std::size_t id, int port) const;
+  /// One 72-entry L1-resident table lookup — no modular arithmetic on the
+  /// activation hot path (kPortTable[offset][mirrored][port] ==
+  /// rotated(offset, mirrored ? -port : port) by construction).
+  [[nodiscard]] Direction globalDirection(std::size_t id, int port) const {
+    SOPS_DASSERT(id < particles_.size());
+    SOPS_DASSERT(port >= 0 && port < lattice::kNumDirections);
+    const Particle& p = particles_[id];
+    return kPortTable[p.orientationOffset][p.mirrored ? 1 : 0][port];
+  }
 
   /// True iff any cell adjacent to `cell` holds (head or tail of) an
   /// *expanded* particle other than `self`.
@@ -76,6 +145,19 @@ class AmoebotSystem {
   /// particle.
   [[nodiscard]] bool occupiedExcludingHeads(TriPoint cell,
                                             std::size_t self) const;
+
+  /// Steps 5–7 of Algorithm A for the just-expanded particle `id`: true
+  /// iff an expanded particle *other than id* is adjacent to id's tail or
+  /// head.  Equivalent to expandedParticleAdjacent(tail) ||
+  /// expandedParticleAdjacent(head), but the self-exclusion collapses to
+  /// masking the one direction bit pointing along the expansion edge.
+  [[nodiscard]] bool expandedAdjacentToMovePair(std::size_t id) const;
+
+  /// The 8-cell ring of an *expanded* particle's move (tail, expandDir)
+  /// under the N* oracle — the whole step-9/10 neighborhood of Algorithm A
+  /// as two gathers: occ ring & ~heads ring.  Ring cells never include the
+  /// particle's own tail or head, so no self test is needed.
+  [[nodiscard]] std::uint8_t nStarRingMask(std::size_t id) const;
 
   // --- atomic movements (enforce the model's physical constraints) ---
 
@@ -96,20 +178,83 @@ class AmoebotSystem {
   void markCrashed(std::size_t id) { particles_[id].crashed = true; }
   void markByzantine(std::size_t id) { particles_[id].byzantine = true; }
 
-  /// Number of currently expanded particles (diagnostics).
+  /// Number of currently expanded particles (diagnostics; not maintained
+  /// while the id index is suspended — restoreIdIndex() recomputes it).
   [[nodiscard]] std::size_t expandedCount() const noexcept { return expandedCount_; }
 
   /// Projection to the chain's state space: contracted particles at their
   /// location, expanded particles at their tails (§3.2, footnote 2).
   [[nodiscard]] system::ParticleSystem tailConfiguration() const;
 
+  // --- sharded-execution support (amoebot/parallel_scheduler) ---
+
+  /// True while the dense bit planes are live (the sharded runner requires
+  /// them for its stripe geometry; spread-out configurations fall back to
+  /// the hash index and to sequential execution).
+  [[nodiscard]] bool fastPathEnabled() const noexcept { return gridsOn_; }
+
+  /// The occupancy plane — the sharded runner derives its word-aligned
+  /// stripe decomposition from this window's origin.
+  [[nodiscard]] const system::BitGrid& occupancyGrid() const noexcept {
+    return occ_;
+  }
+
+  /// True iff every cell an activation of a particle at `tail` can touch
+  /// (reads within distance 2, a 1-cell expansion plus that head's reads)
+  /// stays strictly inside the window — i.e. no plane regrow can trigger.
+  /// The sharded runner defers activations that fail this to its
+  /// single-threaded sweep, where regrowing is safe.
+  [[nodiscard]] bool shardSafe(TriPoint tail) const noexcept {
+    return occ_.coversInteriorBy(tail, system::BitGrid::kInteriorMargin + 1);
+  }
+
+  /// Suspends maintenance of the cell -> id hash index and of
+  /// expandedCount() so concurrent stripe workers touch only bit-plane
+  /// words and per-particle state.  Only meaningful while
+  /// fastPathEnabled(); at()/particleAt-style lookups are invalid until
+  /// restoreIdIndex().  If the planes give up mid-section (window
+  /// overflow), the index is rebuilt on the spot and maintenance resumes,
+  /// since the hash then *is* the occupancy source of truth.
+  void suspendIdIndex();
+
+  /// Rebuilds the id index and expandedCount() from particle state and
+  /// resumes maintenance.
+  void restoreIdIndex();
+
  private:
   std::vector<Particle> particles_;
-  util::FlatMap64<std::int32_t> occupancy_;  ///< cell -> (id << 1) | isHead
+  /// cell -> (id << 1) | isHead.  Eagerly maintained only in sparse mode
+  /// (it is then the occupancy source of truth); with the planes on it is
+  /// rebuilt lazily by at() / restoreIdIndex() when dirty.
+  mutable util::FlatMap64<std::int32_t> occupancy_;
+  mutable bool idIndexDirty_ = false;
   std::size_t expandedCount_ = 0;
+
+  system::BitGrid occ_;       ///< all occupied cells (heads + tails)
+  system::BitGrid heads_;     ///< heads of expanded particles
+  system::BitGrid expanded_;  ///< head and tail cells of expanded particles
+  bool gridsOn_ = false;
+  bool gridsGaveUp_ = false;
+  bool sharded_ = false;  ///< between suspendIdIndex() and restoreIdIndex()
+
+  /// Bookkeeping after a mutation: sparse mode keeps the hash eagerly (the
+  /// caller already applied its updates); plane mode just marks the index
+  /// stale; a sharded section does nothing at all (restore rebuilds).
+  void noteMutation() noexcept {
+    if (gridsOn_ && !sharded_) idIndexDirty_ = true;
+  }
+  /// expandedCount_ must not be touched by concurrent stripe workers; it
+  /// is recomputed on restore (and on plane fallback, where execution is
+  /// single-threaded again).
+  [[nodiscard]] bool maintainCount() const noexcept {
+    return !sharded_ || !gridsOn_;
+  }
 
   void setCell(TriPoint cell, std::int32_t id, bool isHead);
   void clearCell(TriPoint cell);
+  void regrowPlanes();
+  void rebuildIdIndex() const;
+  void recountExpanded();
 };
 
 }  // namespace sops::amoebot

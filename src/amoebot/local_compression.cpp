@@ -1,16 +1,21 @@
 #include "amoebot/local_compression.hpp"
 
-#include <cmath>
-
-#include "core/properties.hpp"
+#include "core/move_table.hpp"
 
 namespace sops::amoebot {
 
 LocalCompressionAlgorithm::LocalCompressionAlgorithm(LocalOptions options)
     : options_(options) {
   SOPS_REQUIRE(options_.lambda > 0.0, "lambda must be positive");
-  for (int delta = -5; delta <= 5; ++delta) {
-    lambdaPow_[delta + 5] = std::pow(options_.lambda, delta);
+  // Fold the static move table and λ into per-mask decisions.  kMoveStructOk
+  // is exactly conditions (1)+(2) of step 11; lambdaPower is the shared λ^δ
+  // implementation, so the Metropolis threshold cannot drift from the chain
+  // kernel or the exact transition-matrix builder.
+  const auto& table = core::moveTable();
+  for (int m = 0; m < 256; ++m) {
+    const core::MoveTableEntry& entry = table[static_cast<std::size_t>(m)];
+    decisions_[m].threshold = core::lambdaPower(options_.lambda, entry.delta);
+    decisions_[m].structOk = (entry.flags & core::kMoveStructOk) != 0;
   }
 }
 
@@ -33,8 +38,10 @@ ActivationResult LocalCompressionAlgorithm::activateContracted(
   const TriPoint l = p.tail;
   const TriPoint target = lattice::neighbor(l, d);
 
-  // Step 3: ℓ' must be empty and P must have no expanded neighbor.
-  if (sys.occupied(target)) return ActivationResult::Idle;
+  // Step 3: ℓ' must be empty and P must have no expanded neighbor.  Both
+  // probes are within distance 1 of the tail, so the unchecked plane loads
+  // apply.
+  if (sys.occupiedNear(target)) return ActivationResult::Idle;
   if (sys.expandedParticleAdjacent(l, id)) return ActivationResult::Idle;
 
   // Step 4: expand.
@@ -42,35 +49,20 @@ ActivationResult LocalCompressionAlgorithm::activateContracted(
 
   // Steps 5–7: flag records whether the expansion happened in a
   // neighborhood free of other expanded particles.
-  const bool nearbyExpanded = sys.expandedParticleAdjacent(l, id) ||
-                              sys.expandedParticleAdjacent(target, id);
-  sys.setFlag(id, !nearbyExpanded);
+  sys.setFlag(id, !sys.expandedAdjacentToMovePair(id));
   return ActivationResult::Expanded;
 }
 
 ActivationResult LocalCompressionAlgorithm::activateExpanded(
     AmoebotSystem& sys, std::size_t id, rng::Random& rng) const {
   const Particle& p = sys.particle(id);
-  const TriPoint l = p.tail;
-  const TriPoint head = p.head;
-  const auto dOpt = lattice::directionBetween(l, head);
-  SOPS_REQUIRE(dOpt.has_value(), "expanded particle with non-adjacent head");
-  const Direction d = *dOpt;
 
-  // Steps 9–10 with the N* oracle: ignore heads of expanded neighbors
-  // (those neighbors are obligated to contract back).
-  const auto oracle = [&sys, id](TriPoint cell) {
-    return sys.occupiedExcludingHeads(cell, id);
-  };
-  const std::uint8_t mask = core::ringMask(l, d, oracle);
-  const int e = core::neighborsBefore(mask);
-  const int ePrime = core::neighborsAfter(mask);
-
-  // Step 11, conditions (1)-(4).
-  const bool conditions =
-      e != 5 && (core::property1Holds(mask) || core::property2Holds(mask)) &&
-      rng.uniform() < lambdaPow_[ePrime - e + 5] && p.flag;
-  if (conditions) {
+  // Steps 9–11: the whole structural evaluation is one N* ring gather and
+  // one decision-table load.  The uniform is drawn exactly when the
+  // structural conditions hold — identical draw order to the reference
+  // kernel's short-circuit chain (condition (4), the flag, tests last).
+  const Decision& decision = decisions_[sys.nStarRingMask(id)];
+  if (decision.structOk && rng.uniform() < decision.threshold && p.flag) {
     sys.contractToHead(id);
     return ActivationResult::MovedToHead;
   }
@@ -86,7 +78,7 @@ ActivationResult LocalCompressionAlgorithm::activateByzantine(
   const int firstPort = static_cast<int>(rng.below(6));
   for (int probe = 0; probe < 6; ++probe) {
     const Direction d = sys.globalDirection(id, (firstPort + probe) % 6);
-    if (!sys.occupied(lattice::neighbor(p.tail, d))) {
+    if (!sys.occupiedNear(lattice::neighbor(p.tail, d))) {
       sys.expand(id, d);
       sys.setFlag(id, false);
       return ActivationResult::Expanded;

@@ -15,6 +15,16 @@
 /// to the head iff (1) e ≠ 5, (2) Property 1 or 2 holds, (3) q < λ^{e'−e},
 /// and (4) the flag is set; otherwise it contracts back.
 ///
+/// Hot path.  The expanded-activation conditions (1)–(3) are pure
+/// functions of the 8-bit N* ring mask, so construction folds
+/// core::moveTable() and λ into a 256-entry decision table: one ring
+/// gather (AmoebotSystem::nStarRingMask — two bit-plane loads per word),
+/// one 16-byte table load, one uniform draw.  RNG draw order is
+/// *bit-identical* to the frozen seed kernel in reference_local_kernel.hpp
+/// (the uniform is drawn exactly when e ≠ 5 and Property 1 or 2 holds,
+/// before the flag test short-circuits) — tests/local_golden_test.cpp
+/// locks this down draw-for-draw under every scheduler.
+///
 /// Byzantine particles (§3.3) expand whenever physically possible and
 /// refuse to contract; crashed particles never act.
 
@@ -49,8 +59,14 @@ class LocalCompressionAlgorithm {
   [[nodiscard]] const LocalOptions& options() const noexcept { return options_; }
 
  private:
+  /// Per-ring-mask fold of conditions (1)+(2) and the λ^{e'−e} threshold.
+  struct Decision {
+    double threshold = 0.0;  ///< λ^{e'−e} for this mask
+    bool structOk = false;   ///< e ≠ 5 and Property 1 or 2 holds
+  };
+
   LocalOptions options_;
-  double lambdaPow_[11];  ///< λ^{e'-e}, indexed by (e'-e)+5
+  Decision decisions_[256];
 
   ActivationResult activateContracted(AmoebotSystem& sys, std::size_t id,
                                       rng::Random& rng) const;

@@ -1,0 +1,215 @@
+#include "amoebot/parallel_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/ensemble.hpp"
+#include "util/flat_hash.hpp"
+
+namespace sops::amoebot {
+
+namespace {
+
+/// Width of the halo band on each side of a stripe, in columns.  An
+/// activation reads within lattice distance 2 of the tail and |Δx| never
+/// exceeds the lattice distance, so a tail at in-stripe column [2, 61]
+/// keeps every read and write inside its own 64-column stripe.
+constexpr std::uint64_t kHaloColumns = 2;
+constexpr std::uint64_t kStripeColumns = 64;
+
+/// RAII id-index suspension for one run: restore must happen even when an
+/// epoch throws (ContractViolation, bad_alloc), or the system would be
+/// left with at()/expandedCount() permanently invalid.  restoreIdIndex()
+/// is idempotent, including after a mid-run sparse fallback cleared the
+/// suspension itself.
+class IdIndexSuspension {
+ public:
+  explicit IdIndexSuspension(AmoebotSystem& sys) : sys_(sys) {
+    if (sys_.fastPathEnabled()) sys_.suspendIdIndex();
+  }
+  ~IdIndexSuspension() { sys_.restoreIdIndex(); }
+  IdIndexSuspension(const IdIndexSuspension&) = delete;
+  IdIndexSuspension& operator=(const IdIndexSuspension&) = delete;
+
+ private:
+  AmoebotSystem& sys_;
+};
+
+}  // namespace
+
+ShardedPoissonRunner::ShardedPoissonRunner(
+    AmoebotSystem& sys, const LocalCompressionAlgorithm& algo,
+    std::uint64_t seed, ShardedOptions options)
+    : sys_(sys), algo_(algo), options_(std::move(options)),
+      rates_(std::move(options_.rates)) {
+  const std::size_t n = sys_.size();
+  SOPS_REQUIRE(n > 0, "sharded runner needs particles");
+  SOPS_REQUIRE(n <= std::numeric_limits<std::uint32_t>::max(),
+               "sharded runner: particle ids are 32-bit");
+  if (rates_.empty()) rates_.assign(n, 1.0);
+  SOPS_REQUIRE(rates_.size() == n, "one rate per particle");
+  double totalRate = 0.0;
+  for (const double rate : rates_) {
+    SOPS_REQUIRE(rate > 0.0, "Poisson rates must be positive");
+    totalRate += rate;
+  }
+  std::uint64_t target = options_.targetEventsPerEpoch;
+  if (target == 0) {
+    target = std::max<std::uint64_t>(2 * n, 1024);
+  }
+  epochLength_ = static_cast<double>(target) / totalRate;
+
+  // Independent decorrelated streams per particle: every draw is a pure
+  // function of (seed, particle, draw index) — thread interleaving cannot
+  // reach them.  Seeding avalanches (seed, stream) through mix64 rather
+  // than Random::fork(): fork()'s engine jump costs ~256 state advances,
+  // which at 2 streams × 10⁶ particles would dominate construction.
+  clockRng_.reserve(n);
+  coinRng_.reserve(n);
+  nextTime_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto stream = static_cast<std::uint64_t>(i);
+    clockRng_.emplace_back(
+        util::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (2 * stream + 1))));
+    coinRng_.emplace_back(
+        util::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (2 * stream + 2))));
+    nextTime_.push_back(clockRng_[i].exponential(rates_[i]));
+  }
+}
+
+void ShardedPoissonRunner::runStripe(std::size_t s, double epochEnd,
+                                     std::int64_t originX) {
+  std::vector<Event>& deferred = stripeDeferred_[s];
+  deferred.clear();
+  std::uint64_t executed = 0;
+
+  // Event times are independent of system state, so the stripe's whole
+  // epoch schedule can be drawn up front (the per-particle clock streams
+  // make the draws order-insensitive across particles) and sorted once —
+  // one sequential pass instead of per-event heap churn.
+  std::vector<Event>& events = stripeEvents_[s];
+  events.clear();
+  for (const std::uint32_t i : stripeParticles_[s]) {
+    double t = nextTime_[i];
+    do {
+      events.push_back({t, i});
+      t += clockRng_[i].exponential(rates_[i]);
+    } while (t < epochEnd);
+    nextTime_[i] = t;
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.particle < b.particle;
+  });
+
+  for (const Event& event : events) {
+    const std::uint32_t i = event.particle;
+    // Halo/window deferral, evaluated on the *current* tail: once a
+    // particle is in a band its position cannot change again this phase
+    // (its activations are all deferred), so the decision is stable.
+    const TriPoint tail = sys_.particle(i).tail;
+    const auto col =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(tail.x) - originX);
+    const std::uint64_t inStripe = col & (kStripeColumns - 1);
+    const bool safe = (col >> 6) == s && inStripe >= kHaloColumns &&
+                      inStripe < kStripeColumns - kHaloColumns &&
+                      sys_.shardSafe(tail);
+    if (safe) {
+      algo_.activate(sys_, i, coinRng_[i]);
+      ++executed;
+    } else {
+      deferred.push_back(event);
+    }
+  }
+  stripeActivations_[s] = executed;
+}
+
+std::uint64_t ShardedPoissonRunner::runEpoch() {
+  const double epochEnd = now_ + epochLength_;
+  sweepEvents_.clear();
+  std::uint64_t executed = 0;
+
+  if (sys_.fastPathEnabled()) {
+    const system::BitGrid& grid = sys_.occupancyGrid();
+    const std::int64_t originX = grid.originX();
+    const std::size_t stripeCount =
+        static_cast<std::size_t>((grid.width() + kStripeColumns - 1) /
+                                 kStripeColumns);
+    if (stripeParticles_.size() < stripeCount) {
+      stripeParticles_.resize(stripeCount);
+      stripeEvents_.resize(stripeCount);
+      stripeDeferred_.resize(stripeCount);
+      stripeActivations_.resize(stripeCount);
+    }
+    for (auto& list : stripeParticles_) list.clear();
+
+    for (std::size_t i = 0; i < sys_.size(); ++i) {
+      if (nextTime_[i] >= epochEnd) continue;
+      const auto col = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(sys_.particle(i).tail.x) - originX);
+      stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    std::vector<std::size_t> active;
+    for (std::size_t s = 0; s < stripeCount; ++s) {
+      if (!stripeParticles_[s].empty()) active.push_back(s);
+    }
+    core::parallelForIndex(active.size(), options_.threads,
+                           [&](std::size_t k) {
+                             runStripe(active[k], epochEnd, originX);
+                           });
+    for (const std::size_t s : active) {
+      executed += stripeActivations_[s];
+      sweepEvents_.insert(sweepEvents_.end(), stripeDeferred_[s].begin(),
+                          stripeDeferred_[s].end());
+    }
+  } else {
+    // Sparse fallback: no stripe geometry — the whole epoch runs on the
+    // sweep path in pure (time, particle) order.
+    for (std::size_t i = 0; i < sys_.size(); ++i) {
+      while (nextTime_[i] < epochEnd) {
+        sweepEvents_.push_back({nextTime_[i], static_cast<std::uint32_t>(i)});
+        nextTime_[i] += clockRng_[i].exponential(rates_[i]);
+      }
+    }
+  }
+
+  // Single-threaded sweep: all deferred events in (time, particle) order —
+  // a legal sequential tail of the epoch's schedule; window regrows are
+  // safe here.
+  std::sort(sweepEvents_.begin(), sweepEvents_.end(),
+            [](const Event& a, const Event& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.particle < b.particle;
+            });
+  for (const Event& event : sweepEvents_) {
+    algo_.activate(sys_, event.particle, coinRng_[event.particle]);
+  }
+  executed += sweepEvents_.size();
+  sweepActivations_ += sweepEvents_.size();
+
+  now_ = epochEnd;
+  totalActivations_ += executed;
+  return executed;
+}
+
+std::uint64_t ShardedPoissonRunner::runAtLeast(std::uint64_t minActivations) {
+  const IdIndexSuspension suspension(sys_);
+  std::uint64_t executed = 0;
+  while (executed < minActivations) {
+    executed += runEpoch();
+  }
+  return executed;
+}
+
+std::uint64_t ShardedPoissonRunner::runFor(double duration) {
+  const IdIndexSuspension suspension(sys_);
+  const double target = now_ + duration;
+  std::uint64_t executed = 0;
+  while (now_ < target) {
+    executed += runEpoch();
+  }
+  return executed;
+}
+
+}  // namespace sops::amoebot

@@ -1,0 +1,133 @@
+#ifndef SOPS_AMOEBOT_PARALLEL_SCHEDULER_HPP
+#define SOPS_AMOEBOT_PARALLEL_SCHEDULER_HPP
+
+/// \file parallel_scheduler.hpp
+/// Sharded concurrent execution of Algorithm A: million-particle Poisson
+/// runs on all cores, deterministic per seed.
+///
+/// The amoebot model is asynchronous — any schedule of atomic activations
+/// is legal, and §3.2 realizes uniform selection by independent Poisson
+/// clocks.  Two activations whose read/write neighborhoods are disjoint
+/// commute, so they may run concurrently without changing what any single
+/// schedule could have produced.  This runner exploits that:
+///
+/// **Stripes.**  The occupancy window is cut into vertical stripes of 64
+/// lattice columns, exactly the bit planes' 64-bit word columns, so no two
+/// stripes ever touch the same word.  An activation of a particle at tail
+/// ℓ reads cells within lattice distance 2 of ℓ and writes within distance
+/// 1 (|Δx| ≤ distance on G∆'s axial x), so a particle whose in-stripe
+/// column lies in the interior band [2, 61] is processed entirely inside
+/// its stripe.  Stripes therefore share no state at all — each owns its
+/// particles' structs, private RNG streams, and plane words — and can run
+/// on any number of threads with identical results.
+///
+/// **Halo deferral.**  Events of particles in the 2-column halo bands (or
+/// close enough to the window edge that an expansion could force a plane
+/// regrow, AmoebotSystem::shardSafe) are not executed in the parallel
+/// phase: the owning stripe routes them, with their Poisson timestamps, to
+/// a deferred list.  A particle that wanders into a band mid-epoch is
+/// deferred from that event on (its position then cannot change until the
+/// sweep, so the decision is stable).  After the stripes join, the main
+/// thread executes all deferred events in (time, particle) order — a
+/// legal sequential tail of the epoch's schedule, free to regrow windows.
+///
+/// **Clocks and coins.**  Each particle owns two decorrelated RNG streams
+/// forked from the master seed: one drives its exponential waiting times,
+/// one its activation coin flips.  Every random draw is therefore a pure
+/// function of (seed, particle, how often that particle acted) — never of
+/// thread interleaving — which, with the deterministic stripe/halo rules
+/// above, makes the whole trajectory a pure function of the seed.
+/// tests/local_golden_test.cpp pins this across thread counts.
+///
+/// Time advances in epochs of Δ = targetEventsPerEpoch / Σrates; epoch
+/// boundaries are the only global synchronization.  Configurations too
+/// spread out for the dense planes (AmoebotSystem::fastPathEnabled()
+/// false) degrade to running every event on the sweep path — same
+/// trajectory contract, no parallelism.
+
+#include <cstdint>
+#include <vector>
+
+#include "amoebot/amoebot_system.hpp"
+#include "amoebot/local_compression.hpp"
+#include "rng/random.hpp"
+
+namespace sops::amoebot {
+
+struct ShardedOptions {
+  /// Worker threads for the stripe phase; 0 uses hardware_concurrency().
+  /// The trajectory is identical for every value.
+  unsigned threads = 0;
+  /// Expected activations per epoch (sets Δ = target / Σrates); 0 derives
+  /// max(2n, 1024).  Smaller epochs tighten the interleaving granularity,
+  /// larger ones amortize the epoch barrier.
+  std::uint64_t targetEventsPerEpoch = 0;
+  /// Per-particle Poisson rates; empty => all 1 (§3.2 allows heterogeneous
+  /// rates without changing the stationary distribution).
+  std::vector<double> rates;
+};
+
+class ShardedPoissonRunner {
+ public:
+  /// The runner holds references: `sys` and `algo` must outlive it.
+  ShardedPoissonRunner(AmoebotSystem& sys,
+                       const LocalCompressionAlgorithm& algo,
+                       std::uint64_t seed, ShardedOptions options = {});
+
+  /// Runs whole epochs until at least `minActivations` activations have
+  /// executed in this call; returns the number executed.  The id index is
+  /// suspended for the duration and restored before returning, so the
+  /// system is fully consistent (at(), expandedCount()) between calls.
+  std::uint64_t runAtLeast(std::uint64_t minActivations);
+
+  /// Runs whole epochs until simulated time advances by `duration`.
+  std::uint64_t runFor(double duration);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t activations() const noexcept {
+    return totalActivations_;
+  }
+  /// Activations executed on the sequential sweep (halo + window-edge
+  /// deferrals) since construction — the serial fraction of the run.
+  [[nodiscard]] std::uint64_t sweepActivations() const noexcept {
+    return sweepActivations_;
+  }
+  [[nodiscard]] double epochLength() const noexcept { return epochLength_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint32_t particle;
+  };
+
+  AmoebotSystem& sys_;
+  const LocalCompressionAlgorithm& algo_;
+  ShardedOptions options_;
+  std::vector<double> rates_;
+  double epochLength_;
+  double now_ = 0.0;
+  std::uint64_t totalActivations_ = 0;
+  std::uint64_t sweepActivations_ = 0;
+
+  std::vector<rng::Random> clockRng_;  ///< waiting-time stream per particle
+  std::vector<rng::Random> coinRng_;   ///< activation-coin stream per particle
+  std::vector<double> nextTime_;       ///< next pending activation time
+
+  /// Reused per-epoch buffers.
+  std::vector<std::vector<std::uint32_t>> stripeParticles_;
+  std::vector<std::vector<Event>> stripeEvents_;
+  std::vector<std::vector<Event>> stripeDeferred_;
+  std::vector<std::uint64_t> stripeActivations_;
+  std::vector<Event> sweepEvents_;
+
+  /// One epoch [now_, now_ + Δ): stripe phase, join, deferred sweep.
+  /// Returns activations executed.
+  std::uint64_t runEpoch();
+  /// Processes stripe `s` (events of its interior particles in time order,
+  /// halo events routed to stripeDeferred_[s]).  Runs on a worker thread.
+  void runStripe(std::size_t s, double epochEnd, std::int64_t originX);
+};
+
+}  // namespace sops::amoebot
+
+#endif  // SOPS_AMOEBOT_PARALLEL_SCHEDULER_HPP

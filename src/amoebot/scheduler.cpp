@@ -5,9 +5,7 @@
 
 namespace sops::amoebot {
 
-PoissonScheduler::PoissonScheduler(std::size_t particleCount, rng::Random rng,
-                                   std::vector<double> rates)
-    : rates_(std::move(rates)), rng_(rng) {
+void PoissonScheduler::validateRates(std::size_t particleCount) {
   SOPS_REQUIRE(particleCount > 0, "scheduler needs particles");
   if (rates_.empty()) {
     rates_.assign(particleCount, 1.0);
@@ -16,8 +14,23 @@ PoissonScheduler::PoissonScheduler(std::size_t particleCount, rng::Random rng,
   for (const double rate : rates_) {
     SOPS_REQUIRE(rate > 0.0, "Poisson rates must be positive");
   }
+}
+
+PoissonScheduler::PoissonScheduler(std::size_t particleCount, rng::Random rng,
+                                   std::vector<double> rates)
+    : rates_(std::move(rates)), rng_(rng) {
+  validateRates(particleCount);
   for (std::size_t id = 0; id < particleCount; ++id) {
     queue_.push({rng_.exponential(rates_[id]), id});
+  }
+}
+
+PoissonScheduler::PoissonScheduler(std::vector<double> initialTimes,
+                                   rng::Random rng, std::vector<double> rates)
+    : rates_(std::move(rates)), rng_(rng) {
+  validateRates(initialTimes.size());
+  for (std::size_t id = 0; id < initialTimes.size(); ++id) {
+    queue_.push({initialTimes[id], id});
   }
 }
 

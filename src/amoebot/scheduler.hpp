@@ -34,6 +34,12 @@ class PoissonScheduler {
   PoissonScheduler(std::size_t particleCount, rng::Random rng,
                    std::vector<double> rates = {});
 
+  /// Testing/checkpoint seam: starts every particle's clock from the given
+  /// next-activation time instead of drawing the first waiting times.
+  /// Exercised by the determinism tests to pin the tie-breaking order.
+  PoissonScheduler(std::vector<double> initialTimes, rng::Random rng,
+                   std::vector<double> rates = {});
+
   /// Pops the next activation and schedules that particle's next one.
   Activation next();
 
@@ -43,14 +49,23 @@ class PoissonScheduler {
   struct Event {
     double time;
     std::size_t particle;
+    /// Strict ordering on (time, particle): simultaneous clock ticks (a
+    /// measure-zero event for exponential gaps, but reachable through the
+    /// seam above and through float rounding) pop in particle-id order, so
+    /// the activation sequence is a pure function of the seed and the
+    /// rates — never of priority-queue internals or insertion order.
     bool operator>(const Event& other) const noexcept {
-      return time > other.time;
+      if (time != other.time) return time > other.time;
+      return particle > other.particle;
     }
   };
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::vector<double> rates_;
   rng::Random rng_;
   double now_ = 0.0;
+
+  /// Defaults empty rates to 1 and enforces the shared rate contract.
+  void validateRates(std::size_t particleCount);
 };
 
 class SequentialScheduler {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -34,5 +35,166 @@ Summary summarize(std::span<const double> samples) {
 }
 
 double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+
+/// Series representation of the *lower* regularized incomplete gamma
+/// P(a, x); converges fast for x < a + 1.
+double gammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Modified Lentz continued fraction for Q(a, x); converges for x ≥ a + 1.
+double gammaQContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularizedGammaQ(double a, double x) {
+  SOPS_REQUIRE(a > 0.0, "regularizedGammaQ: a must be positive");
+  SOPS_REQUIRE(x >= 0.0, "regularizedGammaQ: x must be non-negative");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gammaPSeries(a, x);
+  return gammaQContinuedFraction(a, x);
+}
+
+double chiSquareSurvival(double statistic, int dof) {
+  SOPS_REQUIRE(dof > 0, "chiSquareSurvival: dof must be positive");
+  SOPS_REQUIRE(statistic >= 0.0, "chiSquareSurvival: statistic >= 0");
+  return regularizedGammaQ(0.5 * static_cast<double>(dof), 0.5 * statistic);
+}
+
+ChiSquareResult chiSquareGoodnessOfFit(
+    std::span<const double> observedCounts,
+    std::span<const double> expectedProbabilities, double minExpected) {
+  SOPS_REQUIRE(observedCounts.size() == expectedProbabilities.size(),
+               "chiSquare: one expected probability per observed cell");
+  SOPS_REQUIRE(observedCounts.size() >= 2, "chiSquare: need >= 2 cells");
+  double total = 0.0;
+  double probabilityMass = 0.0;
+  for (std::size_t i = 0; i < observedCounts.size(); ++i) {
+    SOPS_REQUIRE(observedCounts[i] >= 0.0, "chiSquare: negative count");
+    SOPS_REQUIRE(expectedProbabilities[i] >= 0.0,
+                 "chiSquare: negative probability");
+    total += observedCounts[i];
+    probabilityMass += expectedProbabilities[i];
+  }
+  SOPS_REQUIRE(total > 0.0, "chiSquare: empty sample");
+  SOPS_REQUIRE(probabilityMass > 0.0, "chiSquare: zero probability mass");
+
+  ChiSquareResult result;
+  // Cells below the minimum expected count are merged into one pooled
+  // cell so the χ² approximation stays valid in distribution tails.
+  double pooledObserved = 0.0;
+  double pooledExpected = 0.0;
+  int effectiveCells = 0;
+  for (std::size_t i = 0; i < observedCounts.size(); ++i) {
+    const double expected =
+        total * expectedProbabilities[i] / probabilityMass;
+    if (expected < minExpected || expected == 0.0) {
+      pooledObserved += observedCounts[i];
+      pooledExpected += expected;
+      ++result.pooledCells;
+      continue;
+    }
+    const double diff = observedCounts[i] - expected;
+    result.statistic += diff * diff / expected;
+    ++effectiveCells;
+  }
+  // Observations in cells the hypothesis declares impossible (zero
+  // expected mass, alone or pooled) are a categorical rejection — the
+  // statistic is unbounded there, not ignorable.
+  if (pooledExpected == 0.0 && pooledObserved > 0.0) {
+    result.statistic = std::numeric_limits<double>::infinity();
+    result.dof = std::max(effectiveCells - 1, 1);
+    result.pValue = 0.0;
+    return result;
+  }
+  if (pooledExpected > 0.0) {
+    const double diff = pooledObserved - pooledExpected;
+    result.statistic += diff * diff / pooledExpected;
+    ++effectiveCells;
+  }
+  SOPS_REQUIRE(effectiveCells >= 2,
+               "chiSquare: fewer than 2 effective cells after pooling");
+  result.dof = effectiveCells - 1;
+  result.pValue = chiSquareSurvival(result.statistic, result.dof);
+  return result;
+}
+
+KsResult ksTwoSample(std::span<const double> a, std::span<const double> b) {
+  SOPS_REQUIRE(!a.empty() && !b.empty(), "ksTwoSample: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  KsResult result;
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double value = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= value) ++ia;
+    while (ib < sb.size() && sb[ib] <= value) ++ib;
+    const double gap =
+        std::abs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb);
+    if (gap > result.statistic) result.statistic = gap;
+  }
+
+  // Asymptotic Kolmogorov survival Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²} with
+  // the Stephens effective-size correction.  As λ → 0 the alternating
+  // series stops converging (every term → 1) while the true survival → 1,
+  // so a truncated partial sum must not be trusted: if the terms have not
+  // decayed within the budget, the distributions are statistically
+  // indistinguishable and the p-value is 1.
+  const double ne = na * nb / (na + nb);
+  const double lambda =
+      (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * result.statistic;
+  double sum = 0.0;
+  double sign = 1.0;
+  bool converged = false;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        std::exp(-2.0 * static_cast<double>(k) * static_cast<double>(k) *
+                 lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) {
+      converged = true;
+      break;
+    }
+    sign = -sign;
+  }
+  result.pValue = converged ? std::clamp(2.0 * sum, 0.0, 1.0) : 1.0;
+  return result;
+}
 
 }  // namespace sops::analysis

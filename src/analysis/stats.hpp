@@ -3,7 +3,10 @@
 
 /// \file stats.hpp
 /// Summary statistics for experiment harnesses: mean, variance, quantiles,
-/// and a streaming accumulator (Welford) for long runs.
+/// a streaming accumulator (Welford) for long runs, and the two
+/// goodness-of-fit tests backing the local-vs-chain differential harness
+/// (tests/local_vs_chain_test.cpp): Pearson chi-square against a known
+/// discrete distribution and the two-sample Kolmogorov–Smirnov test.
 
 #include <cstdint>
 #include <span>
@@ -55,6 +58,43 @@ class Accumulator {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+/// Upper regularized incomplete gamma function Q(a, x) = Γ(a, x)/Γ(a) for
+/// a > 0, x ≥ 0, computed by the standard series (x < a + 1) / continued
+/// fraction (x ≥ a + 1) split.  Q(k/2, x/2) is the chi-square survival
+/// function with k degrees of freedom.
+[[nodiscard]] double regularizedGammaQ(double a, double x);
+
+/// Chi-square survival function: P(X ≥ statistic) for X ~ χ²(dof).
+[[nodiscard]] double chiSquareSurvival(double statistic, int dof);
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  int dof = 0;
+  double pValue = 1.0;
+  /// Number of low-expectation cells merged into the pooled cell (0 when
+  /// every cell met minExpected).
+  std::size_t pooledCells = 0;
+};
+
+/// Pearson chi-square goodness-of-fit of observed category counts against
+/// expected probabilities (renormalized internally).  Cells whose expected
+/// count falls below `minExpected` are pooled into a single cell first
+/// (Cochran's rule); dof = effective cells − 1.  Requires at least two
+/// effective cells and a positive total count.
+[[nodiscard]] ChiSquareResult chiSquareGoodnessOfFit(
+    std::span<const double> observedCounts,
+    std::span<const double> expectedProbabilities, double minExpected = 5.0);
+
+struct KsResult {
+  double statistic = 0.0;  ///< D = sup |F̂_a − F̂_b|
+  double pValue = 1.0;     ///< asymptotic Kolmogorov distribution
+};
+
+/// Two-sample Kolmogorov–Smirnov test (asymptotic p-value with the
+/// Stephens small-sample correction).  Both samples must be non-empty.
+[[nodiscard]] KsResult ksTwoSample(std::span<const double> a,
+                                   std::span<const double> b);
 
 }  // namespace sops::analysis
 

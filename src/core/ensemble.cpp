@@ -56,39 +56,30 @@ ReplicaResult runReplica(const ReplicaSpec& spec, std::size_t index,
 
 }  // namespace
 
-std::vector<ReplicaResult> runEnsemble(std::span<const ReplicaSpec> specs,
-                                       const EnsembleOptions& options) {
-  std::vector<ReplicaResult> results(specs.size());
-  if (specs.empty()) return results;
-
-  unsigned threads = options.threads;
+void parallelForIndex(std::size_t count, unsigned threads,
+                      const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  SOPS_REQUIRE(fn != nullptr, "parallelForIndex: fn required");
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, specs.size()));
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, count));
 
   std::atomic<std::size_t> next{0};
-  std::mutex doneMutex;
+  std::mutex errorMutex;
   std::exception_ptr firstError;
 
   const auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= specs.size()) return;
+      if (i >= count) return;
       try {
-        ReplicaResult result =
-            runReplica(specs[i], i, options.keepFinalSystems);
-        if (options.onReplicaDone) {
-          const std::lock_guard<std::mutex> lock(doneMutex);
-          options.onReplicaDone(result);
-        }
-        results[i] = std::move(result);
+        fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(doneMutex);
+        const std::lock_guard<std::mutex> lock(errorMutex);
         if (!firstError) firstError = std::current_exception();
-        // Drain remaining specs so sibling workers exit promptly.
-        next.store(specs.size(), std::memory_order_relaxed);
+        // Drain remaining indices so sibling workers exit promptly.
+        next.store(count, std::memory_order_relaxed);
         return;
       }
     }
@@ -103,6 +94,22 @@ std::vector<ReplicaResult> runEnsemble(std::span<const ReplicaSpec> specs,
     for (std::thread& t : pool) t.join();
   }
   if (firstError) std::rethrow_exception(firstError);
+}
+
+std::vector<ReplicaResult> runEnsemble(std::span<const ReplicaSpec> specs,
+                                       const EnsembleOptions& options) {
+  std::vector<ReplicaResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  std::mutex doneMutex;
+  parallelForIndex(specs.size(), options.threads, [&](std::size_t i) {
+    ReplicaResult result = runReplica(specs[i], i, options.keepFinalSystems);
+    if (options.onReplicaDone) {
+      const std::lock_guard<std::mutex> lock(doneMutex);
+      options.onReplicaDone(result);
+    }
+    results[i] = std::move(result);
+  });
   return results;
 }
 

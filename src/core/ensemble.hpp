@@ -84,6 +84,18 @@ struct EnsembleOptions {
   std::function<void(const ReplicaResult&)> onReplicaDone;
 };
 
+/// The ensemble thread pool as a reusable primitive: runs fn(i) for every
+/// i in [0, count) across `threads` workers stealing indices from an
+/// atomic counter (threads == 0 uses hardware_concurrency; a single
+/// worker, or count <= 1, runs inline on the caller's thread).  The first
+/// exception thrown by any fn cancels the remaining indices and is
+/// rethrown on the caller after all workers join.  runEnsemble() and the
+/// sharded amoebot runner (amoebot/parallel_scheduler) both drive their
+/// fan-out through this function.  fn must make concurrent invocations on
+/// distinct indices safe.
+void parallelForIndex(std::size_t count, unsigned threads,
+                      const std::function<void(std::size_t)>& fn);
+
 /// Runs every spec to completion across the thread pool; results are
 /// returned in spec order and are independent of the thread count.
 [[nodiscard]] std::vector<ReplicaResult> runEnsemble(

@@ -35,16 +35,33 @@ bool BitGrid::rebuild(std::span<const TriPoint> points,
   width_ = width;
   height_ = height;
   strideWords_ = strideWords;
-  const auto strideBits = static_cast<std::int64_t>(strideWords * 64);
+  computeDeltas();
+  words_.assign(static_cast<std::size_t>(strideWords * height), 0);
+  for (const TriPoint p : points) set(p);
+  return true;
+}
+
+void BitGrid::computeDeltas() noexcept {
+  const auto strideBits = static_cast<std::int64_t>(strideWords_ * 64);
   for (int d = 0; d < lattice::kNumDirections; ++d) {
     for (int idx = 0; idx < lattice::kEdgeRingSize; ++idx) {
       const TriPoint off = lattice::kEdgeRingOffsets[d][idx];
       ringDeltas_[d][idx] = off.y * strideBits + off.x;
     }
+    const TriPoint noff = lattice::offset(lattice::directionFromIndex(d));
+    neighborDeltas_[d] = noff.y * strideBits + noff.x;
   }
-  words_.assign(static_cast<std::size_t>(strideWords * height), 0);
-  for (const TriPoint p : points) set(p);
-  return true;
+}
+
+void BitGrid::allocateLike(const BitGrid& other) {
+  SOPS_REQUIRE(other.enabled(), "allocateLike: source grid not enabled");
+  originX_ = other.originX_;
+  originY_ = other.originY_;
+  width_ = other.width_;
+  height_ = other.height_;
+  strideWords_ = other.strideWords_;
+  computeDeltas();
+  words_.assign(other.words_.size(), 0);
 }
 
 void BitGrid::disable() noexcept {

@@ -60,12 +60,22 @@ class BitGrid {
   /// what licenses testUnchecked() on any cell within graph distance
   /// kInteriorMargin of a particle (ring and target cells of a move).
   [[nodiscard]] bool coversInterior(TriPoint p) const noexcept {
+    return coversInteriorBy(p, kInteriorMargin);
+  }
+
+  /// True iff p lies at least `depth` cells from every window edge.  The
+  /// sharded amoebot runner uses depth = kInteriorMargin + 1 so that a
+  /// particle it activates concurrently can expand one cell in any
+  /// direction and the head still satisfies coversInterior() — no window
+  /// regrow can trigger inside a parallel phase.
+  [[nodiscard]] bool coversInteriorBy(TriPoint p,
+                                      std::int64_t depth) const noexcept {
     const auto dx = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(p.x) - originX_ - kInteriorMargin);
+        static_cast<std::int64_t>(p.x) - originX_ - depth);
     const auto dy = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(p.y) - originY_ - kInteriorMargin);
-    return dx < width_ - 2 * kInteriorMargin &&
-           dy < height_ - 2 * kInteriorMargin;
+        static_cast<std::int64_t>(p.y) - originY_ - depth);
+    return dx < width_ - 2 * static_cast<std::uint64_t>(depth) &&
+           dy < height_ - 2 * static_cast<std::uint64_t>(depth);
   }
 
   /// Ring/target cells sit within graph distance 2 of a particle.
@@ -101,6 +111,27 @@ class BitGrid {
     for (int idx = 0; idx < lattice::kEdgeRingSize; ++idx) {
       const std::uint64_t bit =
           base + static_cast<std::uint64_t>(deltas[idx]);
+      mask |= static_cast<std::uint32_t>((words_[bit >> 6] >> (bit & 63)) & 1u)
+              << idx;
+    }
+    return static_cast<std::uint8_t>(mask);
+  }
+
+  /// Occupancy bitmask of the 6 neighbors of p: bit i is the cell
+  /// p + offset(directionFromIndex(i)), gathered through per-direction bit
+  /// deltas precomputed at rebuild()/allocateLike().  Precondition: every
+  /// neighbor of p lies inside the window — guaranteed when some cell
+  /// within distance 1 of p satisfies coversInterior().
+  [[nodiscard]] std::uint8_t neighborMaskUnchecked(TriPoint p) const noexcept {
+    SOPS_DASSERT(covers(p));
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(p.y) - originY_) *
+            (strideWords_ * 64) +
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(p.x) - originX_);
+    std::uint32_t mask = 0;
+    for (int idx = 0; idx < lattice::kNumDirections; ++idx) {
+      const std::uint64_t bit =
+          base + static_cast<std::uint64_t>(neighborDeltas_[idx]);
       mask |= static_cast<std::uint32_t>((words_[bit >> 6] >> (bit & 63)) & 1u)
               << idx;
     }
@@ -145,6 +176,14 @@ class BitGrid {
   /// the window would exceed kMaxWords or points is empty.
   bool rebuild(std::span<const TriPoint> points, std::int64_t baseMargin);
 
+  /// Allocates an all-clear window with the exact geometry of `other`
+  /// (origin, width, height, stride, precomputed deltas).  Grids built this
+  /// way answer unchecked queries under the same interior-margin invariant
+  /// as `other` — the amoebot layer keeps its occupancy/head/expanded
+  /// planes aligned so one bit-index computation serves all three.
+  /// Precondition: other.enabled().
+  void allocateLike(const BitGrid& other);
+
   /// Releases the window; enabled() becomes false.
   void disable() noexcept;
 
@@ -164,6 +203,10 @@ class BitGrid {
   /// Bit-index deltas of the 8 ring cells per direction, valid for the
   /// current stride: delta = offset.y * strideBits + offset.x.
   std::int64_t ringDeltas_[lattice::kNumDirections][lattice::kEdgeRingSize] = {};
+  /// Bit-index deltas of the 6 neighbor cells, same convention.
+  std::int64_t neighborDeltas_[lattice::kNumDirections] = {};
+
+  void computeDeltas() noexcept;
 };
 
 }  // namespace sops::system

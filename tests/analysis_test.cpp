@@ -11,6 +11,7 @@
 #include "analysis/csv.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/time_series.hpp"
+#include "rng/random.hpp"
 #include "util/assert.hpp"
 
 namespace sops::analysis {
@@ -67,6 +68,130 @@ TEST(Stats, AccumulatorSingleValue) {
   acc.add(42.0);
   EXPECT_NEAR(acc.mean(), 42.0, 1e-12);
   EXPECT_NEAR(acc.variance(), 0.0, 1e-12);
+}
+
+// --- goodness-of-fit helpers (these back tests/local_vs_chain_test.cpp) --
+
+TEST(GammaQ, KnownValues) {
+  // Q(1, x) = e^{-x} (chi-square with 2 dof), Q(1/2, x) = erfc(sqrt(x))
+  // (chi-square with 1 dof).
+  EXPECT_NEAR(regularizedGammaQ(1.0, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(regularizedGammaQ(1.0, 5.0), std::exp(-5.0), 1e-12);
+  EXPECT_NEAR(regularizedGammaQ(0.5, 0.5), std::erfc(std::sqrt(0.5)), 1e-12);
+  EXPECT_NEAR(regularizedGammaQ(0.5, 8.0), std::erfc(std::sqrt(8.0)), 1e-12);
+  EXPECT_NEAR(regularizedGammaQ(3.0, 0.0), 1.0, 1e-15);
+  // Median of chi-square(2) is 2 ln 2.
+  EXPECT_NEAR(chiSquareSurvival(2.0 * std::log(2.0), 2), 0.5, 1e-12);
+  EXPECT_THROW((void)regularizedGammaQ(0.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)regularizedGammaQ(1.0, -1.0), ContractViolation);
+}
+
+TEST(ChiSquare, ExactMatchScoresZero) {
+  const std::vector<double> observed{25.0, 25.0, 25.0, 25.0};
+  const std::vector<double> expected{0.25, 0.25, 0.25, 0.25};
+  const ChiSquareResult r = chiSquareGoodnessOfFit(observed, expected);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_EQ(r.dof, 3);
+  EXPECT_NEAR(r.pValue, 1.0, 1e-12);
+  EXPECT_EQ(r.pooledCells, 0u);
+}
+
+TEST(ChiSquare, KnownStatisticAndPValue) {
+  // Classic fair-die example: counts {16,18,16,14,12,24} over 100 rolls,
+  // chi2 = sum (o-e)^2/e with e = 100/6.
+  const std::vector<double> observed{16, 18, 16, 14, 12, 24};
+  const std::vector<double> expected(6, 1.0 / 6.0);
+  const ChiSquareResult r = chiSquareGoodnessOfFit(observed, expected);
+  double stat = 0.0;
+  for (const double o : observed) {
+    const double e = 100.0 / 6.0;
+    stat += (o - e) * (o - e) / e;
+  }
+  EXPECT_NEAR(r.statistic, stat, 1e-12);
+  EXPECT_EQ(r.dof, 5);
+  EXPECT_NEAR(r.pValue, chiSquareSurvival(stat, 5), 1e-15);
+  EXPECT_GT(r.pValue, 0.05);  // a fair die should not be rejected
+}
+
+TEST(ChiSquare, UniformSamplesAcceptedBiasedRejected) {
+  rng::Random rng(1);
+  std::vector<double> counts(10, 0.0);
+  for (int i = 0; i < 100000; ++i) counts[rng.below(10)] += 1.0;
+  const std::vector<double> uniform(10, 0.1);
+  EXPECT_GT(chiSquareGoodnessOfFit(counts, uniform).pValue, 0.01);
+
+  // Severely biased sample against the uniform hypothesis.
+  std::vector<double> biased(10, 0.0);
+  for (int i = 0; i < 100000; ++i) biased[rng.below(5)] += 1.0;
+  EXPECT_LT(chiSquareGoodnessOfFit(biased, uniform).pValue, 1e-10);
+}
+
+TEST(ChiSquare, PoolsLowExpectationCells) {
+  // Cells with expected count < 5 (the last three here) merge into one.
+  const std::vector<double> observed{50.0, 44.0, 3.0, 2.0, 1.0};
+  const std::vector<double> expected{0.5, 0.44, 0.03, 0.02, 0.01};
+  const ChiSquareResult r = chiSquareGoodnessOfFit(observed, expected);
+  EXPECT_EQ(r.pooledCells, 3u);
+  EXPECT_EQ(r.dof, 2);  // two big cells + one pooled cell - 1
+  EXPECT_GT(r.pValue, 0.5);
+}
+
+TEST(ChiSquare, RejectsDegenerateInput) {
+  const std::vector<double> one{10.0};
+  const std::vector<double> pOne{1.0};
+  EXPECT_THROW((void)chiSquareGoodnessOfFit(one, pOne), ContractViolation);
+  const std::vector<double> zeros{0.0, 0.0};
+  const std::vector<double> half{0.5, 0.5};
+  EXPECT_THROW((void)chiSquareGoodnessOfFit(zeros, half), ContractViolation);
+}
+
+TEST(ChiSquare, ObservationsInZeroProbabilityCellsReject) {
+  // Structural zeros: data in a cell the hypothesis gives zero mass is a
+  // categorical rejection, not ignorable pooling residue.
+  const std::vector<double> observed{50.0, 50.0, 10.0};
+  const std::vector<double> expected{0.5, 0.5, 0.0};
+  const ChiSquareResult r = chiSquareGoodnessOfFit(observed, expected);
+  EXPECT_EQ(r.pValue, 0.0);
+  EXPECT_TRUE(std::isinf(r.statistic));
+  // An *empty* zero-probability cell carries no evidence either way.
+  const std::vector<double> emptyZero{50.0, 50.0, 0.0};
+  EXPECT_GT(chiSquareGoodnessOfFit(emptyZero, expected).pValue, 0.9);
+}
+
+TEST(KsTwoSample, IdenticalSamplesScoreOne) {
+  // D = 0 drives the alternating Kolmogorov series outside its
+  // convergence range; the p-value must saturate at 1, not collapse to 0.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const KsResult same = ksTwoSample(v, v);
+  EXPECT_EQ(same.statistic, 0.0);
+  EXPECT_EQ(same.pValue, 1.0);
+}
+
+TEST(KsTwoSample, KnownSmallCaseStatistics) {
+  // Fully separated samples: D = 1.  Interleaved: D = 1/2.
+  const std::vector<double> low{1.0, 2.0};
+  const std::vector<double> high{3.0, 4.0};
+  EXPECT_NEAR(ksTwoSample(low, high).statistic, 1.0, 1e-12);
+  const std::vector<double> a{1.0, 3.0};
+  const std::vector<double> b{2.0, 4.0};
+  EXPECT_NEAR(ksTwoSample(a, b).statistic, 0.5, 1e-12);
+  EXPECT_THROW((void)ksTwoSample({}, a), ContractViolation);
+}
+
+TEST(KsTwoSample, SameDistributionAcceptedShiftRejected) {
+  rng::Random rng(2);
+  std::vector<double> a(4000);
+  std::vector<double> b(4000);
+  std::vector<double> shifted(4000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform();
+    b[i] = rng.uniform();
+    shifted[i] = rng.uniform() + 0.08;
+  }
+  EXPECT_GT(ksTwoSample(a, b).pValue, 0.01);
+  EXPECT_LT(ksTwoSample(a, shifted).pValue, 1e-6);
+  // D for the shifted pair approaches the shift itself.
+  EXPECT_NEAR(ksTwoSample(a, shifted).statistic, 0.08, 0.03);
 }
 
 TEST(TimeSeries, HittingTimes) {

@@ -1,0 +1,166 @@
+// Dedicated fault-model coverage for §3.3 (amoebot/faults): crash faults
+// (a particle abruptly stops acting forever) and Byzantine stationary
+// adversaries (particles that expand away and refuse to contract).  The
+// paper argues the stochastic algorithm tolerates both because honest
+// particles simply compress around the fixed points; these tests pin the
+// claims the argument rests on — faulty particles really are inert /
+// stuck, connectivity of the tail configuration is preserved along the
+// run, and the honest remainder still compresses.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "amoebot/faults.hpp"
+#include "amoebot/local_compression.hpp"
+#include "amoebot/scheduler.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::amoebot {
+namespace {
+
+using lattice::TriPoint;
+using system::ParticleSystem;
+
+TEST(Faults, RandomByzantinePlanSizesAndDistinctness) {
+  rng::Random rng(1);
+  const FaultPlan plan = randomByzantine(80, 0.25, rng);
+  EXPECT_EQ(plan.byzantine.size(), 20u);
+  EXPECT_TRUE(plan.crashed.empty());
+  const std::set<std::size_t> distinct(plan.byzantine.begin(),
+                                       plan.byzantine.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (const std::size_t id : plan.byzantine) EXPECT_LT(id, 80u);
+}
+
+TEST(Faults, ZeroAndFullFractionsAreExact) {
+  rng::Random rng(2);
+  EXPECT_TRUE(randomCrashes(50, 0.0, rng).crashed.empty());
+  EXPECT_EQ(randomCrashes(50, 1.0, rng).crashed.size(), 50u);
+  EXPECT_THROW(randomCrashes(50, 1.5, rng), ContractViolation);
+}
+
+TEST(Faults, ByzantineExpandsAndHoldsForever) {
+  // The adversary's whole strategy: grab a second cell and never give it
+  // back.  Once expanded it must stay expanded through any number of
+  // activations, permanently occupying two cells.
+  rng::Random rng(3);
+  AmoebotSystem sys(system::lineConfiguration(8), rng);
+  sys.markByzantine(0);
+  const LocalCompressionAlgorithm algo({4.0});
+  rng::Random coin(4);
+  // Particle 0 sits at the line's end with free cells: it must expand on
+  // its first activation.
+  ASSERT_EQ(algo.activate(sys, 0, coin), ActivationResult::Expanded);
+  ASSERT_TRUE(sys.particle(0).expanded);
+  const TriPoint heldTail = sys.particle(0).tail;
+  const TriPoint heldHead = sys.particle(0).head;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(algo.activate(sys, 0, coin), ActivationResult::Idle);
+  }
+  EXPECT_TRUE(sys.particle(0).expanded);
+  EXPECT_EQ(sys.particle(0).tail, heldTail);
+  EXPECT_EQ(sys.particle(0).head, heldHead);
+  EXPECT_TRUE(sys.occupied(heldTail));
+  EXPECT_TRUE(sys.occupied(heldHead));
+}
+
+TEST(Faults, HonestNeighborsRespectByzantineExpansion) {
+  // Step 3 of Algorithm A: a particle adjacent to the (permanently)
+  // expanded Byzantine particle may never expand — the adversary cannot
+  // trick an honest neighbor into a concurrent-move violation.
+  rng::Random rng(5);
+  AmoebotSystem sys(system::lineConfiguration(3), rng);
+  sys.markByzantine(0);
+  const LocalCompressionAlgorithm algo({4.0});
+  rng::Random coin(6);
+  ASSERT_EQ(algo.activate(sys, 0, coin), ActivationResult::Expanded);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(algo.activate(sys, 1, coin), ActivationResult::Idle);
+  }
+  EXPECT_FALSE(sys.particle(1).expanded);
+}
+
+TEST(Faults, ConnectivityPreservedUnderCrashes) {
+  // Lemma 3.1 survives crash faults: along a long Poisson run with 20%
+  // of particles crashed, the tail configuration never disconnects and
+  // never forms a hole it cannot remove.
+  rng::Random rng(7);
+  AmoebotSystem sys(system::lineConfiguration(25), rng);
+  rng::Random faultRng(8);
+  const FaultPlan plan = randomCrashes(sys.size(), 0.2, faultRng);
+  applyFaults(sys, plan);
+  const std::vector<TriPoint> pinned = [&] {
+    std::vector<TriPoint> tails;
+    for (const std::size_t id : plan.crashed) {
+      tails.push_back(sys.particle(id).tail);
+    }
+    return tails;
+  }();
+  const LocalCompressionAlgorithm algo({4.0});
+  PoissonScheduler scheduler(sys.size(), rng::Random(9));
+  rng::Random coin(10);
+  for (int burst = 0; burst < 60; ++burst) {
+    for (int i = 0; i < 20000; ++i) {
+      algo.activate(sys, scheduler.next().particle, coin);
+    }
+    ASSERT_TRUE(system::isConnected(sys.tailConfiguration()))
+        << "burst " << burst;
+  }
+  // Crashed particles never moved.
+  for (std::size_t k = 0; k < plan.crashed.size(); ++k) {
+    EXPECT_EQ(sys.particle(plan.crashed[k]).tail, pinned[k]);
+    EXPECT_FALSE(sys.particle(plan.crashed[k]).expanded);
+  }
+}
+
+TEST(Faults, CompressionProceedsAroundByzantines) {
+  // §3.3: with a few Byzantine particles expanding away and holding, the
+  // honest particles still compress the aggregate well below its initial
+  // perimeter, and the tail configuration stays connected.
+  rng::Random rng(11);
+  AmoebotSystem sys(system::lineConfiguration(30), rng);
+  FaultPlan plan;
+  plan.byzantine = {7, 22};
+  applyFaults(sys, plan);
+  const LocalCompressionAlgorithm algo({4.0});
+  PoissonScheduler scheduler(sys.size(), rng::Random(12));
+  rng::Random coin(13);
+  const std::int64_t initial = system::perimeter(sys.tailConfiguration());
+  for (int i = 0; i < 2000000; ++i) {
+    algo.activate(sys, scheduler.next().particle, coin);
+  }
+  const ParticleSystem tails = sys.tailConfiguration();
+  EXPECT_TRUE(system::isConnected(tails));
+  // Each Byzantine particle permanently pins two cells and keeps poking
+  // the boundary, so the reachable compression is well above λ=4's
+  // fault-free equilibrium; a clear drop below the initial perimeter is
+  // the meaningful claim (measured equilibrium ≈ 46–51 of 58 across
+  // seeds; bench_fault_tolerance quantifies the full tradeoff).
+  EXPECT_LT(system::perimeter(tails), (9 * initial) / 10);
+}
+
+TEST(Faults, MixedCrashAndByzantineFaults) {
+  rng::Random rng(14);
+  AmoebotSystem sys(system::lineConfiguration(36), rng);
+  rng::Random faultRng(15);
+  FaultPlan plan = randomCrashes(sys.size(), 0.1, faultRng);
+  plan.byzantine = {1, 18};
+  applyFaults(sys, plan);
+  const LocalCompressionAlgorithm algo({4.0});
+  PoissonScheduler scheduler(sys.size(), rng::Random(16));
+  rng::Random coin(17);
+  const std::int64_t initial = system::perimeter(sys.tailConfiguration());
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 100000; ++i) {
+      algo.activate(sys, scheduler.next().particle, coin);
+    }
+    ASSERT_TRUE(system::isConnected(sys.tailConfiguration()))
+        << "burst " << burst;
+  }
+  EXPECT_LT(system::perimeter(sys.tailConfiguration()), initial);
+}
+
+}  // namespace
+}  // namespace sops::amoebot

@@ -1,0 +1,210 @@
+// Differential verification harness: Algorithm A (local, asynchronous,
+// message-free) against the Markov chain M it claims to emulate (§3.2).
+//
+// For small n the exact stationary distribution π(σ) = λ^{e(σ)}/Z is
+// available by full enumeration (enumeration/exact_distribution), so A's
+// empirical distribution over its *quiescent* configurations (all
+// particles contracted — the states of M, §3.2 footnote 2) can be tested
+// against π with a chi-square goodness of fit.  §3.2 also argues π is
+// invariant under heterogeneous Poisson clock rates; the harness re-runs
+// the same test with skewed rates, and through the sharded concurrent
+// runner, whose epoch/halo schedule is yet another legal asynchronous
+// execution.
+//
+// Pre-registered test design (chosen before looking at any outcomes, and
+// documented here so the thresholds are not tunable after the fact):
+//   - burn-in: 50,000 activations;
+//   - sampling: one instant every 48 activations, keeping only quiescent
+//     instants (quiescent sampling is the faithful projection; raw
+//     time-averages carry a known ~0.05 TV congestion bias, measured in
+//     bench_local_algorithm);
+//   - sample size: 150,000 instants for n = 4 (44 states), 200,000 for
+//     n = 5 (186 states); expected cells below 5 are pooled (Cochran);
+//   - acceptance: chi-square p > 0.01.
+// The stride keeps successive samples ≈ 12 expected activations per
+// particle apart (n=4), past the small systems' mixing time, so the
+// chi-square iid approximation is sound; the fixed seeds below make the
+// tests reproducible rather than flaky.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "amoebot/local_compression.hpp"
+#include "amoebot/parallel_scheduler.hpp"
+#include "amoebot/scheduler.hpp"
+#include "analysis/stats.hpp"
+#include "core/compression_chain.hpp"
+#include "enumeration/exact_distribution.hpp"
+#include "system/canonical.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::amoebot {
+namespace {
+
+using system::ParticleSystem;
+
+constexpr int kBurnIn = 50000;
+constexpr int kStride = 48;
+constexpr double kAcceptP = 0.01;
+
+/// Canonical-key -> state-index map over the enumerated support Ω*.
+std::unordered_map<std::string, std::size_t> stateIndex(
+    const enumeration::ExactEnsemble& ensemble) {
+  std::unordered_map<std::string, std::size_t> indexOf;
+  for (std::size_t i = 0; i < ensemble.configs().size(); ++i) {
+    indexOf.emplace(
+        system::canonicalKeyFromPoints(ensemble.configs()[i].points), i);
+  }
+  return indexOf;
+}
+
+/// Runs A under a PoissonScheduler and histograms its quiescent
+/// configurations over Ω*.  Returns observed counts aligned with
+/// ensemble.configs().
+std::vector<double> sampleQuiescent(const enumeration::ExactEnsemble& ensemble,
+                                    double lambda, std::vector<double> rates,
+                                    int instants, std::uint64_t seed) {
+  const auto indexOf = stateIndex(ensemble);
+  rng::Random rng(seed);
+  AmoebotSystem sys(system::lineConfiguration(ensemble.particles()), rng);
+  const LocalCompressionAlgorithm algo({lambda});
+  PoissonScheduler scheduler(sys.size(), rng::Random(seed + 1),
+                             std::move(rates));
+  rng::Random coin(seed + 2);
+  for (int i = 0; i < kBurnIn; ++i) {
+    algo.activate(sys, scheduler.next().particle, coin);
+  }
+  std::vector<double> counts(ensemble.configs().size(), 0.0);
+  for (int s = 0; s < instants; ++s) {
+    for (int i = 0; i < kStride; ++i) {
+      algo.activate(sys, scheduler.next().particle, coin);
+    }
+    if (sys.expandedCount() != 0) continue;  // quiescent instants only
+    const auto it = indexOf.find(system::canonicalKey(sys.tailConfiguration()));
+    if (it == indexOf.end()) {
+      ADD_FAILURE() << "A left the support of pi";
+      break;
+    }
+    counts[it->second] += 1.0;
+  }
+  return counts;
+}
+
+void expectMatchesPi(const enumeration::ExactEnsemble& ensemble, double lambda,
+                     const std::vector<double>& counts) {
+  const std::vector<double> exact = ensemble.stationary(lambda);
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  ASSERT_GT(total, 1000.0) << "not enough quiescent samples";
+  const analysis::ChiSquareResult gof =
+      analysis::chiSquareGoodnessOfFit(counts, exact);
+  EXPECT_GT(gof.pValue, kAcceptP)
+      << "chi2 = " << gof.statistic << ", dof = " << gof.dof
+      << ", samples = " << total;
+}
+
+TEST(LocalVsChain, QuiescentDistributionMatchesPiN4) {
+  const enumeration::ExactEnsemble ensemble(4);
+  ASSERT_EQ(ensemble.configs().size(), 44u);
+  const double lambda = 2.0;
+  expectMatchesPi(ensemble, lambda,
+                  sampleQuiescent(ensemble, lambda, {}, 150000, 19));
+}
+
+TEST(LocalVsChain, QuiescentDistributionMatchesPiN5) {
+  const enumeration::ExactEnsemble ensemble(5);
+  const double lambda = 2.0;
+  expectMatchesPi(ensemble, lambda,
+                  sampleQuiescent(ensemble, lambda, {}, 200000, 29));
+}
+
+TEST(LocalVsChain, HeterogeneousRatesLeavePiUnchanged) {
+  // §3.2's theorem-level claim: per-particle Poisson rates a_P scale each
+  // particle's activation frequency but not the stationary distribution.
+  const enumeration::ExactEnsemble ensemble(4);
+  const double lambda = 2.0;
+  expectMatchesPi(
+      ensemble, lambda,
+      sampleQuiescent(ensemble, lambda, {0.5, 1.0, 2.0, 4.0}, 150000, 37));
+}
+
+TEST(LocalVsChain, ShardedRunnerSamplesPi) {
+  // The sharded runner's epoch/halo schedule is another admissible
+  // asynchronous execution: its quiescent configurations must sample the
+  // same π.  Epochs are sized to the harness stride so each runAtLeast()
+  // burst is one sampling interval.
+  const enumeration::ExactEnsemble ensemble(4);
+  const double lambda = 2.0;
+  const auto indexOf = stateIndex(ensemble);
+  rng::Random rng(41);
+  AmoebotSystem sys(system::lineConfiguration(ensemble.particles()), rng);
+  const LocalCompressionAlgorithm algo({lambda});
+  ShardedOptions options;
+  options.targetEventsPerEpoch = kStride;
+  ShardedPoissonRunner runner(sys, algo, 43, options);
+  runner.runAtLeast(kBurnIn);
+  std::vector<double> counts(ensemble.configs().size(), 0.0);
+  for (int s = 0; s < 120000; ++s) {
+    runner.runAtLeast(kStride);
+    if (sys.expandedCount() != 0) continue;
+    const auto it = indexOf.find(system::canonicalKey(sys.tailConfiguration()));
+    ASSERT_NE(it, indexOf.end());
+    counts[it->second] += 1.0;
+  }
+  expectMatchesPi(ensemble, lambda, counts);
+}
+
+TEST(LocalVsChain, PerimeterDistributionMatchesChainKS) {
+  // Beyond enumerable sizes: at n = 12 the exact π is out of reach of the
+  // chi-square harness, but A and M must still agree on observables.
+  // Two-sample KS between M's perimeter samples and A's quiescent
+  // perimeter samples (strides of 1000 steps/activations so samples
+  // decorrelate; ties make the KS p-value conservative).  Probed across
+  // seeds before fixing this one: p ∈ [0.22, 0.99].
+  const std::int64_t n = 12;
+  const double lambda = 4.0;
+  constexpr int kSamples = 1500;
+  constexpr int kSampleStride = 1000;
+
+  core::ChainOptions chainOptions;
+  chainOptions.lambda = lambda;
+  core::CompressionChain chain(system::lineConfiguration(n), chainOptions, 247);
+  chain.run(100000);  // burn-in
+  std::vector<double> chainPerimeters;
+  chainPerimeters.reserve(kSamples);
+  for (int s = 0; s < kSamples; ++s) {
+    chain.run(kSampleStride);
+    chainPerimeters.push_back(
+        static_cast<double>(system::perimeter(chain.system())));
+  }
+
+  rng::Random rng(253);
+  AmoebotSystem sys(system::lineConfiguration(n), rng);
+  const LocalCompressionAlgorithm algo({lambda});
+  PoissonScheduler scheduler(sys.size(), rng::Random(259));
+  rng::Random coin(261);
+  for (int i = 0; i < 100000; ++i) {
+    algo.activate(sys, scheduler.next().particle, coin);
+  }
+  std::vector<double> localPerimeters;
+  localPerimeters.reserve(kSamples);
+  while (localPerimeters.size() < static_cast<std::size_t>(kSamples)) {
+    for (int i = 0; i < kSampleStride; ++i) {
+      algo.activate(sys, scheduler.next().particle, coin);
+    }
+    if (sys.expandedCount() != 0) continue;
+    localPerimeters.push_back(
+        static_cast<double>(system::perimeter(sys.tailConfiguration())));
+  }
+
+  const analysis::KsResult ks =
+      analysis::ksTwoSample(chainPerimeters, localPerimeters);
+  EXPECT_GT(ks.pValue, 0.001) << "D = " << ks.statistic;
+}
+
+}  // namespace
+}  // namespace sops::amoebot
