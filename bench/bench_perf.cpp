@@ -22,6 +22,8 @@
 #include "core/move_table.hpp"
 #include "core/properties.hpp"
 #include "core/reference_kernel.hpp"
+#include "core/scenario_models.hpp"
+#include "extensions/separation.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
 #include "util/flat_hash.hpp"
@@ -274,6 +276,77 @@ void BM_ShardedActivations(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(done));
 }
 BENCHMARK(BM_ShardedActivations)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Weight-model engine: the three scenarios on the shared bitboard hot loop.
+// BM_SeparationStepReference is the pre-engine sparse-path SeparationChain
+// (hash-probe color counts, per-step std::pow) — the before side of the
+// ISSUE 3 ≥3× target; BM_SeparationEngineStep is the after side (color bit
+// planes + precomputed power tables).  Items are chain steps everywhere.
+
+void BM_SeparationStepReference(benchmark::State& state) {
+  extensions::SeparationOptions options;
+  options.lambda = 4.0;
+  options.gamma = 4.0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  extensions::SeparationChain chain(system::spiralConfiguration(state.range(0)),
+                                    system::alternatingClasses(n, 2), options, 42);
+  // Equal warmup on both sides so the measured state mix (occupied targets,
+  // heterochromatic edges) is the equilibrating blob, not the cold start.
+  chain.run(static_cast<std::uint64_t>(10 * state.range(0)));
+  for (auto _ : state) {
+    chain.step();
+  }
+  benchmark::DoNotOptimize(chain.stats().movesAccepted);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SeparationStepReference)->Arg(100)->Arg(400)->Arg(100000);
+
+void BM_SeparationEngineStep(benchmark::State& state) {
+  core::SeparationModel::Options options;
+  options.lambda = 4.0;
+  options.gamma = 4.0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::SeparationEngine engine(
+      system::spiralConfiguration(state.range(0)),
+      core::SeparationModel(options, system::alternatingClasses(n, 2)), 42);
+  engine.run(static_cast<std::uint64_t>(10 * state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SeparationEngineStep)->Arg(100)->Arg(400)->Arg(100000);
+
+void BM_CompressionEngineStep(benchmark::State& state) {
+  // Must track BM_ChainStep: the golden tests prove the trajectory is
+  // identical, this shows the generalization is also free of overhead.
+  core::ChainOptions options;
+  options.lambda = 4.0;
+  core::CompressionEngine engine(system::lineConfiguration(state.range(0)),
+                                 core::CompressionModel(options), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompressionEngineStep)->Arg(100)->Arg(400);
+
+void BM_AlignmentEngineStep(benchmark::State& state) {
+  core::AlignmentModel::Options options;
+  options.lambda = 4.0;
+  options.kappa = 4.0;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::AlignmentEngine engine(
+      system::spiralConfiguration(state.range(0)),
+      core::AlignmentModel(options, system::alternatingClasses(n, 6)), 42);
+  engine.run(static_cast<std::uint64_t>(10 * state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AlignmentEngineStep)->Arg(100)->Arg(400)->Arg(100000);
 
 void BM_SchedulerNext(benchmark::State& state) {
   amoebot::PoissonScheduler scheduler(

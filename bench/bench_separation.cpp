@@ -2,11 +2,21 @@
 // (two-color) particle systems.  The chain gains a homogeneity bias γ on
 // monochromatic edges; γ ≫ 1 segregates colors while λ keeps the system
 // compressed, γ < 1 integrates them.
+//
+// Since ISSUE 3 the λ×γ grid runs through core::SeparationEngine replicas
+// on the scenario ensemble pool (one replica per grid point, all cores);
+// the pre-engine sparse-path SeparationChain is kept as the reference and
+// cross-checked here both for agreement on the final observables and for
+// the single-core throughput ratio recorded in BENCH_perf.json.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "analysis/csv.hpp"
 #include "bench_util.hpp"
+#include "core/scenario_ensemble.hpp"
+#include "core/scenario_models.hpp"
 #include "extensions/separation.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
@@ -17,31 +27,53 @@ int main() {
   const auto iterations =
       static_cast<std::uint64_t>(bench::envInt("SOPS_SEP_ITERS", 5000000));
 
-  bench::banner("E16 / [9]", "two-color separation chain, n=" + std::to_string(n));
+  bench::banner("E16 / [9]",
+                "two-color separation engine, n=" + std::to_string(n));
 
   std::vector<std::uint8_t> colors(static_cast<std::size_t>(n));
   for (std::size_t i = 0; i < colors.size(); ++i) {
     colors[i] = static_cast<std::uint8_t>(i % 2);
   }
 
+  const std::vector<std::pair<double, double>> grid = {
+      {4.0, 4.0}, {4.0, 1.0}, {4.0, 0.25}, {2.0, 4.0}};
+  std::vector<core::ScenarioReplicaSpec<core::SeparationModel>> specs;
+  for (const auto& [lambda, gamma] : grid) {
+    core::ScenarioReplicaSpec<core::SeparationModel> spec;
+    spec.label = "lambda=" + bench::fmt(lambda, 2) + " gamma=" +
+                 bench::fmt(gamma, 2);
+    spec.iterations = iterations;
+    spec.makeEngine = [n, lambda = lambda, gamma = gamma, &colors] {
+      core::SeparationModel::Options options;
+      options.lambda = lambda;
+      options.gamma = gamma;
+      return core::SeparationEngine(system::lineConfiguration(n),
+                                    core::SeparationModel(options, colors),
+                                    1603);
+    };
+    spec.finish = [n](const core::SeparationEngine& engine,
+                      std::vector<std::pair<std::string, double>>& metrics) {
+      metrics.emplace_back(
+          "hom_fraction",
+          static_cast<double>(engine.model().homogeneousEdges(engine.system())) /
+              static_cast<double>(system::countEdges(engine.system())));
+      metrics.emplace_back(
+          "alpha", static_cast<double>(system::perimeter(engine.system())) /
+                       static_cast<double>(system::pMin(n)));
+    };
+    specs.push_back(std::move(spec));
+  }
+  const auto results =
+      core::runScenarioEnsemble<core::SeparationModel>(specs);
+
   analysis::CsvWriter csv(bench::csvPath("separation.csv"),
                           {"lambda", "gamma", "hom_fraction", "alpha"});
   bench::Table table({"lambda", "gamma", "hom-edge frac", "alpha=p/pmin",
                       "expectation"}, 16);
-  const std::vector<std::pair<double, double>> grid = {
-      {4.0, 4.0}, {4.0, 1.0}, {4.0, 0.25}, {2.0, 4.0}};
-  for (const auto& [lambda, gamma] : grid) {
-    extensions::SeparationOptions options;
-    options.lambda = lambda;
-    options.gamma = gamma;
-    extensions::SeparationChain chain(system::lineConfiguration(n), colors,
-                                      options, 1603);
-    chain.run(iterations);
-    const double hom = static_cast<double>(chain.homogeneousEdges()) /
-                       static_cast<double>(system::countEdges(chain.system()));
-    const double alpha =
-        static_cast<double>(system::perimeter(chain.system())) /
-        static_cast<double>(system::pMin(n));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [lambda, gamma] = grid[i];
+    const double hom = results[i].metrics[0].second;
+    const double alpha = results[i].metrics[1].second;
     const char* expectation = gamma > 1.5  ? "segregated"
                               : gamma < 0.75 ? "integrated"
                                              : "neutral";
@@ -50,6 +82,49 @@ int main() {
     csv.writeRow({analysis::formatDouble(lambda), analysis::formatDouble(gamma),
                   analysis::formatDouble(hom), analysis::formatDouble(alpha)});
   }
+
+  // Cross-check: the sparse-path reference chain at the first grid point
+  // must land in the same phase, and the engine must beat its throughput.
+  // Both sides are timed solo on this thread — a replica's wallSeconds
+  // from the grid above would carry pool contention and bias the ratio.
+  {
+    extensions::SeparationOptions options;
+    options.lambda = grid[0].first;
+    options.gamma = grid[0].second;
+    const auto refStart = std::chrono::steady_clock::now();
+    extensions::SeparationChain reference(system::lineConfiguration(n), colors,
+                                          options, 1603);
+    reference.run(iterations);
+    const double refSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      refStart)
+            .count();
+    const double refHom =
+        static_cast<double>(reference.homogeneousEdges()) /
+        static_cast<double>(system::countEdges(reference.system()));
+    const auto engineStart = std::chrono::steady_clock::now();
+    core::SeparationEngine engine = specs[0].makeEngine();
+    engine.run(iterations);
+    const double engineSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      engineStart)
+            .count();
+    const double engineHom = results[0].metrics[0].second;
+    std::printf(
+        "\nreference chain at lambda=%.1f gamma=%.1f: hom=%.3f (engine %.3f), "
+        "%.2fs vs engine %.2fs (%.2fx)\n",
+        options.lambda, options.gamma, refHom, engineHom, refSeconds,
+        engineSeconds, refSeconds / engineSeconds);
+    // Binding, not just printed: a phase divergence or an engine slower
+    // than the sparse path it replaces must fail the harness.
+    if (std::abs(refHom - engineHom) > 0.15 || engineSeconds > refSeconds) {
+      std::fprintf(stderr,
+                   "FAIL: engine/reference cross-check (dHom=%.3f, %.2fx)\n",
+                   std::abs(refHom - engineHom), refSeconds / engineSeconds);
+      return 1;
+    }
+  }
+
   std::printf(
       "\nshape to hold ([9]): hom-edge fraction increases with gamma while\n"
       "lambda=4 keeps alpha small; gamma<1 integrates (hom ~ 1/2).\n");

@@ -1,0 +1,206 @@
+#ifndef SOPS_CORE_BIASED_CHAIN_ENGINE_HPP
+#define SOPS_CORE_BIASED_CHAIN_ENGINE_HPP
+
+/// \file biased_chain_engine.hpp
+/// The generalized weight-model chain engine.
+///
+/// The paper's chain M is one member of a family of biased lattice chains
+/// that differ only in the weight function w(σ) (the conclusion's pointer
+/// to separation [9]; the alignment line of Kedia–Oh–Randall continues it).
+/// Every member shares the same hot loop: draw a particle and direction,
+/// test the target cell, gather the 8-cell ring, classify the move by the
+/// 256-entry structural table, and Metropolis-filter with a per-move
+/// threshold.  BiasedChainEngine<Model> owns that loop — bitboard
+/// occupancy, precomputed decision table, lazy uniform draws — and defers
+/// to the scenario model only for the *extra* weight factor of a movement
+/// move and for the scenario's auxiliary move kind (color swaps,
+/// orientation rotations, ...).
+///
+/// Contract with the model (see core/scenario_models.hpp for the three
+/// shipped instances):
+///
+///   static constexpr bool kUniformWeight;  // w depends on e(σ) only
+///   static constexpr bool kHasAuxMove;     // mixes a second move kind
+///   const ChainOptions& / ChainOptions chainOptions() const;
+///   void attach(const system::ParticleSystem&);      // validate + build planes
+///   double movementFactor(sys, particle, l, d, ringMask);  // extra w-ratio
+///   void onMoved(sys, particle, from, to);           // keep aux planes in sync
+///   // only when kHasAuxMove:
+///   bool auxEnabled() const;  double auxProbability() const;
+///   AuxOutcome auxStep(sys, rng, particle, draw6);   // draws hoisted by step()
+///
+/// For a kUniformWeight model the factor path compiles away entirely and
+/// the step body is literally the CompressionChain step: the golden test
+/// (tests/biased_engine_test.cpp) pins the compression scenario
+/// draw-for-draw and outcome-for-outcome against core::CompressionChain.
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "core/chain_stats.hpp"
+#include "core/compression_chain.hpp"
+#include "core/draw_guard.hpp"
+#include "core/move_table.hpp"
+#include "rng/random.hpp"
+#include "system/metrics.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::core {
+
+/// Outcome of a scenario's auxiliary move (swap, rotation, ...).
+enum class AuxOutcome : std::uint8_t {
+  Skipped,   ///< proposal was structurally void (no partner, same color, ...)
+  Rejected,  ///< reached the filter and failed the Metropolis draw
+  Accepted,  ///< applied
+};
+
+struct EngineStats {
+  std::uint64_t steps = 0;  ///< total steps, movement and auxiliary
+  ChainStats movement;      ///< movement proposals, classified like M
+  std::uint64_t auxProposed = 0;  ///< aux proposals that reached the filter
+  std::uint64_t auxAccepted = 0;
+};
+
+/// What one engine step did; `movement` is meaningful iff !wasAux.
+struct EngineStepResult {
+  bool wasAux = false;
+  StepOutcome movement = StepOutcome::Accepted;
+  AuxOutcome aux = AuxOutcome::Skipped;
+};
+
+template <typename Model>
+class BiasedChainEngine {
+ public:
+  BiasedChainEngine(system::ParticleSystem initial, Model model,
+                    std::uint64_t seed)
+      : system_(std::move(initial)), model_(std::move(model)), rng_(seed) {
+    particleCount32_ = checkedParticleDrawBound(system_.size());
+    const ChainOptions options = model_.chainOptions();
+    SOPS_REQUIRE(options.lambda > 0.0, "lambda must be positive");
+    SOPS_REQUIRE(Model::kUniformWeight || !options.greedy,
+                 "greedy mode is only defined for the uniform-weight model");
+    greedy_ = options.greedy;
+    SOPS_REQUIRE(system::isConnected(system_),
+                 "engine requires a connected starting configuration");
+    model_.attach(system_);
+    edges_ = system::countEdges(system_);
+    // The exact fold CompressionChain uses — one shared implementation, so
+    // the ablation semantics cannot drift between chain and engine.
+    decisions_ = buildDecisionTable(options);
+  }
+
+  EngineStepResult step() {
+    ++stats_.steps;
+    EngineStepResult result;
+    // Both move kinds open with the same draws — a uniform particle and a
+    // uniform 6-way value (direction / orientation).  Hoisting them above
+    // the move-kind branch keeps the serially dependent RNG chain out of
+    // the mispredict shadow of a ~fair coin (measurably faster at
+    // swapProbability = 0.5) without changing the draw order.
+    bool auxMove = false;
+    if constexpr (Model::kHasAuxMove) {
+      auxMove = model_.auxEnabled() && rng_.bernoulli(model_.auxProbability());
+    }
+    const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
+    const int draw6 = static_cast<int>(rng_.below(6));
+    if constexpr (Model::kHasAuxMove) {
+      if (auxMove) {
+        result.wasAux = true;
+        result.aux = model_.auxStep(system_, rng_, particle, draw6);
+        if (result.aux != AuxOutcome::Skipped) ++stats_.auxProposed;
+        if (result.aux == AuxOutcome::Accepted) ++stats_.auxAccepted;
+        return result;
+      }
+    }
+
+    // Movement move: steps 1–2 of Algorithm M, shared by every scenario.
+    const Direction d = lattice::directionFromIndex(draw6);
+    const TriPoint l = system_.position(particle);
+    StepOutcome outcome;
+    if (system_.occupiedNear(lattice::neighbor(l, d))) {
+      outcome = StepOutcome::TargetOccupied;
+    } else {
+      const std::uint8_t mask = system_.ringMask(l, d);
+      const MoveDecision& decision = decisions_[mask];
+      if (decision.stage != kFilterStage) {
+        outcome = static_cast<StepOutcome>(decision.stage);
+      } else {
+        bool accept;
+        if constexpr (Model::kUniformWeight) {
+          accept = decision.acceptNoDraw ||
+                   (!greedy_ && rng_.uniform() < decision.threshold);
+        } else {
+          // w-ratio = λ^{e'−e} (table) × the scenario's extra factor
+          // (plane gathers + a power table — no std::pow on this path).
+          const double threshold =
+              decision.threshold *
+              model_.movementFactor(system_, particle, l, d, mask);
+          accept = threshold >= 1.0 || rng_.uniform() < threshold;
+        }
+        if (accept) {
+          const TriPoint target = lattice::neighbor(l, d);
+          system_.moveParticle(particle, target);
+          edges_ += decision.delta;
+          model_.onMoved(system_, particle, l, target);
+          outcome = StepOutcome::Accepted;
+        } else {
+          outcome = StepOutcome::RejectedFilter;
+        }
+      }
+    }
+    stats_.movement.record(outcome);
+    result.movement = outcome;
+    return result;
+  }
+
+  void run(std::uint64_t iterations) {
+    for (std::uint64_t i = 0; i < iterations; ++i) step();
+  }
+
+  /// Runs `iterations` steps, invoking callback(done) every
+  /// `checkpointEvery` steps (and once at the end if not aligned).
+  template <typename Callback>
+  void runWithCheckpoints(std::uint64_t iterations,
+                          std::uint64_t checkpointEvery, Callback&& callback) {
+    SOPS_REQUIRE(checkpointEvery > 0, "checkpointEvery must be positive");
+    std::uint64_t done = 0;
+    while (done < iterations) {
+      const std::uint64_t burst = std::min(checkpointEvery, iterations - done);
+      for (std::uint64_t i = 0; i < burst; ++i) step();
+      done += burst;
+      callback(done);
+    }
+  }
+
+  [[nodiscard]] const system::ParticleSystem& system() const noexcept {
+    return system_;
+  }
+  [[nodiscard]] const Model& model() const noexcept { return model_; }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Current e(σ), maintained incrementally from the decision table's δ.
+  [[nodiscard]] std::int64_t edges() const noexcept { return edges_; }
+
+  /// p = 3n − e − 3, exact whenever the configuration is hole-free
+  /// (Lemma 2.3; hole-freeness is absorbing under the movement rules).
+  [[nodiscard]] std::int64_t perimeterIfHoleFree() const noexcept {
+    return 3 * static_cast<std::int64_t>(system_.size()) - edges_ - 3;
+  }
+
+ private:
+  static constexpr std::uint8_t kFilterStage = kDecisionFilterStage;
+
+  system::ParticleSystem system_;
+  Model model_;
+  rng::Random rng_;
+  EngineStats stats_;
+  std::int64_t edges_ = 0;
+  std::uint32_t particleCount32_ = 0;
+  bool greedy_ = false;
+  std::array<MoveDecision, 256> decisions_;
+};
+
+}  // namespace sops::core
+
+#endif  // SOPS_CORE_BIASED_CHAIN_ENGINE_HPP

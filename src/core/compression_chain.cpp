@@ -1,7 +1,6 @@
 #include "core/compression_chain.hpp"
 
-#include <limits>
-
+#include "core/draw_guard.hpp"
 #include "system/metrics.hpp"
 
 namespace sops::core {
@@ -12,6 +11,34 @@ bool propertyPasses(const MoveEvaluation& eval, const ChainOptions& options) noe
   return eval.property1 || (options.allowProperty2 && eval.property2);
 }
 }  // namespace
+
+std::array<MoveDecision, 256> buildDecisionTable(const ChainOptions& options) {
+  // Fold the static move table, the ablation switches, and λ into one
+  // 256-entry decision table: Algorithm M's whole per-proposal branch
+  // ladder becomes a single indexed load.
+  std::array<MoveDecision, 256> decisions;
+  const auto& table = moveTable();
+  for (int m = 0; m < 256; ++m) {
+    const MoveTableEntry& entry = table[static_cast<std::size_t>(m)];
+    MoveDecision& decision = decisions[static_cast<std::size_t>(m)];
+    decision.delta = entry.delta;
+    decision.threshold = lambdaPower(options.lambda, entry.delta);
+    const bool propertyOk =
+        !options.enforceProperties ||
+        (entry.flags & kMoveProperty1) != 0 ||
+        (options.allowProperty2 && (entry.flags & kMoveProperty2) != 0);
+    if (options.enforceGapCondition && (entry.flags & kMoveGapOk) == 0) {
+      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedGap);
+    } else if (!propertyOk) {
+      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedProperty);
+    } else {
+      decision.stage = kDecisionFilterStage;
+    }
+    decision.acceptNoDraw =
+        options.greedy ? entry.delta >= 0 : decision.threshold >= 1.0;
+  }
+  return decisions;
+}
 
 double acceptanceProbability(const MoveEvaluation& eval,
                              const ChainOptions& options) noexcept {
@@ -29,41 +56,14 @@ CompressionChain::CompressionChain(system::ParticleSystem initial,
                                    ChainOptions options, std::uint64_t seed)
     : system_(std::move(initial)), options_(options), rng_(seed) {
   SOPS_REQUIRE(options_.lambda > 0.0, "lambda must be positive");
-  SOPS_REQUIRE(!system_.empty(), "chain requires at least one particle");
   // Particle selection draws 32-bit uniforms; the count is conserved by M,
   // so one construction-time guard protects every step() from sampling a
   // truncated prefix of a ≥2³²-particle system.
-  SOPS_REQUIRE(system_.size() <=
-                   std::numeric_limits<std::uint32_t>::max(),
-               "particle selection is 32-bit; system too large");
-  particleCount32_ = static_cast<std::uint32_t>(system_.size());
+  particleCount32_ = checkedParticleDrawBound(system_.size());
   SOPS_REQUIRE(system::isConnected(system_),
                "M requires a connected starting configuration (paper §3.1)");
   edges_ = system::countEdges(system_);
-
-  // Fold the static move table, the ablation switches, and λ into one
-  // 256-entry decision table: Algorithm M's whole per-proposal branch
-  // ladder becomes a single indexed load.
-  const auto& table = moveTable();
-  for (int m = 0; m < 256; ++m) {
-    const MoveTableEntry& entry = table[static_cast<std::size_t>(m)];
-    MoveDecision& decision = decisions_[static_cast<std::size_t>(m)];
-    decision.delta = entry.delta;
-    decision.threshold = lambdaPower(options_.lambda, entry.delta);
-    const bool propertyOk =
-        !options_.enforceProperties ||
-        (entry.flags & kMoveProperty1) != 0 ||
-        (options_.allowProperty2 && (entry.flags & kMoveProperty2) != 0);
-    if (options_.enforceGapCondition && (entry.flags & kMoveGapOk) == 0) {
-      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedGap);
-    } else if (!propertyOk) {
-      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedProperty);
-    } else {
-      decision.stage = kFilterStage;
-    }
-    decision.acceptNoDraw =
-        options_.greedy ? entry.delta >= 0 : decision.threshold >= 1.0;
-  }
+  decisions_ = buildDecisionTable(options_);
 }
 
 void CompressionChain::applyAccepted(std::size_t particle, TriPoint l,

@@ -53,6 +53,28 @@ struct ChainOptions {
 [[nodiscard]] double acceptanceProbability(const MoveEvaluation& eval,
                                            const ChainOptions& options) noexcept;
 
+/// Fully resolved per-ring-mask decision, folding kMoveTable together with
+/// a chain's ChainOptions and λ.  A movement step is then: occupancy test
+/// for ℓ', ring-mask gather, one 16-byte load, and (only when the
+/// Metropolis threshold is < 1) one lazy uniform draw — RNG draw order is
+/// bit-identical to the branch-ladder reference kernel.
+struct MoveDecision {
+  double threshold;      ///< λ^{e'−e} (exact filter threshold)
+  std::int8_t delta;     ///< e' − e
+  /// StepOutcome of the structural rejection (RejectedGap /
+  /// RejectedProperty), or kFilterStage when the move reaches the filter.
+  std::uint8_t stage;
+  /// Accept without drawing q: greedy ? e' ≥ e : threshold ≥ 1.
+  bool acceptNoDraw;
+};
+inline constexpr std::uint8_t kDecisionFilterStage = 0xFF;
+
+/// Builds the 256-entry decision table for the given options — the single
+/// fold shared by CompressionChain and BiasedChainEngine, so the ablation
+/// semantics cannot drift between the chain and the engine scenarios.
+[[nodiscard]] std::array<MoveDecision, 256> buildDecisionTable(
+    const ChainOptions& options);
+
 class CompressionChain {
  public:
   /// A record of the last accepted move, for invariant instrumentation.
@@ -115,21 +137,7 @@ class CompressionChain {
   StepOutcome applyProposal(std::size_t particle, Direction d, double q);
 
  private:
-  /// Fully resolved per-ring-mask decision, folding kMoveTable together
-  /// with this chain's ChainOptions and λ.  step() is then: occupancy test
-  /// for ℓ', ring-mask gather, one 16-byte load, and (only when the
-  /// Metropolis threshold is < 1) one lazy uniform draw — RNG draw order
-  /// is bit-identical to the branch-ladder reference kernel.
-  struct MoveDecision {
-    double threshold;      ///< λ^{e'−e} (exact filter threshold)
-    std::int8_t delta;     ///< e' − e
-    /// StepOutcome of the structural rejection (RejectedGap /
-    /// RejectedProperty), or kFilterStage when the move reaches the filter.
-    std::uint8_t stage;
-    /// Accept without drawing q: greedy ? e' ≥ e : threshold ≥ 1.
-    bool acceptNoDraw;
-  };
-  static constexpr std::uint8_t kFilterStage = 0xFF;
+  static constexpr std::uint8_t kFilterStage = kDecisionFilterStage;
 
   /// Applies an accepted move of `particle` along the decided delta.
   void applyAccepted(std::size_t particle, TriPoint l, Direction d,

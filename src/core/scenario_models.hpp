@@ -1,0 +1,489 @@
+#ifndef SOPS_CORE_SCENARIO_MODELS_HPP
+#define SOPS_CORE_SCENARIO_MODELS_HPP
+
+/// \file scenario_models.hpp
+/// The three shipped weight models for BiasedChainEngine.
+///
+///   CompressionModel  w(σ) = λ^{e(σ)}            (the paper's chain M)
+///   SeparationModel   w(σ) = λ^{e(σ)} γ^{hom(σ)}  (two colors, [9])
+///   AlignmentModel    w(σ) = λ^{e(σ)} κ^{ali(σ)}  (6-state orientations,
+///                                                  à la Kedia–Oh–Randall)
+///
+/// hom(σ) counts monochromatic induced edges, ali(σ) counts induced edges
+/// whose endpoints carry the same lattice orientation.  Both extra terms
+/// are *local*: a movement move changes them only through the 8-cell ring
+/// of the move, and an auxiliary move (color swap / orientation rotation)
+/// only through the 6-cell neighborhoods of the touched particles.  The
+/// models therefore keep **shadow bit planes** — one BitGrid per color /
+/// orientation class, allocated with the exact geometry of the system's
+/// occupancy window (BitGrid::allocateLike) — so every Δhom / Δali is one
+/// or two word gathers, and every Metropolis threshold is a load from an
+/// 11/13/21-entry power table built with the shared core::lambdaPower.
+/// No std::pow and no hash probe runs on the accept path.
+///
+/// When the system degrades to its sparse hash index (window cap), the
+/// models degrade with it: neighbor classes are then resolved through
+/// particleAt().  tests/biased_engine_test.cpp pins the dense and sparse
+/// paths to the identical trajectory.
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/biased_chain_engine.hpp"
+#include "core/properties.hpp"
+#include "system/bit_grid.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::core {
+
+/// K shadow bit planes kept geometry-aligned with a ParticleSystem's
+/// occupancy window.  sync() detects window rebuilds (and the sparse
+/// fallback) by fingerprinting the grid geometry and rebuilds the planes
+/// from scratch when it changed — O(n), amortized by the system's own
+/// O(log drift) rebuild schedule.
+template <std::size_t K>
+class ShadowPlanes {
+ public:
+  /// True when the dense planes mirror `grid` exactly (same geometry, no
+  /// rebuild pending) — the licence for the unchecked gathers below.
+  [[nodiscard]] bool syncedWith(const system::BitGrid& grid) const noexcept {
+    return dense_ && grid.enabled() && grid.originX() == originX_ &&
+           grid.originY() == originY_ && grid.width() == width_ &&
+           grid.height() == height_;
+  }
+
+  /// Ensures the planes mirror sys.grid(); classOf(particle) ∈ [0, K) maps
+  /// each particle to its plane.  Returns false (sparse mode) when the
+  /// system itself runs without a dense window.
+  template <typename ClassOf>
+  bool sync(const system::ParticleSystem& sys, ClassOf&& classOf) {
+    const system::BitGrid& grid = sys.grid();
+    if (!grid.enabled()) {
+      dense_ = false;
+      return false;
+    }
+    if (syncedWith(grid)) return true;
+    for (auto& plane : planes_) plane.allocateLike(grid);
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      planes_[static_cast<std::size_t>(classOf(i))].set(sys.position(i));
+    }
+    originX_ = grid.originX();
+    originY_ = grid.originY();
+    width_ = grid.width();
+    height_ = grid.height();
+    dense_ = true;
+    return true;
+  }
+
+  [[nodiscard]] system::BitGrid& plane(std::size_t k) noexcept {
+    return planes_[k];
+  }
+  [[nodiscard]] const system::BitGrid& plane(std::size_t k) const noexcept {
+    return planes_[k];
+  }
+
+ private:
+  std::array<system::BitGrid, K> planes_;
+  std::int64_t originX_ = 0;
+  std::int64_t originY_ = 0;
+  std::uint64_t width_ = 0;
+  std::uint64_t height_ = 0;
+  bool dense_ = false;
+};
+
+/// Sparse-fallback class query shared by the separation and alignment
+/// models (the reference SeparationChain keeps its own copy by design):
+/// neighbors of `cell` whose per-particle class equals `classValue`,
+/// skipping `exclude`, resolved through the hash index.
+[[nodiscard]] inline int sameClassNeighbors(
+    const system::ParticleSystem& sys, std::span<const std::uint8_t> classes,
+    TriPoint cell, std::uint8_t classValue, TriPoint exclude) {
+  int count = 0;
+  for (const Direction d : lattice::kAllDirections) {
+    const TriPoint q = lattice::neighbor(cell, d);
+    if (q == exclude) continue;
+    const auto id = sys.particleAt(q);
+    if (id.has_value() && classes[*id] == classValue) ++count;
+  }
+  return count;
+}
+
+/// Induced edges whose endpoints share a class — the exact hom(σ) / ali(σ)
+/// recount behind both models' observables.
+[[nodiscard]] inline std::int64_t sameClassEdges(
+    const system::ParticleSystem& sys, std::span<const std::uint8_t> classes) {
+  constexpr Direction kPositive[3] = {Direction::East, Direction::NorthEast,
+                                      Direction::SouthEast};
+  std::int64_t count = 0;
+  for (std::size_t id = 0; id < sys.size(); ++id) {
+    const TriPoint p = sys.position(id);
+    for (const Direction d : kPositive) {
+      const auto other = sys.particleAt(lattice::neighbor(p, d));
+      if (other.has_value() && classes[*other] == classes[id]) ++count;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Compression: w(σ) = λ^e.  The factor path compiles away; the engine step
+// is the CompressionChain step, draw-for-draw (golden-tested).
+
+class CompressionModel {
+ public:
+  static constexpr bool kUniformWeight = true;
+  static constexpr bool kHasAuxMove = false;
+
+  explicit CompressionModel(ChainOptions options) : options_(options) {}
+
+  [[nodiscard]] const ChainOptions& chainOptions() const noexcept {
+    return options_;
+  }
+  void attach(const system::ParticleSystem&) {}
+  double movementFactor(const system::ParticleSystem&, std::size_t, TriPoint,
+                        Direction, std::uint8_t) {
+    return 1.0;
+  }
+  void onMoved(const system::ParticleSystem&, std::size_t, TriPoint, TriPoint) {
+  }
+
+ private:
+  ChainOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// Separation: w(σ) = λ^e γ^hom over two colors; movement moves carry the
+// particle's color, and a color swap across a heterochromatic edge is the
+// auxiliary move.  Reproduces extensions::SeparationChain's kernel exactly
+// (same draw order, same thresholds via lambdaPower) on the fast path.
+
+class SeparationModel {
+ public:
+  struct Options {
+    double lambda = 4.0;  ///< compression bias (edges)
+    double gamma = 4.0;   ///< homogeneity bias (monochromatic edges)
+    bool enableSwaps = true;
+    double swapProbability = 0.5;  ///< mixture weight of the swap move
+  };
+
+  static constexpr bool kUniformWeight = false;
+  static constexpr bool kHasAuxMove = true;
+  /// Movement changes hom through ≤5 before-ring and ≤5 after-ring cells.
+  static constexpr int kMaxMoveDelta = 5;
+  /// A swap changes hom through ≤5 neighbors of each endpoint.
+  static constexpr int kMaxSwapDelta = 10;
+
+  SeparationModel(Options options, std::vector<std::uint8_t> colors)
+      : options_(options), colors_(std::move(colors)) {
+    SOPS_REQUIRE(options_.lambda > 0.0 && options_.gamma > 0.0,
+                 "biases must be positive");
+    SOPS_REQUIRE(
+        options_.swapProbability >= 0.0 && options_.swapProbability < 1.0,
+        "swap probability must be in [0, 1)");
+    for (const std::uint8_t c : colors_) {
+      SOPS_REQUIRE(c <= 1, "colors are 0 or 1");
+    }
+    for (int delta = -kMaxMoveDelta; delta <= kMaxMoveDelta; ++delta) {
+      movePow_[static_cast<std::size_t>(delta + kMaxMoveDelta)] =
+          lambdaPower(options_.gamma, delta);
+    }
+    for (int delta = -kMaxSwapDelta; delta <= kMaxSwapDelta; ++delta) {
+      swapPow_[static_cast<std::size_t>(delta + kMaxSwapDelta)] =
+          lambdaPower(options_.gamma, delta);
+    }
+  }
+
+  [[nodiscard]] ChainOptions chainOptions() const noexcept {
+    ChainOptions chain;
+    chain.lambda = options_.lambda;
+    return chain;
+  }
+
+  void attach(const system::ParticleSystem& sys) {
+    SOPS_REQUIRE(colors_.size() == sys.size(), "one color per particle");
+    planes_.sync(sys, [this](std::size_t i) { return colors_[i]; });
+  }
+
+  /// γ^{Δhom} for the movement (l → l+d) of `particle`.  Dense: one ring
+  /// gather of the particle's own color plane, two popcounts, one table
+  /// load.
+  double movementFactor(const system::ParticleSystem& sys, std::size_t particle,
+                        TriPoint l, Direction d, std::uint8_t /*ringOcc*/) {
+    const std::uint8_t color = colors_[particle];
+    int delta;
+    if (planes_.sync(sys, [this](std::size_t i) { return colors_[i]; })) {
+      const std::uint8_t ringSame =
+          planes_.plane(color).ringMaskUnchecked(l, lattice::index(d));
+      delta = std::popcount(static_cast<unsigned>(ringSame & kAfterMask)) -
+              std::popcount(static_cast<unsigned>(ringSame & kBeforeMask));
+    } else {
+      const TriPoint target = lattice::neighbor(l, d);
+      delta = sameClassNeighbors(sys, colors_, target, color, l) -
+              sameClassNeighbors(sys, colors_, l, color, target);
+    }
+    return movePow_[static_cast<std::size_t>(delta + kMaxMoveDelta)];
+  }
+
+  void onMoved(const system::ParticleSystem& sys, std::size_t particle,
+               TriPoint from, TriPoint to) {
+    if (planes_.syncedWith(sys.grid())) {
+      system::BitGrid& plane = planes_.plane(colors_[particle]);
+      plane.clear(from);
+      plane.set(to);
+    } else {
+      planes_.sync(sys, [this](std::size_t i) { return colors_[i]; });
+    }
+  }
+
+  [[nodiscard]] bool auxEnabled() const noexcept {
+    return options_.enableSwaps;
+  }
+  [[nodiscard]] double auxProbability() const noexcept {
+    return options_.swapProbability;
+  }
+
+  /// Color swap across a heterochromatic edge, accepted with
+  /// min(1, γ^{Δhom}).  Dense path: the partner's color is a word load,
+  /// and Δhom comes from *two edge-ring gathers* — N(p)∪N(q)\{p,q} is
+  /// exactly the 8-cell ring of the edge (p, q), the two color planes
+  /// partition its occupancy, and kBeforeMask/kAfterMask split it into
+  /// N(p)\{q} and N(q)\{p}, so the heterochromatic p—q edge is excluded by
+  /// construction.  The partner's id (one hash probe) is resolved only for
+  /// an accepted swap.  (particle, draw6) are the engine's hoisted draws;
+  /// draw6 is the direction of the candidate edge.
+  AuxOutcome auxStep(system::ParticleSystem& sys, rng::Random& rng,
+                     std::size_t particle, int draw6) {
+    const Direction d = lattice::directionFromIndex(draw6);
+    const TriPoint p = sys.position(particle);
+    const TriPoint q = lattice::neighbor(p, d);
+    const std::uint8_t colorP = colors_[particle];
+    if (planes_.sync(sys, [this](std::size_t i) { return colors_[i]; })) {
+      if (!sys.occupiedNear(q)) return AuxOutcome::Skipped;
+      const std::uint8_t colorQ =
+          planes_.plane(1).testUnchecked(q) ? std::uint8_t{1} : std::uint8_t{0};
+      if (colorQ == colorP) return AuxOutcome::Skipped;
+      const std::uint8_t ringP =
+          planes_.plane(colorP).ringMaskUnchecked(p, lattice::index(d));
+      const std::uint8_t ringQ =
+          planes_.plane(colorQ).ringMaskUnchecked(p, lattice::index(d));
+      const int before = std::popcount(static_cast<unsigned>(ringP & kBeforeMask)) +
+                         std::popcount(static_cast<unsigned>(ringQ & kAfterMask));
+      const int after = std::popcount(static_cast<unsigned>(ringQ & kBeforeMask)) +
+                        std::popcount(static_cast<unsigned>(ringP & kAfterMask));
+      const double threshold =
+          swapPow_[static_cast<std::size_t>(after - before + kMaxSwapDelta)];
+      if (threshold >= 1.0 || rng.uniform() < threshold) {
+        const auto other = sys.particleAt(q);
+        SOPS_DASSERT(other.has_value());
+        colors_[particle] = colorQ;
+        colors_[*other] = colorP;
+        planes_.plane(colorP).clear(p);
+        planes_.plane(colorQ).set(p);
+        planes_.plane(colorQ).clear(q);
+        planes_.plane(colorP).set(q);
+        return AuxOutcome::Accepted;
+      }
+      return AuxOutcome::Rejected;
+    }
+    // Sparse fallback: identical decision sequence through the hash index.
+    const auto other = sys.particleAt(q);
+    if (!other.has_value()) return AuxOutcome::Skipped;
+    const std::uint8_t colorQ = colors_[*other];
+    if (colorQ == colorP) return AuxOutcome::Skipped;
+    const int before = sameClassNeighbors(sys, colors_, p, colorP, q) +
+                       sameClassNeighbors(sys, colors_, q, colorQ, p);
+    const int after = sameClassNeighbors(sys, colors_, p, colorQ, q) +
+                      sameClassNeighbors(sys, colors_, q, colorP, p);
+    const double threshold =
+        swapPow_[static_cast<std::size_t>(after - before + kMaxSwapDelta)];
+    if (threshold >= 1.0 || rng.uniform() < threshold) {
+      colors_[particle] = colorQ;
+      colors_[*other] = colorP;
+      return AuxOutcome::Accepted;
+    }
+    return AuxOutcome::Rejected;
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& colors() const noexcept {
+    return colors_;
+  }
+
+  /// hom(σ): exact recount of monochromatic induced edges.
+  [[nodiscard]] std::int64_t homogeneousEdges(
+      const system::ParticleSystem& sys) const {
+    return sameClassEdges(sys, colors_);
+  }
+
+  [[nodiscard]] std::size_t colorOneCount() const noexcept {
+    std::size_t count = 0;
+    for (const std::uint8_t c : colors_) count += c;
+    return count;
+  }
+
+ private:
+  Options options_;
+  std::vector<std::uint8_t> colors_;
+  ShadowPlanes<2> planes_;
+  std::array<double, 2 * kMaxMoveDelta + 1> movePow_{};
+  std::array<double, 2 * kMaxSwapDelta + 1> swapPow_{};
+};
+
+// ---------------------------------------------------------------------------
+// Alignment: w(σ) = λ^e κ^ali over per-particle orientations in {0..5} —
+// a mobile 6-state Potts/clock model (ferromagnetic for κ > 1), the
+// engine's analogue of the local stochastic alignment algorithms of
+// Kedia–Oh–Randall.  Movement moves carry the particle's orientation; the
+// auxiliary move re-samples one particle's orientation uniformly and
+// Metropolis-filters with κ^{Δali}.
+
+class AlignmentModel {
+ public:
+  struct Options {
+    double lambda = 4.0;  ///< compression bias (edges)
+    double kappa = 4.0;   ///< alignment bias (equal-orientation edges)
+    bool enableRotations = true;
+    double rotationProbability = 0.5;  ///< mixture weight of the rotation move
+  };
+
+  static constexpr bool kUniformWeight = false;
+  static constexpr bool kHasAuxMove = true;
+  static constexpr int kOrientations = lattice::kNumDirections;
+  static constexpr int kMaxMoveDelta = 5;
+  /// A rotation changes ali through ≤6 neighbors losing the old class and
+  /// ≤6 gaining the new one.
+  static constexpr int kMaxRotationDelta = 6;
+
+  AlignmentModel(Options options, std::vector<std::uint8_t> orientations)
+      : options_(options), orientations_(std::move(orientations)) {
+    SOPS_REQUIRE(options_.lambda > 0.0 && options_.kappa > 0.0,
+                 "biases must be positive");
+    SOPS_REQUIRE(options_.rotationProbability >= 0.0 &&
+                     options_.rotationProbability < 1.0,
+                 "rotation probability must be in [0, 1)");
+    for (const std::uint8_t o : orientations_) {
+      SOPS_REQUIRE(o < kOrientations, "orientations are 0..5");
+    }
+    for (int delta = -kMaxMoveDelta; delta <= kMaxMoveDelta; ++delta) {
+      movePow_[static_cast<std::size_t>(delta + kMaxMoveDelta)] =
+          lambdaPower(options_.kappa, delta);
+    }
+    for (int delta = -kMaxRotationDelta; delta <= kMaxRotationDelta; ++delta) {
+      rotationPow_[static_cast<std::size_t>(delta + kMaxRotationDelta)] =
+          lambdaPower(options_.kappa, delta);
+    }
+  }
+
+  [[nodiscard]] ChainOptions chainOptions() const noexcept {
+    ChainOptions chain;
+    chain.lambda = options_.lambda;
+    return chain;
+  }
+
+  void attach(const system::ParticleSystem& sys) {
+    SOPS_REQUIRE(orientations_.size() == sys.size(),
+                 "one orientation per particle");
+    planes_.sync(sys, [this](std::size_t i) { return orientations_[i]; });
+  }
+
+  /// κ^{Δali} for the movement (l → l+d) of `particle`: one ring gather of
+  /// the particle's own orientation plane.
+  double movementFactor(const system::ParticleSystem& sys, std::size_t particle,
+                        TriPoint l, Direction d, std::uint8_t /*ringOcc*/) {
+    const std::uint8_t orientation = orientations_[particle];
+    int delta;
+    if (planes_.sync(sys, [this](std::size_t i) { return orientations_[i]; })) {
+      const std::uint8_t ringSame =
+          planes_.plane(orientation).ringMaskUnchecked(l, lattice::index(d));
+      delta = std::popcount(static_cast<unsigned>(ringSame & kAfterMask)) -
+              std::popcount(static_cast<unsigned>(ringSame & kBeforeMask));
+    } else {
+      const TriPoint target = lattice::neighbor(l, d);
+      delta = sameClassNeighbors(sys, orientations_, target, orientation, l) -
+              sameClassNeighbors(sys, orientations_, l, orientation, target);
+    }
+    return movePow_[static_cast<std::size_t>(delta + kMaxMoveDelta)];
+  }
+
+  void onMoved(const system::ParticleSystem& sys, std::size_t particle,
+               TriPoint from, TriPoint to) {
+    if (planes_.syncedWith(sys.grid())) {
+      system::BitGrid& plane = planes_.plane(orientations_[particle]);
+      plane.clear(from);
+      plane.set(to);
+    } else {
+      planes_.sync(sys, [this](std::size_t i) { return orientations_[i]; });
+    }
+  }
+
+  [[nodiscard]] bool auxEnabled() const noexcept {
+    return options_.enableRotations;
+  }
+  [[nodiscard]] double auxProbability() const noexcept {
+    return options_.rotationProbability;
+  }
+
+  /// Orientation re-sampling: propose a uniform orientation for a uniform
+  /// particle (symmetric), accept with min(1, κ^{Δali}).  (particle,
+  /// draw6) are the engine's hoisted draws; draw6 is the proposed
+  /// orientation.
+  AuxOutcome auxStep(system::ParticleSystem& sys, rng::Random& rng,
+                     std::size_t particle, int draw6) {
+    const auto proposed = static_cast<std::uint8_t>(draw6);
+    const std::uint8_t current = orientations_[particle];
+    if (proposed == current) return AuxOutcome::Skipped;
+    const TriPoint p = sys.position(particle);
+    int delta;
+    const bool dense =
+        planes_.sync(sys, [this](std::size_t i) { return orientations_[i]; });
+    if (dense) {
+      delta = std::popcount(static_cast<unsigned>(
+                  planes_.plane(proposed).neighborMaskUnchecked(p))) -
+              std::popcount(static_cast<unsigned>(
+                  planes_.plane(current).neighborMaskUnchecked(p)));
+    } else {
+      delta = sameClassNeighbors(sys, orientations_, p, proposed, p) -
+              sameClassNeighbors(sys, orientations_, p, current, p);
+    }
+    const double threshold =
+        rotationPow_[static_cast<std::size_t>(delta + kMaxRotationDelta)];
+    if (threshold >= 1.0 || rng.uniform() < threshold) {
+      orientations_[particle] = proposed;
+      if (dense) {
+        planes_.plane(current).clear(p);
+        planes_.plane(proposed).set(p);
+      }
+      return AuxOutcome::Accepted;
+    }
+    return AuxOutcome::Rejected;
+  }
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& orientations() const noexcept {
+    return orientations_;
+  }
+
+  /// ali(σ): exact recount of equal-orientation induced edges.
+  [[nodiscard]] std::int64_t alignedEdges(
+      const system::ParticleSystem& sys) const {
+    return sameClassEdges(sys, orientations_);
+  }
+
+ private:
+  Options options_;
+  std::vector<std::uint8_t> orientations_;
+  ShadowPlanes<static_cast<std::size_t>(kOrientations)> planes_;
+  std::array<double, 2 * kMaxMoveDelta + 1> movePow_{};
+  std::array<double, 2 * kMaxRotationDelta + 1> rotationPow_{};
+};
+
+/// Engine aliases for the shipped scenarios.
+using CompressionEngine = BiasedChainEngine<CompressionModel>;
+using SeparationEngine = BiasedChainEngine<SeparationModel>;
+using AlignmentEngine = BiasedChainEngine<AlignmentModel>;
+
+}  // namespace sops::core
+
+#endif  // SOPS_CORE_SCENARIO_MODELS_HPP

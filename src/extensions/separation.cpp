@@ -1,7 +1,7 @@
 #include "extensions/separation.hpp"
 
-#include <cmath>
-
+#include "core/draw_guard.hpp"
+#include "core/move_table.hpp"
 #include "core/properties.hpp"
 #include "lattice/direction.hpp"
 #include "system/metrics.hpp"
@@ -14,6 +14,16 @@ using lattice::kAllDirections;
 using lattice::neighbor;
 using lattice::TriPoint;
 }  // namespace
+
+double separationMovementThreshold(const SeparationOptions& options,
+                                   int edgeDelta, int homDelta) {
+  return core::lambdaPower(options.lambda, edgeDelta) *
+         core::lambdaPower(options.gamma, homDelta);
+}
+
+double separationSwapThreshold(const SeparationOptions& options, int homDelta) {
+  return core::lambdaPower(options.gamma, homDelta);
+}
 
 SeparationChain::SeparationChain(system::ParticleSystem initial,
                                  std::vector<std::uint8_t> colors,
@@ -28,6 +38,9 @@ SeparationChain::SeparationChain(system::ParticleSystem initial,
   for (const std::uint8_t c : colors_) {
     SOPS_REQUIRE(c <= 1, "colors are 0 or 1");
   }
+  // Both step kinds draw the particle with a 32-bit uniform; the count is
+  // conserved, so the construction-time guard covers every step.
+  particleCount32_ = core::checkedParticleDrawBound(system_.size());
   SOPS_REQUIRE(system::isConnected(system_), "must start connected");
 }
 
@@ -44,8 +57,7 @@ int SeparationChain::sameColorNeighbors(TriPoint cell, std::uint8_t c,
 }
 
 void SeparationChain::movementStep() {
-  const auto particle =
-      static_cast<std::size_t>(rng_.below(static_cast<std::uint32_t>(system_.size())));
+  const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
   const Direction d = lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
   const TriPoint l = system_.position(particle);
   const core::MoveEvaluation eval = core::evaluateMove(system_, l, d);
@@ -55,9 +67,8 @@ void SeparationChain::movementStep() {
   const std::uint8_t myColor = colors_[particle];
   const int homBefore = sameColorNeighbors(l, myColor, target);
   const int homAfter = sameColorNeighbors(target, myColor, l);
-  const double threshold =
-      std::pow(options_.lambda, static_cast<double>(eval.eAfter - eval.eBefore)) *
-      std::pow(options_.gamma, static_cast<double>(homAfter - homBefore));
+  const double threshold = separationMovementThreshold(
+      options_, eval.eAfter - eval.eBefore, homAfter - homBefore);
   if (threshold >= 1.0 || rng_.uniform() < threshold) {
     system_.moveParticle(particle, target);
     ++stats_.movesAccepted;
@@ -65,8 +76,7 @@ void SeparationChain::movementStep() {
 }
 
 void SeparationChain::swapStep() {
-  const auto particle =
-      static_cast<std::size_t>(rng_.below(static_cast<std::uint32_t>(system_.size())));
+  const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
   const Direction d = lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
   const TriPoint p = system_.position(particle);
   const TriPoint q = neighbor(p, d);
@@ -79,8 +89,7 @@ void SeparationChain::swapStep() {
   // Δhom from exchanging the two colors; the p—q edge stays heterochromatic.
   const int before = sameColorNeighbors(p, colorP, q) + sameColorNeighbors(q, colorQ, p);
   const int after = sameColorNeighbors(p, colorQ, q) + sameColorNeighbors(q, colorP, p);
-  const double threshold =
-      std::pow(options_.gamma, static_cast<double>(after - before));
+  const double threshold = separationSwapThreshold(options_, after - before);
   if (threshold >= 1.0 || rng_.uniform() < threshold) {
     colors_[particle] = colorQ;
     colors_[*other] = colorP;

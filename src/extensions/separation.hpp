@@ -15,6 +15,13 @@
 /// segregation of colors; γ < 1 favors integration.  Exact details differ
 /// from [9] (documented substitution; the qualitative phase behavior is
 /// what bench_separation reproduces).
+///
+/// This class is the *reference* implementation: every neighbor-color
+/// count goes through the hash index (particleAt) and no state beyond the
+/// color vector is cached.  The production path is the identical kernel on
+/// the bitboard engine — core::SeparationEngine
+/// (core/scenario_models.hpp), draw-for-draw equal to this chain by
+/// tests/biased_engine_test.cpp and ≥3× faster (BENCH_perf.json).
 
 #include <cstdint>
 #include <vector>
@@ -32,6 +39,17 @@ struct SeparationOptions {
 };
 
 enum class SeparationMoveKind : std::uint8_t { Movement, Swap };
+
+/// The movement-move Metropolis threshold λ^{Δe}·γ^{Δhom}, computed from
+/// the shared core::lambdaPower so it cannot drift from the compression
+/// chain's per-mask decision table (at γ = 1 it *is* the chain's threshold,
+/// pinned by Separation.MovementThresholdMatchesCompressionChainAtGammaOne).
+[[nodiscard]] double separationMovementThreshold(const SeparationOptions& options,
+                                                 int edgeDelta, int homDelta);
+
+/// The swap-move threshold γ^{Δhom}, same single-source λ^δ helper.
+[[nodiscard]] double separationSwapThreshold(const SeparationOptions& options,
+                                             int homDelta);
 
 struct SeparationStats {
   std::uint64_t steps = 0;
@@ -76,6 +94,7 @@ class SeparationChain {
   SeparationOptions options_;
   rng::Random rng_;
   SeparationStats stats_;
+  std::uint32_t particleCount32_ = 0;
 };
 
 }  // namespace sops::extensions

@@ -99,6 +99,15 @@ ParticleSystem randomHoleFree(std::int64_t n, rng::Random& rng) {
   return sys;
 }
 
+std::vector<std::uint8_t> alternatingClasses(std::size_t n, int classes) {
+  SOPS_REQUIRE(classes > 0, "alternatingClasses: classes must be positive");
+  std::vector<std::uint8_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::uint8_t>(i % static_cast<std::size_t>(classes));
+  }
+  return labels;
+}
+
 ParticleSystem perforatedBlob(std::int64_t n, std::int64_t holes,
                               rng::Random& rng) {
   SOPS_REQUIRE(n >= 7, "perforatedBlob: n >= 7");

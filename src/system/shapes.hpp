@@ -44,6 +44,12 @@ namespace sops::system {
 /// triangles and large perimeter.
 [[nodiscard]] ParticleSystem randomDendrite(std::int64_t n, rng::Random& rng);
 
+/// n per-particle class labels cycling 0..classes-1 — the canonical
+/// maximally mixed start for the scenario models (separation colors,
+/// alignment orientations) shared by tests, benches, and examples.
+[[nodiscard]] std::vector<std::uint8_t> alternatingClasses(std::size_t n,
+                                                           int classes);
+
 /// A compact blob of n particles perforated by (approximately) the given
 /// number of single-cell holes — the holed initial configurations of the
 /// paper's §3.7 discussion ("we do not expect the presence of holes ... to

@@ -33,6 +33,15 @@ TEST(Separation, RejectsBadInputs) {
                ContractViolation);  // bad lambda
 }
 
+TEST(Separation, RejectsEmptySystemAtConstruction) {
+  // Regression for the size_t→uint32 particle-draw truncation: both step
+  // kinds draw via the shared 32-bit bound (core::checkedParticleDrawBound,
+  // unit-tested for the ≥2³² truncation cases), which also rejects the
+  // empty system that previously deferred UB to the first step().
+  EXPECT_THROW(SeparationChain(system::ParticleSystem(), {}, options(4, 4), 1),
+               ContractViolation);
+}
+
 TEST(Separation, ColorCountsConserved) {
   SeparationChain chain(system::lineConfiguration(20), alternatingColors(20),
                         options(4.0, 4.0), 7);

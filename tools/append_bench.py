@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Append a google-benchmark JSON run to the BENCH_perf.json trajectory.
+
+BENCH_perf.json holds a JSON *array* of runs (each a full google-benchmark
+output object: context + benchmarks), so the perf trajectory accumulates
+across PRs instead of being overwritten by every CI run.  A legacy file
+holding a single run object is upgraded to a one-element array first.
+
+Usage: tools/append_bench.py TRAJECTORY_JSON NEW_RUN_JSON
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trajectory_path, run_path = sys.argv[1], sys.argv[2]
+
+    with open(run_path) as f:
+        run = json.load(f)
+    if "benchmarks" not in run:
+        print(f"{run_path}: not a google-benchmark output (no 'benchmarks')",
+              file=sys.stderr)
+        return 1
+
+    try:
+        with open(trajectory_path) as f:
+            trajectory = json.load(f)
+    except FileNotFoundError:
+        trajectory = []
+    # A corrupt trajectory must fail the step, not be silently replaced:
+    # json.JSONDecodeError propagates.
+    if isinstance(trajectory, dict):  # legacy single-run file
+        trajectory = [trajectory]
+
+    trajectory.append(run)
+    with open(trajectory_path, "w") as f:
+        json.dump(trajectory, f, indent=1)
+        f.write("\n")
+    print(f"{trajectory_path}: {len(trajectory)} runs "
+          f"(+{len(run['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
