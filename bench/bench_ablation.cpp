@@ -22,7 +22,8 @@ struct AblationRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_ABLATION_N, SOPS_ABLATION_ITERS");
   using namespace sops;
   const auto n = bench::envInt("SOPS_ABLATION_N", 60);
   const auto iterations =

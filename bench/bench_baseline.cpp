@@ -12,7 +12,8 @@
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "(none)");
   using namespace sops;
   bench::banner("E14 / §1.3",
                 "leader-driven hexagon formation vs the stochastic chain");

@@ -14,7 +14,8 @@
 #include "system/metrics.hpp"
 #include "system/particle_system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_ENUM_MAX_N");
   using namespace sops;
   const auto maxN = static_cast<int>(bench::envInt("SOPS_ENUM_MAX_N", 10));
 

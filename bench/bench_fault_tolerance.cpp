@@ -56,7 +56,8 @@ Outcome runWithFaults(std::int64_t n, double lambda, double crashFraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_FAULT_N, SOPS_FAULT_LAMBDA, SOPS_FAULT_ACTIVATIONS");
   using namespace sops;
   const auto n = bench::envInt("SOPS_FAULT_N", 100);
   const auto activations =

@@ -18,7 +18,8 @@
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_FIG10_N, SOPS_FIG10_LAMBDA, SOPS_FIG10_CHECKPOINT, SOPS_FIG10_SEEDS, SOPS_SEED, SOPS_THREADS");
   using namespace sops;
   const auto n = bench::envInt("SOPS_FIG10_N", 100);
   const double lambda = bench::envDouble("SOPS_FIG10_LAMBDA", 2.0);

@@ -5,131 +5,125 @@
 // iterations and is well-compressed at 5M.  We report p(σ)/p_min (the α of
 // Definition 2.2), edges, and ASCII snapshots.
 //
-// The primary seed reproduces the paper's single trajectory; a seed
-// ensemble (SOPS_FIG2_SEEDS replicas, thread-pooled via core/ensemble)
-// quantifies how typical that trajectory is.
-#include <algorithm>
+// Since ISSUE 4 the whole experiment is one facade RunSpec: the primary
+// seed plus a seed ensemble run as replicas of the compression scenario
+// (sim::Registry), measurement is an Observer instead of an inline loop,
+// and the plot CSV/SVG come from the spec's sinks.  The replica seeds
+// (seed + 7·r) and engine construction are identical to the pre-facade
+// core::runEnsemble path, so the trajectories are unchanged.
+//
+// Env knobs (CI shrink): SOPS_FIG2_N, SOPS_FIG2_LAMBDA,
+// SOPS_FIG2_CHECKPOINT, SOPS_FIG2_CHECKPOINTS, SOPS_SEED, SOPS_FIG2_SEEDS,
+// SOPS_THREADS.  Any key=value argument overrides both.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "analysis/csv.hpp"
 #include "bench_util.hpp"
-#include "core/ensemble.hpp"
 #include "io/ascii_render.hpp"
-#include "io/svg.hpp"
+#include "sim/runner.hpp"
 #include "system/metrics.hpp"
-#include "system/shapes.hpp"
 
-int main() {
-  using namespace sops;
-  const auto n = bench::envInt("SOPS_FIG2_N", 100);
-  const double lambda = bench::envDouble("SOPS_FIG2_LAMBDA", 4.0);
+namespace {
+
+using namespace sops;
+
+/// Captures replica 0's per-checkpoint rows and its first/last snapshots
+/// (the Fig 2a / Fig 2e panels).
+class Fig2Observer : public sim::Observer {
+ public:
+  struct Row {
+    std::uint64_t iteration;
+    std::vector<double> values;
+  };
+
+  void onSample(const sim::Sample& sample) override {
+    if (sample.replica != 0) return;
+    rows_.push_back(Row{sample.iteration,
+                        {sample.values.begin(), sample.values.end()}});
+  }
+  void onSnapshot(std::size_t replica, std::uint64_t iteration,
+                  const system::ParticleSystem& sys) override {
+    if (replica != 0 || iteration == 0) return;
+    snapshots_.emplace_back(iteration, io::renderAscii(sys));
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::string>>&
+  snapshots() const noexcept {
+    return snapshots_;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::uint64_t, std::string>> snapshots_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const auto checkpoint = bench::envInt("SOPS_FIG2_CHECKPOINT", 1000000);
   const auto checkpoints = bench::envInt("SOPS_FIG2_CHECKPOINTS", 5);
-  const auto seed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
-  const auto seedCount =
-      std::max<std::int64_t>(1, bench::envInt("SOPS_FIG2_SEEDS", 4));
-  const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
+  const sim::ParamMap params = bench::layeredParams(
+      "scenario=compression shape=line n=100 lambda=4.0 seed=1603 "
+      "replicas=4 seed-stride=7 snapshots=true steps=" +
+          std::to_string(checkpoint * checkpoints) +
+          " checkpoint=" + std::to_string(checkpoint) +
+          " csv=" + bench::csvPath("fig2_compression.csv") +
+          " svg=" + bench::csvPath("fig2_final.svg"),
+      {{"n", "SOPS_FIG2_N"},
+       {"lambda", "SOPS_FIG2_LAMBDA"},
+       {"seed", "SOPS_SEED"},
+       {"replicas", "SOPS_FIG2_SEEDS"},
+       {"threads", "SOPS_THREADS"}},
+      argc, argv);
+  const sim::RunSpec spec = sim::RunSpec::fromParams(params);
 
-  bench::banner("E1 / Fig 2", "compression of a line of " + std::to_string(n) +
-                                  " particles at lambda=" + bench::fmt(lambda, 2));
+  bench::banner("E1 / Fig 2",
+                "compression of a line of " + std::to_string(spec.n) +
+                    " particles at lambda=" +
+                    bench::fmt(spec.params.getDouble("lambda", 4.0), 2));
+  std::printf("spec: %s\n", spec.toText().c_str());
 
-  const std::int64_t pMin = system::pMin(n);
-  const std::int64_t pMax = system::pMax(n);
+  const std::int64_t pMin = system::pMin(spec.n);
+  std::printf("n=%lld  p_min=%lld  p_max=%lld\n\n",
+              static_cast<long long>(spec.n), static_cast<long long>(pMin),
+              static_cast<long long>(system::pMax(spec.n)));
 
-  core::ChainOptions options;
-  options.lambda = lambda;
+  Fig2Observer observer;
+  const sim::RunReport report = sim::run(spec, observer);
 
-  // Per-checkpoint rows and snapshots of the primary replica, captured on
-  // its worker thread and printed once the ensemble completes.
-  struct Row {
-    std::uint64_t iterations;
-    system::ConfigSummary summary;
-    double acceptance;
-  };
-  std::vector<Row> primaryRows;
-  std::vector<std::pair<std::uint64_t, std::string>> primarySnapshots;
-
-  std::vector<core::ReplicaSpec> specs;
-  for (std::int64_t s = 0; s < seedCount; ++s) {
-    core::ReplicaSpec spec;
-    spec.label = "seed=" + std::to_string(seed + 7 * s);
-    spec.options = options;
-    spec.seed = seed + 7 * static_cast<std::uint64_t>(s);
-    spec.iterations =
-        static_cast<std::uint64_t>(checkpoint) *
-        static_cast<std::uint64_t>(checkpoints);
-    spec.checkpointEvery = static_cast<std::uint64_t>(checkpoint);
-    spec.makeInitial = [n] { return system::lineConfiguration(n); };
-    spec.observable = [pMin](const core::CompressionChain& chain) {
-      return static_cast<double>(system::perimeter(chain.system())) /
-             static_cast<double>(pMin);
-    };
-    if (s == 0) {
-      spec.observer = [&primaryRows, &primarySnapshots, checkpoint,
-                       checkpoints](const core::CompressionChain& chain,
-                                    std::uint64_t done) {
-        primaryRows.push_back({done, system::summarize(chain.system()),
-                               chain.stats().acceptanceRate()});
-        const auto k = done / static_cast<std::uint64_t>(checkpoint);
-        if (k == 1 || k == static_cast<std::uint64_t>(checkpoints)) {
-          primarySnapshots.emplace_back(done, io::renderAscii(chain.system()));
-        }
-      };
-    }
-    specs.push_back(std::move(spec));
+  bench::Table table(
+      {"iterations", "perimeter", "alpha=p/pmin", "edges", "acceptance"});
+  for (const Fig2Observer::Row& row : observer.rows()) {
+    // Metric order is the compression scenario's declared columns:
+    // edges, perimeter, alpha, acceptance.
+    table.row({bench::fmtInt(static_cast<std::int64_t>(row.iteration)),
+               bench::fmtInt(static_cast<std::int64_t>(row.values[1])),
+               bench::fmt(row.values[2]),
+               bench::fmtInt(static_cast<std::int64_t>(row.values[0])),
+               bench::fmt(row.values[3])});
   }
-
-  core::EnsembleOptions ensembleOptions;
-  ensembleOptions.threads = threads;
-  const auto results = core::runEnsemble(specs, ensembleOptions);
-
-  std::printf("n=%lld  p_min=%lld  p_max=%lld  start perimeter=%lld\n\n",
-              static_cast<long long>(n), static_cast<long long>(pMin),
-              static_cast<long long>(pMax),
-              static_cast<long long>(
-                  system::perimeter(system::lineConfiguration(n))));
-
-  analysis::CsvWriter csv(bench::csvPath("fig2_compression.csv"),
-                          {"iterations", "perimeter", "alpha", "edges"});
-  bench::Table table({"iterations", "perimeter", "alpha=p/pmin", "edges",
-                      "acceptance"});
-  // Iteration-0 row: the start of the compression curve.
-  primaryRows.insert(primaryRows.begin(),
-                     {0, system::summarize(system::lineConfiguration(n)), 0.0});
-  for (const Row& row : primaryRows) {
-    table.row({bench::fmtInt(static_cast<std::int64_t>(row.iterations)),
-               bench::fmtInt(row.summary.perimeter),
-               bench::fmt(row.summary.perimeterRatio),
-               bench::fmtInt(row.summary.edges), bench::fmt(row.acceptance)});
-    csv.writeRow({std::to_string(row.iterations),
-                  std::to_string(row.summary.perimeter),
-                  analysis::formatDouble(row.summary.perimeterRatio),
-                  std::to_string(row.summary.edges)});
-  }
-  for (std::size_t i = 0; i < primarySnapshots.size(); ++i) {
+  const auto& snapshots = observer.snapshots();
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    if (i != 0 && i + 1 != snapshots.size()) continue;  // Fig 2a / Fig 2e
     std::printf("\nsnapshot after %lld iterations (Fig 2%c):\n%s\n",
-                static_cast<long long>(primarySnapshots[i].first),
-                i == 0 ? 'a' : 'e', primarySnapshots[i].second.c_str());
+                static_cast<long long>(snapshots[i].first),
+                i == 0 ? 'a' : 'e', snapshots[i].second.c_str());
   }
 
-  if (results.size() > 1) {
-    std::printf("\nseed ensemble (final alpha after %lld iterations):\n",
-                static_cast<long long>(checkpoint * checkpoints));
+  if (report.replicas.size() > 1) {
+    std::printf("\nseed ensemble (final alpha after %llu iterations):\n",
+                static_cast<unsigned long long>(spec.steps));
     bench::Table seedsTable({"seed", "final alpha", "acceptance", "wall s"});
-    for (const core::ReplicaResult& r : results) {
+    for (const sim::ReplicaSummary& r : report.replicas) {
       seedsTable.row({std::to_string(r.seed),
-                      bench::fmt(r.samples.empty() ? 0.0
-                                                   : r.samples.back().value),
-                      bench::fmt(r.stats.acceptanceRate()),
+                      bench::fmt(report.finalMetric(r.replica, "alpha")),
+                      bench::fmt(report.finalMetric(r.replica, "acceptance")),
                       bench::fmt(r.wallSeconds, 2)});
     }
   }
 
-  io::writeSvg(results.front().finalSystem, bench::csvPath("fig2_final.svg"));
   std::printf("paper shape to hold: alpha decreasing toward a small constant\n");
-  std::printf("final chain stats: %s\n",
-              results.front().stats.toString().c_str());
   return 0;
 }

@@ -58,7 +58,8 @@ MoveCensus census(const system::ParticleSystem& sys) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_FIG3_BFS_N, SOPS_FIG3_EXHAUSTIVE_N");
   const auto exhaustiveN =
       static_cast<int>(bench::envInt("SOPS_FIG3_EXHAUSTIVE_N", 9));
 

@@ -57,7 +57,8 @@ system::ParticleSystem ringChain(std::int64_t rings) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_HOLES_ALPHA, SOPS_HOLES_LAMBDA, SOPS_HOLES_SEEDS");
   const double lambda = bench::envDouble("SOPS_HOLES_LAMBDA", 4.0);
   const double alpha = bench::envDouble("SOPS_HOLES_ALPHA", 1.75);
   const auto seeds = bench::envInt("SOPS_HOLES_SEEDS", 3);

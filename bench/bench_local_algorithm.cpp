@@ -77,7 +77,8 @@ TvResult measureTv(double lambda, const std::vector<double>& rates,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_LOCAL_* (see source)");
   using namespace sops;
   const auto strides = static_cast<int>(bench::envInt("SOPS_LOCAL_STRIDES", 300000));
   const double lambda = bench::envDouble("SOPS_LOCAL_LAMBDA", 2.0);

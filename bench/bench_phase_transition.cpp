@@ -21,7 +21,8 @@
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_PHASE_N, SOPS_PHASE_ITERS, SOPS_PHASE_SEEDS, SOPS_SEED, SOPS_THREADS");
   using namespace sops;
   const auto n = bench::envInt("SOPS_PHASE_N", 100);
   const auto iterations = bench::envInt("SOPS_PHASE_ITERS", 8000000);

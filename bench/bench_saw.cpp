@@ -9,7 +9,8 @@
 #include "bench_util.hpp"
 #include "enumeration/hex_saw.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_SAW_MAX_L");
   using namespace sops;
   const auto maxLength = static_cast<int>(bench::envInt("SOPS_SAW_MAX_L", 22));
 

@@ -8,93 +8,98 @@
 // ratio, which should sit near 10 (within 8–16 on this scale says the
 // conjectured n³–n⁴ window).
 //
-// Every (n, seed) replica is independent, so the whole study runs as one
-// thread-pooled ensemble (core/ensemble) with per-replica early stopping
-// at the compression threshold.
-#include <algorithm>
+// Since ISSUE 4 each size runs as one facade RunSpec with a seed-replica
+// fan-out and a StopWhen predicate on the sampled alpha — the facade
+// shape of the old per-replica stopWhen.  Replica seeds (1603 + 7·s) and
+// engine construction match the pre-facade ensemble exactly.
+//
+// Env knobs: SOPS_SCALING_LAMBDA, SOPS_SCALING_ALPHA, SOPS_SCALING_MAX_N,
+// SOPS_SCALING_SEEDS, SOPS_THREADS; argv key=value overrides the
+// per-size spec (scenario/lambda/threads/...).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "analysis/csv.hpp"
 #include "analysis/stats.hpp"
 #include "bench_util.hpp"
-#include "core/ensemble.hpp"
+#include "sim/registry.hpp"
+#include "sim/runner.hpp"
 #include "system/metrics.hpp"
-#include "system/shapes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sops;
-  const double lambda = bench::envDouble("SOPS_SCALING_LAMBDA", 4.0);
   const double alpha = bench::envDouble("SOPS_SCALING_ALPHA", 1.75);
   const auto maxN = bench::envInt("SOPS_SCALING_MAX_N", 200);
-  const auto seeds =
-      std::max<std::int64_t>(1, bench::envInt("SOPS_SCALING_SEEDS", 3));
-  const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
+  const sim::ParamMap base = bench::layeredParams(
+      "scenario=compression shape=line lambda=4.0 seed=1603 seed-stride=7 "
+      "replicas=3",
+      {{"lambda", "SOPS_SCALING_LAMBDA"},
+       {"replicas", "SOPS_SCALING_SEEDS"},
+       {"threads", "SOPS_THREADS"}},
+      argc, argv);
 
-  bench::banner("E7 / §3.7", "iterations to alpha-compression vs n (alpha=" +
-                                 bench::fmt(alpha, 2) + ", lambda=" +
-                                 bench::fmt(lambda, 2) + ")");
+  bench::banner("E7 / §3.7",
+                "iterations to alpha-compression vs n (alpha=" +
+                    bench::fmt(alpha, 2) + ", lambda=" +
+                    bench::fmt(sim::RunSpec::fromParams(base).params.getDouble(
+                                   "lambda", 4.0),
+                               2) +
+                    ")");
 
-  // One replica per (n, seed), all stopping early at the compression
-  // threshold; the cap n³·24 encodes the conjectured iteration window.
+  // The alpha/holes columns of the compression scenario's metric row,
+  // resolved once for the StopWhen predicate.
+  const auto metricNames =
+      sim::Registry::instance().get("compression").metricNames();
+  std::size_t alphaIndex = 0;
+  while (metricNames[alphaIndex] != "alpha") ++alphaIndex;
+  std::size_t holesIndex = 0;
+  while (metricNames[holesIndex] != "holes") ++holesIndex;
+
   std::vector<std::int64_t> sizes;
   for (std::int64_t n = 25; n <= maxN; n *= 2) sizes.push_back(n);
 
-  std::vector<core::ReplicaSpec> specs;
-  for (const std::int64_t n : sizes) {
-    const double threshold = alpha * static_cast<double>(system::pMin(n));
-    for (std::int64_t s = 0; s < seeds; ++s) {
-      core::ReplicaSpec spec;
-      spec.label = "n=" + std::to_string(n);
-      spec.options.lambda = lambda;
-      spec.seed = static_cast<std::uint64_t>(1603 + 7 * s);
-      spec.iterations = static_cast<std::uint64_t>(n) *
-                        static_cast<std::uint64_t>(n) *
-                        static_cast<std::uint64_t>(n) * 24;
-      spec.checkpointEvery = static_cast<std::uint64_t>(n) * 250;
-      spec.makeInitial = [n] { return system::lineConfiguration(n); };
-      spec.stopWhen = [n, threshold](const core::CompressionChain& chain,
-                                     std::uint64_t) {
-        // hole-free after burn-in; p = 3n - e - 3 (checked cheaply via the
-        // chain's incrementally maintained edge count)
-        const std::int64_t p = 3 * n - chain.edges() - 3;
-        return static_cast<double>(p) <= threshold &&
-               system::countHoles(chain.system()) == 0;
-      };
-      specs.push_back(std::move(spec));
-    }
-  }
-
-  core::EnsembleOptions ensembleOptions;
-  ensembleOptions.threads = threads;
-  ensembleOptions.keepFinalSystems = false;
-  const auto results = core::runEnsemble(specs, ensembleOptions);
-
-  analysis::CsvWriter csv(bench::csvPath("scaling.csv"),
-                          {"n", "median_iterations", "median_rounds",
-                           "ratio_vs_half"});
-  bench::Table table({"n", "median iters", "iters/n (rounds)",
-                      "ratio vs n/2", "paper shape"});
+  analysis::CsvWriter csv(
+      bench::csvPath("scaling.csv"),
+      {"n", "median_iterations", "median_rounds", "ratio_vs_half"});
+  bench::Table table({"n", "median iters", "iters/n (rounds)", "ratio vs n/2",
+                      "paper shape"});
 
   double previousMedian = 0.0;
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const std::int64_t n = sizes[i];
+  for (const std::int64_t n : sizes) {
+    sim::ParamMap params = base;
+    params.set("n", std::to_string(n));
+    // The cap n³·24 encodes the conjectured iteration window; checkpoints
+    // every 250n steps bound the early-stop detection latency.
+    params.set("steps", std::to_string(n * n * n * 24));
+    params.set("checkpoint", std::to_string(n * 250));
+    const sim::RunSpec spec = sim::RunSpec::fromParams(params);
+    const double threshold = alpha * static_cast<double>(system::pMin(n));
+    const double pMin = static_cast<double>(system::pMin(n));
+    sim::Observer none;
+    const sim::RunReport report =
+        sim::run(spec, none, [alphaIndex, holesIndex, threshold, pMin](
+                                 const sim::Sample& sample) {
+          // The pre-facade stop condition exactly: hole-free AND
+          // p ≤ α·p_min (with holes = 0 the sampled perimeter is the
+          // hole-free formula 3n − e − 3 the old predicate used).
+          return sample.values[holesIndex] == 0.0 &&
+                 sample.values[alphaIndex] * pMin <= threshold;
+        });
+
     std::vector<double> hits;
-    for (std::int64_t s = 0; s < seeds; ++s) {
-      hits.push_back(static_cast<double>(
-          results[i * static_cast<std::size_t>(seeds) +
-                  static_cast<std::size_t>(s)]
-              .iterationsRun));
+    for (const sim::ReplicaSummary& r : report.replicas) {
+      hits.push_back(static_cast<double>(r.steps));
     }
     const double median = analysis::quantile(hits, 0.5);
     const double ratio = previousMedian > 0 ? median / previousMedian : 0.0;
-    table.row({bench::fmtInt(n), bench::fmtInt(static_cast<std::int64_t>(median)),
-               bench::fmtInt(static_cast<std::int64_t>(
-                   median / static_cast<double>(n))),
-               previousMedian > 0 ? bench::fmt(ratio, 2) : "-",
-               previousMedian > 0 ? "~10x per doubling" : "-"});
-    csv.writeRow({std::to_string(n),
-                  analysis::formatDouble(median, 10),
+    table.row(
+        {bench::fmtInt(n), bench::fmtInt(static_cast<std::int64_t>(median)),
+         bench::fmtInt(
+             static_cast<std::int64_t>(median / static_cast<double>(n))),
+         previousMedian > 0 ? bench::fmt(ratio, 2) : "-",
+         previousMedian > 0 ? "~10x per doubling" : "-"});
+    csv.writeRow({std::to_string(n), analysis::formatDouble(median, 10),
                   analysis::formatDouble(median / static_cast<double>(n), 10),
                   analysis::formatDouble(ratio)});
     previousMedian = median;

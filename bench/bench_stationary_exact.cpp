@@ -21,7 +21,8 @@
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  sops::bench::expectNoArgs(argc, argv, "SOPS_EXACT_N, SOPS_EXACT_MATRIX_N, SOPS_EXACT_SAMPLES");
   using namespace sops;
   const auto n = static_cast<int>(bench::envInt("SOPS_EXACT_N", 6));
   const std::vector<double> lambdas = {1.0, 1.5, 2.0, 2.17, 3.0, 3.42, 4.0, 6.0};

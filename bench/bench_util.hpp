@@ -2,19 +2,61 @@
 #define SOPS_BENCH_BENCH_UTIL_HPP
 
 /// \file bench_util.hpp
-/// Shared helpers for the experiment harnesses: environment-variable
-/// overrides (so CI can shrink runs), aligned table printing, and CSV
-/// output locations.  Every bench runs with sensible defaults via
-/// `for b in build/bench/*; do $b; done`.
+/// Shared helpers for the experiment harnesses: spec assembly from
+/// defaults + environment variables + argv (one parser for every bench,
+/// sim::ParamMap underneath), aligned table printing, and CSV output
+/// locations.  Every bench runs with sensible defaults via
+/// `for b in build/bench/*; do $b; done`; CI shrinks runs through the
+/// SOPS_* environment knobs, and any key=value argument overrides both.
+/// Unknown argv flags are hard errors — the old per-binary parsers
+/// silently ignored them.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "sim/params.hpp"
+
 namespace sops::bench {
+
+/// Binds a spec key to the legacy SOPS_* environment variable that may
+/// override its default.
+struct EnvKey {
+  const char* key;
+  const char* env;
+};
+
+/// Layered parameter assembly: `defaults` (key=value text), overridden by
+/// any set environment variable from `envKeys`, overridden by argv
+/// key=value tokens.  Malformed or unknown argv tokens throw
+/// ContractViolation (callers let it escape to fail the run loudly).
+inline sim::ParamMap layeredParams(std::string_view defaults,
+                                   std::initializer_list<EnvKey> envKeys,
+                                   int argc, const char* const* argv) {
+  sim::ParamMap map = sim::parseKeyValues(defaults);
+  for (const EnvKey& e : envKeys) {
+    const char* raw = std::getenv(e.env);
+    if (raw != nullptr && *raw != '\0') map.set(e.key, raw);
+  }
+  map.merge(sim::parseArgs(argc, argv));
+  return map;
+}
+
+/// For benches whose knobs are env-only: any argv is an error (instead of
+/// the historical silent ignore), with the env knobs named in the
+/// message.
+inline void expectNoArgs(int argc, const char* const* argv,
+                         const char* envHelp) {
+  if (argc <= 1) return;
+  std::fprintf(stderr,
+               "%s takes no arguments (tune via environment knobs: %s)\n",
+               argv[0], envHelp);
+  std::exit(2);
+}
 
 /// Integer override: SOPS_<NAME> environment variable, else fallback.
 inline std::int64_t envInt(const char* name, std::int64_t fallback) {

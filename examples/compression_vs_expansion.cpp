@@ -1,52 +1,53 @@
 // Compression vs expansion, side by side (the paper's headline contrast:
-// Fig 2 at λ=4 vs Fig 10 at λ=2), from the same starting line.
+// Fig 2 at λ=4 vs Fig 10 at λ=2), from the same starting line — two facade
+// runs of the compression scenario differing only in lambda.
 //
-//   ./examples/compression_vs_expansion [n] [iterations]
+//   ./examples/compression_vs_expansion [key=value ...]
+//   (e.g. n=200 steps=1000000; unknown keys are errors)
 //
 // Writes SVG renderings of both end states next to the executable.
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 
-#include "core/compression_chain.hpp"
-#include "io/ascii_render.hpp"
-#include "io/svg.hpp"
+#include "sim/runner.hpp"
 #include "system/metrics.hpp"
-#include "system/shapes.hpp"
+#include "util/assert.hpp"
 
 namespace {
 
-void runAndReport(const char* name, double lambda, std::int64_t n,
-                  std::uint64_t iterations) {
-  using namespace sops;
-  core::ChainOptions options;
-  options.lambda = lambda;
-  core::CompressionChain chain(system::lineConfiguration(n), options, 7);
-  chain.run(iterations);
-  const system::ConfigSummary summary = system::summarize(chain.system());
+using namespace sops;
+
+void runAndReport(const char* name, double lambda, sim::ParamMap params) {
+  params.set("lambda", std::to_string(lambda));
+  params.set("svg", std::string("example_") + name + ".svg");
+  const sim::RunSpec spec = sim::RunSpec::fromParams(params);
+
+  sim::AsciiSnapshotSink ascii(stdout);
   std::printf("\n--- %s (lambda=%.2f) after %llu iterations ---\n", name,
-              lambda, static_cast<unsigned long long>(iterations));
-  std::printf("%s", io::renderAscii(chain.system()).c_str());
+              lambda, static_cast<unsigned long long>(spec.steps));
+  const sim::RunReport report = sim::run(spec, ascii);
   std::printf("alpha = p/p_min = %.3f   beta = p/p_max = %.3f\n",
-              summary.perimeterRatio,
-              static_cast<double>(summary.perimeter) /
-                  static_cast<double>(system::pMax(n)));
-  const std::string file = std::string("example_") + name + ".svg";
-  if (io::writeSvg(chain.system(), file)) {
-    std::printf("wrote %s\n", file.c_str());
-  }
+              report.finalMetric(0, "alpha"),
+              report.finalMetric(0, "perimeter") /
+                  static_cast<double>(system::pMax(spec.n)));
+  std::printf("wrote %s\n", spec.svgPath.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 100;
-  const std::uint64_t iterations =
-      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 5000000;
-
-  std::printf("The same bias-parameter knob drives both behaviors (§5):\n"
-              "lambda > 2+sqrt(2) compresses, lambda < 2.17 expands —\n"
-              "even though both values 'favor' neighbors (lambda > 1).\n");
-  runAndReport("compression", 4.0, n, iterations);
-  runAndReport("expansion", 2.0, n, iterations);
-  return 0;
+  try {
+    sim::ParamMap params = sim::parseKeyValues(
+        "scenario=compression shape=line n=100 steps=5000000 seed=7");
+    params.merge(sim::parseArgs(argc, argv));
+    std::printf("The same bias-parameter knob drives both behaviors (§5):\n"
+                "lambda > 2+sqrt(2) compresses, lambda < 2.17 expands —\n"
+                "even though both values 'favor' neighbors (lambda > 1).\n");
+    runAndReport("compression", 4.0, params);
+    runAndReport("expansion", 2.0, params);
+    return 0;
+  } catch (const sops::ContractViolation& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

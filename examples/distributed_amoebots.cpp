@@ -1,84 +1,66 @@
 // The fully distributed view: Algorithm A running on the amoebot model
 // (§3.2) with per-particle Poisson clocks, private compasses, a 1-bit flag
-// memory — and optional crash faults (§3.3).  With a thread count the run
-// goes through the sharded concurrent scheduler (word-aligned lattice
-// stripes + halo deferral, deterministic per seed for every thread count).
+// memory — and optional crash faults (§3.3) — as the facade's `amoebot`
+// scenario.  Execution always goes through the sharded concurrent
+// scheduler (word-aligned lattice stripes + halo deferral), whose
+// trajectory is deterministic per seed for every thread count.
 //
-//   ./examples/distributed_amoebots [n] [lambda] [activations] [crash_fraction] [threads]
-#include <algorithm>
+//   ./examples/distributed_amoebots [key=value ...]
+//   (e.g. n=100 threads=4 crash-fraction=0.1 steps=5000000)
 #include <cstdio>
-#include <cstdlib>
 
-#include "amoebot/faults.hpp"
-#include "amoebot/local_compression.hpp"
-#include "amoebot/parallel_scheduler.hpp"
-#include "amoebot/scheduler.hpp"
-#include "io/ascii_render.hpp"
-#include "system/metrics.hpp"
-#include "system/shapes.hpp"
+#include "sim/runner.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace sops;
+
+class ProgressObserver : public sim::Observer {
+ public:
+  void onSample(const sim::Sample& sample) override {
+    if (sample.iteration == 0) return;
+    // amoebot metric order: perimeter, alpha, sweep_fraction, sim_time.
+    std::printf(
+        "activations=%-10llu sweep-frac=%-6.3f sim-time=%-9.1f alpha=%.3f\n",
+        static_cast<unsigned long long>(sample.iteration), sample.values[2],
+        sample.values[3], sample.values[1]);
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace sops;
-  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 60;
-  const double lambda = argc > 2 ? std::atof(argv[2]) : 4.0;
-  const std::uint64_t activations =
-      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 3000000;
-  const double crashFraction = argc > 4 ? std::atof(argv[4]) : 0.0;
-  const unsigned threads =
-      argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
+  try {
+    sim::ParamMap params = sim::parseKeyValues(
+        "scenario=amoebot shape=line n=60 steps=3000000 checkpoint=600000 "
+        "seed=2016");
+    params.merge(sim::parseArgs(argc, argv));
+    const sim::RunSpec spec = sim::RunSpec::fromParams(params);
 
-  rng::Random rng(2016);
-  amoebot::AmoebotSystem sys(system::lineConfiguration(n), rng);
-  if (crashFraction > 0.0) {
-    rng::Random faultRng(99);
-    amoebot::applyFaults(sys,
-                         amoebot::randomCrashes(sys.size(), crashFraction, faultRng));
-    std::printf("crashed %.0f%% of particles; the rest compress around them.\n",
-                crashFraction * 100.0);
-  }
-
-  const amoebot::LocalCompressionAlgorithm algorithm({lambda});
-
-  if (threads > 0) {
-    std::printf("running Algorithm A on the sharded scheduler: %u stripe\n"
-                "worker(s), same trajectory for every thread count.\n\n",
-                threads);
-    amoebot::ShardedOptions options;
-    options.threads = threads;
-    amoebot::ShardedPoissonRunner runner(sys, algorithm, 11, options);
-    const std::uint64_t burst = std::max<std::uint64_t>(activations / 5, 1);
-    for (int checkpoint = 1; checkpoint <= 5; ++checkpoint) {
-      runner.runAtLeast(burst);
-      const system::ConfigSummary s = system::summarize(sys.tailConfiguration());
-      std::printf(
-          "activations=%-10llu sweep-frac=%-6.3f sim-time=%-9.1f alpha=%.3f\n",
-          static_cast<unsigned long long>(runner.activations()),
-          static_cast<double>(runner.sweepActivations()) /
-              static_cast<double>(runner.activations()),
-          runner.now(), s.perimeterRatio);
+    const double crashFraction =
+        spec.params.getDouble("crash-fraction", 0.0);
+    if (crashFraction > 0.0) {
+      std::printf("crashing %.0f%% of particles; the rest compress around "
+                  "them.\n",
+                  crashFraction * 100.0);
     }
-  } else {
-    amoebot::PoissonScheduler scheduler(sys.size(), rng::Random(11));
-    amoebot::RoundTracker rounds(sys.size());
-    rng::Random coin(13);
-
     std::printf("running Algorithm A: each particle acts only on its own\n"
-                "Poisson clock, sees only its neighborhood, and stores 1 bit.\n\n");
-    const std::uint64_t checkpoint = std::max<std::uint64_t>(activations / 5, 1);
-    for (std::uint64_t i = 0; i < activations; ++i) {
-      const amoebot::Activation activation = scheduler.next();
-      algorithm.activate(sys, activation.particle, coin);
-      rounds.recordActivation(activation.particle);
-      if ((i + 1) % checkpoint == 0) {
-        const system::ConfigSummary s = system::summarize(sys.tailConfiguration());
-        std::printf("activations=%-10llu rounds=%-8llu sim-time=%-9.1f alpha=%.3f\n",
-                    static_cast<unsigned long long>(i + 1),
-                    static_cast<unsigned long long>(rounds.rounds()),
-                    scheduler.now(), s.perimeterRatio);
-      }
-    }
+                "Poisson clock, sees only its neighborhood, and stores 1 "
+                "bit;\n%u stripe worker(s), same trajectory for every thread "
+                "count.\n\n",
+                spec.threads);
+
+    ProgressObserver progress;
+    sim::ObserverList observers;
+    observers.attach(&progress);
+    sim::AsciiSnapshotSink ascii(stdout);
+    observers.attach(&ascii);
+    std::printf("(final configuration renders tails)\n");
+    sim::run(spec, observers);
+    return 0;
+  } catch (const sops::ContractViolation& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  std::printf("\nfinal configuration (tails):\n%s",
-              io::renderAscii(sys.tailConfiguration()).c_str());
-  return 0;
 }

@@ -3,19 +3,29 @@
 // explore how compression probability responds to λ (Theorem 4.5 made
 // tangible at n you can print).
 //
-//   ./examples/exact_analysis [n] [lambda]
+//   ./examples/exact_analysis [key=value ...]     (n=5 lambda=4.0)
 #include <cstdio>
-#include <cstdlib>
 
 #include "enumeration/exact_distribution.hpp"
 #include "io/ascii_render.hpp"
+#include "sim/params.hpp"
 #include "system/metrics.hpp"
 #include "system/particle_system.hpp"
+#include "util/assert.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const int n = argc > 1 ? std::atoi(argv[1]) : 5;
-  const double lambda = argc > 2 ? std::atof(argv[2]) : 4.0;
+  int n = 5;
+  double lambda = 4.0;
+  try {
+    sim::ParamMap params = sim::parseKeyValues("n=5 lambda=4.0");
+    params.merge(sim::parseArgs(argc, argv), /*onlyKnownKeys=*/true);
+    n = static_cast<int>(params.getInt("n", n));
+    lambda = params.getDouble("lambda", lambda);
+  } catch (const sops::ContractViolation& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   const enumeration::ExactEnsemble ensemble(n);
   const std::vector<double> pi = ensemble.stationary(lambda);

@@ -1,47 +1,48 @@
-// Quickstart: the paper's algorithm in ~40 lines of client code.
+// Quickstart: the paper's algorithm through the scenario facade.
 //
-// Builds a line of particles, runs the compression Markov chain M with
-// bias λ=4, and prints before/after metrics and snapshots.
+// A run is a declarative RunSpec — scenario name, parameters, shape,
+// steps, seed, sinks — executed by sim::run().  Any key=value argument
+// overrides the defaults below, and any registered scenario works:
 //
-//   ./examples/quickstart [n] [lambda] [iterations]
+//   ./examples/quickstart                        # chain M, Fig 2 regime
+//   ./examples/quickstart lambda=2.0             # the expansion regime
+//   ./examples/quickstart scenario=separation gamma=6 steps=4000000
+//   ./examples/quickstart scenario=amoebot threads=4
+//
+// (`spps --list` prints every scenario and its parameters.)
 #include <cstdio>
-#include <cstdlib>
 
-#include "core/compression_chain.hpp"
-#include "io/ascii_render.hpp"
+#include "sim/runner.hpp"
 #include "system/metrics.hpp"
-#include "system/shapes.hpp"
+#include "util/assert.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 50;
-  const double lambda = argc > 2 ? std::atof(argv[2]) : 4.0;
-  const std::uint64_t iterations =
-      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 2000000;
+  try {
+    // 1. The default spec: a line of 50 particles, the compression chain M
+    //    at λ=4 (λ > 2+√2 ≈ 3.41 provably compresses; λ < 2.17 expands).
+    sim::ParamMap params = sim::parseKeyValues(
+        "scenario=compression n=50 steps=2000000 checkpoint=500000 "
+        "snapshots=true");
 
-  // 1. An initial connected configuration (here: a line, as in Fig 2).
-  system::ParticleSystem initial = system::lineConfiguration(n);
-  std::printf("before:  %s\n", io::renderAscii(initial).c_str());
+    // 2. Command-line overrides: every argument is key=value; unknown keys
+    //    are errors, not silently dropped.
+    params.merge(sim::parseArgs(argc, argv));
+    const sim::RunSpec spec = sim::RunSpec::fromParams(params);
+    std::printf("spec: %s\n\n", spec.toText().c_str());
 
-  // 2. The Markov chain M (Algorithm M, §3.1).  λ > 2+√2 ≈ 3.41 provably
-  //    compresses; λ < 2.17 provably expands.
-  core::ChainOptions options;
-  options.lambda = lambda;
-  core::CompressionChain chain(std::move(initial), options, /*seed=*/1603);
+    // 3. Run, streaming snapshots, and inspect the final state.
+    sim::AsciiSnapshotSink snapshots(stdout);
+    const sim::RunReport report = sim::run(spec, snapshots);
 
-  // 3. Run and inspect.
-  chain.run(iterations);
-  const system::ConfigSummary summary = system::summarize(chain.system());
-  std::printf("after %llu iterations at lambda=%.2f:\n%s\n",
-              static_cast<unsigned long long>(iterations), lambda,
-              io::renderAscii(chain.system()).c_str());
-  std::printf("perimeter=%lld (p_min=%lld, ratio alpha=%.3f), edges=%lld, "
-              "holes=%lld, connected=%s\n",
-              static_cast<long long>(summary.perimeter),
-              static_cast<long long>(system::pMin(n)), summary.perimeterRatio,
-              static_cast<long long>(summary.edges),
-              static_cast<long long>(summary.holes),
-              summary.connected ? "yes" : "no");
-  std::printf("chain stats: %s\n", chain.stats().toString().c_str());
-  return 0;
+    const double alpha = report.finalMetric(0, "alpha");
+    std::printf("final alpha = p/p_min = %.3f after %llu steps (%.2fs)\n",
+                alpha,
+                static_cast<unsigned long long>(report.replicas[0].steps),
+                report.replicas[0].wallSeconds);
+    return 0;
+  } catch (const sops::ContractViolation& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,148 +1,79 @@
-// One engine, three weight models: a replica sweep over every scenario the
-// BiasedChainEngine ships — compression (λ^e), separation (λ^e γ^hom), and
-// alignment (λ^e κ^ali) — through the shared ensemble thread pool.
+// One registry, three weight models: sweep every chain scenario the
+// facade registers — compression (λ^e), separation (λ^e γ^hom), and
+// alignment (λ^e κ^ali) — across its bias knob, each grid point one
+// declarative RunSpec executed by sim::run().
 //
-//   ./examples/scenario_sweep [n] [iterations] [threads]
+//   ./examples/scenario_sweep [key=value ...]
+//     n=100 steps=2000000 threads=0 replicas=1
 //
-// Prints one row per replica: the bias grid point, compression quality
-// α = p/p_min, and the scenario's order parameter (hom- or aligned-edge
-// fraction).  Every row is deterministic for its (scenario, bias, seed)
-// regardless of the thread count.
+// Prints one row per grid point: compression quality α = p/p_min and the
+// scenario's order parameter (hom- or aligned-edge fraction).  Every row
+// is deterministic for its (scenario, bias, seed) regardless of the
+// thread count.  `spps --list` shows the same scenarios with their full
+// schemas.
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "core/scenario_ensemble.hpp"
-#include "core/scenario_models.hpp"
-#include "system/metrics.hpp"
-#include "system/shapes.hpp"
+#include "sim/runner.hpp"
+#include "util/assert.hpp"
 
 namespace {
 
 using namespace sops;
 
-long argOr(int argc, char** argv, int index, long fallback) {
-  return argc > index ? std::strtol(argv[index], nullptr, 10) : fallback;
-}
-
-double alpha(const system::ParticleSystem& sys) {
-  return static_cast<double>(system::perimeter(sys)) /
-         static_cast<double>(system::pMin(static_cast<std::int64_t>(sys.size())));
-}
-
-void printRow(const char* scenario, const std::string& label, double a,
-              const char* orderName, double order, double wallSeconds) {
-  std::printf("  %-12s %-22s alpha=%5.2f  %s=%5.3f  (%.2fs)\n", scenario,
-              label.c_str(), a, orderName, order, wallSeconds);
-}
+struct Axis {
+  const char* scenario;
+  const char* knob;         ///< the bias parameter the sweep varies
+  const char* orderMetric;  ///< the scenario's order parameter, or ""
+  std::vector<double> values;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto n = static_cast<std::int64_t>(argOr(argc, argv, 1, 100));
-  const auto iterations =
-      static_cast<std::uint64_t>(argOr(argc, argv, 2, 2000000));
-  const auto threads = static_cast<unsigned>(argOr(argc, argv, 3, 0));
-  std::printf("scenario sweep: n=%lld, %llu iterations per replica\n\n",
-              static_cast<long long>(n),
-              static_cast<unsigned long long>(iterations));
+  try {
+    sim::ParamMap base = sim::parseKeyValues(
+        "scenario=compression shape=line n=100 steps=2000000 seed=1603");
+    base.merge(sim::parseArgs(argc, argv));
+    const sim::RunSpec probe = sim::RunSpec::fromParams(base);
+    std::printf("scenario sweep: n=%lld, %llu iterations per run\n\n",
+                static_cast<long long>(probe.n),
+                static_cast<unsigned long long>(probe.steps));
 
-  // Compression: the paper's two regimes.
-  {
-    std::vector<core::ScenarioReplicaSpec<core::CompressionModel>> specs;
-    for (const double lambda : {2.0, 4.0}) {
-      core::ScenarioReplicaSpec<core::CompressionModel> spec;
-      spec.label = "lambda=" + std::to_string(lambda);
-      spec.iterations = iterations;
-      spec.makeEngine = [n, lambda] {
-        core::ChainOptions options;
-        options.lambda = lambda;
-        return core::CompressionEngine(system::lineConfiguration(n),
-                                       core::CompressionModel(options), 1603);
-      };
-      specs.push_back(std::move(spec));
+    const std::vector<Axis> axes = {
+        {"compression", "lambda", "", {2.0, 4.0}},
+        {"separation", "gamma", "hom_fraction", {0.25, 1.0, 4.0}},
+        {"alignment", "kappa", "aligned_fraction", {0.25, 1.0, 4.0}},
+    };
+    for (const Axis& axis : axes) {
+      for (const double value : axis.values) {
+        sim::ParamMap params = base;
+        params.set("scenario", axis.scenario);
+        params.set(axis.knob, std::to_string(value));
+        const sim::RunReport report =
+            sim::run(sim::RunSpec::fromParams(params));
+        const std::string label =
+            std::string(axis.knob) + "=" + std::to_string(value);
+        if (axis.orderMetric[0] == '\0') {
+          std::printf("  %-12s %-22s alpha=%5.2f  (%.2fs)\n", axis.scenario,
+                      label.c_str(), report.finalMetric(0, "alpha"),
+                      report.replicas[0].wallSeconds);
+        } else {
+          std::printf("  %-12s %-22s alpha=%5.2f  %s=%5.3f  (%.2fs)\n",
+                      axis.scenario, label.c_str(),
+                      report.finalMetric(0, "alpha"), axis.orderMetric,
+                      report.finalMetric(0, axis.orderMetric),
+                      report.replicas[0].wallSeconds);
+        }
+      }
     }
-    for (const auto& r :
-         core::runScenarioEnsemble<core::CompressionModel>(specs, threads)) {
-      // Recompute from the final edge count (hole-free ⇒ p = 3n − e − 3).
-      const double a =
-          static_cast<double>(3 * n - r.edges - 3) /
-          static_cast<double>(system::pMin(n));
-      printRow("compression", r.label, a, "accept",
-               r.stats.movement.acceptanceRate(), r.wallSeconds);
-    }
+    std::printf(
+        "\nexpected shape: gamma/kappa > 1 push the order parameter up while\n"
+        "lambda=4 keeps alpha near 1; gamma/kappa < 1 suppress it.\n");
+    return 0;
+  } catch (const sops::ContractViolation& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-
-  // Separation: γ across the segregation/integration transition.
-  {
-    std::vector<core::ScenarioReplicaSpec<core::SeparationModel>> specs;
-    for (const double gamma : {0.25, 1.0, 4.0}) {
-      core::ScenarioReplicaSpec<core::SeparationModel> spec;
-      spec.label = "gamma=" + std::to_string(gamma);
-      spec.iterations = iterations;
-      spec.makeEngine = [n, gamma] {
-        core::SeparationModel::Options options;
-        options.gamma = gamma;
-        return core::SeparationEngine(
-            system::lineConfiguration(n),
-            core::SeparationModel(options,
-                                  system::alternatingClasses(static_cast<std::size_t>(n), 2)),
-            1603);
-      };
-      spec.finish = [](const core::SeparationEngine& engine,
-                       std::vector<std::pair<std::string, double>>& metrics) {
-        metrics.emplace_back("alpha", alpha(engine.system()));
-        metrics.emplace_back(
-            "hom",
-            static_cast<double>(
-                engine.model().homogeneousEdges(engine.system())) /
-                static_cast<double>(system::countEdges(engine.system())));
-      };
-      specs.push_back(std::move(spec));
-    }
-    for (const auto& r :
-         core::runScenarioEnsemble<core::SeparationModel>(specs, threads)) {
-      printRow("separation", r.label, r.metrics[0].second, "hom",
-               r.metrics[1].second, r.wallSeconds);
-    }
-  }
-
-  // Alignment: κ across the order/disorder transition.
-  {
-    std::vector<core::ScenarioReplicaSpec<core::AlignmentModel>> specs;
-    for (const double kappa : {0.25, 1.0, 4.0}) {
-      core::ScenarioReplicaSpec<core::AlignmentModel> spec;
-      spec.label = "kappa=" + std::to_string(kappa);
-      spec.iterations = iterations;
-      spec.makeEngine = [n, kappa] {
-        core::AlignmentModel::Options options;
-        options.kappa = kappa;
-        return core::AlignmentEngine(
-            system::lineConfiguration(n),
-            core::AlignmentModel(options,
-                                 system::alternatingClasses(static_cast<std::size_t>(n), 6)),
-            1603);
-      };
-      spec.finish = [](const core::AlignmentEngine& engine,
-                       std::vector<std::pair<std::string, double>>& metrics) {
-        metrics.emplace_back("alpha", alpha(engine.system()));
-        metrics.emplace_back(
-            "aligned",
-            static_cast<double>(engine.model().alignedEdges(engine.system())) /
-                static_cast<double>(system::countEdges(engine.system())));
-      };
-      specs.push_back(std::move(spec));
-    }
-    for (const auto& r :
-         core::runScenarioEnsemble<core::AlignmentModel>(specs, threads)) {
-      printRow("alignment", r.label, r.metrics[0].second, "aligned",
-               r.metrics[1].second, r.wallSeconds);
-    }
-  }
-
-  std::printf(
-      "\nexpected shape: gamma/kappa > 1 push the order parameter up while\n"
-      "lambda=4 keeps alpha near 1; gamma/kappa < 1 suppress it.\n");
-  return 0;
 }

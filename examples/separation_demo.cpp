@@ -2,14 +2,19 @@
 // colors, a homogeneity bias γ on monochromatic edges on top of the
 // compression bias λ.  Renders the color pattern as ASCII.
 //
-//   ./examples/separation_demo [n] [lambda] [gamma] [iterations]
+//   ./examples/separation_demo [key=value ...]
+//     n=80 lambda=4.0 gamma=4.0 steps=4000000
+//   (the color-pattern rendering needs the model's colors, so this demo
+//   drives the reference SeparationChain directly; the facade equivalent
+//   is `spps scenario=separation ...`)
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "extensions/separation.hpp"
+#include "sim/params.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
+#include "util/assert.hpp"
 
 namespace {
 
@@ -41,16 +46,22 @@ std::string renderColors(const sops::extensions::SeparationChain& chain) {
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 80;
-  const double lambda = argc > 2 ? std::atof(argv[2]) : 4.0;
-  const double gamma = argc > 3 ? std::atof(argv[3]) : 4.0;
-  const std::uint64_t iterations =
-      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 4000000;
-
-  std::vector<std::uint8_t> colors(static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < colors.size(); ++i) {
-    colors[i] = static_cast<std::uint8_t>(i % 2);
+  sim::ParamMap params;
+  try {
+    params = sim::parseKeyValues("n=80 lambda=4.0 gamma=4.0 steps=4000000");
+    params.merge(sim::parseArgs(argc, argv), /*onlyKnownKeys=*/true);
+  } catch (const sops::ContractViolation& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
+  const std::int64_t n = params.getInt("n", 80);
+  const double lambda = params.getDouble("lambda", 4.0);
+  const double gamma = params.getDouble("gamma", 4.0);
+  const auto iterations =
+      static_cast<std::uint64_t>(params.getInt("steps", 4000000));
+
+  std::vector<std::uint8_t> colors =
+      system::alternatingClasses(static_cast<std::size_t>(n), 2);
   extensions::SeparationOptions options;
   options.lambda = lambda;
   options.gamma = gamma;

@@ -19,6 +19,19 @@ CsvWriter::CsvWriter(const std::string& path,
   out_ << '\n';
 }
 
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  SOPS_REQUIRE(columns_ > 0, "CSV needs at least one column");
+  bool first = true;
+  for (const std::string& cell : header) {
+    if (!first) out_ << ',';
+    out_ << cell;
+    first = false;
+  }
+  out_ << '\n';
+}
+
 void CsvWriter::writeRow(std::initializer_list<std::string_view> cells) {
   SOPS_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
   bool first = true;

@@ -18,6 +18,10 @@ class CsvWriter {
   /// Opens (truncates) the file and writes the header row.
   CsvWriter(const std::string& path, std::initializer_list<std::string_view> header);
 
+  /// Same, for headers assembled at runtime (the sim:: observer sinks
+  /// derive columns from each scenario's declared metrics).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
   void writeRow(std::initializer_list<std::string_view> cells);
   void writeRow(const std::vector<std::string>& cells);
 

@@ -27,7 +27,12 @@
 ///   void onMoved(sys, particle, from, to);           // keep aux planes in sync
 ///   // only when kHasAuxMove:
 ///   bool auxEnabled() const;  double auxProbability() const;
-///   AuxOutcome auxStep(sys, rng, particle, draw6);   // draws hoisted by step()
+///   AuxOutcome auxStep(sys, ids, rng, particle, draw6);  // draws hoisted
+///   // optional: static constexpr bool kNeedsPartnerIds (default false) —
+///   // when true the engine maintains a cell→particle-id plane
+///   // (core/id_plane.hpp) in lockstep with accepted moves and passes it
+///   // to auxStep, so partner identity is an array load instead of a
+///   // hash probe.
 ///
 /// For a kUniformWeight model the factor path compiles away entirely and
 /// the step body is literally the CompressionChain step: the golden test
@@ -36,11 +41,13 @@
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "core/chain_stats.hpp"
 #include "core/compression_chain.hpp"
 #include "core/draw_guard.hpp"
+#include "core/id_plane.hpp"
 #include "core/move_table.hpp"
 #include "rng/random.hpp"
 #include "system/metrics.hpp"
@@ -69,6 +76,15 @@ struct EngineStepResult {
   AuxOutcome aux = AuxOutcome::Skipped;
 };
 
+/// Detects the optional kNeedsPartnerIds contract member (absent = false),
+/// so existing models need no change to keep compiling.
+template <typename Model, typename = void>
+struct ModelNeedsPartnerIds : std::false_type {};
+template <typename Model>
+struct ModelNeedsPartnerIds<Model,
+                            std::void_t<decltype(Model::kNeedsPartnerIds)>>
+    : std::bool_constant<Model::kNeedsPartnerIds> {};
+
 template <typename Model>
 class BiasedChainEngine {
  public:
@@ -84,6 +100,7 @@ class BiasedChainEngine {
     SOPS_REQUIRE(system::isConnected(system_),
                  "engine requires a connected starting configuration");
     model_.attach(system_);
+    if constexpr (kMaintainsIds) partnerIds_.sync(system_);
     edges_ = system::countEdges(system_);
     // The exact fold CompressionChain uses — one shared implementation, so
     // the ablation semantics cannot drift between chain and engine.
@@ -107,7 +124,7 @@ class BiasedChainEngine {
     if constexpr (Model::kHasAuxMove) {
       if (auxMove) {
         result.wasAux = true;
-        result.aux = model_.auxStep(system_, rng_, particle, draw6);
+        result.aux = model_.auxStep(system_, partnerIds_, rng_, particle, draw6);
         if (result.aux != AuxOutcome::Skipped) ++stats_.auxProposed;
         if (result.aux == AuxOutcome::Accepted) ++stats_.auxAccepted;
         return result;
@@ -143,6 +160,15 @@ class BiasedChainEngine {
           system_.moveParticle(particle, target);
           edges_ += decision.delta;
           model_.onMoved(system_, particle, l, target);
+          if constexpr (kMaintainsIds) {
+            // A regrow inside moveParticle invalidates the mirror; the
+            // geometry fingerprint catches it and resyncs.
+            if (partnerIds_.syncedWith(system_.grid())) {
+              partnerIds_.move(l, target, particle);
+            } else {
+              partnerIds_.sync(system_);
+            }
+          }
           outcome = StepOutcome::Accepted;
         } else {
           outcome = StepOutcome::RejectedFilter;
@@ -190,6 +216,7 @@ class BiasedChainEngine {
 
  private:
   static constexpr std::uint8_t kFilterStage = kDecisionFilterStage;
+  static constexpr bool kMaintainsIds = ModelNeedsPartnerIds<Model>::value;
 
   system::ParticleSystem system_;
   Model model_;
@@ -198,6 +225,9 @@ class BiasedChainEngine {
   std::int64_t edges_ = 0;
   std::uint32_t particleCount32_ = 0;
   bool greedy_ = false;
+  /// cell → id mirror for models that declare kNeedsPartnerIds; empty and
+  /// untouched otherwise.
+  ParticleIdPlane partnerIds_;
   std::array<MoveDecision, 256> decisions_;
 };
 

@@ -1,0 +1,104 @@
+#ifndef SOPS_CORE_ID_PLANE_HPP
+#define SOPS_CORE_ID_PLANE_HPP
+
+/// \file id_plane.hpp
+/// Dense cell → particle-id plane, geometry-aligned with a
+/// ParticleSystem's occupancy window.
+///
+/// The separation scenario's auxiliary move needs the *identity* of the
+/// swap partner — the one query on the engine's accept path that still
+/// went through the hash index.  This plane answers it with a single
+/// array load: one u32 per window cell, kept in lockstep with the
+/// engine's accepted moves (BiasedChainEngine::step maintains it for
+/// models that declare kNeedsPartnerIds).
+///
+/// Like the models' ShadowPlanes, the plane fingerprints the grid
+/// geometry and rebuilds from scratch (O(n)) after a window regrow; when
+/// the system runs sparse — or the window is too large for a u32-per-cell
+/// mirror (kMaxCells) — the plane deactivates and callers fall back to
+/// ParticleSystem::particleAt.
+
+#include <cstdint>
+#include <vector>
+
+#include "system/particle_system.hpp"
+#include "util/assert.hpp"
+
+namespace sops::core {
+
+class ParticleIdPlane {
+ public:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  /// Mirror-size cap: 2^24 cells = 64 MiB of ids.  The occupancy window of
+  /// any compact engine-scale configuration is far smaller; a window this
+  /// large means the configuration is sprawling and the hash fallback is
+  /// the right tool anyway.
+  static constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 24;
+
+  /// True when the plane mirrors `grid` exactly — the licence for
+  /// idAtUnchecked()/move().
+  [[nodiscard]] bool syncedWith(const system::BitGrid& grid) const noexcept {
+    return active_ && grid.enabled() && grid.originX() == originX_ &&
+           grid.originY() == originY_ && grid.width() == width_ &&
+           grid.height() == height_;
+  }
+
+  /// Ensures the plane mirrors sys.grid(); returns false (deactivated)
+  /// when the system runs sparse or the window exceeds kMaxCells.
+  bool sync(const system::ParticleSystem& sys) {
+    const system::BitGrid& grid = sys.grid();
+    if (!grid.enabled() || grid.width() * grid.height() > kMaxCells) {
+      active_ = false;
+      ids_.clear();
+      return false;
+    }
+    if (syncedWith(grid)) return true;
+    originX_ = grid.originX();
+    originY_ = grid.originY();
+    width_ = grid.width();
+    height_ = grid.height();
+    ids_.assign(static_cast<std::size_t>(width_ * height_), kEmpty);
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+      ids_[indexOf(sys.position(i))] = static_cast<std::uint32_t>(i);
+    }
+    active_ = true;
+    return true;
+  }
+
+  /// Relocates `particle` from `from` to `to`.  Precondition: synced with
+  /// the current grid and both cells covered by it.
+  void move(TriPoint from, TriPoint to, std::size_t particle) noexcept {
+    SOPS_DASSERT(ids_[indexOf(from)] == static_cast<std::uint32_t>(particle));
+    ids_[indexOf(from)] = kEmpty;
+    ids_[indexOf(to)] = static_cast<std::uint32_t>(particle);
+  }
+
+  /// Id of the particle at an *occupied* cell.  Precondition: synced, and
+  /// p occupied (so covered by the window's interior-margin invariant).
+  [[nodiscard]] std::uint32_t idAtUnchecked(TriPoint p) const noexcept {
+    const std::uint32_t id = ids_[indexOf(p)];
+    SOPS_DASSERT(id != kEmpty);
+    return id;
+  }
+
+ private:
+  [[nodiscard]] std::size_t indexOf(TriPoint p) const noexcept {
+    const auto dx = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.x) - originX_);
+    const auto dy = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(p.y) - originY_);
+    SOPS_DASSERT(dx < width_ && dy < height_);
+    return static_cast<std::size_t>(dy * width_ + dx);
+  }
+
+  std::vector<std::uint32_t> ids_;
+  std::int64_t originX_ = 0;
+  std::int64_t originY_ = 0;
+  std::uint64_t width_ = 0;
+  std::uint64_t height_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace sops::core
+
+#endif  // SOPS_CORE_ID_PLANE_HPP

@@ -170,6 +170,10 @@ class SeparationModel {
 
   static constexpr bool kUniformWeight = false;
   static constexpr bool kHasAuxMove = true;
+  /// The swap needs the partner's identity: have the engine maintain the
+  /// cell→id plane so an accepted swap costs an array load, not a hash
+  /// probe (the last hash touch the accept path had).
+  static constexpr bool kNeedsPartnerIds = true;
   /// Movement changes hom through ≤5 before-ring and ≤5 after-ring cells.
   static constexpr int kMaxMoveDelta = 5;
   /// A swap changes hom through ≤5 neighbors of each endpoint.
@@ -250,11 +254,13 @@ class SeparationModel {
   /// exactly the 8-cell ring of the edge (p, q), the two color planes
   /// partition its occupancy, and kBeforeMask/kAfterMask split it into
   /// N(p)\{q} and N(q)\{p}, so the heterochromatic p—q edge is excluded by
-  /// construction.  The partner's id (one hash probe) is resolved only for
-  /// an accepted swap.  (particle, draw6) are the engine's hoisted draws;
-  /// draw6 is the direction of the candidate edge.
-  AuxOutcome auxStep(system::ParticleSystem& sys, rng::Random& rng,
-                     std::size_t particle, int draw6) {
+  /// construction.  The partner's id for an accepted swap is one load of
+  /// the engine-maintained id plane (hash probe only when the plane is
+  /// momentarily out of sync, e.g. right after a window regrow).
+  /// (particle, draw6) are the engine's hoisted draws; draw6 is the
+  /// direction of the candidate edge.
+  AuxOutcome auxStep(system::ParticleSystem& sys, const ParticleIdPlane& ids,
+                     rng::Random& rng, std::size_t particle, int draw6) {
     const Direction d = lattice::directionFromIndex(draw6);
     const TriPoint p = sys.position(particle);
     const TriPoint q = lattice::neighbor(p, d);
@@ -275,10 +281,14 @@ class SeparationModel {
       const double threshold =
           swapPow_[static_cast<std::size_t>(after - before + kMaxSwapDelta)];
       if (threshold >= 1.0 || rng.uniform() < threshold) {
-        const auto other = sys.particleAt(q);
-        SOPS_DASSERT(other.has_value());
+        const std::size_t other =
+            ids.syncedWith(sys.grid())
+                ? static_cast<std::size_t>(ids.idAtUnchecked(q))
+                : *sys.particleAt(q);
+        SOPS_DASSERT(sys.particleAt(q).has_value() &&
+                     *sys.particleAt(q) == other);
         colors_[particle] = colorQ;
-        colors_[*other] = colorP;
+        colors_[other] = colorP;
         planes_.plane(colorP).clear(p);
         planes_.plane(colorQ).set(p);
         planes_.plane(colorQ).clear(q);
@@ -426,11 +436,13 @@ class AlignmentModel {
   }
 
   /// Orientation re-sampling: propose a uniform orientation for a uniform
-  /// particle (symmetric), accept with min(1, κ^{Δali}).  (particle,
+  /// particle (symmetric), accept with min(1, κ^{Δali}).  The rotation
+  /// touches no second particle, so the id plane goes unused (and
+  /// undeclared — the engine maintains none for this model).  (particle,
   /// draw6) are the engine's hoisted draws; draw6 is the proposed
   /// orientation.
-  AuxOutcome auxStep(system::ParticleSystem& sys, rng::Random& rng,
-                     std::size_t particle, int draw6) {
+  AuxOutcome auxStep(system::ParticleSystem& sys, const ParticleIdPlane&,
+                     rng::Random& rng, std::size_t particle, int draw6) {
     const auto proposed = static_cast<std::uint8_t>(draw6);
     const std::uint8_t current = orientations_[particle];
     if (proposed == current) return AuxOutcome::Skipped;

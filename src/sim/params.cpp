@@ -1,0 +1,406 @@
+#include "sim/params.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace sops::sim {
+namespace {
+
+[[nodiscard]] std::string lowered(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+[[noreturn]] void badValue(std::string_view key, std::string_view value,
+                           std::string_view wanted) {
+  throw ContractViolation("parameter '" + std::string(key) + "': value '" +
+                          std::string(value) + "' is not a valid " +
+                          std::string(wanted));
+}
+
+[[nodiscard]] bool parsesAs(ParamType type, std::string_view value) {
+  switch (type) {
+    case ParamType::Int: {
+      std::int64_t out = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), out);
+      return ec == std::errc() && ptr == value.data() + value.size();
+    }
+    case ParamType::Double: {
+      if (value.empty()) return false;
+      const std::string buffer(value);
+      char* end = nullptr;
+      (void)std::strtod(buffer.c_str(), &end);
+      return end == buffer.c_str() + buffer.size();
+    }
+    case ParamType::Bool: {
+      const std::string v = lowered(value);
+      return v == "1" || v == "0" || v == "true" || v == "false" ||
+             v == "yes" || v == "no" || v == "on" || v == "off";
+    }
+    case ParamType::String:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view toString(ParamType type) noexcept {
+  switch (type) {
+    case ParamType::Int: return "int";
+    case ParamType::Double: return "double";
+    case ParamType::Bool: return "bool";
+    case ParamType::String: return "string";
+  }
+  return "?";
+}
+
+ParamSchema& ParamSchema::add(std::string name, ParamType type,
+                              std::string defaultValue,
+                              std::string description) {
+  SOPS_REQUIRE(find(name) == nullptr, "duplicate schema key: " + name);
+  params_.push_back(ParamInfo{std::move(name), type, std::move(defaultValue),
+                              std::move(description)});
+  return *this;
+}
+
+const ParamInfo* ParamSchema::find(std::string_view name) const noexcept {
+  for (const ParamInfo& info : params_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+void ParamMap::set(std::string key, std::string value) {
+  SOPS_REQUIRE(!key.empty(), "parameter key must be non-empty");
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+void ParamMap::merge(const ParamMap& other, bool onlyKnownKeys) {
+  for (const auto& [key, value] : other.entries_) {
+    if (onlyKnownKeys && !contains(key)) {
+      std::string known;
+      for (const auto& [k, v] : entries_) {
+        if (!known.empty()) known += ", ";
+        known += k;
+      }
+      throw ContractViolation("unknown parameter '" + key +
+                              "' (known: " + known + ")");
+    }
+    set(key, value);
+  }
+}
+
+void ParamMap::erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+bool ParamMap::contains(std::string_view key) const noexcept {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> ParamMap::get(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::int64_t ParamMap::getInt(std::string_view key,
+                              std::int64_t fallback) const {
+  const auto value = get(key);
+  if (!value.has_value()) return fallback;
+  if (!parsesAs(ParamType::Int, *value)) badValue(key, *value, "integer");
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+double ParamMap::getDouble(std::string_view key, double fallback) const {
+  const auto value = get(key);
+  if (!value.has_value()) return fallback;
+  if (!parsesAs(ParamType::Double, *value)) badValue(key, *value, "number");
+  return std::strtod(value->c_str(), nullptr);
+}
+
+bool ParamMap::getBool(std::string_view key, bool fallback) const {
+  const auto value = get(key);
+  if (!value.has_value()) return fallback;
+  if (!parsesAs(ParamType::Bool, *value)) badValue(key, *value, "boolean");
+  const std::string v = lowered(*value);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string ParamMap::getString(std::string_view key,
+                                std::string fallback) const {
+  return get(key).value_or(std::move(fallback));
+}
+
+void ParamMap::validateAgainst(const ParamSchema& schema,
+                               std::string_view context) const {
+  for (const auto& [key, value] : entries_) {
+    const ParamInfo* info = schema.find(key);
+    if (info == nullptr) {
+      std::string known;
+      for (const ParamInfo& p : schema.params()) {
+        if (!known.empty()) known += ", ";
+        known += p.name;
+      }
+      throw ContractViolation("unknown " + std::string(context) +
+                              " parameter '" + key + "' (known: " + known +
+                              ")");
+    }
+    if (!parsesAs(info->type, value)) {
+      badValue(key, value, toString(info->type));
+    }
+  }
+}
+
+std::string ParamMap::toText() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    if (!out.empty()) out += ' ';
+    out += key;
+    out += '=';
+    // Quote on any whitespace/quote/backslash/comment character so that
+    // parseKeyValues(toText()) round-trips exactly; quotes and
+    // backslashes are backslash-escaped inside.
+    const bool needsQuotes =
+        value.empty() ||
+        value.find_first_of(" \t\n\r\"\\#") != std::string::npos;
+    if (needsQuotes) {
+      out += '"';
+      for (const char c : value) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += value;
+    }
+  }
+  return out;
+}
+
+ParamMap parseKeyValues(std::string_view text) {
+  ParamMap map;
+  std::size_t i = 0;
+  const auto isSpace = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (i < text.size()) {
+    while (i < text.size() && isSpace(text[i])) ++i;
+    if (i >= text.size()) break;
+    if (text[i] == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    const std::size_t tokenStart = i;
+    const std::size_t eq = text.find('=', i);
+    std::size_t tokenEnd = i;
+    while (tokenEnd < text.size() && !isSpace(text[tokenEnd])) ++tokenEnd;
+    if (eq == std::string_view::npos || eq >= tokenEnd || eq == tokenStart) {
+      throw ContractViolation(
+          "malformed spec token '" +
+          std::string(text.substr(tokenStart, tokenEnd - tokenStart)) +
+          "': expected key=value");
+    }
+    const std::string key(text.substr(tokenStart, eq - tokenStart));
+    std::string value;
+    i = eq + 1;
+    if (i < text.size() && text[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        const char c = text[i++];
+        if (c == '"') {
+          closed = true;
+          break;
+        }
+        if (c == '\\' && i < text.size() &&
+            (text[i] == '"' || text[i] == '\\')) {
+          value += text[i++];
+        } else {
+          value += c;
+        }
+      }
+      SOPS_REQUIRE(closed, "unterminated quote in value of '" + key + "'");
+    } else {
+      const std::size_t valueStart = i;
+      while (i < text.size() && !isSpace(text[i])) ++i;
+      value.assign(text.substr(valueStart, i - valueStart));
+    }
+    map.set(key, value);
+  }
+  return map;
+}
+
+ParamMap parseArgs(int argc, const char* const* argv, int firstArg) {
+  // Each argv element is one token — the shell already delimited them, so
+  // a quoted value may contain spaces (or `k=v` text) without being
+  // re-split.  Everything after the first '=' is the value, verbatim.
+  ParamMap map;
+  for (int i = firstArg; i < argc; ++i) {
+    const std::string_view token(argv[i]);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw ContractViolation("malformed argument '" + std::string(token) +
+                              "': expected key=value");
+    }
+    map.set(std::string(token.substr(0, eq)),
+            std::string(token.substr(eq + 1)));
+  }
+  return map;
+}
+
+namespace {
+
+/// Minimal strict parser for one flat JSON object.  Run specs need exactly
+/// this much JSON: {"key": "string" | number | true | false, ...}.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  ParamMap parse() {
+    ParamMap map;
+    skipSpace();
+    expect('{');
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      ensureTrailingSpaceOnly();
+      return map;
+    }
+    while (true) {
+      skipSpace();
+      const std::string key = parseString("object key");
+      skipSpace();
+      expect(':');
+      skipSpace();
+      map.set(key, parseValue(key));
+      skipSpace();
+      const char c = next("',' or '}'");
+      if (c == '}') break;
+      SOPS_REQUIRE(c == ',', "JSON spec: expected ',' or '}'");
+    }
+    ensureTrailingSpaceOnly();
+    return map;
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    SOPS_REQUIRE(pos_ < text_.size(), "JSON spec: unexpected end of input");
+    return text_[pos_];
+  }
+  char next(const char* wanted) {
+    SOPS_REQUIRE(pos_ < text_.size(),
+                 std::string("JSON spec: expected ") + wanted +
+                     " but input ended");
+    return text_[pos_++];
+  }
+  void expect(char c) {
+    SOPS_REQUIRE(next("a token") == c,
+                 std::string("JSON spec: expected '") + c + "'");
+  }
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  void ensureTrailingSpaceOnly() {
+    skipSpace();
+    SOPS_REQUIRE(pos_ == text_.size(),
+                 "JSON spec: trailing characters after closing '}'");
+  }
+
+  std::string parseString(const char* what) {
+    SOPS_REQUIRE(next(what) == '"',
+                 std::string("JSON spec: expected quoted ") + what);
+    std::string out;
+    while (true) {
+      const char c = next("closing quote");
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char escaped = next("escape character");
+        switch (escaped) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default:
+            throw ContractViolation(
+                std::string("JSON spec: unsupported escape '\\") + escaped +
+                "'");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  std::string parseValue(const std::string& key) {
+    const char c = peek();
+    if (c == '"') return parseString("value");
+    if (c == '{' || c == '[') {
+      throw ContractViolation("JSON spec: value of '" + key +
+                              "' is nested; run specs are flat objects");
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+    if (literal == "true" || literal == "false") return literal;
+    SOPS_REQUIRE(!literal.empty() && literal != "null",
+                 "JSON spec: value of '" + key + "' must be a string, "
+                 "number, or boolean");
+    // Numbers keep their literal spelling; reject anything non-numeric.
+    char* end = nullptr;
+    (void)std::strtod(literal.c_str(), &end);
+    SOPS_REQUIRE(end == literal.c_str() + literal.size(),
+                 "JSON spec: value of '" + key + "' is not a valid number");
+    return literal;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParamMap parseJsonObject(std::string_view text) {
+  return FlatJsonParser(text).parse();
+}
+
+ParamMap parseSpecText(std::string_view text) {
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '{') return parseJsonObject(text);
+    break;
+  }
+  return parseKeyValues(text);
+}
+
+}  // namespace sops::sim

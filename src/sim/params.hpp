@@ -1,0 +1,129 @@
+#ifndef SOPS_SIM_PARAMS_HPP
+#define SOPS_SIM_PARAMS_HPP
+
+/// \file params.hpp
+/// Typed key=value parameter maps and schemas for the scenario facade.
+///
+/// Every run description in the sim:: layer bottoms out in a ParamMap: an
+/// ordered string→string map parsed from `key=value` tokens (argv, spec
+/// files) or from a flat JSON object.  Typed getters parse strictly — a
+/// malformed integer is a ContractViolation, not a silent zero — and a
+/// ParamSchema lists the keys a consumer understands so that unknown keys
+/// are an error instead of the silently-ignored flags the hand-rolled
+/// argv parsers used to have.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sops::sim {
+
+enum class ParamType { Int, Double, Bool, String };
+
+[[nodiscard]] std::string_view toString(ParamType type) noexcept;
+
+/// One declared parameter: name, type, textual default, one-line help.
+struct ParamInfo {
+  std::string name;
+  ParamType type = ParamType::String;
+  std::string defaultValue;
+  std::string description;
+};
+
+/// An ordered set of declared parameters (a scenario's knobs, or the
+/// reserved RunSpec keys).  Declaration order is preserved for --list/help
+/// output.
+class ParamSchema {
+ public:
+  ParamSchema& add(std::string name, ParamType type, std::string defaultValue,
+                   std::string description);
+
+  [[nodiscard]] const ParamInfo* find(std::string_view name) const noexcept;
+  [[nodiscard]] const std::vector<ParamInfo>& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  std::vector<ParamInfo> params_;
+};
+
+/// Ordered key→value map with strict typed getters.  Keys are unique; a
+/// later set() overwrites in place (preserving first-set order).
+class ParamMap {
+ public:
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Strict typed reads: the key's value must parse completely as the
+  /// requested type (throws ContractViolation otherwise); a missing key
+  /// yields the fallback.
+  [[nodiscard]] std::int64_t getInt(std::string_view key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double getDouble(std::string_view key, double fallback) const;
+  /// Booleans accept 1/0/true/false/yes/no/on/off (case-insensitive).
+  [[nodiscard]] bool getBool(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string getString(std::string_view key,
+                                      std::string fallback) const;
+
+  /// Applies every entry of `other` over this map (later wins) — the
+  /// defaults-then-env-then-argv layering every binary uses.  When
+  /// `onlyKnownKeys` is true, a key absent from this map is a
+  /// ContractViolation (for binaries whose defaults enumerate the full
+  /// key set).
+  void merge(const ParamMap& other, bool onlyKnownKeys = false);
+
+  /// Removes the key if present (for binary-local pseudo-keys that must
+  /// not reach RunSpec validation).
+  void erase(std::string_view key);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Throws ContractViolation naming the offending key (and listing the
+  /// schema's keys) when the map holds a key the schema does not declare,
+  /// or a value that does not parse as the declared type.
+  void validateAgainst(const ParamSchema& schema,
+                       std::string_view context) const;
+
+  /// Canonical `key=value` text (entries in insertion order, space
+  /// separated).  parseKeyValues(toText()) round-trips exactly.
+  [[nodiscard]] std::string toText() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Parses whitespace-separated `key=value` tokens.  A token without '=' or
+/// with an empty key is a ContractViolation (the fix for flags that the
+/// old per-binary parsers silently ignored).  Values may be quoted with
+/// double quotes to carry spaces.
+[[nodiscard]] ParamMap parseKeyValues(std::string_view text);
+
+/// Parses argv[firstArg..argc) as `key=value` tokens, one per argv
+/// element (shell quoting is honored: everything after the first '=' is
+/// the value, spaces and all).  Elements without '=' throw.
+[[nodiscard]] ParamMap parseArgs(int argc, const char* const* argv,
+                                 int firstArg = 1);
+
+/// Parses a *flat* JSON object ({"key": value, ...}) into a ParamMap;
+/// values may be strings, numbers, or booleans (nested objects/arrays are
+/// rejected — run specs are flat by design).  Numbers keep their literal
+/// spelling so integer-valued keys stay integers.
+[[nodiscard]] ParamMap parseJsonObject(std::string_view text);
+
+/// Dispatches on the first non-space character: '{' → JSON, else
+/// key=value text.  Lines starting with '#' are comments in k=v mode.
+[[nodiscard]] ParamMap parseSpecText(std::string_view text);
+
+}  // namespace sops::sim
+
+#endif  // SOPS_SIM_PARAMS_HPP

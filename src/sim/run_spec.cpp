@@ -1,0 +1,134 @@
+#include "sim/run_spec.hpp"
+
+#include <limits>
+
+#include "rng/random.hpp"
+#include "sim/registry.hpp"
+#include "system/shapes.hpp"
+#include "util/assert.hpp"
+
+namespace sops::sim {
+
+const ParamSchema& runSpecSchema() {
+  static const ParamSchema schema = [] {
+    ParamSchema s;
+    s.add("scenario", ParamType::String, "", "registered scenario name");
+    s.add("shape", ParamType::String, "line",
+          "initial configuration: line | spiral | ring | random");
+    s.add("n", ParamType::Int, "100", "particles (shape=ring: ring radius)");
+    s.add("steps", ParamType::Int, "1000000",
+          "chain iterations / amoebot activations per replica");
+    s.add("checkpoint", ParamType::Int, "0",
+          "sampling period; 0 samples only at the end");
+    s.add("seed", ParamType::Int, "1603", "master seed");
+    s.add("replicas", ParamType::Int, "1", "independent replicas");
+    s.add("seed-stride", ParamType::Int, "7",
+          "seed of replica r = seed + r*stride");
+    s.add("threads", ParamType::Int, "0", "worker threads; 0 = all cores");
+    s.add("csv", ParamType::String, "", "CSV sample sink path");
+    s.add("jsonl", ParamType::String, "", "JSONL sample/summary sink path");
+    s.add("svg", ParamType::String, "",
+          "final-configuration SVG path (replica 0)");
+    s.add("snapshots", ParamType::Bool, "false",
+          "stream ASCII snapshots at checkpoints");
+    return s;
+  }();
+  return schema;
+}
+
+RunSpec RunSpec::fromParams(const ParamMap& map) {
+  RunSpec spec;
+  const ParamSchema& reserved = runSpecSchema();
+  for (const auto& [key, value] : map.entries()) {
+    if (reserved.find(key) == nullptr) {
+      spec.params.set(key, value);  // scenario parameter; validated later
+    }
+  }
+  // Reserved keys parse strictly even when the scenario is unknown.
+  ParamMap reservedOnly;
+  for (const auto& [key, value] : map.entries()) {
+    if (reserved.find(key) != nullptr) reservedOnly.set(key, value);
+  }
+  reservedOnly.validateAgainst(reserved, "run-spec");
+
+  spec.scenario = reservedOnly.getString("scenario", "");
+  SOPS_REQUIRE(!spec.scenario.empty(), "run spec needs scenario=<name>");
+  spec.shape = reservedOnly.getString("shape", spec.shape);
+  spec.n = reservedOnly.getInt("n", spec.n);
+  SOPS_REQUIRE(spec.n > 0, "n must be positive");
+  const std::int64_t steps =
+      reservedOnly.getInt("steps", static_cast<std::int64_t>(spec.steps));
+  SOPS_REQUIRE(steps >= 0, "steps must be non-negative");
+  spec.steps = static_cast<std::uint64_t>(steps);
+  const std::int64_t checkpoint = reservedOnly.getInt("checkpoint", 0);
+  SOPS_REQUIRE(checkpoint >= 0, "checkpoint must be non-negative");
+  spec.checkpointEvery = static_cast<std::uint64_t>(checkpoint);
+  spec.seed = static_cast<std::uint64_t>(
+      reservedOnly.getInt("seed", static_cast<std::int64_t>(spec.seed)));
+  const std::int64_t replicas = reservedOnly.getInt("replicas", 1);
+  SOPS_REQUIRE(replicas > 0 &&
+                   replicas <= std::numeric_limits<std::uint32_t>::max(),
+               "replicas must be in [1, 2^32)");
+  spec.replicas = static_cast<std::uint32_t>(replicas);
+  spec.seedStride = static_cast<std::uint64_t>(reservedOnly.getInt(
+      "seed-stride", static_cast<std::int64_t>(spec.seedStride)));
+  const std::int64_t threads = reservedOnly.getInt("threads", 0);
+  SOPS_REQUIRE(threads >= 0, "threads must be non-negative");
+  spec.threads = static_cast<unsigned>(threads);
+  spec.csvPath = reservedOnly.getString("csv", "");
+  spec.jsonlPath = reservedOnly.getString("jsonl", "");
+  spec.svgPath = reservedOnly.getString("svg", "");
+  spec.snapshots = reservedOnly.getBool("snapshots", false);
+
+  SOPS_REQUIRE(spec.shape == "line" || spec.shape == "spiral" ||
+                   spec.shape == "ring" || spec.shape == "random",
+               "shape must be line, spiral, ring, or random");
+  return spec;
+}
+
+RunSpec RunSpec::parse(std::string_view text) {
+  return fromParams(parseSpecText(text));
+}
+
+RunSpec RunSpec::parseArgv(int argc, const char* const* argv, int firstArg) {
+  return fromParams(parseArgs(argc, argv, firstArg));
+}
+
+std::string RunSpec::toText() const {
+  ParamMap map;
+  map.set("scenario", scenario);
+  map.set("shape", shape);
+  map.set("n", std::to_string(n));
+  map.set("steps", std::to_string(steps));
+  map.set("checkpoint", std::to_string(checkpointEvery));
+  map.set("seed", std::to_string(seed));
+  map.set("replicas", std::to_string(replicas));
+  map.set("seed-stride", std::to_string(seedStride));
+  map.set("threads", std::to_string(threads));
+  if (!csvPath.empty()) map.set("csv", csvPath);
+  if (!jsonlPath.empty()) map.set("jsonl", jsonlPath);
+  if (!svgPath.empty()) map.set("svg", svgPath);
+  if (snapshots) map.set("snapshots", "true");
+  for (const auto& [key, value] : params.entries()) map.set(key, value);
+  return map.toText();
+}
+
+void RunSpec::validate() const {
+  const Scenario& sc = Registry::instance().get(scenario);
+  params.validateAgainst(sc.schema(), "scenario '" + scenario + "'");
+}
+
+system::ParticleSystem RunSpec::makeInitial(std::uint64_t shapeSeed) const {
+  if (shape == "line") return system::lineConfiguration(n);
+  if (shape == "spiral") return system::spiralConfiguration(n);
+  if (shape == "ring") {
+    SOPS_REQUIRE(n <= std::numeric_limits<std::int32_t>::max(),
+                 "ring radius too large");
+    return system::ringConfiguration(static_cast<std::int32_t>(n));
+  }
+  SOPS_REQUIRE(shape == "random", "unknown shape: " + shape);
+  rng::Random rng(shapeSeed);
+  return system::randomHoleFree(n, rng);
+}
+
+}  // namespace sops::sim

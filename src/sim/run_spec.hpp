@@ -1,0 +1,96 @@
+#ifndef SOPS_SIM_RUN_SPEC_HPP
+#define SOPS_SIM_RUN_SPEC_HPP
+
+/// \file run_spec.hpp
+/// The declarative run description of the scenario facade.
+///
+/// A RunSpec is everything one simulation run needs: which registered
+/// scenario, its parameters, the initial shape, how many steps with what
+/// checkpoint cadence, the seed, replica fan-out, thread budget, and where
+/// to stream results.  It parses from `key=value` text (argv or a spec
+/// file) or a flat JSON object, validates against the scenario's declared
+/// ParamSchema (unknown keys are errors), and round-trips through
+/// toText().  sim::run() executes one; tools/spps_main.cpp is the CLI that
+/// does nothing else.
+///
+/// Reserved keys (everything else is a scenario parameter):
+///
+///   scenario   registered scenario name            (required)
+///   shape      line | spiral | ring | random       (default line)
+///   n          particles (ring: ring radius)       (default 100)
+///   steps      chain iterations / activations      (default 1000000)
+///   checkpoint sampling period; 0 = only at end    (default 0)
+///   seed       master seed                         (default 1603)
+///   replicas   independent replicas                (default 1)
+///   seed-stride  seed of replica r = seed + r*stride  (default 7)
+///   threads    worker threads; 0 = all cores       (default 0)
+///   csv / jsonl / svg   sink paths                 (default off)
+///   snapshots  stream ASCII snapshots to observers (default false)
+
+#include <cstdint>
+#include <string>
+
+#include "sim/params.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::sim {
+
+struct RunSpec {
+  std::string scenario;
+  ParamMap params;  ///< scenario-specific keys only
+
+  std::string shape = "line";
+  std::int64_t n = 100;
+  std::uint64_t steps = 1000000;
+  std::uint64_t checkpointEvery = 0;
+  std::uint64_t seed = 1603;
+  std::uint32_t replicas = 1;
+  std::uint64_t seedStride = 7;
+  unsigned threads = 0;
+
+  std::string csvPath;
+  std::string jsonlPath;
+  std::string svgPath;
+  bool snapshots = false;
+
+  /// Splits a parsed ParamMap into reserved keys and scenario parameters
+  /// and range-checks the reserved ones.  Scenario parameters are *not*
+  /// validated here — sim::run() (and validate()) check them against the
+  /// registry, so a spec can be built before the registry is consulted.
+  [[nodiscard]] static RunSpec fromParams(const ParamMap& map);
+
+  /// parseSpecText + fromParams.
+  [[nodiscard]] static RunSpec parse(std::string_view text);
+
+  /// parseArgs + fromParams.
+  [[nodiscard]] static RunSpec parseArgv(int argc, const char* const* argv,
+                                         int firstArg = 1);
+
+  /// Canonical `key=value` form; RunSpec::parse(toText()) reproduces the
+  /// spec field for field (defaults are included explicitly so a stored
+  /// spec is self-describing).
+  [[nodiscard]] std::string toText() const;
+
+  /// Validates scenario existence and parameters against the registry's
+  /// schema; throws ContractViolation with the offending key on failure.
+  void validate() const;
+
+  /// Seed of replica `r` under the spec's stride.
+  [[nodiscard]] std::uint64_t replicaSeed(std::size_t r) const noexcept {
+    return seed + seedStride * static_cast<std::uint64_t>(r);
+  }
+
+  /// Builds the initial configuration from (shape, n).  `random` shapes
+  /// draw from `shapeSeed` so each replica can get its own start while
+  /// deterministic shapes ignore it.
+  [[nodiscard]] system::ParticleSystem makeInitial(
+      std::uint64_t shapeSeed) const;
+};
+
+/// Schema of the reserved RunSpec keys (for --help output and the
+/// spec-level unknown-key check shared with the scenario schemas).
+[[nodiscard]] const ParamSchema& runSpecSchema();
+
+}  // namespace sops::sim
+
+#endif  // SOPS_SIM_RUN_SPEC_HPP

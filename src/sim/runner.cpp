@@ -1,0 +1,132 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "core/ensemble.hpp"
+#include "sim/registry.hpp"
+#include "util/assert.hpp"
+
+namespace sops::sim {
+namespace {
+
+/// Runs one replica to completion, streaming into `observer`.  Returns the
+/// replica's summary (without the finalSystem pointer, which is only valid
+/// during the onReplicaEnd call).
+ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
+                          std::size_t replica, unsigned scenarioThreads,
+                          Observer& observer, const StopWhen& stopWhen) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t seed = spec.replicaSeed(replica);
+  const std::unique_ptr<ScenarioRun> run =
+      scenario.start(spec, seed, scenarioThreads);
+
+  std::vector<double> values;
+  const auto sample = [&] {
+    values.clear();
+    run->sampleMetrics(values);
+    const Sample s{replica, run->stepsDone(), values};
+    observer.onSample(s);
+    return stopWhen != nullptr && stopWhen(s);
+  };
+
+  bool stopped = sample();  // iteration-0 row: the start of every curve
+  if (spec.snapshots) observer.onSnapshot(replica, 0, run->snapshot());
+  const std::uint64_t chunk =
+      spec.checkpointEvery > 0 ? spec.checkpointEvery
+                               : std::max<std::uint64_t>(spec.steps, 1);
+  while (!stopped && run->stepsDone() < spec.steps) {
+    run->advance(std::min(chunk, spec.steps - run->stepsDone()));
+    stopped = sample();
+    if (spec.snapshots) {
+      observer.onSnapshot(replica, run->stepsDone(), run->snapshot());
+    }
+  }
+
+  ReplicaSummary summary;
+  summary.replica = replica;
+  summary.label = spec.scenario + " seed=" + std::to_string(seed);
+  summary.seed = seed;
+  summary.steps = run->stepsDone();
+  run->sampleMetrics(summary.finalMetrics);
+  summary.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const system::ParticleSystem finalSystem = run->snapshot();
+  summary.finalSystem = &finalSystem;
+  observer.onReplicaEnd(summary);
+  summary.finalSystem = nullptr;
+  return summary;
+}
+
+}  // namespace
+
+double RunReport::finalMetric(std::size_t replica,
+                              std::string_view name) const {
+  SOPS_REQUIRE(replica < replicas.size(), "replica index out of range");
+  for (std::size_t i = 0; i < metricNames.size(); ++i) {
+    if (metricNames[i] == name) return replicas[replica].finalMetrics[i];
+  }
+  throw ContractViolation("unknown metric '" + std::string(name) + "'");
+}
+
+RunReport run(const RunSpec& spec, Observer& extra, const StopWhen& stopWhen) {
+  spec.validate();
+  const Scenario& scenario = Registry::instance().get(spec.scenario);
+
+  ObserverList observers;
+  observers.attach(&extra);
+  std::unique_ptr<CsvSink> csv;
+  std::unique_ptr<JsonlSink> jsonl;
+  std::unique_ptr<SvgSink> svg;
+  if (!spec.csvPath.empty()) {
+    csv = std::make_unique<CsvSink>(spec.csvPath);
+    observers.attach(csv.get());
+  }
+  if (!spec.jsonlPath.empty()) {
+    jsonl = std::make_unique<JsonlSink>(spec.jsonlPath);
+    observers.attach(jsonl.get());
+  }
+  if (!spec.svgPath.empty()) {
+    svg = std::make_unique<SvgSink>(spec.svgPath);
+    observers.attach(svg.get());
+  }
+
+  RunHeader header;
+  header.spec = &spec;
+  header.metricNames = scenario.metricNames();
+
+  RunReport report;
+  report.metricNames = header.metricNames;
+  observers.onRunBegin(header);
+
+  if (spec.replicas == 1) {
+    // Inline: stream live, scenario gets the whole thread budget.
+    report.replicas.push_back(
+        runReplica(spec, scenario, 0, spec.threads, observers, stopWhen));
+  } else {
+    // Fan out replicas across the ensemble pool; each worker buffers its
+    // replica's events, replayed in replica order after the join so the
+    // observer stream is deterministic and thread-count independent.
+    std::vector<MemorySink> buffers(spec.replicas);
+    std::vector<ReplicaSummary> summaries(spec.replicas);
+    core::parallelForIndex(spec.replicas, spec.threads, [&](std::size_t r) {
+      summaries[r] = runReplica(spec, scenario, r, /*scenarioThreads=*/1,
+                                buffers[r], stopWhen);
+    });
+    for (std::size_t r = 0; r < buffers.size(); ++r) {
+      buffers[r].replayInto(observers);
+      report.replicas.push_back(std::move(summaries[r]));
+    }
+  }
+  observers.onRunEnd();
+  return report;
+}
+
+RunReport run(const RunSpec& spec) {
+  Observer none;
+  return run(spec, none);
+}
+
+}  // namespace sops::sim

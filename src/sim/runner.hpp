@@ -1,0 +1,59 @@
+#ifndef SOPS_SIM_RUNNER_HPP
+#define SOPS_SIM_RUNNER_HPP
+
+/// \file runner.hpp
+/// The one dispatcher from a RunSpec to execution.
+///
+/// sim::run() validates the spec against the registry, builds the sinks
+/// the spec names (csv/jsonl/svg), and routes to the right execution
+/// shape:
+///
+///   replicas == 1  →  the replica runs inline on the caller's thread,
+///                     streaming samples live; the scenario receives the
+///                     spec's thread budget (the amoebot scenario uses it
+///                     for its stripe workers — the sharded path);
+///   replicas  > 1  →  replicas fan out across core::parallelForIndex
+///                     (the core/ensemble pool discipline), each worker
+///                     buffering its replica's events in a MemorySink;
+///                     after the join the events replay into the observer
+///                     in replica order, so sink output is deterministic
+///                     and thread-count independent.
+///
+/// Checkpoint cadence: metrics are sampled at iteration 0, after every
+/// `checkpoint` steps (when set), and after the final step.
+
+#include <functional>
+
+#include "sim/observer.hpp"
+#include "sim/run_spec.hpp"
+
+namespace sops::sim {
+
+/// Early-stop predicate, evaluated after every checkpoint sample; true
+/// ends that replica (the ensemble stopWhen, facade-shaped).  In
+/// multi-replica runs it is invoked concurrently from worker threads, so
+/// it must be a pure function of the sample.
+using StopWhen = std::function<bool(const Sample&)>;
+
+struct RunReport {
+  std::vector<std::string> metricNames;
+  /// One summary per replica, in replica order (finalSystem is null here;
+  /// attach an observer to capture final configurations).
+  std::vector<ReplicaSummary> replicas;
+
+  /// Value of a named final metric for one replica.
+  [[nodiscard]] double finalMetric(std::size_t replica,
+                                   std::string_view name) const;
+};
+
+/// Runs the spec end to end, streaming through `extra` (plus the sinks the
+/// spec itself names).  Throws ContractViolation on an invalid spec.
+RunReport run(const RunSpec& spec, Observer& extra,
+              const StopWhen& stopWhen = nullptr);
+
+/// Same, with no caller observer (spec sinks only).
+RunReport run(const RunSpec& spec);
+
+}  // namespace sops::sim
+
+#endif  // SOPS_SIM_RUNNER_HPP

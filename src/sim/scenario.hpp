@@ -1,0 +1,80 @@
+#ifndef SOPS_SIM_SCENARIO_HPP
+#define SOPS_SIM_SCENARIO_HPP
+
+/// \file scenario.hpp
+/// The type-erased scenario interface behind the registry.
+///
+/// A Scenario is a named factory: it declares its parameter schema and the
+/// metric columns it samples, and start() builds a ScenarioRun — one
+/// replica's live simulation — from a validated RunSpec and a replica
+/// seed.  The chain scenarios wrap core::BiasedChainEngine instances
+/// *exactly* as the direct call sites do (same constructor arguments, same
+/// seed, same step loop), so a facade run is draw-for-draw identical to
+/// the pre-facade code path; tests/sim_api_test.cpp pins this for all
+/// three weight models.  The amoebot scenario wraps the sharded Poisson
+/// runner, whose trajectory is deterministic per seed for every thread
+/// count.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::sim {
+
+struct RunSpec;
+
+/// One replica's live simulation.  Not thread-safe; owned and driven by a
+/// single worker.
+class ScenarioRun {
+ public:
+  virtual ~ScenarioRun() = default;
+
+  /// Advances by (at least) `steps` chain iterations / activations.  The
+  /// amoebot runner rounds up to whole epochs; stepsDone() reports the
+  /// exact count.
+  virtual void advance(std::uint64_t steps) = 0;
+
+  /// Exact steps executed so far.
+  [[nodiscard]] virtual std::uint64_t stepsDone() const = 0;
+
+  /// Appends the current value of every metric the scenario declares, in
+  /// metricNames() order.
+  virtual void sampleMetrics(std::vector<double>& out) const = 0;
+
+  /// A copy of the current configuration (amoebot: tail configuration) for
+  /// snapshot sinks and final-state checks.  Not a hot-path call.
+  [[nodiscard]] virtual system::ParticleSystem snapshot() const = 0;
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// The scenario-specific parameters (RunSpec reserved keys excluded).
+  [[nodiscard]] virtual ParamSchema schema() const = 0;
+
+  /// Metric columns sampled at every checkpoint, e.g. {"edges",
+  /// "perimeter", "alpha", ...}.
+  [[nodiscard]] virtual std::vector<std::string> metricNames() const = 0;
+
+  /// Builds one replica.  `replicaSeed` is the engine/runner seed;
+  /// `workerThreads` is the thread budget *inside* the replica (only the
+  /// amoebot scenario uses it — the runner passes 1 when replicas
+  /// themselves are fanned out across the pool, never 0, since 0 means
+  /// "all cores" throughout this codebase).  The spec's scenario params
+  /// must already be validated.
+  [[nodiscard]] virtual std::unique_ptr<ScenarioRun> start(
+      const RunSpec& spec, std::uint64_t replicaSeed,
+      unsigned workerThreads) const = 0;
+};
+
+}  // namespace sops::sim
+
+#endif  // SOPS_SIM_SCENARIO_HPP

@@ -1,0 +1,342 @@
+/// \file scenarios.cpp
+/// The four built-in scenarios behind sim::Registry.
+///
+/// Each chain scenario constructs its core::BiasedChainEngine exactly as
+/// the direct call sites do — same initial system, same model options,
+/// same seed, and advance() is engine.run() — so a facade run is
+/// draw-for-draw identical to the pre-facade code path (pinned by
+/// tests/sim_api_test.cpp against direct engine runs).  The amoebot
+/// scenario drives Algorithm A through the sharded Poisson runner, whose
+/// trajectory is a pure function of the seed for every thread count.
+///
+/// Adding a workload = one weight model (core/scenario_models.hpp style)
+/// plus one Scenario subclass here (or anywhere, via ScenarioRegistrar).
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "amoebot/amoebot_system.hpp"
+#include "amoebot/faults.hpp"
+#include "amoebot/local_compression.hpp"
+#include "amoebot/parallel_scheduler.hpp"
+#include "core/scenario_models.hpp"
+#include "sim/registry.hpp"
+#include "sim/run_spec.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+#include "util/assert.hpp"
+
+namespace sops::sim {
+namespace {
+
+[[nodiscard]] double alphaOf(const system::ParticleSystem& sys) {
+  return static_cast<double>(system::perimeter(sys)) /
+         static_cast<double>(
+             system::pMin(static_cast<std::int64_t>(sys.size())));
+}
+
+/// Shared movement-chain knobs (the paper's ChainOptions, including the
+/// ablation switches bench_ablation exercises).
+void addChainKeys(ParamSchema& schema) {
+  schema.add("lambda", ParamType::Double, "4.0",
+             "compression bias on edges");
+  schema.add("greedy", ParamType::Bool, "false",
+             "zero-temperature filter (accept iff e' >= e)");
+  schema.add("gap", ParamType::Bool, "true", "enforce condition (1), e != 5");
+  schema.add("properties", ParamType::Bool, "true",
+             "enforce condition (2), Property 1 or 2");
+  schema.add("property2", ParamType::Bool, "true",
+             "allow Property 2 moves (Fig 3 ablation)");
+}
+
+[[nodiscard]] core::ChainOptions chainOptionsFrom(const ParamMap& params) {
+  core::ChainOptions options;
+  options.lambda = params.getDouble("lambda", options.lambda);
+  options.greedy = params.getBool("greedy", options.greedy);
+  options.enforceGapCondition =
+      params.getBool("gap", options.enforceGapCondition);
+  options.enforceProperties =
+      params.getBool("properties", options.enforceProperties);
+  options.allowProperty2 =
+      params.getBool("property2", options.allowProperty2);
+  return options;
+}
+
+/// One replica of any weight-model engine: advance() is engine.run(), and
+/// a per-scenario sampler maps the engine onto the declared metrics.
+template <typename Model>
+class EngineRun : public ScenarioRun {
+ public:
+  using Engine = core::BiasedChainEngine<Model>;
+  using Sampler = void (*)(const Engine&, std::vector<double>&);
+
+  EngineRun(Engine engine, Sampler sampler)
+      : engine_(std::move(engine)), sampler_(sampler) {}
+
+  void advance(std::uint64_t steps) override { engine_.run(steps); }
+  [[nodiscard]] std::uint64_t stepsDone() const override {
+    return engine_.stats().steps;
+  }
+  void sampleMetrics(std::vector<double>& out) const override {
+    sampler_(engine_, out);
+  }
+  [[nodiscard]] system::ParticleSystem snapshot() const override {
+    return engine_.system();
+  }
+
+ private:
+  Engine engine_;
+  Sampler sampler_;
+};
+
+// -- compression ------------------------------------------------------------
+
+void sampleCompression(const core::CompressionEngine& engine,
+                       std::vector<double>& out) {
+  const system::ParticleSystem& sys = engine.system();
+  // One complement analysis serves holes AND the exact perimeter
+  // (p = 3n − e − 3 + 3·holes with the tracked edge count) — the
+  // boundary-walk recount system::perimeter would redo is skipped.
+  const std::int64_t holes = system::countHoles(sys);
+  const std::int64_t perimeter = system::perimeterFromCounts(
+      static_cast<std::int64_t>(sys.size()), engine.edges(), holes);
+  out.push_back(static_cast<double>(engine.edges()));
+  out.push_back(static_cast<double>(perimeter));
+  out.push_back(static_cast<double>(perimeter) /
+                static_cast<double>(
+                    system::pMin(static_cast<std::int64_t>(sys.size()))));
+  out.push_back(engine.stats().movement.acceptanceRate());
+  out.push_back(static_cast<double>(holes));
+}
+
+class CompressionScenario : public Scenario {
+ public:
+  [[nodiscard]] std::string name() const override { return "compression"; }
+  [[nodiscard]] std::string description() const override {
+    return "the paper's chain M: w = lambda^e";
+  }
+  [[nodiscard]] ParamSchema schema() const override {
+    ParamSchema schema;
+    addChainKeys(schema);
+    return schema;
+  }
+  [[nodiscard]] std::vector<std::string> metricNames() const override {
+    return {"edges", "perimeter", "alpha", "acceptance", "holes"};
+  }
+  [[nodiscard]] std::unique_ptr<ScenarioRun> start(
+      const RunSpec& spec, std::uint64_t replicaSeed,
+      unsigned /*workerThreads*/) const override {
+    return std::make_unique<EngineRun<core::CompressionModel>>(
+        core::CompressionEngine(spec.makeInitial(replicaSeed),
+                                core::CompressionModel(
+                                    chainOptionsFrom(spec.params)),
+                                replicaSeed),
+        &sampleCompression);
+  }
+};
+
+// -- separation -------------------------------------------------------------
+
+void sampleSeparation(const core::SeparationEngine& engine,
+                      std::vector<double>& out) {
+  const system::ParticleSystem& sys = engine.system();
+  out.push_back(static_cast<double>(engine.edges()));
+  out.push_back(static_cast<double>(system::perimeter(sys)));
+  out.push_back(alphaOf(sys));
+  // engine.edges() is the incrementally tracked e(σ) — no recount, and 0
+  // edges (n = 1) reads as fraction 0 rather than NaN.
+  out.push_back(engine.edges() == 0
+                    ? 0.0
+                    : static_cast<double>(
+                          engine.model().homogeneousEdges(sys)) /
+                          static_cast<double>(engine.edges()));
+}
+
+class SeparationScenario : public Scenario {
+ public:
+  [[nodiscard]] std::string name() const override { return "separation"; }
+  [[nodiscard]] std::string description() const override {
+    return "two colors, w = lambda^e gamma^hom (Cannon et al. [9])";
+  }
+  [[nodiscard]] ParamSchema schema() const override {
+    ParamSchema schema;
+    schema.add("lambda", ParamType::Double, "4.0",
+               "compression bias on edges");
+    schema.add("gamma", ParamType::Double, "4.0",
+               "homogeneity bias on monochromatic edges");
+    schema.add("swaps", ParamType::Bool, "true", "enable color-swap moves");
+    schema.add("swap-prob", ParamType::Double, "0.5",
+               "mixture weight of the swap move");
+    return schema;
+  }
+  [[nodiscard]] std::vector<std::string> metricNames() const override {
+    return {"edges", "perimeter", "alpha", "hom_fraction"};
+  }
+  [[nodiscard]] std::unique_ptr<ScenarioRun> start(
+      const RunSpec& spec, std::uint64_t replicaSeed,
+      unsigned /*workerThreads*/) const override {
+    core::SeparationModel::Options options;
+    options.lambda = spec.params.getDouble("lambda", options.lambda);
+    options.gamma = spec.params.getDouble("gamma", options.gamma);
+    options.enableSwaps = spec.params.getBool("swaps", options.enableSwaps);
+    options.swapProbability =
+        spec.params.getDouble("swap-prob", options.swapProbability);
+    system::ParticleSystem initial = spec.makeInitial(replicaSeed);
+    auto colors = system::alternatingClasses(initial.size(), 2);
+    return std::make_unique<EngineRun<core::SeparationModel>>(
+        core::SeparationEngine(
+            std::move(initial),
+            core::SeparationModel(options, std::move(colors)), replicaSeed),
+        &sampleSeparation);
+  }
+};
+
+// -- alignment --------------------------------------------------------------
+
+void sampleAlignment(const core::AlignmentEngine& engine,
+                     std::vector<double>& out) {
+  const system::ParticleSystem& sys = engine.system();
+  out.push_back(static_cast<double>(engine.edges()));
+  out.push_back(static_cast<double>(system::perimeter(sys)));
+  out.push_back(alphaOf(sys));
+  out.push_back(engine.edges() == 0
+                    ? 0.0
+                    : static_cast<double>(engine.model().alignedEdges(sys)) /
+                          static_cast<double>(engine.edges()));
+}
+
+class AlignmentScenario : public Scenario {
+ public:
+  [[nodiscard]] std::string name() const override { return "alignment"; }
+  [[nodiscard]] std::string description() const override {
+    return "6-state orientations, w = lambda^e kappa^ali "
+           "(Kedia-Oh-Randall style)";
+  }
+  [[nodiscard]] ParamSchema schema() const override {
+    ParamSchema schema;
+    schema.add("lambda", ParamType::Double, "4.0",
+               "compression bias on edges");
+    schema.add("kappa", ParamType::Double, "4.0",
+               "alignment bias on equal-orientation edges");
+    schema.add("rotations", ParamType::Bool, "true",
+               "enable orientation re-sampling moves");
+    schema.add("rotation-prob", ParamType::Double, "0.5",
+               "mixture weight of the rotation move");
+    return schema;
+  }
+  [[nodiscard]] std::vector<std::string> metricNames() const override {
+    return {"edges", "perimeter", "alpha", "aligned_fraction"};
+  }
+  [[nodiscard]] std::unique_ptr<ScenarioRun> start(
+      const RunSpec& spec, std::uint64_t replicaSeed,
+      unsigned /*workerThreads*/) const override {
+    core::AlignmentModel::Options options;
+    options.lambda = spec.params.getDouble("lambda", options.lambda);
+    options.kappa = spec.params.getDouble("kappa", options.kappa);
+    options.enableRotations =
+        spec.params.getBool("rotations", options.enableRotations);
+    options.rotationProbability =
+        spec.params.getDouble("rotation-prob", options.rotationProbability);
+    system::ParticleSystem initial = spec.makeInitial(replicaSeed);
+    auto orientations = system::alternatingClasses(
+        initial.size(), core::AlignmentModel::kOrientations);
+    return std::make_unique<EngineRun<core::AlignmentModel>>(
+        core::AlignmentEngine(
+            std::move(initial),
+            core::AlignmentModel(options, std::move(orientations)),
+            replicaSeed),
+        &sampleAlignment);
+  }
+};
+
+// -- amoebot (Algorithm A on the sharded Poisson runner) --------------------
+
+class AmoebotRun : public ScenarioRun {
+ public:
+  AmoebotRun(const system::ParticleSystem& initial, double lambda,
+             double crashFraction, std::uint64_t seed, unsigned threads,
+             std::uint64_t targetEventsPerEpoch)
+      : sysRng_(seed), sys_(initial, sysRng_), algo_({lambda}) {
+    if (crashFraction > 0.0) {
+      rng::Random faultRng(seed + 1);
+      amoebot::applyFaults(
+          sys_, amoebot::randomCrashes(sys_.size(), crashFraction, faultRng));
+    }
+    amoebot::ShardedOptions options;
+    options.threads = threads;
+    options.targetEventsPerEpoch = targetEventsPerEpoch;
+    runner_.emplace(sys_, algo_, seed + 2, options);
+  }
+
+  void advance(std::uint64_t steps) override { runner_->runAtLeast(steps); }
+  [[nodiscard]] std::uint64_t stepsDone() const override {
+    return runner_->activations();
+  }
+  void sampleMetrics(std::vector<double>& out) const override {
+    const system::ParticleSystem tails = sys_.tailConfiguration();
+    out.push_back(static_cast<double>(system::perimeter(tails)));
+    out.push_back(alphaOf(tails));
+    out.push_back(runner_->activations() == 0
+                      ? 0.0
+                      : static_cast<double>(runner_->sweepActivations()) /
+                            static_cast<double>(runner_->activations()));
+    out.push_back(runner_->now());
+  }
+  [[nodiscard]] system::ParticleSystem snapshot() const override {
+    return sys_.tailConfiguration();
+  }
+
+ private:
+  rng::Random sysRng_;
+  amoebot::AmoebotSystem sys_;
+  amoebot::LocalCompressionAlgorithm algo_;
+  std::optional<amoebot::ShardedPoissonRunner> runner_;
+};
+
+class AmoebotScenario : public Scenario {
+ public:
+  [[nodiscard]] std::string name() const override { return "amoebot"; }
+  [[nodiscard]] std::string description() const override {
+    return "Algorithm A on the sharded Poisson runner (steps = activations; "
+           "deterministic per seed for every thread count)";
+  }
+  [[nodiscard]] ParamSchema schema() const override {
+    ParamSchema schema;
+    schema.add("lambda", ParamType::Double, "4.0",
+               "compression bias on edges");
+    schema.add("crash-fraction", ParamType::Double, "0.0",
+               "fraction of particles crashed at start (section 3.3)");
+    schema.add("epoch-events", ParamType::Int, "0",
+               "target activations per epoch; 0 derives max(2n, 1024)");
+    return schema;
+  }
+  [[nodiscard]] std::vector<std::string> metricNames() const override {
+    return {"perimeter", "alpha", "sweep_fraction", "sim_time"};
+  }
+  [[nodiscard]] std::unique_ptr<ScenarioRun> start(
+      const RunSpec& spec, std::uint64_t replicaSeed,
+      unsigned workerThreads) const override {
+    const double crashFraction =
+        spec.params.getDouble("crash-fraction", 0.0);
+    SOPS_REQUIRE(crashFraction >= 0.0 && crashFraction < 1.0,
+                 "crash-fraction must be in [0, 1)");
+    const std::int64_t epochEvents = spec.params.getInt("epoch-events", 0);
+    SOPS_REQUIRE(epochEvents >= 0, "epoch-events must be non-negative");
+    return std::make_unique<AmoebotRun>(
+        spec.makeInitial(replicaSeed), spec.params.getDouble("lambda", 4.0),
+        crashFraction, replicaSeed, workerThreads,
+        static_cast<std::uint64_t>(epochEvents));
+  }
+};
+
+}  // namespace
+
+void registerBuiltins(Registry& registry) {
+  registry.add(std::make_unique<CompressionScenario>());
+  registry.add(std::make_unique<SeparationScenario>());
+  registry.add(std::make_unique<AlignmentScenario>());
+  registry.add(std::make_unique<AmoebotScenario>());
+}
+
+}  // namespace sops::sim

@@ -1,0 +1,458 @@
+// The scenario facade's correctness contract:
+//
+//  1. ParamMap/ParamSchema: strict key=value and flat-JSON parsing, typed
+//     getters that reject malformed values, unknown-key validation (the
+//     fix for the old argv parsers' silent ignore), toText round-trip;
+//  2. RunSpec: parse → validate → round-trip identity, reserved-key range
+//     checks, schema validation against the registry;
+//  3. Registry: the four built-ins resolve; unknown names throw with the
+//     registered names in the message;
+//  4. Observer pipeline: sampled metrics equal independent system/metrics
+//     recomputation at every checkpoint; CSV sink shape; MemorySink
+//     replay fidelity;
+//  5. Facade ↔ direct-engine golden identity for all three chain
+//     scenarios (same final arrangement, edges, and metrics — the facade
+//     is a re-layering, not a new sampler), including the replica seed
+//     derivation; amoebot runs are thread-count independent;
+//  6. Runner dispatch: multi-replica runs are deterministic and
+//     thread-count independent; StopWhen ends replicas early.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario_models.hpp"
+#include "sim/registry.hpp"
+#include "sim/runner.hpp"
+#include "system/metrics.hpp"
+#include "system/shapes.hpp"
+
+namespace sops::sim {
+namespace {
+
+// -- 1. params --------------------------------------------------------------
+
+TEST(SimParams, ParsesKeyValuesQuotesAndComments) {
+  const ParamMap map = parseKeyValues(
+      "alpha=1.5 name=\"two words\"\n# a comment line\nn=100");
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_DOUBLE_EQ(map.getDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(map.getString("name", ""), "two words");
+  EXPECT_EQ(map.getInt("n", 0), 100);
+  EXPECT_EQ(map.getInt("missing", 42), 42);
+}
+
+TEST(SimParams, RejectsMalformedTokensAndValues) {
+  EXPECT_THROW((void)parseKeyValues("flag"), ContractViolation);
+  EXPECT_THROW((void)parseKeyValues("--help"), ContractViolation);
+  EXPECT_THROW((void)parseKeyValues("=value"), ContractViolation);
+  const ParamMap map = parseKeyValues("n=abc b=maybe");
+  EXPECT_THROW((void)map.getInt("n", 0), ContractViolation);
+  EXPECT_THROW((void)map.getBool("b", false), ContractViolation);
+}
+
+TEST(SimParams, BooleansAcceptCommonSpellings) {
+  const ParamMap map = parseKeyValues("a=true b=0 c=YES d=off");
+  EXPECT_TRUE(map.getBool("a", false));
+  EXPECT_FALSE(map.getBool("b", true));
+  EXPECT_TRUE(map.getBool("c", false));
+  EXPECT_FALSE(map.getBool("d", true));
+}
+
+TEST(SimParams, FlatJsonMatchesKeyValueForm) {
+  const ParamMap kv = parseKeyValues("scenario=separation n=40 gamma=2.5");
+  const ParamMap json = parseSpecText(
+      R"({"scenario": "separation", "n": 40, "gamma": 2.5})");
+  EXPECT_EQ(json.getString("scenario", ""), kv.getString("scenario", ""));
+  EXPECT_EQ(json.getInt("n", 0), kv.getInt("n", 0));
+  EXPECT_DOUBLE_EQ(json.getDouble("gamma", 0.0), kv.getDouble("gamma", 0.0));
+}
+
+TEST(SimParams, JsonRejectsNestingAndTrailingGarbage) {
+  EXPECT_THROW((void)parseJsonObject(R"({"a": {"b": 1}})"), ContractViolation);
+  EXPECT_THROW((void)parseJsonObject(R"({"a": [1]})"), ContractViolation);
+  EXPECT_THROW((void)parseJsonObject(R"({"a": 1} x)"), ContractViolation);
+  EXPECT_THROW((void)parseJsonObject(R"({"a": null})"), ContractViolation);
+}
+
+TEST(SimParams, ToTextRoundTrips) {
+  ParamMap map;
+  map.set("scenario", "compression");
+  map.set("label", "two words");
+  map.set("n", "64");
+  const ParamMap reparsed = parseKeyValues(map.toText());
+  EXPECT_EQ(reparsed.entries(), map.entries());
+}
+
+TEST(SimParams, ParseArgsHonorsShellArgumentBoundaries) {
+  // One shell-quoted argv element may carry spaces — even `k=v`-looking
+  // text — without being re-split (the parser must not re-tokenize).
+  const char* argv[] = {"prog", "csv=my file.csv", "label=run a=1"};
+  const ParamMap map = parseArgs(3, argv);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.getString("csv", ""), "my file.csv");
+  EXPECT_EQ(map.getString("label", ""), "run a=1");
+  EXPECT_FALSE(map.contains("a"));
+  const char* bad[] = {"prog", "--help"};
+  EXPECT_THROW((void)parseArgs(2, bad), ContractViolation);
+}
+
+TEST(SimParams, ToTextRoundTripsAwkwardValues) {
+  ParamMap map;
+  map.set("tab", "a\tb");
+  map.set("quote", "say \"hi\"");
+  map.set("backslash", "a\\b");
+  map.set("mixed", "a b \"c\\d\"");
+  map.set("hash", "#notacomment");
+  map.set("empty", "");
+  const ParamMap reparsed = parseKeyValues(map.toText());
+  EXPECT_EQ(reparsed.entries(), map.entries());
+}
+
+TEST(SimParams, ValidateAgainstSchemaNamesOffendingKey) {
+  ParamSchema schema;
+  schema.add("lambda", ParamType::Double, "4.0", "bias");
+  const ParamMap unknown = parseKeyValues("lambda=4 bogus=1");
+  try {
+    unknown.validateAgainst(schema, "test");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("lambda"), std::string::npos);
+  }
+  const ParamMap badType = parseKeyValues("lambda=fast");
+  EXPECT_THROW(badType.validateAgainst(schema, "test"), ContractViolation);
+}
+
+TEST(SimParams, MergeLayersAndOptionallyRejectsNewKeys) {
+  ParamMap defaults = parseKeyValues("n=80 lambda=4.0");
+  defaults.merge(parseKeyValues("lambda=2.0"));
+  EXPECT_DOUBLE_EQ(defaults.getDouble("lambda", 0.0), 2.0);
+  EXPECT_THROW(defaults.merge(parseKeyValues("extra=1"), true),
+               ContractViolation);
+  defaults.merge(parseKeyValues("extra=1"));
+  EXPECT_TRUE(defaults.contains("extra"));
+  defaults.erase("extra");
+  EXPECT_FALSE(defaults.contains("extra"));
+}
+
+// -- 2. run spec ------------------------------------------------------------
+
+TEST(SimRunSpec, ParsesValidatesAndRoundTrips) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=separation shape=spiral n=48 steps=5000 checkpoint=1000 "
+      "seed=9 replicas=3 seed-stride=11 threads=2 gamma=2.0 swaps=false");
+  EXPECT_EQ(spec.scenario, "separation");
+  EXPECT_EQ(spec.shape, "spiral");
+  EXPECT_EQ(spec.n, 48);
+  EXPECT_EQ(spec.steps, 5000u);
+  EXPECT_EQ(spec.checkpointEvery, 1000u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.replicas, 3u);
+  EXPECT_EQ(spec.replicaSeed(2), 9u + 22u);
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_DOUBLE_EQ(spec.params.getDouble("gamma", 0.0), 2.0);
+  spec.validate();
+
+  const RunSpec reparsed = RunSpec::parse(spec.toText());
+  EXPECT_EQ(reparsed.toText(), spec.toText());
+  EXPECT_EQ(reparsed.scenario, spec.scenario);
+  EXPECT_EQ(reparsed.params.entries(), spec.params.entries());
+}
+
+TEST(SimRunSpec, JsonSpecIsEquivalent) {
+  const RunSpec kv = RunSpec::parse("scenario=compression n=30 steps=100");
+  const RunSpec json = RunSpec::parse(
+      R"({"scenario": "compression", "n": 30, "steps": 100})");
+  EXPECT_EQ(json.toText(), kv.toText());
+}
+
+TEST(SimRunSpec, RejectsBadReservedValues) {
+  EXPECT_THROW((void)RunSpec::parse("steps=10"), ContractViolation);  // no scenario
+  EXPECT_THROW((void)RunSpec::parse("scenario=compression shape=cube"),
+               ContractViolation);
+  EXPECT_THROW((void)RunSpec::parse("scenario=compression n=0"),
+               ContractViolation);
+  EXPECT_THROW((void)RunSpec::parse("scenario=compression replicas=0"),
+               ContractViolation);
+  EXPECT_THROW((void)RunSpec::parse("scenario=compression steps=-5"),
+               ContractViolation);
+  EXPECT_THROW((void)RunSpec::parse("scenario=compression n=ten"),
+               ContractViolation);
+}
+
+TEST(SimRunSpec, ValidateRejectsUnknownScenarioParams) {
+  const RunSpec spec = RunSpec::parse("scenario=compression omega=3");
+  EXPECT_THROW(spec.validate(), ContractViolation);
+  const RunSpec badType = RunSpec::parse("scenario=compression lambda=hot");
+  EXPECT_THROW(badType.validate(), ContractViolation);
+}
+
+TEST(SimRunSpec, MakeInitialBuildsDeclaredShapes) {
+  RunSpec spec = RunSpec::parse("scenario=compression n=30 shape=line");
+  EXPECT_EQ(spec.makeInitial(1).size(), 30u);
+  spec.shape = "spiral";
+  EXPECT_EQ(spec.makeInitial(1).size(), 30u);
+  spec.shape = "ring";
+  spec.n = 3;
+  EXPECT_EQ(spec.makeInitial(1).size(), 18u);  // 6 * radius particles
+  spec.shape = "random";
+  spec.n = 25;
+  const auto a = spec.makeInitial(7);
+  const auto b = spec.makeInitial(7);
+  const auto c = spec.makeInitial(8);
+  EXPECT_EQ(a.size(), 25u);
+  EXPECT_TRUE(a.sameArrangement(b));  // same shape seed → same start
+  EXPECT_TRUE(system::isConnected(c));
+}
+
+// -- 3. registry ------------------------------------------------------------
+
+TEST(SimRegistry, BuiltinsAreRegisteredWithSchemas) {
+  Registry& registry = Registry::instance();
+  for (const char* name :
+       {"compression", "separation", "alignment", "amoebot"}) {
+    const Scenario* scenario = registry.find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    EXPECT_EQ(scenario->name(), name);
+    EXPECT_FALSE(scenario->schema().params().empty());
+    EXPECT_FALSE(scenario->metricNames().empty());
+    EXPECT_NE(scenario->schema().find("lambda"), nullptr);
+  }
+  EXPECT_GE(registry.all().size(), 4u);
+}
+
+TEST(SimRegistry, UnknownScenarioThrowsWithKnownNames) {
+  try {
+    (void)Registry::instance().get("teleportation");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("teleportation"), std::string::npos);
+    EXPECT_NE(what.find("compression"), std::string::npos);
+    EXPECT_NE(what.find("separation"), std::string::npos);
+  }
+  EXPECT_EQ(Registry::instance().find("teleportation"), nullptr);
+}
+
+// -- 4. observers -----------------------------------------------------------
+
+TEST(SimObserver, SamplesMatchIndependentMetricsRecomputation) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=compression n=40 steps=20000 checkpoint=5000 seed=77");
+  MemorySink sink;
+  (void)run(spec, sink);
+
+  // Replay the identical trajectory directly and recompute every sampled
+  // metric from system/metrics at the same checkpoints.
+  core::ChainOptions options;  // facade default lambda=4.0
+  core::CompressionEngine engine(system::lineConfiguration(40),
+                                 core::CompressionModel(options), 77);
+  const auto& samples = sink.samples();
+  ASSERT_EQ(samples.size(), 5u);  // iteration 0 + 4 checkpoints
+  const double pMin = static_cast<double>(system::pMin(40));
+  for (const MemorySink::StoredSample& sample : samples) {
+    engine.run(sample.iteration - engine.stats().steps);
+    ASSERT_EQ(sample.values.size(), 5u);
+    EXPECT_EQ(sample.values[0], static_cast<double>(engine.edges()));
+    const auto perimeter =
+        static_cast<double>(system::perimeter(engine.system()));
+    EXPECT_EQ(sample.values[1], perimeter);
+    EXPECT_EQ(sample.values[2], perimeter / pMin);
+    EXPECT_EQ(sample.values[3], engine.stats().movement.acceptanceRate());
+    EXPECT_EQ(sample.values[4],
+              static_cast<double>(system::countHoles(engine.system())));
+    EXPECT_EQ(engine.edges(), system::countEdges(engine.system()));
+  }
+}
+
+TEST(SimObserver, CsvSinkWritesHeaderAndOneRowPerSample) {
+  const std::string path = ::testing::TempDir() + "sim_api_csv_sink.csv";
+  const RunSpec spec = RunSpec::parse(
+      "scenario=separation n=24 steps=4000 checkpoint=1000 replicas=2 "
+      "csv=" + path);
+  MemorySink sink;
+  (void)run(spec, sink);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "replica,iteration,edges,perimeter,alpha,hom_fraction");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, sink.samples().size());
+  EXPECT_EQ(rows, 2u * 5u);  // 2 replicas × (iteration 0 + 4 checkpoints)
+  std::remove(path.c_str());
+}
+
+TEST(SimObserver, MemorySinkReplayPreservesEveryEvent) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=compression n=20 steps=2000 checkpoint=1000 snapshots=true");
+  MemorySink original;
+  (void)run(spec, original);
+  ASSERT_FALSE(original.samples().empty());
+  ASSERT_FALSE(original.snapshots().empty());
+  ASSERT_EQ(original.summaries().size(), 1u);
+
+  MemorySink copy;
+  original.replayInto(copy, /*withRunBoundaries=*/true);
+  ASSERT_EQ(copy.samples().size(), original.samples().size());
+  for (std::size_t i = 0; i < copy.samples().size(); ++i) {
+    EXPECT_EQ(copy.samples()[i].iteration, original.samples()[i].iteration);
+    EXPECT_EQ(copy.samples()[i].values, original.samples()[i].values);
+  }
+  ASSERT_EQ(copy.snapshots().size(), original.snapshots().size());
+  for (std::size_t i = 0; i < copy.snapshots().size(); ++i) {
+    EXPECT_TRUE(copy.snapshots()[i].system.sameArrangement(
+        original.snapshots()[i].system));
+  }
+  EXPECT_TRUE(copy.summaries()[0].system.sameArrangement(
+      original.summaries()[0].system));
+  EXPECT_EQ(copy.summaries()[0].summary.finalMetrics,
+            original.summaries()[0].summary.finalMetrics);
+}
+
+// -- 5. facade ↔ direct-engine golden identity ------------------------------
+
+TEST(SimGolden, CompressionFacadeMatchesDirectEngine) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=compression n=60 steps=150000 seed=1603 lambda=4.0");
+  MemorySink sink;
+  const RunReport report = run(spec, sink);
+
+  core::ChainOptions options;
+  options.lambda = 4.0;
+  core::CompressionEngine direct(system::lineConfiguration(60),
+                                 core::CompressionModel(options), 1603);
+  direct.run(150000);
+  ASSERT_EQ(sink.summaries().size(), 1u);
+  EXPECT_TRUE(
+      sink.summaries()[0].system.sameArrangement(direct.system()));
+  EXPECT_EQ(report.finalMetric(0, "edges"),
+            static_cast<double>(direct.edges()));
+  EXPECT_EQ(report.finalMetric(0, "acceptance"),
+            direct.stats().movement.acceptanceRate());
+  EXPECT_EQ(report.replicas[0].steps, 150000u);
+}
+
+TEST(SimGolden, SeparationFacadeMatchesDirectEngine) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=separation n=40 steps=150000 seed=7 lambda=4.0 gamma=4.0");
+  MemorySink sink;
+  const RunReport report = run(spec, sink);
+
+  core::SeparationModel::Options options;  // lambda = gamma = 4.0
+  core::SeparationEngine direct(
+      system::lineConfiguration(40),
+      core::SeparationModel(options, system::alternatingClasses(40, 2)), 7);
+  direct.run(150000);
+  EXPECT_TRUE(
+      sink.summaries()[0].system.sameArrangement(direct.system()));
+  EXPECT_EQ(report.finalMetric(0, "edges"),
+            static_cast<double>(direct.edges()));
+  EXPECT_EQ(
+      report.finalMetric(0, "hom_fraction"),
+      static_cast<double>(direct.model().homogeneousEdges(direct.system())) /
+          static_cast<double>(system::countEdges(direct.system())));
+}
+
+TEST(SimGolden, AlignmentFacadeMatchesDirectEngine) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=alignment n=40 steps=150000 seed=11 kappa=6.0");
+  MemorySink sink;
+  const RunReport report = run(spec, sink);
+
+  core::AlignmentModel::Options options;
+  options.kappa = 6.0;
+  core::AlignmentEngine direct(
+      system::lineConfiguration(40),
+      core::AlignmentModel(options, system::alternatingClasses(40, 6)), 11);
+  direct.run(150000);
+  EXPECT_TRUE(
+      sink.summaries()[0].system.sameArrangement(direct.system()));
+  EXPECT_EQ(
+      report.finalMetric(0, "aligned_fraction"),
+      static_cast<double>(direct.model().alignedEdges(direct.system())) /
+          static_cast<double>(system::countEdges(direct.system())));
+}
+
+TEST(SimGolden, ReplicaSeedsMatchDirectEngineRuns) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=compression n=30 steps=40000 seed=100 seed-stride=13 "
+      "replicas=3 threads=2");
+  const RunReport report = run(spec);
+  ASSERT_EQ(report.replicas.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    core::ChainOptions options;
+    core::CompressionEngine direct(system::lineConfiguration(30),
+                                   core::CompressionModel(options),
+                                   100 + 13 * r);
+    direct.run(40000);
+    EXPECT_EQ(report.replicas[r].seed, 100u + 13u * r);
+    EXPECT_EQ(report.finalMetric(r, "edges"),
+              static_cast<double>(direct.edges()));
+  }
+}
+
+// -- 6. runner dispatch ------------------------------------------------------
+
+TEST(SimRunner, MultiReplicaRunsAreThreadCountIndependent) {
+  const char* text =
+      "scenario=separation n=30 steps=30000 checkpoint=10000 replicas=4 "
+      "gamma=2.0 seed=5";
+  RunSpec one = RunSpec::parse(text);
+  one.threads = 1;
+  RunSpec four = RunSpec::parse(text);
+  four.threads = 4;
+  MemorySink sinkOne;
+  MemorySink sinkFour;
+  const RunReport a = run(one, sinkOne);
+  const RunReport b = run(four, sinkFour);
+  ASSERT_EQ(sinkOne.samples().size(), sinkFour.samples().size());
+  for (std::size_t i = 0; i < sinkOne.samples().size(); ++i) {
+    EXPECT_EQ(sinkOne.samples()[i].replica, sinkFour.samples()[i].replica);
+    EXPECT_EQ(sinkOne.samples()[i].iteration,
+              sinkFour.samples()[i].iteration);
+    EXPECT_EQ(sinkOne.samples()[i].values, sinkFour.samples()[i].values);
+  }
+  for (std::size_t r = 0; r < a.replicas.size(); ++r) {
+    EXPECT_EQ(a.replicas[r].finalMetrics, b.replicas[r].finalMetrics);
+  }
+}
+
+TEST(SimRunner, AmoebotFacadeIsThreadCountIndependentAndRuns) {
+  const char* text = "scenario=amoebot n=40 steps=60000 seed=3";
+  RunSpec one = RunSpec::parse(text);
+  one.threads = 1;
+  RunSpec three = RunSpec::parse(text);
+  three.threads = 3;
+  MemorySink sinkOne;
+  MemorySink sinkThree;
+  const RunReport a = run(one, sinkOne);
+  const RunReport b = run(three, sinkThree);
+  EXPECT_GE(a.replicas[0].steps, 60000u);
+  EXPECT_EQ(a.replicas[0].steps, b.replicas[0].steps);
+  EXPECT_EQ(a.replicas[0].finalMetrics[0], b.replicas[0].finalMetrics[0]);
+  EXPECT_TRUE(sinkOne.summaries()[0].system.sameArrangement(
+      sinkThree.summaries()[0].system));
+  EXPECT_TRUE(system::isConnected(sinkOne.summaries()[0].system));
+}
+
+TEST(SimRunner, StopWhenEndsReplicasEarly) {
+  const RunSpec spec = RunSpec::parse(
+      "scenario=compression n=30 steps=10000000 checkpoint=10000 seed=1603");
+  Observer none;
+  // alpha is column 2 of the compression metrics.
+  const RunReport report =
+      run(spec, none,
+          [](const Sample& sample) { return sample.values[2] <= 2.0; });
+  EXPECT_LT(report.replicas[0].steps, 10000000u);
+  EXPECT_LE(report.finalMetric(0, "alpha"), 2.0);
+}
+
+}  // namespace
+}  // namespace sops::sim

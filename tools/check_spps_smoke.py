@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Run one spps spec per registered scenario and check the sink output shape.
+
+The CI smoke job for the scenario facade: every scenario must be runnable
+from a RunSpec alone, and its CSV/JSONL sinks must have the declared
+column shape with one sample row per (replica, checkpoint).
+
+Usage:
+    python3 tools/check_spps_smoke.py path/to/spps [workdir]
+"""
+import json
+import os
+import subprocess
+import sys
+
+# (scenario, extra spec keys, expected metric columns)
+SCENARIOS = [
+    ("compression", "lambda=4.0",
+     ["edges", "perimeter", "alpha", "acceptance", "holes"]),
+    ("separation", "gamma=4.0 replicas=2",
+     ["edges", "perimeter", "alpha", "hom_fraction"]),
+    ("alignment", "kappa=4.0",
+     ["edges", "perimeter", "alpha", "aligned_fraction"]),
+    ("amoebot", "threads=2",
+     ["perimeter", "alpha", "sweep_fraction", "sim_time"]),
+]
+BASE = "n=60 steps=200000 checkpoint=50000 seed=1603"
+CHECKPOINTS = 4  # steps / checkpoint
+
+
+def fail(message):
+    raise SystemExit(f"FAIL: {message}")
+
+
+def check_csv(path, scenario, metrics, replicas):
+    with open(path) as f:
+        lines = [line.rstrip("\n") for line in f if line.strip()]
+    expected_header = ",".join(["replica", "iteration"] + metrics)
+    if lines[0] != expected_header:
+        fail(f"{scenario}: csv header {lines[0]!r} != {expected_header!r}")
+    rows = [line.split(",") for line in lines[1:]]
+    # One row at iteration 0 plus one per checkpoint, per replica.  The
+    # amoebot runner rounds checkpoints up to whole epochs, so count rows,
+    # not exact iterations.
+    expected_rows = replicas * (CHECKPOINTS + 1)
+    if len(rows) != expected_rows:
+        fail(f"{scenario}: {len(rows)} csv rows, expected {expected_rows}")
+    for row in rows:
+        if len(row) != 2 + len(metrics):
+            fail(f"{scenario}: csv row width {len(row)}")
+        float(row[2 + metrics.index("alpha")])  # parses as a number
+    final_alpha = float(rows[-1][2 + metrics.index("alpha")])
+    start_alpha = float(rows[-1 - CHECKPOINTS][2 + metrics.index("alpha")])
+    if not (0.9 <= final_alpha <= start_alpha):
+        fail(f"{scenario}: alpha {start_alpha} -> {final_alpha} "
+             "did not stay in (0.9, start] — not compressing?")
+
+
+def check_jsonl(path, scenario, metrics, replicas):
+    with open(path) as f:
+        records = [json.loads(line) for line in f if line.strip()]
+    kinds = [r["type"] for r in records]
+    if kinds[0] != "run" or kinds[-1] != "end":
+        fail(f"{scenario}: jsonl must open with run and close with end")
+    if records[0]["metrics"] != metrics:
+        fail(f"{scenario}: jsonl metrics {records[0]['metrics']}")
+    samples = [r for r in records if r["type"] == "sample"]
+    summaries = [r for r in records if r["type"] == "replica"]
+    if len(samples) != replicas * (CHECKPOINTS + 1):
+        fail(f"{scenario}: {len(samples)} jsonl samples")
+    if len(summaries) != replicas:
+        fail(f"{scenario}: {len(summaries)} replica summaries")
+    for record in samples:
+        for metric in metrics:
+            if metric not in record:
+                fail(f"{scenario}: sample missing {metric}")
+    for summary in summaries:
+        if summary["steps"] < 200000:
+            fail(f"{scenario}: replica ran only {summary['steps']} steps")
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    spps = os.path.abspath(sys.argv[1])
+    workdir = sys.argv[2] if len(sys.argv) > 2 else "spps_smoke_out"
+    os.makedirs(workdir, exist_ok=True)
+
+    for scenario, extra, metrics in SCENARIOS:
+        csv_path = os.path.join(workdir, f"{scenario}.csv")
+        jsonl_path = os.path.join(workdir, f"{scenario}.jsonl")
+        spec = (f"scenario={scenario} {BASE} {extra} "
+                f"csv={csv_path} jsonl={jsonl_path}")
+        result = subprocess.run([spps] + spec.split(), capture_output=True,
+                                text=True)
+        if result.returncode != 0:
+            fail(f"spps {spec!r} exited {result.returncode}:\n"
+                 f"{result.stdout}\n{result.stderr}")
+        replicas = 2 if "replicas=2" in extra else 1
+        check_csv(csv_path, scenario, metrics, replicas)
+        check_jsonl(jsonl_path, scenario, metrics, replicas)
+        print(f"ok: {scenario} ({replicas} replica(s), sinks well-formed)")
+
+    # The error paths must be loud: unknown scenario and unknown parameter.
+    for bad in ("scenario=teleportation", "scenario=compression bogus=1"):
+        result = subprocess.run([spps] + bad.split() + ["steps=1"],
+                                capture_output=True, text=True)
+        if result.returncode == 0:
+            fail(f"spps {bad!r} should have failed")
+        if "unknown" not in result.stderr:
+            fail(f"spps {bad!r}: stderr lacks an 'unknown ...' message")
+    print("ok: unknown scenario/parameter specs fail loudly")
+    print("spps smoke: all scenarios runnable from a RunSpec alone")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

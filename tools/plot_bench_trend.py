@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Render BENCH_perf.json's run history as a per-benchmark trend table + SVG.
+
+BENCH_perf.json is an append-only array of google-benchmark result objects
+(one per Release perf-smoke run; see tools/append_bench.py).  This tool
+turns that history into:
+
+  * a stdout table: one row per benchmark, cpu-time per run in
+    chronological order, and the latest-vs-first ratio (trend);
+  * a standalone SVG line chart (one polyline per benchmark family,
+    log-scale y) — no plotting libraries required.
+
+Usage:
+    python3 tools/plot_bench_trend.py [BENCH_perf.json]
+        [--out bench_out/bench_trend.svg] [--filter SUBSTRING]
+"""
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, dict):  # a single raw google-benchmark file
+        data = [data]
+    if not isinstance(data, list) or not data:
+        raise SystemExit(f"{path}: expected a non-empty array of runs")
+    return data
+
+
+def collect(runs, name_filter):
+    """-> (run_labels, {benchmark name: [cpu_time or None per run]})."""
+    labels = []
+    series = {}
+    for i, run in enumerate(runs):
+        date = run.get("context", {}).get("date", "")
+        labels.append(date.split("T")[0] or f"run{i}")
+        for bench in run.get("benchmarks", []):
+            name = bench.get("name", "")
+            if bench.get("run_type") == "aggregate":
+                continue
+            if name_filter and name_filter not in name:
+                continue
+            series.setdefault(name, [None] * len(runs))
+    for i, run in enumerate(runs):
+        for bench in run.get("benchmarks", []):
+            name = bench.get("name", "")
+            if name in series:
+                series[name][i] = bench.get("cpu_time")
+    return labels, series
+
+
+def print_table(labels, series):
+    name_width = max((len(n) for n in series), default=10) + 2
+    header = "benchmark".ljust(name_width) + "".join(
+        label.rjust(14) for label in labels) + "     trend"
+    print(header)
+    print("-" * len(header))
+    for name in sorted(series):
+        values = series[name]
+        cells = "".join(
+            (f"{v:12.1f}ns" if v is not None else " " * 13 + "-")
+            for v in values)
+        present = [v for v in values if v is not None]
+        trend = (f"{present[-1] / present[0]:9.2f}x"
+                 if len(present) >= 2 and present[0] > 0 else "         -")
+        print(name.ljust(name_width) + cells + trend)
+
+
+# A small qualitative palette, cycled across benchmark families.
+PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+           "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0"]
+
+
+def family_of(name):
+    return name.split("/")[0]
+
+
+def render_svg(labels, series, out_path):
+    width, height = 960, 540
+    margin = {"l": 70, "r": 260, "t": 40, "b": 50}
+    plot_w = width - margin["l"] - margin["r"]
+    plot_h = height - margin["t"] - margin["b"]
+
+    points = [v for vals in series.values() for v in vals if v]
+    if not points or len(labels) < 1:
+        raise SystemExit("no data points to plot")
+    lo = math.log10(min(points)) - 0.1
+    hi = math.log10(max(points)) + 0.1
+
+    def x_of(i):
+        return margin["l"] + (plot_w * i / max(len(labels) - 1, 1))
+
+    def y_of(v):
+        return margin["t"] + plot_h * (1 - (math.log10(v) - lo) / (hi - lo))
+
+    families = sorted({family_of(n) for n in series})
+    color = {f: PALETTE[i % len(PALETTE)] for i, f in enumerate(families)}
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin["l"]}" y="20" font-size="14">bench_perf cpu time '
+        'per run (log scale; one line per benchmark, colored by family)'
+        '</text>',
+    ]
+    # y grid: decades
+    for exp in range(math.ceil(lo), math.floor(hi) + 1):
+        y = y_of(10 ** exp)
+        parts.append(f'<line x1="{margin["l"]}" y1="{y:.1f}" '
+                     f'x2="{margin["l"] + plot_w}" y2="{y:.1f}" '
+                     'stroke="#dddddd"/>')
+        parts.append(f'<text x="{margin["l"] - 8}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">1e{exp}ns</text>')
+    # x labels: run dates
+    for i, label in enumerate(labels):
+        x = x_of(i)
+        parts.append(f'<line x1="{x:.1f}" y1="{margin["t"]}" x2="{x:.1f}" '
+                     f'y2="{margin["t"] + plot_h}" stroke="#eeeeee"/>')
+        parts.append(f'<text x="{x:.1f}" y="{height - 28}" '
+                     f'text-anchor="middle">{label}</text>')
+    # series
+    for name in sorted(series):
+        vals = series[name]
+        coords = [(x_of(i), y_of(v)) for i, v in enumerate(vals)
+                  if v is not None]
+        if not coords:
+            continue
+        stroke = color[family_of(name)]
+        if len(coords) == 1:
+            x, y = coords[0]
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                         f'fill="{stroke}"/>')
+        else:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+            parts.append(f'<polyline points="{path}" fill="none" '
+                         f'stroke="{stroke}" stroke-width="1.5"/>')
+    # legend: families
+    for i, family in enumerate(families):
+        y = margin["t"] + 14 * i
+        x = margin["l"] + plot_w + 16
+        parts.append(f'<line x1="{x}" y1="{y}" x2="{x + 18}" y2="{y}" '
+                     f'stroke="{color[family]}" stroke-width="3"/>')
+        parts.append(f'<text x="{x + 24}" y="{y + 4}">{family}</text>')
+    parts.append("</svg>")
+
+    out_dir = os.path.dirname(out_path)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(out_path, "w") as f:
+        f.write("\n".join(parts) + "\n")
+    print(f"\nwrote {out_path} ({len(series)} benchmarks, "
+          f"{len(labels)} runs)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("history", nargs="?", default="BENCH_perf.json")
+    parser.add_argument("--out", default="bench_out/bench_trend.svg")
+    parser.add_argument("--filter", default="",
+                        help="keep only benchmarks containing this substring")
+    args = parser.parse_args()
+
+    runs = load_runs(args.history)
+    labels, series = collect(runs, args.filter)
+    if not series:
+        raise SystemExit("no benchmarks matched")
+    print_table(labels, series)
+    render_svg(labels, series, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
