@@ -23,6 +23,7 @@
 #include "core/properties.hpp"
 #include "core/reference_kernel.hpp"
 #include "core/scenario_models.hpp"
+#include "core/sharded_chain_runner.hpp"
 #include "extensions/separation.hpp"
 #include "system/metrics.hpp"
 #include "system/shapes.hpp"
@@ -332,6 +333,24 @@ void BM_CompressionEngineStep(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressionEngineStep)->Arg(100)->Arg(400);
 
+void BM_CompressionEngineStepSpiral(benchmark::State& state) {
+  // The sequential single-replica baseline BM_ShardedChainStepCompression
+  // is compared against.  Spiral, not line: a 1e5 line's proportional
+  // margins blow the dense-window cap (sparse fallback — no stripes to
+  // measure on either side), while the spiral stays dense like the
+  // separation/alignment n=1e5 baselines above.
+  core::ChainOptions options;
+  options.lambda = 4.0;
+  core::CompressionEngine engine(system::spiralConfiguration(state.range(0)),
+                                 core::CompressionModel(options), 42);
+  engine.run(static_cast<std::uint64_t>(10 * state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompressionEngineStepSpiral)->Arg(100000);
+
 void BM_AlignmentEngineStep(benchmark::State& state) {
   core::AlignmentModel::Options options;
   options.lambda = 4.0;
@@ -347,6 +366,73 @@ void BM_AlignmentEngineStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_AlignmentEngineStep)->Arg(100)->Arg(400)->Arg(100000);
+
+// ---------------------------------------------------------------------------
+// Sharded chain runner: the multi-core Poissonized execution of the same
+// weight models (core/sharded_chain_runner.hpp).  Arg is the stripe-phase
+// thread count; items are chain events, so items/s is comparable with the
+// BM_*EngineStep(Spiral) single-core baselines at n = 1e5.  All three run
+// the spiral their sequential baselines use — it stays inside the dense
+// window (~8 active stripes at this n); a 1e5 *line* would fall back to
+// the sparse index and measure the sweep path, not the stripes.  (This
+// repo's CI box is single-core — run on a multi-core host to see the
+// stripe scaling; the Arg(8) rows are recorded for exactly that
+// comparison.)
+
+void BM_ShardedChainStepCompression(benchmark::State& state) {
+  core::ChainOptions options;
+  options.lambda = 4.0;
+  core::ShardedChainOptions sharded;
+  sharded.threads = static_cast<unsigned>(state.range(0));
+  core::ShardedChainRunner<core::CompressionModel> runner(
+      system::spiralConfiguration(100000), core::CompressionModel(options), 42,
+      sharded);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    done += runner.runAtLeast(400000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_ShardedChainStepCompression)->Arg(1)->Arg(2)->Arg(8)
+    ->UseRealTime();
+
+void BM_ShardedChainStepSeparation(benchmark::State& state) {
+  core::SeparationModel::Options options;
+  options.lambda = 4.0;
+  options.gamma = 4.0;
+  core::ShardedChainOptions sharded;
+  sharded.threads = static_cast<unsigned>(state.range(0));
+  core::ShardedChainRunner<core::SeparationModel> runner(
+      system::spiralConfiguration(100000),
+      core::SeparationModel(options, system::alternatingClasses(100000, 2)),
+      42, sharded);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    done += runner.runAtLeast(400000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_ShardedChainStepSeparation)->Arg(1)->Arg(2)->Arg(8)
+    ->UseRealTime();
+
+void BM_ShardedChainStepAlignment(benchmark::State& state) {
+  core::AlignmentModel::Options options;
+  options.lambda = 4.0;
+  options.kappa = 4.0;
+  core::ShardedChainOptions sharded;
+  sharded.threads = static_cast<unsigned>(state.range(0));
+  core::ShardedChainRunner<core::AlignmentModel> runner(
+      system::spiralConfiguration(100000),
+      core::AlignmentModel(options, system::alternatingClasses(100000, 6)),
+      42, sharded);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    done += runner.runAtLeast(400000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_ShardedChainStepAlignment)->Arg(1)->Arg(2)->Arg(8)
+    ->UseRealTime();
 
 void BM_SchedulerNext(benchmark::State& state) {
   amoebot::PoissonScheduler scheduler(

@@ -61,18 +61,15 @@ ShardedPoissonRunner::ShardedPoissonRunner(
 
   // Independent decorrelated streams per particle: every draw is a pure
   // function of (seed, particle, draw index) — thread interleaving cannot
-  // reach them.  Seeding avalanches (seed, stream) through mix64 rather
-  // than Random::fork(): fork()'s engine jump costs ~256 state advances,
-  // which at 2 streams × 10⁶ particles would dominate construction.
+  // reach them.  rng::particleStream documents why mix64 seeding beats
+  // Random::fork() here; the sharded chain runner shares the discipline.
   clockRng_.reserve(n);
   coinRng_.reserve(n);
   nextTime_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto stream = static_cast<std::uint64_t>(i);
-    clockRng_.emplace_back(
-        util::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (2 * stream + 1))));
-    coinRng_.emplace_back(
-        util::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (2 * stream + 2))));
+    clockRng_.push_back(rng::particleStream(seed, stream, 1));
+    coinRng_.push_back(rng::particleStream(seed, stream, 2));
     nextTime_.push_back(clockRng_[i].exponential(rates_[i]));
   }
 }

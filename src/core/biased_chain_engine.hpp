@@ -38,6 +38,13 @@
 /// the step body is literally the CompressionChain step: the golden test
 /// (tests/biased_engine_test.cpp) pins the compression scenario
 /// draw-for-draw and outcome-for-outcome against core::CompressionChain.
+///
+/// The move body itself lives in the free chainEventStep() below, shared
+/// with core::ShardedChainRunner (the multi-core Poissonized execution of
+/// the same models, core/sharded_chain_runner.hpp) so the two execution
+/// disciplines cannot drift.  Models may additionally declare
+/// kInteractionRadius (see ModelInteractionRadius) to size the sharded
+/// runner's halo bands.
 
 #include <array>
 #include <cstdint>
@@ -67,6 +74,16 @@ struct EngineStats {
   ChainStats movement;      ///< movement proposals, classified like M
   std::uint64_t auxProposed = 0;  ///< aux proposals that reached the filter
   std::uint64_t auxAccepted = 0;
+
+  /// Adds another tally in — the sharded runner's per-stripe merge.  One
+  /// definition (delegating to ChainStats::merge) so a field added here
+  /// cannot be dropped by a hand-written merge in one discipline only.
+  void merge(const EngineStats& other) noexcept {
+    steps += other.steps;
+    movement.merge(other.movement);
+    auxProposed += other.auxProposed;
+    auxAccepted += other.auxAccepted;
+  }
 };
 
 /// What one engine step did; `movement` is meaningful iff !wasAux.
@@ -84,6 +101,92 @@ template <typename Model>
 struct ModelNeedsPartnerIds<Model,
                             std::void_t<decltype(Model::kNeedsPartnerIds)>>
     : std::bool_constant<Model::kNeedsPartnerIds> {};
+
+/// Detects the optional kInteractionRadius contract member: the largest
+/// column distance (|Δx|) any read or write of one event spans from the
+/// activated particle's cell.  A movement move alone needs 2 (the 8-cell
+/// ring); a pair aux move whose partner sits one cell over and whose edge
+/// ring is gathered around that partner needs 3.  The sharded chain
+/// runner sizes its stripe halo bands from this; models that don't
+/// declare it get the conservative pair-move value.
+template <typename Model, typename = void>
+struct ModelInteractionRadius : std::integral_constant<int, 3> {};
+template <typename Model>
+struct ModelInteractionRadius<Model,
+                              std::void_t<decltype(Model::kInteractionRadius)>>
+    : std::integral_constant<int, Model::kInteractionRadius> {};
+
+/// One chain event, given the already-hoisted draws: the move body shared
+/// verbatim by BiasedChainEngine::step() (which selects the particle
+/// uniformly from its single RNG) and ShardedChainRunner (which selects it
+/// by Poisson clock and draws from the particle's private coin stream).
+/// Updates system/model/ids, adds an accepted movement's e-delta to
+/// `edges`, and draws the Metropolis uniform lazily from `rng`.  Outcome
+/// accounting is left to the caller so stripe workers can tally locally.
+template <typename Model>
+EngineStepResult chainEventStep(system::ParticleSystem& sys, Model& model,
+                                ParticleIdPlane& ids,
+                                const std::array<MoveDecision, 256>& decisions,
+                                bool greedy, std::size_t particle, int draw6,
+                                bool auxMove, rng::Random& rng,
+                                std::int64_t& edges) {
+  EngineStepResult result;
+  if constexpr (Model::kHasAuxMove) {
+    if (auxMove) {
+      result.wasAux = true;
+      result.aux = model.auxStep(sys, ids, rng, particle, draw6);
+      return result;
+    }
+  } else {
+    (void)auxMove;
+  }
+
+  // Movement move: steps 1–2 of Algorithm M, shared by every scenario.
+  const Direction d = lattice::directionFromIndex(draw6);
+  const TriPoint l = sys.position(particle);
+  StepOutcome outcome;
+  if (sys.occupiedNear(lattice::neighbor(l, d))) {
+    outcome = StepOutcome::TargetOccupied;
+  } else {
+    const std::uint8_t mask = sys.ringMask(l, d);
+    const MoveDecision& decision = decisions[mask];
+    if (decision.stage != kDecisionFilterStage) {
+      outcome = static_cast<StepOutcome>(decision.stage);
+    } else {
+      bool accept;
+      if constexpr (Model::kUniformWeight) {
+        accept = decision.acceptNoDraw ||
+                 (!greedy && rng.uniform() < decision.threshold);
+      } else {
+        // w-ratio = λ^{e'−e} (table) × the scenario's extra factor
+        // (plane gathers + a power table — no std::pow on this path).
+        const double threshold =
+            decision.threshold * model.movementFactor(sys, particle, l, d, mask);
+        accept = threshold >= 1.0 || rng.uniform() < threshold;
+      }
+      if (accept) {
+        const TriPoint target = lattice::neighbor(l, d);
+        sys.moveParticle(particle, target);
+        edges += decision.delta;
+        model.onMoved(sys, particle, l, target);
+        if constexpr (ModelNeedsPartnerIds<Model>::value) {
+          // A regrow inside moveParticle invalidates the mirror; the
+          // geometry fingerprint catches it and resyncs.
+          if (ids.syncedWith(sys.grid())) {
+            ids.move(l, target, particle);
+          } else {
+            ids.sync(sys);
+          }
+        }
+        outcome = StepOutcome::Accepted;
+      } else {
+        outcome = StepOutcome::RejectedFilter;
+      }
+    }
+  }
+  result.movement = outcome;
+  return result;
+}
 
 template <typename Model>
 class BiasedChainEngine {
@@ -121,62 +224,14 @@ class BiasedChainEngine {
     }
     const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
     const int draw6 = static_cast<int>(rng_.below(6));
-    if constexpr (Model::kHasAuxMove) {
-      if (auxMove) {
-        result.wasAux = true;
-        result.aux = model_.auxStep(system_, partnerIds_, rng_, particle, draw6);
-        if (result.aux != AuxOutcome::Skipped) ++stats_.auxProposed;
-        if (result.aux == AuxOutcome::Accepted) ++stats_.auxAccepted;
-        return result;
-      }
-    }
-
-    // Movement move: steps 1–2 of Algorithm M, shared by every scenario.
-    const Direction d = lattice::directionFromIndex(draw6);
-    const TriPoint l = system_.position(particle);
-    StepOutcome outcome;
-    if (system_.occupiedNear(lattice::neighbor(l, d))) {
-      outcome = StepOutcome::TargetOccupied;
+    result = chainEventStep(system_, model_, partnerIds_, decisions_, greedy_,
+                            particle, draw6, auxMove, rng_, edges_);
+    if (result.wasAux) {
+      if (result.aux != AuxOutcome::Skipped) ++stats_.auxProposed;
+      if (result.aux == AuxOutcome::Accepted) ++stats_.auxAccepted;
     } else {
-      const std::uint8_t mask = system_.ringMask(l, d);
-      const MoveDecision& decision = decisions_[mask];
-      if (decision.stage != kFilterStage) {
-        outcome = static_cast<StepOutcome>(decision.stage);
-      } else {
-        bool accept;
-        if constexpr (Model::kUniformWeight) {
-          accept = decision.acceptNoDraw ||
-                   (!greedy_ && rng_.uniform() < decision.threshold);
-        } else {
-          // w-ratio = λ^{e'−e} (table) × the scenario's extra factor
-          // (plane gathers + a power table — no std::pow on this path).
-          const double threshold =
-              decision.threshold *
-              model_.movementFactor(system_, particle, l, d, mask);
-          accept = threshold >= 1.0 || rng_.uniform() < threshold;
-        }
-        if (accept) {
-          const TriPoint target = lattice::neighbor(l, d);
-          system_.moveParticle(particle, target);
-          edges_ += decision.delta;
-          model_.onMoved(system_, particle, l, target);
-          if constexpr (kMaintainsIds) {
-            // A regrow inside moveParticle invalidates the mirror; the
-            // geometry fingerprint catches it and resyncs.
-            if (partnerIds_.syncedWith(system_.grid())) {
-              partnerIds_.move(l, target, particle);
-            } else {
-              partnerIds_.sync(system_);
-            }
-          }
-          outcome = StepOutcome::Accepted;
-        } else {
-          outcome = StepOutcome::RejectedFilter;
-        }
-      }
+      stats_.movement.record(result.movement);
     }
-    stats_.movement.record(outcome);
-    result.movement = outcome;
     return result;
   }
 
@@ -215,7 +270,6 @@ class BiasedChainEngine {
   }
 
  private:
-  static constexpr std::uint8_t kFilterStage = kDecisionFilterStage;
   static constexpr bool kMaintainsIds = ModelNeedsPartnerIds<Model>::value;
 
   system::ParticleSystem system_;

@@ -39,6 +39,17 @@ struct ChainStats {
     }
   }
 
+  /// Adds another tally in (outcome counts are order-independent, so
+  /// per-stripe tallies merged in any fixed order give the same totals).
+  void merge(const ChainStats& other) noexcept {
+    steps += other.steps;
+    accepted += other.accepted;
+    targetOccupied += other.targetOccupied;
+    rejectedGap += other.rejectedGap;
+    rejectedProperty += other.rejectedProperty;
+    rejectedFilter += other.rejectedFilter;
+  }
+
   [[nodiscard]] double acceptanceRate() const noexcept {
     return steps == 0 ? 0.0
                       : static_cast<double>(accepted) / static_cast<double>(steps);

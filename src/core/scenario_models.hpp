@@ -135,6 +135,9 @@ class CompressionModel {
  public:
   static constexpr bool kUniformWeight = true;
   static constexpr bool kHasAuxMove = false;
+  /// A movement move reads the 8-cell ring (|Δx| ≤ 2) and writes ℓ, ℓ'
+  /// (|Δx| ≤ 1); there is no pair move, so 2 columns of halo suffice.
+  static constexpr int kInteractionRadius = 2;
 
   explicit CompressionModel(ChainOptions options) : options_(options) {}
 
@@ -174,6 +177,12 @@ class SeparationModel {
   /// cell→id plane so an accepted swap costs an array load, not a hash
   /// probe (the last hash touch the accept path had).
   static constexpr bool kNeedsPartnerIds = true;
+  /// The swap touches a partner one cell away (|Δx| ≤ 1) and gathers the
+  /// full ring of the shared edge around it (|Δx| ≤ 2 from the activated
+  /// particle), and flips the partner's color plane bit — so the sharded
+  /// runner must keep one extra column of clearance beyond the movement
+  /// radius for pair moves frozen mid-phase by the halo rules.
+  static constexpr int kInteractionRadius = 3;
   /// Movement changes hom through ≤5 before-ring and ≤5 after-ring cells.
   static constexpr int kMaxMoveDelta = 5;
   /// A swap changes hom through ≤5 neighbors of each endpoint.
@@ -285,8 +294,9 @@ class SeparationModel {
             ids.syncedWith(sys.grid())
                 ? static_cast<std::size_t>(ids.idAtUnchecked(q))
                 : *sys.particleAt(q);
-        SOPS_DASSERT(sys.particleAt(q).has_value() &&
-                     *sys.particleAt(q) == other);
+        // Position-based identity check: valid under the sharded runner's
+        // index suspension, where particleAt() would read a stale index.
+        SOPS_DASSERT(sys.position(other) == q);
         colors_[particle] = colorQ;
         colors_[other] = colorP;
         planes_.plane(colorP).clear(p);
@@ -361,6 +371,12 @@ class AlignmentModel {
   static constexpr bool kUniformWeight = false;
   static constexpr bool kHasAuxMove = true;
   static constexpr int kOrientations = lattice::kNumDirections;
+  /// The rotation itself only reads p's 6-neighborhood (|Δx| ≤ 1), but it
+  /// rewrites how p reads to *other* particles' alignment gathers; keep
+  /// the same pair-move clearance as the swap so a rotation of a particle
+  /// frozen in a halo band can never sit inside a concurrent stripe's
+  /// read set.
+  static constexpr int kInteractionRadius = 3;
   static constexpr int kMaxMoveDelta = 5;
   /// A rotation changes ali through ≤6 neighbors losing the old class and
   /// ≤6 gaining the new one.

@@ -1,0 +1,425 @@
+#ifndef SOPS_CORE_SHARDED_CHAIN_RUNNER_HPP
+#define SOPS_CORE_SHARDED_CHAIN_RUNNER_HPP
+
+/// \file sharded_chain_runner.hpp
+/// Multi-core single-replica execution of the biased chain: the amoebot
+/// stripe discipline (amoebot/parallel_scheduler.hpp) applied to the
+/// weight models of core::BiasedChainEngine.
+///
+/// The chain M activates one particle per step, which pins a replica to
+/// one core no matter how large n grows.  Poissonization breaks the
+/// serialization: give every particle an independent rate-1 exponential
+/// clock and execute clock events instead of uniform draws — the embedded
+/// jump chain selects particles uniformly, so each event is exactly one
+/// Metropolis proposal of the engine's weight model, and the per-event
+/// body is the *same* chainEventStep() the sequential engine runs.
+///
+/// **Stripes.**  The occupancy window is cut into vertical stripes of 64
+/// lattice columns — exactly the bit planes' 64-bit word columns, so no
+/// two stripes ever touch the same word of the occupancy grid, the
+/// models' shadow planes, or the partner-id plane (all allocated with the
+/// same geometry).  One event of a particle at column c reads within
+/// Model::kInteractionRadius columns of c and writes within radius−1, so
+/// an event whose particle sits in the in-stripe interior band
+/// [radius, 64 − radius) is processed entirely inside its stripe.
+/// Interior events of different stripes therefore commute, and each
+/// stripe runs its own events sequentially in (time, particle) order —
+/// on any number of threads with identical results.  The radius is the
+/// model's declaration (ModelInteractionRadius): 2 for pure movement
+/// (ring reads), 3 for pair moves (separation's swap partner and
+/// alignment's rotation interact across a shared edge whose ring extends
+/// one column further).
+///
+/// **Halo deferral.**  Events of particles inside a halo band — or close
+/// enough to the window edge that an accepted move could force a plane
+/// regrow (BitGrid::coversInteriorBy(pos, kInteriorMargin + 1) fails) —
+/// are not executed in the stripe phase: the owning stripe routes them,
+/// with their original Poisson timestamps, to a deferred list.  A
+/// particle that wanders into a band mid-epoch is deferred from that
+/// event on (its position then cannot change until the sweep — only a
+/// particle's own events move it — so the decision is stable).  After the
+/// stripes join, the coordinating thread executes all deferred events in
+/// (time, particle) order — a sequential tail of the epoch's schedule,
+/// free to regrow windows and resync planes.
+///
+/// **Clocks and coins.**  Each particle owns two decorrelated RNG streams
+/// forked from the master seed (mix64 of (seed, 2i+1) and (seed, 2i+2),
+/// the amoebot runner's seeding): one drives its exponential waiting
+/// times, one its per-event draws (aux coin, direction/orientation,
+/// Metropolis uniform).  Every draw is a pure function of
+/// (seed, particle, draw index) — never of thread interleaving — which,
+/// with the deterministic stripe/halo rules above, makes the whole
+/// trajectory a pure function of the seed.  tests/sharded_chain_test.cpp
+/// pins this across thread counts for all three shipped models.
+///
+/// **What is and is not preserved.**  Unlike the facade's sequential
+/// path, the sharded trajectory is *not* draw-for-draw the engine's (the
+/// particle-selection mechanism differs, and halo events are reordered
+/// after interior events they commute with only approximately).  The
+/// contract is distributional: every executed event is a legal
+/// Metropolis proposal of the same weight model on the configuration it
+/// observes, connectivity and the tracked e(σ) stay exact, and the
+/// stationary behavior is validated against exact π by chi-square at
+/// enumerable sizes and against the sequential engine by KS at n = 10⁴
+/// (pre-registered thresholds, tests/sharded_chain_test.cpp) — the same
+/// style of evidence PR 2 established for the sharded amoebot runner.
+///
+/// During epochs over the dense window the ParticleSystem's cell→id hash
+/// index — the one structure every move would otherwise share — is
+/// suspended (ParticleSystem::suspendIndex) and restored on exit.
+/// Configurations too spread out for the dense window degrade to running
+/// every event on the sweep path: same trajectory contract, no
+/// parallelism.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/biased_chain_engine.hpp"
+#include "core/ensemble.hpp"
+#include "system/metrics.hpp"
+
+namespace sops::core {
+
+struct ShardedChainOptions {
+  /// Worker threads for the stripe phase; 0 uses hardware_concurrency().
+  /// The trajectory is identical for every value.
+  unsigned threads = 0;
+  /// Expected events per epoch (sets Δ = target / n); 0 derives
+  /// max(2n, 1024).  Smaller epochs tighten the interleaving granularity,
+  /// larger ones amortize the epoch barrier.
+  std::uint64_t targetEventsPerEpoch = 0;
+};
+
+template <typename Model>
+class ShardedChainRunner {
+ public:
+  ShardedChainRunner(system::ParticleSystem initial, Model model,
+                     std::uint64_t seed, ShardedChainOptions options = {})
+      : system_(std::move(initial)), model_(std::move(model)),
+        options_(options) {
+    const std::size_t n = system_.size();
+    SOPS_REQUIRE(n > 0, "sharded chain runner needs particles");
+    (void)checkedParticleDrawBound(n);  // 32-bit particle ids
+    const ChainOptions chainOptions = model_.chainOptions();
+    SOPS_REQUIRE(chainOptions.lambda > 0.0, "lambda must be positive");
+    SOPS_REQUIRE(Model::kUniformWeight || !chainOptions.greedy,
+                 "greedy mode is only defined for the uniform-weight model");
+    greedy_ = chainOptions.greedy;
+    SOPS_REQUIRE(system::isConnected(system_),
+                 "sharded runner requires a connected starting configuration");
+    model_.attach(system_);
+    if constexpr (kMaintainsIds) partnerIds_.sync(system_);
+    edges_ = system::countEdges(system_);
+    decisions_ = buildDecisionTable(chainOptions);
+
+    // One epoch's schedule lives in memory (~16 bytes/event); an explicit
+    // target beyond 2^28 can only be a mis-keyed step count.  (The
+    // derived default 2n scales with state the caller already holds.)
+    SOPS_REQUIRE(options_.targetEventsPerEpoch <= (std::uint64_t{1} << 28),
+                 "targetEventsPerEpoch must be at most 2^28");
+    std::uint64_t target = options_.targetEventsPerEpoch;
+    if (target == 0) target = std::max<std::uint64_t>(2 * n, 1024);
+    epochLength_ = static_cast<double>(target) / static_cast<double>(n);
+
+    // Independent decorrelated streams per particle — the seeding
+    // discipline shared with the amoebot runner (rng::particleStream).
+    clockRng_.reserve(n);
+    coinRng_.reserve(n);
+    nextTime_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto stream = static_cast<std::uint64_t>(i);
+      clockRng_.push_back(rng::particleStream(seed, stream, 1));
+      coinRng_.push_back(rng::particleStream(seed, stream, 2));
+      nextTime_.push_back(clockRng_[i].exponential(1.0));
+    }
+  }
+
+  /// Runs whole epochs until at least `minEvents` chain events have
+  /// executed in this call; returns the number executed.  The system's id
+  /// index is suspended for the duration and restored before returning,
+  /// so the system is fully consistent (particleAt()) between calls.
+  std::uint64_t runAtLeast(std::uint64_t minEvents) {
+    const IndexRestore restore(system_);
+    std::uint64_t executed = 0;
+    while (executed < minEvents) executed += runEpoch();
+    return executed;
+  }
+
+  /// Runs whole epochs until simulated time advances by `duration`.
+  std::uint64_t runFor(double duration) {
+    const IndexRestore restore(system_);
+    const double target = now_ + duration;
+    std::uint64_t executed = 0;
+    while (now_ < target) executed += runEpoch();
+    return executed;
+  }
+
+  [[nodiscard]] const system::ParticleSystem& system() const noexcept {
+    return system_;
+  }
+  [[nodiscard]] const Model& model() const noexcept { return model_; }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] double epochLength() const noexcept { return epochLength_; }
+
+  /// Events executed on the sequential sweep (halo + window-edge
+  /// deferrals) since construction — the serial fraction of the run.
+  [[nodiscard]] std::uint64_t sweepEvents() const noexcept {
+    return sweepEventCount_;
+  }
+
+  /// Current e(σ), maintained incrementally from the decision table's δ
+  /// (merged across stripes; integer sums are order-independent).
+  [[nodiscard]] std::int64_t edges() const noexcept { return edges_; }
+
+  /// p = 3n − e − 3, exact whenever the configuration is hole-free
+  /// (Lemma 2.3; hole-freeness is absorbing under the movement rules).
+  [[nodiscard]] std::int64_t perimeterIfHoleFree() const noexcept {
+    return 3 * static_cast<std::int64_t>(system_.size()) - edges_ - 3;
+  }
+
+ private:
+  static constexpr bool kMaintainsIds = ModelNeedsPartnerIds<Model>::value;
+  static constexpr std::uint64_t kStripeColumns = 64;
+  static constexpr std::uint64_t kHaloColumns =
+      static_cast<std::uint64_t>(ModelInteractionRadius<Model>::value);
+  static_assert(ModelInteractionRadius<Model>::value >= 1 &&
+                    ModelInteractionRadius<Model>::value <= 8,
+                "interaction radius must leave a non-trivial stripe interior");
+
+  /// One pending activation.  The (time, particle) order below is THE
+  /// schedule order — both the per-stripe pass and the deferred sweep
+  /// sort by it, and trajectory reproducibility across thread counts
+  /// rests on the tie-break staying identical in both places.
+  struct Event {
+    double time;
+    std::uint32_t particle;
+
+    friend bool operator<(const Event& a, const Event& b) noexcept {
+      if (a.time != b.time) return a.time < b.time;
+      return a.particle < b.particle;
+    }
+  };
+
+  /// Per-stripe outcome tally, merged on the coordinating thread in
+  /// stripe order after the join.
+  struct StripeTally {
+    EngineStats stats;
+    std::int64_t edgeDelta = 0;
+  };
+
+  /// RAII index restoration for one run (suspension itself is per-epoch,
+  /// decided by runEpoch's regime check): restore must happen even when
+  /// an epoch throws, and is idempotent — including after a mid-run
+  /// fallback already restored the index (ParticleSystem::moveParticle,
+  /// or runEpoch's id-plane-overflow branch).
+  class IndexRestore {
+   public:
+    explicit IndexRestore(system::ParticleSystem& sys) : sys_(sys) {}
+    ~IndexRestore() { sys_.restoreIndex(); }
+    IndexRestore(const IndexRestore&) = delete;
+    IndexRestore& operator=(const IndexRestore&) = delete;
+
+   private:
+    system::ParticleSystem& sys_;
+  };
+
+  /// One event of `particle`, drawing (aux coin, direction, uniform) from
+  /// its private coin stream; outcomes tallied into `stats`/`edges` (a
+  /// stripe-local tally in the parallel phase, the members on the sweep).
+  void runEvent(std::uint32_t particle, EngineStats& stats,
+                std::int64_t& edges) {
+    ++stats.steps;
+    rng::Random& rng = coinRng_[particle];
+    bool auxMove = false;
+    if constexpr (Model::kHasAuxMove) {
+      auxMove = model_.auxEnabled() && rng.bernoulli(model_.auxProbability());
+    }
+    const int draw6 = static_cast<int>(rng.below(6));
+    const EngineStepResult result = chainEventStep(
+        system_, model_, partnerIds_, decisions_, greedy_,
+        static_cast<std::size_t>(particle), draw6, auxMove, rng, edges);
+    if (result.wasAux) {
+      if (result.aux != AuxOutcome::Skipped) ++stats.auxProposed;
+      if (result.aux == AuxOutcome::Accepted) ++stats.auxAccepted;
+    } else {
+      stats.movement.record(result.movement);
+    }
+  }
+
+  /// Processes stripe `s`: draws the epoch's event times for its
+  /// particles up front (clock streams are independent of system state,
+  /// so the draws are order-insensitive across particles), sorts once,
+  /// executes interior events and routes halo/window-edge events to
+  /// stripeDeferred_[s].  Runs on a worker thread; touches only this
+  /// stripe's words, its particles' streams, and its own tally.
+  void runStripe(std::size_t s, double epochEnd, std::int64_t originX) {
+    std::vector<Event>& deferred = stripeDeferred_[s];
+    deferred.clear();
+    StripeTally& tally = stripeTally_[s];
+    tally = StripeTally{};
+
+    std::vector<Event>& events = stripeEvents_[s];
+    events.clear();
+    for (const std::uint32_t i : stripeParticles_[s]) {
+      double t = nextTime_[i];
+      do {
+        events.push_back({t, i});
+        t += clockRng_[i].exponential(1.0);
+      } while (t < epochEnd);
+      nextTime_[i] = t;
+    }
+    std::sort(events.begin(), events.end());
+
+    const system::BitGrid& grid = system_.grid();
+    for (const Event& event : events) {
+      const std::uint32_t i = event.particle;
+      // Halo/window deferral, evaluated on the *current* position: once a
+      // particle is in a band its position cannot change again this phase
+      // (all its remaining events are deferred, and no other particle's
+      // move can displace it), so the decision is stable.
+      const TriPoint pos = system_.position(i);
+      const auto col = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(pos.x) - originX);
+      const std::uint64_t inStripe = col & (kStripeColumns - 1);
+      const bool safe =
+          (col >> 6) == s && inStripe >= kHaloColumns &&
+          inStripe < kStripeColumns - kHaloColumns &&
+          grid.coversInteriorBy(pos, system::BitGrid::kInteriorMargin + 1);
+      if (safe) {
+        runEvent(i, tally.stats, tally.edgeDelta);
+      } else {
+        deferred.push_back(event);
+      }
+    }
+  }
+
+  /// One epoch [now_, now_ + Δ): stripe phase, join, deferred sweep.
+  std::uint64_t runEpoch() {
+    const double epochEnd = now_ + epochLength_;
+    sweepQueue_.clear();
+    std::uint64_t executed = 0;
+
+    // A dense window the id mirror cannot cover (ParticleIdPlane::
+    // kMaxCells, smaller than BitGrid's own cap) forces pair moves onto
+    // the live hash index for partner lookup — so such epochs, like
+    // sparse ones, must run sequentially with the index maintained, not
+    // suspended.  Checked per epoch: a sweep regrow can cross the cap in
+    // either direction.
+    bool idPlaneReady = true;
+    if constexpr (kMaintainsIds) {
+      if (system_.grid().enabled()) idPlaneReady = partnerIds_.sync(system_);
+    }
+
+    if (system_.grid().enabled() && idPlaneReady) {
+      // Pre-phase plane sync on the coordinating thread: with the window
+      // geometry fixed for the whole stripe phase (window-edge events are
+      // deferred), no shadow-plane or id-plane rebuild can trigger inside
+      // a worker.  The id index is the one structure every move shares;
+      // suspend it for the phase (idempotent across epochs).
+      model_.attach(system_);
+      system_.suspendIndex();
+
+      const system::BitGrid& grid = system_.grid();
+      const std::int64_t originX = grid.originX();
+      const auto stripeCount = static_cast<std::size_t>(
+          (grid.width() + kStripeColumns - 1) / kStripeColumns);
+      if (stripeParticles_.size() < stripeCount) {
+        stripeParticles_.resize(stripeCount);
+        stripeEvents_.resize(stripeCount);
+        stripeDeferred_.resize(stripeCount);
+        stripeTally_.resize(stripeCount);
+      }
+      for (auto& list : stripeParticles_) list.clear();
+
+      for (std::size_t i = 0; i < system_.size(); ++i) {
+        if (nextTime_[i] >= epochEnd) continue;
+        const auto col = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(system_.position(i).x) - originX);
+        stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
+      }
+
+      activeStripes_.clear();
+      for (std::size_t s = 0; s < stripeCount; ++s) {
+        if (!stripeParticles_[s].empty()) activeStripes_.push_back(s);
+      }
+      core::parallelForIndex(activeStripes_.size(), options_.threads,
+                             [&](std::size_t k) {
+                               runStripe(activeStripes_[k], epochEnd, originX);
+                             });
+      // Merge in stripe order (fixed regardless of which thread ran
+      // what): totals are sums, so any fixed order gives the same state.
+      for (const std::size_t s : activeStripes_) {
+        executed += stripeTally_[s].stats.steps;
+        edges_ += stripeTally_[s].edgeDelta;
+        stats_.merge(stripeTally_[s].stats);
+        sweepQueue_.insert(sweepQueue_.end(), stripeDeferred_[s].begin(),
+                           stripeDeferred_[s].end());
+      }
+    } else {
+      // Sequential regimes — sparse fallback (no stripe geometry) or an
+      // id-plane-overflow window: the whole epoch runs on the sweep path
+      // in pure (time, particle) order with the index live.  A sparse
+      // fallback mid-run has already restored the index (moveParticle
+      // does it on the spot); the overflow regime restores it here.
+      system_.restoreIndex();
+      for (std::size_t i = 0; i < system_.size(); ++i) {
+        while (nextTime_[i] < epochEnd) {
+          sweepQueue_.push_back({nextTime_[i], static_cast<std::uint32_t>(i)});
+          nextTime_[i] += clockRng_[i].exponential(1.0);
+        }
+      }
+    }
+
+    // Sequential sweep: all deferred events by *original timestamps* in
+    // (time, particle) order — a sequential tail of the epoch's schedule;
+    // window regrows and plane resyncs are safe here.
+    std::sort(sweepQueue_.begin(), sweepQueue_.end());
+    for (const Event& event : sweepQueue_) {
+      if constexpr (kMaintainsIds) {
+        // A sweep regrow can push the window past the id mirror's cap
+        // mid-epoch, deactivating the plane; from then on pair moves
+        // resolve partners through the hash index, which must be live.
+        // When synced this is a fingerprint compare, nothing more.
+        if (!partnerIds_.sync(system_)) system_.restoreIndex();
+      }
+      runEvent(event.particle, stats_, edges_);
+    }
+    executed += sweepQueue_.size();
+    sweepEventCount_ += sweepQueue_.size();
+
+    now_ = epochEnd;
+    return executed;
+  }
+
+  system::ParticleSystem system_;
+  Model model_;
+  ShardedChainOptions options_;
+  EngineStats stats_;
+  std::int64_t edges_ = 0;
+  bool greedy_ = false;
+  double epochLength_ = 1.0;
+  double now_ = 0.0;
+  std::uint64_t sweepEventCount_ = 0;
+  /// cell → id mirror for models that declare kNeedsPartnerIds; empty and
+  /// untouched otherwise (same contract as the engine's).
+  ParticleIdPlane partnerIds_;
+  std::array<MoveDecision, 256> decisions_{};
+
+  std::vector<rng::Random> clockRng_;  ///< waiting-time stream per particle
+  std::vector<rng::Random> coinRng_;   ///< per-event draw stream per particle
+  std::vector<double> nextTime_;       ///< next pending event time
+
+  /// Reused per-epoch buffers.
+  std::vector<std::vector<std::uint32_t>> stripeParticles_;
+  std::vector<std::vector<Event>> stripeEvents_;
+  std::vector<std::vector<Event>> stripeDeferred_;
+  std::vector<StripeTally> stripeTally_;
+  std::vector<std::size_t> activeStripes_;
+  std::vector<Event> sweepQueue_;
+};
+
+}  // namespace sops::core
+
+#endif  // SOPS_CORE_SHARDED_CHAIN_RUNNER_HPP

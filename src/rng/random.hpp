@@ -14,6 +14,7 @@
 
 #include "rng/xoshiro.hpp"
 #include "util/assert.hpp"
+#include "util/mix.hpp"
 
 namespace sops::rng {
 
@@ -98,6 +99,21 @@ class Random {
   Xoshiro256PlusPlus engine_;
   std::uint64_t seed_;
 };
+
+/// Decorrelated per-particle stream `lane` (1-based) of `particle` under a
+/// master seed — the seeding discipline the sharded runners (amoebot and
+/// chain) share: avalanche (seed, 2·particle + lane) through util::mix64
+/// rather than fork()'s engine jump, whose ~256 state advances would
+/// dominate construction at 10⁶ particles.  Every draw from the returned
+/// generator is a pure function of (seed, particle, lane, draw index).
+/// One shared definition so the two runners' documented common discipline
+/// cannot drift.
+[[nodiscard]] inline Random particleStream(std::uint64_t seed,
+                                           std::uint64_t particle,
+                                           std::uint64_t lane) noexcept {
+  return Random(
+      util::mix64(seed ^ (0x9e3779b97f4a7c15ULL * (2 * particle + lane))));
+}
 
 }  // namespace sops::rng
 

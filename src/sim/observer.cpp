@@ -1,5 +1,7 @@
 #include "sim/observer.hpp"
 
+#include <cmath>
+
 #include "io/ascii_render.hpp"
 #include "io/svg.hpp"
 #include "sim/run_spec.hpp"
@@ -28,6 +30,10 @@ namespace {
 }
 
 [[nodiscard]] std::string jsonNumber(double value) {
+  // JSON has no nan/inf literals; a non-finite metric becomes null so
+  // every emitted line stays loadable by a strict parser
+  // (tools/check_spps_smoke.py rejects the lenient literals in CI).
+  if (!std::isfinite(value)) return "null";
   return analysis::formatDouble(value, 12);
 }
 
@@ -96,6 +102,14 @@ void JsonlSink::onRunBegin(const RunHeader& header) {
 }
 
 void JsonlSink::onSample(const Sample& sample) {
+  // A sample wider than the declared metric row would walk off
+  // metricNames_; a narrower one would silently drop declared columns.
+  // Either way the scenario lied about its metrics — fail loudly.
+  SOPS_REQUIRE(sample.values.size() == metricNames_.size(),
+               "JSONL sink: sample has " +
+                   std::to_string(sample.values.size()) + " values but the "
+                   "scenario declared " + std::to_string(metricNames_.size()) +
+                   " metrics");
   out_ << "{\"type\":\"sample\",\"replica\":" << sample.replica
        << ",\"iteration\":" << sample.iteration;
   for (std::size_t i = 0; i < sample.values.size(); ++i) {
@@ -106,12 +120,19 @@ void JsonlSink::onSample(const Sample& sample) {
 }
 
 void JsonlSink::onReplicaEnd(const ReplicaSummary& summary) {
+  // Same fail-loud contract as onSample: a summary whose finalMetrics
+  // width disagrees with the declared header would otherwise silently
+  // drop or misalign columns in the replica record.
+  SOPS_REQUIRE(summary.finalMetrics.size() == metricNames_.size(),
+               "JSONL sink: replica summary has " +
+                   std::to_string(summary.finalMetrics.size()) +
+                   " final metrics but the scenario declared " +
+                   std::to_string(metricNames_.size()) + " metrics");
   out_ << "{\"type\":\"replica\",\"replica\":" << summary.replica
        << ",\"label\":" << jsonEscaped(summary.label)
        << ",\"seed\":" << summary.seed << ",\"steps\":" << summary.steps
        << ",\"wall_seconds\":" << jsonNumber(summary.wallSeconds);
-  for (std::size_t i = 0;
-       i < summary.finalMetrics.size() && i < metricNames_.size(); ++i) {
+  for (std::size_t i = 0; i < summary.finalMetrics.size(); ++i) {
     out_ << ',' << jsonEscaped(metricNames_[i]) << ':'
          << jsonNumber(summary.finalMetrics[i]);
   }

@@ -245,8 +245,12 @@ ParamMap parseKeyValues(std::string_view text) {
       }
       SOPS_REQUIRE(closed, "unterminated quote in value of '" + key + "'");
     } else {
+      // An unquoted value ends at whitespace OR a comment marker, the
+      // mirror of toText() quoting any value that contains '#': without
+      // the '#' stop, `mode=fast#quick` would parse as value
+      // "fast#quick" while toText() would have written it quoted.
       const std::size_t valueStart = i;
-      while (i < text.size() && !isSpace(text[i])) ++i;
+      while (i < text.size() && !isSpace(text[i]) && text[i] != '#') ++i;
       value.assign(text.substr(valueStart, i - valueStart));
     }
     map.set(key, value);

@@ -24,7 +24,9 @@ const ParamSchema& runSpecSchema() {
     s.add("replicas", ParamType::Int, "1", "independent replicas");
     s.add("seed-stride", ParamType::Int, "7",
           "seed of replica r = seed + r*stride");
-    s.add("threads", ParamType::Int, "0", "worker threads; 0 = all cores");
+    s.add("threads", ParamType::Int, "0",
+          "worker threads (max 1024); 0 = all cores (chain scenarios: "
+          "0/1 = sequential engine, >1 = sharded multi-core runner)");
     s.add("csv", ParamType::String, "", "CSV sample sink path");
     s.add("jsonl", ParamType::String, "", "JSONL sample/summary sink path");
     s.add("svg", ParamType::String, "",
@@ -73,7 +75,12 @@ RunSpec RunSpec::fromParams(const ParamMap& map) {
   spec.seedStride = static_cast<std::uint64_t>(reservedOnly.getInt(
       "seed-stride", static_cast<std::int64_t>(spec.seedStride)));
   const std::int64_t threads = reservedOnly.getInt("threads", 0);
+  // A negative count is a sign error and a five-digit one is a typo'd
+  // seed or step count landing in the wrong key — both would silently
+  // oversubscribe the pool (threads are spawned as asked, not clamped to
+  // cores), so the spec rejects them up front.
   SOPS_REQUIRE(threads >= 0, "threads must be non-negative");
+  SOPS_REQUIRE(threads <= 1024, "threads must be at most 1024");
   spec.threads = static_cast<unsigned>(threads);
   spec.csvPath = reservedOnly.getString("csv", "");
   spec.jsonlPath = reservedOnly.getString("jsonl", "");
@@ -114,6 +121,12 @@ std::string RunSpec::toText() const {
 }
 
 void RunSpec::validate() const {
+  // Programmatically built specs (spec.threads = ...) skip fromParams'
+  // parse-time range checks, and sim::run() trusts validate() — so the
+  // same invariants are enforced here.
+  SOPS_REQUIRE(n > 0, "n must be positive");
+  SOPS_REQUIRE(replicas > 0, "replicas must be positive");
+  SOPS_REQUIRE(threads <= 1024, "threads must be at most 1024");
   const Scenario& sc = Registry::instance().get(scenario);
   params.validateAgainst(sc.schema(), "scenario '" + scenario + "'");
 }

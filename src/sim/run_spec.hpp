@@ -23,7 +23,12 @@
 ///   seed       master seed                         (default 1603)
 ///   replicas   independent replicas                (default 1)
 ///   seed-stride  seed of replica r = seed + r*stride  (default 7)
-///   threads    worker threads; 0 = all cores       (default 0)
+///   threads    worker threads, at most 1024; 0 = all cores  (default 0)
+///              multi-replica runs spend them on the replica fan-out;
+///              single-replica chain runs: 0/1 keeps the sequential
+///              engine (draw-for-draw reproducible), >1 switches to the
+///              sharded multi-core runner (deterministic per seed,
+///              identical for every thread count > 1)
 ///   csv / jsonl / svg   sink paths                 (default off)
 ///   snapshots  stream ASCII snapshots to observers (default false)
 

@@ -21,11 +21,19 @@ ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
   const std::uint64_t seed = spec.replicaSeed(replica);
   const std::unique_ptr<ScenarioRun> run =
       scenario.start(spec, seed, scenarioThreads);
+  // Enforced here, once, for every consumer (sinks, StopWhen, reports):
+  // a scenario emitting a different number of values than it declared
+  // would otherwise misalign CSV columns and JSONL keys silently.
+  const std::size_t metricCount = scenario.metricNames().size();
 
   std::vector<double> values;
   const auto sample = [&] {
     values.clear();
     run->sampleMetrics(values);
+    SOPS_REQUIRE(values.size() == metricCount,
+                 "scenario '" + spec.scenario + "' sampled " +
+                     std::to_string(values.size()) + " values but declared " +
+                     std::to_string(metricCount) + " metrics");
     const Sample s{replica, run->stepsDone(), values};
     observer.onSample(s);
     return stopWhen != nullptr && stopWhen(s);

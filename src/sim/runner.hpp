@@ -30,9 +30,20 @@
 namespace sops::sim {
 
 /// Early-stop predicate, evaluated after every checkpoint sample; true
-/// ends that replica (the ensemble stopWhen, facade-shaped).  In
-/// multi-replica runs it is invoked concurrently from worker threads, so
-/// it must be a pure function of the sample.
+/// ends that replica (the ensemble stopWhen, facade-shaped).
+///
+/// **Concurrency contract.**  sim::run() holds ONE StopWhen and, when
+/// replicas > 1, invokes it concurrently and unsynchronized from every
+/// ensemble worker — there is no per-replica copy and the runner takes
+/// no lock around the call.  The callable must therefore be re-entrant:
+/// either a pure function of the Sample it is handed (captures read-only
+/// state fixed before the run — the shape every in-tree caller uses, see
+/// bench_scaling), or one whose captured state is itself synchronized
+/// (std::atomic counters, a mutex the callable takes).  Capturing plain
+/// mutable state (a `double best`, a growing vector) is a data race,
+/// reported by TSan and pinned by SimRunner.StopWhenSharedAcrossWorkers.
+/// Each replica stops independently: returning true ends only the
+/// replica whose sample was passed.
 using StopWhen = std::function<bool(const Sample&)>;
 
 struct RunReport {

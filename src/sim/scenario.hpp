@@ -65,11 +65,15 @@ class Scenario {
   [[nodiscard]] virtual std::vector<std::string> metricNames() const = 0;
 
   /// Builds one replica.  `replicaSeed` is the engine/runner seed;
-  /// `workerThreads` is the thread budget *inside* the replica (only the
-  /// amoebot scenario uses it — the runner passes 1 when replicas
-  /// themselves are fanned out across the pool, never 0, since 0 means
-  /// "all cores" throughout this codebase).  The spec's scenario params
-  /// must already be validated.
+  /// `workerThreads` is the thread budget *inside* the replica.  The
+  /// runner passes the spec's thread budget verbatim for a single
+  /// replica (0 = "all cores") and 1 when replicas themselves fan out
+  /// across the pool.  The amoebot scenario spends any budget on its
+  /// stripe workers; the chain scenarios run the sequential engine at
+  /// ≤ 1 (the draw-for-draw historical path) and the sharded multi-core
+  /// runner at > 1 — a new scenario with both execution shapes should
+  /// follow that convention.  The spec's scenario params must already be
+  /// validated.
   [[nodiscard]] virtual std::unique_ptr<ScenarioRun> start(
       const RunSpec& spec, std::uint64_t replicaSeed,
       unsigned workerThreads) const = 0;

@@ -9,6 +9,16 @@
 /// scenario drives Algorithm A through the sharded Poisson runner, whose
 /// trajectory is a pure function of the seed for every thread count.
 ///
+/// Thread budget (the workerThreads argument of Scenario::start): chain
+/// scenarios run the sequential engine at threads ≤ 1 — preserving the
+/// historical draw-for-draw trajectory, and the shape multi-replica runs
+/// always use — and switch to core::ShardedChainRunner at threads > 1,
+/// the multi-core Poissonized execution whose trajectory is a pure
+/// function of the seed (identical for every thread count > 1, but *not*
+/// draw-for-draw the sequential engine's; distributionally validated in
+/// tests/sharded_chain_test.cpp).  The amoebot scenario, whose runner is
+/// sharded either way, spends the whole budget (0 = all cores).
+///
 /// Adding a workload = one weight model (core/scenario_models.hpp style)
 /// plus one Scenario subclass here (or anywhere, via ScenarioRegistrar).
 
@@ -21,6 +31,7 @@
 #include "amoebot/local_compression.hpp"
 #include "amoebot/parallel_scheduler.hpp"
 #include "core/scenario_models.hpp"
+#include "core/sharded_chain_runner.hpp"
 #include "sim/registry.hpp"
 #include "sim/run_spec.hpp"
 #include "system/metrics.hpp"
@@ -48,6 +59,28 @@ void addChainKeys(ParamSchema& schema) {
              "enforce condition (2), Property 1 or 2");
   schema.add("property2", ParamType::Bool, "true",
              "allow Property 2 moves (Fig 3 ablation)");
+}
+
+/// The sharded-runner epoch knob every chain scenario shares (consulted
+/// only when threads > 1 routes the run through the sharded engine —
+/// the amoebot scenario has the same key).
+void addShardedKeys(ParamSchema& schema) {
+  schema.add("epoch-events", ParamType::Int, "0",
+             "sharded runner: target events per epoch; 0 derives "
+             "max(2n, 1024)");
+}
+
+[[nodiscard]] std::uint64_t epochEventsFrom(const ParamMap& params) {
+  const std::int64_t epochEvents = params.getInt("epoch-events", 0);
+  SOPS_REQUIRE(epochEvents >= 0, "epoch-events must be non-negative");
+  // The runners materialize one epoch's whole event schedule in memory
+  // (~16 bytes/event), so a steps-sized value landing in this key (1e9+)
+  // would OOM before a single event runs — the same typo class the
+  // threads cap rejects.  2^28 ≈ 2.7e8 is above any in-memory epoch that
+  // makes sense (the 0 default derives 2n) and below typo'd step counts.
+  SOPS_REQUIRE(epochEvents <= (std::int64_t{1} << 28),
+               "epoch-events must be at most 2^28");
+  return static_cast<std::uint64_t>(epochEvents);
 }
 
 [[nodiscard]] core::ChainOptions chainOptionsFrom(const ParamMap& params) {
@@ -90,10 +123,66 @@ class EngineRun : public ScenarioRun {
   Sampler sampler_;
 };
 
+/// One replica on the multi-core sharded runner: advance() rounds up to
+/// whole epochs (stepsDone() reports the exact count, like the amoebot
+/// run).  Samplers are shared with EngineRun via the Driver template
+/// parameter — engine and runner expose the same system()/edges()/
+/// stats()/model() surface, so a metric cannot drift between the two
+/// execution disciplines.
+template <typename Model>
+class ShardedRun : public ScenarioRun {
+ public:
+  using Runner = core::ShardedChainRunner<Model>;
+  using Sampler = void (*)(const Runner&, std::vector<double>&);
+
+  ShardedRun(Runner runner, Sampler sampler)
+      : runner_(std::move(runner)), sampler_(sampler) {}
+
+  void advance(std::uint64_t steps) override { runner_.runAtLeast(steps); }
+  [[nodiscard]] std::uint64_t stepsDone() const override {
+    return runner_.stats().steps;
+  }
+  void sampleMetrics(std::vector<double>& out) const override {
+    sampler_(runner_, out);
+  }
+  [[nodiscard]] system::ParticleSystem snapshot() const override {
+    return runner_.system();
+  }
+
+ private:
+  Runner runner_;
+  Sampler sampler_;
+};
+
+/// Builds the sequential-or-sharded run for one chain scenario: threads
+/// ≤ 1 is the sequential engine (the draw-for-draw historical path),
+/// threads > 1 the sharded runner with that stripe budget.
+template <typename Model, typename EngineSampler, typename ShardedSampler>
+std::unique_ptr<ScenarioRun> makeChainRun(system::ParticleSystem initial,
+                                          Model model, const RunSpec& spec,
+                                          std::uint64_t replicaSeed,
+                                          unsigned workerThreads,
+                                          EngineSampler engineSampler,
+                                          ShardedSampler shardedSampler) {
+  if (workerThreads > 1) {
+    core::ShardedChainOptions options;
+    options.threads = workerThreads;
+    options.targetEventsPerEpoch = epochEventsFrom(spec.params);
+    return std::make_unique<ShardedRun<Model>>(
+        core::ShardedChainRunner<Model>(std::move(initial), std::move(model),
+                                        replicaSeed, options),
+        shardedSampler);
+  }
+  return std::make_unique<EngineRun<Model>>(
+      core::BiasedChainEngine<Model>(std::move(initial), std::move(model),
+                                     replicaSeed),
+      engineSampler);
+}
+
 // -- compression ------------------------------------------------------------
 
-void sampleCompression(const core::CompressionEngine& engine,
-                       std::vector<double>& out) {
+template <typename Driver>
+void sampleCompression(const Driver& engine, std::vector<double>& out) {
   const system::ParticleSystem& sys = engine.system();
   // One complement analysis serves holes AND the exact perimeter
   // (p = 3n − e − 3 + 3·holes with the tracked edge count) — the
@@ -119,6 +208,7 @@ class CompressionScenario : public Scenario {
   [[nodiscard]] ParamSchema schema() const override {
     ParamSchema schema;
     addChainKeys(schema);
+    addShardedKeys(schema);
     return schema;
   }
   [[nodiscard]] std::vector<std::string> metricNames() const override {
@@ -126,20 +216,19 @@ class CompressionScenario : public Scenario {
   }
   [[nodiscard]] std::unique_ptr<ScenarioRun> start(
       const RunSpec& spec, std::uint64_t replicaSeed,
-      unsigned /*workerThreads*/) const override {
-    return std::make_unique<EngineRun<core::CompressionModel>>(
-        core::CompressionEngine(spec.makeInitial(replicaSeed),
-                                core::CompressionModel(
-                                    chainOptionsFrom(spec.params)),
-                                replicaSeed),
-        &sampleCompression);
+      unsigned workerThreads) const override {
+    return makeChainRun(
+        spec.makeInitial(replicaSeed),
+        core::CompressionModel(chainOptionsFrom(spec.params)), spec,
+        replicaSeed, workerThreads, &sampleCompression<core::CompressionEngine>,
+        &sampleCompression<core::ShardedChainRunner<core::CompressionModel>>);
   }
 };
 
 // -- separation -------------------------------------------------------------
 
-void sampleSeparation(const core::SeparationEngine& engine,
-                      std::vector<double>& out) {
+template <typename Driver>
+void sampleSeparation(const Driver& engine, std::vector<double>& out) {
   const system::ParticleSystem& sys = engine.system();
   out.push_back(static_cast<double>(engine.edges()));
   out.push_back(static_cast<double>(system::perimeter(sys)));
@@ -168,6 +257,7 @@ class SeparationScenario : public Scenario {
     schema.add("swaps", ParamType::Bool, "true", "enable color-swap moves");
     schema.add("swap-prob", ParamType::Double, "0.5",
                "mixture weight of the swap move");
+    addShardedKeys(schema);
     return schema;
   }
   [[nodiscard]] std::vector<std::string> metricNames() const override {
@@ -175,7 +265,7 @@ class SeparationScenario : public Scenario {
   }
   [[nodiscard]] std::unique_ptr<ScenarioRun> start(
       const RunSpec& spec, std::uint64_t replicaSeed,
-      unsigned /*workerThreads*/) const override {
+      unsigned workerThreads) const override {
     core::SeparationModel::Options options;
     options.lambda = spec.params.getDouble("lambda", options.lambda);
     options.gamma = spec.params.getDouble("gamma", options.gamma);
@@ -184,18 +274,18 @@ class SeparationScenario : public Scenario {
         spec.params.getDouble("swap-prob", options.swapProbability);
     system::ParticleSystem initial = spec.makeInitial(replicaSeed);
     auto colors = system::alternatingClasses(initial.size(), 2);
-    return std::make_unique<EngineRun<core::SeparationModel>>(
-        core::SeparationEngine(
-            std::move(initial),
-            core::SeparationModel(options, std::move(colors)), replicaSeed),
-        &sampleSeparation);
+    return makeChainRun(
+        std::move(initial), core::SeparationModel(options, std::move(colors)),
+        spec, replicaSeed, workerThreads,
+        &sampleSeparation<core::SeparationEngine>,
+        &sampleSeparation<core::ShardedChainRunner<core::SeparationModel>>);
   }
 };
 
 // -- alignment --------------------------------------------------------------
 
-void sampleAlignment(const core::AlignmentEngine& engine,
-                     std::vector<double>& out) {
+template <typename Driver>
+void sampleAlignment(const Driver& engine, std::vector<double>& out) {
   const system::ParticleSystem& sys = engine.system();
   out.push_back(static_cast<double>(engine.edges()));
   out.push_back(static_cast<double>(system::perimeter(sys)));
@@ -223,6 +313,7 @@ class AlignmentScenario : public Scenario {
                "enable orientation re-sampling moves");
     schema.add("rotation-prob", ParamType::Double, "0.5",
                "mixture weight of the rotation move");
+    addShardedKeys(schema);
     return schema;
   }
   [[nodiscard]] std::vector<std::string> metricNames() const override {
@@ -230,7 +321,7 @@ class AlignmentScenario : public Scenario {
   }
   [[nodiscard]] std::unique_ptr<ScenarioRun> start(
       const RunSpec& spec, std::uint64_t replicaSeed,
-      unsigned /*workerThreads*/) const override {
+      unsigned workerThreads) const override {
     core::AlignmentModel::Options options;
     options.lambda = spec.params.getDouble("lambda", options.lambda);
     options.kappa = spec.params.getDouble("kappa", options.kappa);
@@ -241,12 +332,11 @@ class AlignmentScenario : public Scenario {
     system::ParticleSystem initial = spec.makeInitial(replicaSeed);
     auto orientations = system::alternatingClasses(
         initial.size(), core::AlignmentModel::kOrientations);
-    return std::make_unique<EngineRun<core::AlignmentModel>>(
-        core::AlignmentEngine(
-            std::move(initial),
-            core::AlignmentModel(options, std::move(orientations)),
-            replicaSeed),
-        &sampleAlignment);
+    return makeChainRun(
+        std::move(initial),
+        core::AlignmentModel(options, std::move(orientations)), spec,
+        replicaSeed, workerThreads, &sampleAlignment<core::AlignmentEngine>,
+        &sampleAlignment<core::ShardedChainRunner<core::AlignmentModel>>);
   }
 };
 
@@ -307,8 +397,7 @@ class AmoebotScenario : public Scenario {
                "compression bias on edges");
     schema.add("crash-fraction", ParamType::Double, "0.0",
                "fraction of particles crashed at start (section 3.3)");
-    schema.add("epoch-events", ParamType::Int, "0",
-               "target activations per epoch; 0 derives max(2n, 1024)");
+    addShardedKeys(schema);
     return schema;
   }
   [[nodiscard]] std::vector<std::string> metricNames() const override {
@@ -321,12 +410,10 @@ class AmoebotScenario : public Scenario {
         spec.params.getDouble("crash-fraction", 0.0);
     SOPS_REQUIRE(crashFraction >= 0.0 && crashFraction < 1.0,
                  "crash-fraction must be in [0, 1)");
-    const std::int64_t epochEvents = spec.params.getInt("epoch-events", 0);
-    SOPS_REQUIRE(epochEvents >= 0, "epoch-events must be non-negative");
     return std::make_unique<AmoebotRun>(
         spec.makeInitial(replicaSeed), spec.params.getDouble("lambda", 4.0),
         crashFraction, replicaSeed, workerThreads,
-        static_cast<std::uint64_t>(epochEvents));
+        epochEventsFrom(spec.params));
   }
 };
 

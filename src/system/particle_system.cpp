@@ -30,7 +30,26 @@ ParticleSystem::ParticleSystem(std::span<const TriPoint> points)
   regrowGrid();
 }
 
+void ParticleSystem::suspendIndex() {
+  SOPS_REQUIRE(grid_.enabled(),
+               "index suspension requires the dense occupancy window");
+  indexSuspended_ = true;
+}
+
+void ParticleSystem::restoreIndex() {
+  if (!indexSuspended_) return;
+  indexSuspended_ = false;
+  index_.clear();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const bool fresh = index_.insert(lattice::pack(positions_[i]),
+                                     static_cast<std::int32_t>(i));
+    SOPS_DASSERT(fresh);
+    (void)fresh;
+  }
+}
+
 std::size_t ParticleSystem::add(TriPoint p) {
+  SOPS_REQUIRE(!indexSuspended_, "add() while the id index is suspended");
   const bool fresh =
       index_.insert(lattice::pack(p), static_cast<std::int32_t>(positions_.size()));
   SOPS_REQUIRE(fresh, "add() target already occupied");
@@ -44,6 +63,7 @@ std::size_t ParticleSystem::add(TriPoint p) {
 }
 
 void ParticleSystem::remove(std::size_t particle) {
+  SOPS_REQUIRE(!indexSuspended_, "remove() while the id index is suspended");
   SOPS_REQUIRE(particle < positions_.size(), "remove(): bad particle id");
   const TriPoint p = positions_[particle];
   index_.erase(lattice::pack(p));
@@ -62,8 +82,10 @@ void ParticleSystem::moveParticle(std::size_t particle, TriPoint to) {
   const TriPoint from = positions_[particle];
   if (from == to) return;
   SOPS_REQUIRE(!occupied(to), "moveParticle(): target occupied");
-  index_.erase(lattice::pack(from));
-  index_.insert(lattice::pack(to), static_cast<std::int32_t>(particle));
+  if (!indexSuspended_) {
+    index_.erase(lattice::pack(from));
+    index_.insert(lattice::pack(to), static_cast<std::int32_t>(particle));
+  }
   positions_[particle] = to;
   if (grid_.enabled()) {
     // Regrow as soon as a particle reaches the 2-cell interior margin, so
@@ -74,6 +96,9 @@ void ParticleSystem::moveParticle(std::size_t particle, TriPoint to) {
       grid_.set(to);
     } else {
       regrowGrid();  // positions_ already reflects the move
+      // Sparse fallback ends a suspension immediately: without the dense
+      // window, occupancy queries need the hash index again.
+      if (indexSuspended_ && !grid_.enabled()) restoreIndex();
     }
   }
   SOPS_DASSERT(!grid_.enabled() || grid_.test(to));

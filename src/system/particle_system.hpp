@@ -84,8 +84,10 @@ class ParticleSystem {
   /// bounding box exceeds BitGrid::kMaxWords).
   [[nodiscard]] const BitGrid& grid() const noexcept { return grid_; }
 
-  /// Particle id occupying p, if any.
+  /// Particle id occupying p, if any.  Invalid while the index is
+  /// suspended (see suspendIndex()).
   [[nodiscard]] std::optional<std::size_t> particleAt(TriPoint p) const noexcept {
+    SOPS_DASSERT(!indexSuspended_);
     const std::int32_t* id = index_.find(lattice::pack(p));
     if (id == nullptr) return std::nullopt;
     return static_cast<std::size_t>(*id);
@@ -101,6 +103,27 @@ class ParticleSystem {
   /// Moves a particle to an unoccupied vertex (need not be adjacent; the
   /// chain enforces adjacency itself).
   void moveParticle(std::size_t particle, TriPoint to);
+
+  /// Suspends maintenance of the cell → id hash index so that concurrent
+  /// workers may moveParticle() *disjoint* particles whose reads and
+  /// writes touch disjoint grid words (the sharded chain runner's stripe
+  /// discipline): the open-addressing index is the one structure every
+  /// move would otherwise share.  While suspended, occupancy is answered
+  /// by the dense window alone and particleAt() must not be called.
+  /// Requires an enabled dense window.  If a move during suspension
+  /// forces the sparse fallback (window cap), the index is restored on
+  /// the spot — from then on occupancy needs it — mirroring the amoebot
+  /// system's id-index suspension.
+  void suspendIndex();
+
+  /// Rebuilds the hash index from the position vector and resumes normal
+  /// maintenance.  Idempotent, including after a mid-suspension sparse
+  /// fallback already restored it.
+  void restoreIndex();
+
+  [[nodiscard]] bool indexSuspended() const noexcept {
+    return indexSuspended_;
+  }
 
   /// Number of occupied neighbors of vertex p (0..6).  p itself does not
   /// count even if occupied.
@@ -155,6 +178,7 @@ class ParticleSystem {
   util::FlatMap64<std::int32_t> index_;
   BitGrid grid_;
   bool gridGaveUp_ = false;
+  bool indexSuspended_ = false;
 };
 
 }  // namespace sops::system

@@ -17,17 +17,9 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/mix.hpp"
 
 namespace sops::util {
-
-/// Bit-mixing finalizer from splitmix64; avalanches all input bits, which
-/// matters because packed lattice coordinates differ only in low bits.
-[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 /// Open-addressing hash map from uint64 keys to small trivially-copyable
 /// values.  Not a general-purpose map: no iterators are invalidation-safe

@@ -1,0 +1,24 @@
+#ifndef SOPS_UTIL_MIX_HPP
+#define SOPS_UTIL_MIX_HPP
+
+/// \file mix.hpp
+/// The 64-bit avalanche finalizer, dependency-free so low-level layers
+/// (the RNG stream derivation, the flat hash tables) can share one
+/// definition without pulling each other in.
+
+#include <cstdint>
+
+namespace sops::util {
+
+/// Bit-mixing finalizer from splitmix64; avalanches all input bits, which
+/// matters because packed lattice coordinates differ only in low bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace sops::util
+
+#endif  // SOPS_UTIL_MIX_HPP

@@ -25,6 +25,7 @@
 
 #include "analysis/stats.hpp"
 #include "core/scenario_models.hpp"
+#include "core/sharded_chain_runner.hpp"
 #include "enumeration/exact_distribution.hpp"
 #include "extensions/separation.hpp"
 #include "system/shapes.hpp"
@@ -187,6 +188,35 @@ TEST(SeparationExact, EngineMatchesWeightDistribution) {
       [&] {
         return coloredKey(engine.system().positions(), engine.model().colors());
       });
+  expectMatchesExact(exact, counts);
+}
+
+TEST(SeparationExact, ShardedRunnerMatchesWeightDistribution) {
+  // The Poissonized stripe/halo schedule (core/sharded_chain_runner.hpp)
+  // must sample the same w = λ^e γ^hom over (configuration × coloring)
+  // states: the pair-move halo rules — the swap is the stress case the
+  // radius-3 interaction declaration exists for — may not bias which
+  // swaps execute.  Same pre-registered design as the tests above; the
+  // runner's epoch is sized to the sampling stride.
+  const ExactColoredEnsemble exact = buildExactEnsemble(kParticles, 2);
+  core::SeparationModel::Options options;
+  options.lambda = kLambda;
+  options.gamma = kGamma;
+  core::ShardedChainOptions sharded;
+  sharded.targetEventsPerEpoch = kStride;
+  core::ShardedChainRunner<core::SeparationModel> runner(
+      system::lineConfiguration(kParticles),
+      core::SeparationModel(options, twoOnesColors()), 1117, sharded);
+  runner.runAtLeast(kBurnIn);
+  std::vector<double> counts(exact.probabilities.size(), 0.0);
+  for (int s = 0; s < kSamples; ++s) {
+    runner.runAtLeast(kStride);
+    const auto it = exact.indexOf.find(
+        coloredKey(runner.system().positions(), runner.model().colors()));
+    ASSERT_NE(it, exact.indexOf.end())
+        << "sharded runner left the enumerated support";
+    counts[it->second] += 1.0;
+  }
   expectMatchesExact(exact, counts);
 }
 

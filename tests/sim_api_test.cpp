@@ -18,8 +18,11 @@
 //     thread-count independent; StopWhen ends replicas early.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -112,6 +115,27 @@ TEST(SimParams, ToTextRoundTripsAwkwardValues) {
   EXPECT_EQ(reparsed.entries(), map.entries());
 }
 
+TEST(SimParams, UnquotedValuesStopAtInlineComments) {
+  // The parser's mirror of toText() quoting any value containing '#': an
+  // *unquoted* value ends at the comment marker instead of swallowing it.
+  const ParamMap map = parseKeyValues("steps=100 mode=fast#quick");
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.getInt("steps", 0), 100);
+  EXPECT_EQ(map.getString("mode", ""), "fast");
+  // The comment still runs to end of line only.
+  const ParamMap lines = parseKeyValues("a=1#rest of line b=ignored\nc=3");
+  EXPECT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines.getInt("a", 0), 1);
+  EXPECT_EQ(lines.getInt("c", 0), 3);
+  // Round trip: a value that *contains* '#' is quoted by toText, so
+  // re-parsing cannot invent a comment.
+  ParamMap hash;
+  hash.set("mode", "fast#quick");
+  const std::string text = hash.toText();
+  EXPECT_NE(text.find('"'), std::string::npos);
+  EXPECT_EQ(parseKeyValues(text).entries(), hash.entries());
+}
+
 TEST(SimParams, ValidateAgainstSchemaNamesOffendingKey) {
   ParamSchema schema;
   schema.add("lambda", ParamType::Double, "4.0", "bias");
@@ -182,6 +206,22 @@ TEST(SimRunSpec, RejectsBadReservedValues) {
                ContractViolation);
   EXPECT_THROW((void)RunSpec::parse("scenario=compression n=ten"),
                ContractViolation);
+  // threads: sign errors and typo'd huge counts (spawned as asked, not
+  // clamped to cores) are rejected; the documented cap is 1024.
+  EXPECT_THROW((void)RunSpec::parse("scenario=compression threads=-1"),
+               ContractViolation);
+  EXPECT_THROW((void)RunSpec::parse("scenario=compression threads=4096"),
+               ContractViolation);
+  EXPECT_EQ(RunSpec::parse("scenario=compression threads=1024").threads,
+            1024u);
+  // Programmatically built specs skip parse-time checks; validate() (the
+  // gate sim::run trusts) must enforce the same invariants.
+  RunSpec programmatic = RunSpec::parse("scenario=compression");
+  programmatic.threads = 100000;
+  EXPECT_THROW(programmatic.validate(), ContractViolation);
+  programmatic.threads = 2;
+  programmatic.replicas = 0;
+  EXPECT_THROW(programmatic.validate(), ContractViolation);
 }
 
 TEST(SimRunSpec, ValidateRejectsUnknownScenarioParams) {
@@ -316,6 +356,112 @@ TEST(SimObserver, MemorySinkReplayPreservesEveryEvent) {
             original.summaries()[0].summary.finalMetrics);
 }
 
+/// A scenario that declares one set of metric columns but emits whatever
+/// it was constructed with — the deliberately lying scenario behind the
+/// JSONL sink's regression tests.  Registered once per process under its
+/// given unique name.
+class FixedMetricsScenario : public Scenario {
+ public:
+  FixedMetricsScenario(std::string name, std::vector<std::string> declared,
+                       std::vector<double> emitted)
+      : name_(std::move(name)), declared_(std::move(declared)),
+        emitted_(std::move(emitted)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::string description() const override {
+    return "test scenario with fixed metric emissions";
+  }
+  [[nodiscard]] ParamSchema schema() const override { return {}; }
+  [[nodiscard]] std::vector<std::string> metricNames() const override {
+    return declared_;
+  }
+  [[nodiscard]] std::unique_ptr<ScenarioRun> start(
+      const RunSpec&, std::uint64_t, unsigned) const override {
+    class Run : public ScenarioRun {
+     public:
+      explicit Run(std::vector<double> emitted)
+          : emitted_(std::move(emitted)) {}
+      void advance(std::uint64_t steps) override { done_ += steps; }
+      [[nodiscard]] std::uint64_t stepsDone() const override { return done_; }
+      void sampleMetrics(std::vector<double>& out) const override {
+        out.insert(out.end(), emitted_.begin(), emitted_.end());
+      }
+      [[nodiscard]] system::ParticleSystem snapshot() const override {
+        return system::lineConfiguration(1);
+      }
+
+     private:
+      std::vector<double> emitted_;
+      std::uint64_t done_ = 0;
+    };
+    return std::make_unique<Run>(emitted_);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> declared_;
+  std::vector<double> emitted_;
+};
+
+void registerOnce(std::unique_ptr<Scenario> scenario) {
+  if (Registry::instance().find(scenario->name()) == nullptr) {
+    Registry::instance().add(std::move(scenario));
+  }
+}
+
+TEST(SimObserver, JsonlSinkRejectsMetricCountMismatch) {
+  // src/sim/observer.cpp once indexed metricNames_[i] for every emitted
+  // value with no bounds guard: a sample wider than the declared metric
+  // row walked off the vector.  The sink-level guard must hold for
+  // direct users too (sim::run additionally rejects lying scenarios
+  // before any sink sees them — SimRunner.RunnerRejectsLyingScenario).
+  const std::string path = ::testing::TempDir() + "lying_sink.jsonl";
+  JsonlSink sink(path);
+  RunHeader header;
+  header.metricNames = {"m"};
+  sink.onRunBegin(header);
+  const std::vector<double> tooWide = {1.0, 2.0};
+  EXPECT_THROW(sink.onSample(Sample{0, 0, tooWide}), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(SimRunner, RunnerRejectsLyingScenario) {
+  // The runner enforces the declared metric count once for every
+  // consumer (sinks, StopWhen, reports): a scenario emitting more values
+  // than its metricNames() declares is a scenario bug and fails loudly
+  // even with no sink attached.
+  registerOnce(std::make_unique<FixedMetricsScenario>(
+      "test-lying-metrics", std::vector<std::string>{"m"},
+      std::vector<double>{1.0, 2.0}));
+  const RunSpec spec = RunSpec::parse("scenario=test-lying-metrics steps=1");
+  Observer none;
+  EXPECT_THROW((void)run(spec, none), ContractViolation);
+}
+
+TEST(SimObserver, JsonlSinkEmitsNullForNonFiniteMetrics) {
+  // nan/inf are not JSON: a non-finite metric value must land as null so
+  // every emitted line stays loadable by a strict parser.
+  registerOnce(std::make_unique<FixedMetricsScenario>(
+      "test-nonfinite-metrics", std::vector<std::string>{"good", "bad", "inf"},
+      std::vector<double>{1.5, std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity()}));
+  RunSpec spec = RunSpec::parse("scenario=test-nonfinite-metrics steps=1");
+  const std::string path = ::testing::TempDir() + "nonfinite_metrics.jsonl";
+  spec.jsonlPath = path;
+  Observer none;
+  (void)run(spec, none);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("\"good\":1.5"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"bad\":null"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"inf\":null"), std::string::npos) << contents;
+  EXPECT_EQ(contents.find("nan"), std::string::npos) << contents;
+  EXPECT_EQ(contents.find(":inf"), std::string::npos) << contents;
+}
+
 // -- 5. facade ↔ direct-engine golden identity ------------------------------
 
 TEST(SimGolden, CompressionFacadeMatchesDirectEngine) {
@@ -440,6 +586,74 @@ TEST(SimRunner, AmoebotFacadeIsThreadCountIndependentAndRuns) {
   EXPECT_TRUE(sinkOne.summaries()[0].system.sameArrangement(
       sinkThree.summaries()[0].system));
   EXPECT_TRUE(system::isConnected(sinkOne.summaries()[0].system));
+}
+
+TEST(SimRunner, ChainFacadeShardedIsThreadCountIndependent) {
+  // threads > 1 on a single-replica chain spec routes through
+  // core::ShardedChainRunner; its trajectory is a pure function of the
+  // seed, so any two thread counts > 1 must produce identical sample
+  // streams and final configurations.  (threads ≤ 1 stays on the
+  // sequential engine — pinned draw-for-draw by the SimGolden tests.)
+  const char* text =
+      "scenario=separation n=100 steps=40000 checkpoint=20000 seed=11 "
+      "gamma=2.0";
+  RunSpec two = RunSpec::parse(text);
+  two.threads = 2;
+  RunSpec seven = RunSpec::parse(text);
+  seven.threads = 7;
+  MemorySink sinkTwo;
+  MemorySink sinkSeven;
+  const RunReport a = run(two, sinkTwo);
+  const RunReport b = run(seven, sinkSeven);
+  EXPECT_GE(a.replicas[0].steps, 40000u);  // epochs round the step count up
+  EXPECT_EQ(a.replicas[0].steps, b.replicas[0].steps);
+  EXPECT_EQ(a.replicas[0].finalMetrics, b.replicas[0].finalMetrics);
+  ASSERT_EQ(sinkTwo.samples().size(), sinkSeven.samples().size());
+  for (std::size_t i = 0; i < sinkTwo.samples().size(); ++i) {
+    EXPECT_EQ(sinkTwo.samples()[i].iteration, sinkSeven.samples()[i].iteration);
+    EXPECT_EQ(sinkTwo.samples()[i].values, sinkSeven.samples()[i].values);
+  }
+  EXPECT_TRUE(sinkTwo.summaries()[0].system.sameArrangement(
+      sinkSeven.summaries()[0].system));
+  EXPECT_TRUE(system::isConnected(sinkTwo.summaries()[0].system));
+}
+
+TEST(SimRunner, StopWhenSharedAcrossWorkers) {
+  // The documented StopWhen contract (sim/runner.hpp): ONE predicate,
+  // invoked concurrently and unsynchronized from every ensemble worker.
+  // Synchronized captured state (an atomic) is the supported shape for
+  // anything beyond a pure function of the sample; this test runs under
+  // TSan in CI (suite SimRunner is in the tsan filter), so an
+  // unsynchronized-capture regression in the runner itself would be a
+  // reported race, not silent corruption.
+  RunSpec spec = RunSpec::parse(
+      "scenario=compression n=20 steps=40000 checkpoint=5000 replicas=6 "
+      "seed=2");
+  spec.threads = 3;
+  std::atomic<std::uint64_t> calls{0};
+  Observer none;
+  const RunReport report =
+      run(spec, none, [&calls](const Sample& sample) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return sample.iteration >= 20000;  // pure per-replica decision
+      });
+  ASSERT_EQ(report.replicas.size(), 6u);
+  for (const ReplicaSummary& replica : report.replicas) {
+    EXPECT_EQ(replica.steps, 20000u);  // each replica stopped independently
+  }
+  // Samples at 0, 5k, 10k, 15k, 20k per replica — all of them observed.
+  EXPECT_EQ(calls.load(), 6u * 5u);
+}
+
+TEST(SimRunner, RejectsEpochEventsBeyondMemoryCap) {
+  // The sharded runners materialize one epoch's event schedule in
+  // memory, so a steps-sized value mis-keyed into epoch-events must be
+  // rejected before any allocation happens.
+  const RunSpec spec = RunSpec::parse(
+      "scenario=compression n=30 steps=10 threads=2 "
+      "epoch-events=10000000000");
+  Observer none;
+  EXPECT_THROW((void)run(spec, none), ContractViolation);
 }
 
 TEST(SimRunner, StopWhenEndsReplicasEarly) {

@@ -13,13 +13,16 @@ import os
 import subprocess
 import sys
 
-# (scenario, extra spec keys, expected metric columns)
+# (scenario, extra spec keys, expected metric columns).  The alignment
+# entry runs threads=2: a single-replica chain spec with a thread budget
+# > 1 routes through the sharded multi-core runner, so CI smokes that
+# path end to end (sinks included), not just the sequential engine.
 SCENARIOS = [
     ("compression", "lambda=4.0",
      ["edges", "perimeter", "alpha", "acceptance", "holes"]),
     ("separation", "gamma=4.0 replicas=2",
      ["edges", "perimeter", "alpha", "hom_fraction"]),
-    ("alignment", "kappa=4.0",
+    ("alignment", "kappa=4.0 threads=2",
      ["edges", "perimeter", "alpha", "aligned_fraction"]),
     ("amoebot", "threads=2",
      ["perimeter", "alpha", "sweep_fraction", "sim_time"]),
@@ -30,6 +33,22 @@ CHECKPOINTS = 4  # steps / checkpoint
 
 def fail(message):
     raise SystemExit(f"FAIL: {message}")
+
+
+def strict_json_loads(line):
+    """json.loads with the lenient non-finite literals rejected.
+
+    Python's json module accepts NaN/Infinity/-Infinity by default, which
+    would let a sink regression that prints non-JSON number literals slip
+    through this smoke (the JsonlSink emits null for non-finite metrics
+    precisely so every line stays strictly loadable).
+    """
+    def reject(token):
+        fail(f"non-JSON number literal {token!r} in JSONL output")
+    try:
+        return json.loads(line, parse_constant=reject)
+    except json.JSONDecodeError as error:
+        fail(f"invalid JSONL line {line!r}: {error}")
 
 
 def check_csv(path, scenario, metrics, replicas):
@@ -57,8 +76,10 @@ def check_csv(path, scenario, metrics, replicas):
 
 
 def check_jsonl(path, scenario, metrics, replicas):
+    # Every line must be *strict* JSON — a lying metric row or a nan/inf
+    # literal is a sink bug, not a formatting choice.
     with open(path) as f:
-        records = [json.loads(line) for line in f if line.strip()]
+        records = [strict_json_loads(line) for line in f if line.strip()]
     kinds = [r["type"] for r in records]
     if kinds[0] != "run" or kinds[-1] != "end":
         fail(f"{scenario}: jsonl must open with run and close with end")
