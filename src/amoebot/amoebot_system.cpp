@@ -265,6 +265,106 @@ void AmoebotSystem::contractBack(std::size_t id) {
   p.expanded = false;
 }
 
+namespace {
+// Particle bool flags packed into one byte for the snapshot payload.
+constexpr std::uint8_t kFlagExpanded = 1u << 0;
+constexpr std::uint8_t kFlagMemory = 1u << 1;
+constexpr std::uint8_t kFlagMirrored = 1u << 2;
+constexpr std::uint8_t kFlagCrashed = 1u << 3;
+constexpr std::uint8_t kFlagByzantine = 1u << 4;
+}  // namespace
+
+void AmoebotSystem::saveState(system::SnapshotWriter& w) const {
+  SOPS_REQUIRE(!sharded_,
+               "saveState: only legal outside a sharded section");
+  w.u64(particles_.size());
+  for (const Particle& p : particles_) {
+    w.i64(p.tail.x);
+    w.i64(p.tail.y);
+    w.i64(p.head.x);
+    w.i64(p.head.y);
+    std::uint8_t flags = 0;
+    if (p.expanded) flags |= kFlagExpanded;
+    if (p.flag) flags |= kFlagMemory;
+    if (p.mirrored) flags |= kFlagMirrored;
+    if (p.crashed) flags |= kFlagCrashed;
+    if (p.byzantine) flags |= kFlagByzantine;
+    w.u8(flags);
+    w.u8(p.orientationOffset);
+    w.u8(p.expandDir);
+  }
+  w.u8(gridsOn_ ? 1 : 0);
+  w.i64(occ_.originX());
+  w.i64(occ_.originY());
+  w.u64(occ_.width());
+  w.u64(occ_.height());
+}
+
+void AmoebotSystem::restoreState(system::SnapshotReader& r) {
+  const std::uint64_t count = r.u64();
+  SOPS_REQUIRE(count == particles_.size(),
+               "snapshot: particle count does not match the configuration "
+               "this system was constructed from");
+  std::vector<Particle> particles;
+  particles.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Particle p;
+    p.tail.x = static_cast<std::int32_t>(r.i64());
+    p.tail.y = static_cast<std::int32_t>(r.i64());
+    p.head.x = static_cast<std::int32_t>(r.i64());
+    p.head.y = static_cast<std::int32_t>(r.i64());
+    const std::uint8_t flags = r.u8();
+    p.expanded = (flags & kFlagExpanded) != 0;
+    p.flag = (flags & kFlagMemory) != 0;
+    p.mirrored = (flags & kFlagMirrored) != 0;
+    p.crashed = (flags & kFlagCrashed) != 0;
+    p.byzantine = (flags & kFlagByzantine) != 0;
+    p.orientationOffset = r.u8();
+    SOPS_REQUIRE(p.orientationOffset < 6, "snapshot: bad orientation offset");
+    p.expandDir = r.u8();
+    SOPS_REQUIRE(p.expandDir < 6, "snapshot: bad expansion direction");
+    SOPS_REQUIRE(p.expanded || p.head == p.tail,
+                 "snapshot: contracted particle with head != tail");
+    particles.push_back(p);
+  }
+  const bool dense = r.u8() != 0;
+  const std::int64_t originX = r.i64();
+  const std::int64_t originY = r.i64();
+  const std::uint64_t width = r.u64();
+  const std::uint64_t height = r.u64();
+
+  particles_ = std::move(particles);
+  sharded_ = false;
+  recountExpanded();
+  if (dense) {
+    std::vector<TriPoint> cells;
+    cells.reserve(particles_.size() + expandedCount_);
+    for (const Particle& p : particles_) {
+      cells.push_back(p.tail);
+      if (p.expanded) cells.push_back(p.head);
+    }
+    occ_.rebuildExact(cells, originX, originY, width, height);
+    heads_.allocateLike(occ_);
+    expanded_.allocateLike(occ_);
+    for (const Particle& p : particles_) {
+      if (!p.expanded) continue;
+      heads_.set(p.head);
+      expanded_.set(p.tail);
+      expanded_.set(p.head);
+    }
+    gridsOn_ = true;
+    gridsGaveUp_ = false;
+    idIndexDirty_ = true;  // at() rebuilds lazily, as after any mutation
+  } else {
+    gridsGaveUp_ = true;
+    gridsOn_ = false;
+    occ_.disable();
+    heads_.disable();
+    expanded_.disable();
+    rebuildIdIndex();
+  }
+}
+
 system::ParticleSystem AmoebotSystem::tailConfiguration() const {
   std::vector<TriPoint> tails;
   tails.reserve(particles_.size());

@@ -44,6 +44,7 @@
 #include "rng/random.hpp"
 #include "system/bit_grid.hpp"
 #include "system/particle_system.hpp"
+#include "system/snapshot.hpp"
 #include "util/flat_hash.hpp"
 
 namespace sops::amoebot {
@@ -220,6 +221,21 @@ class AmoebotSystem {
   /// Rebuilds the id index and expandedCount() from particle state and
   /// resumes maintenance.
   void restoreIdIndex();
+
+  // --- snapshot support (system/snapshot.hpp) ---
+
+  /// Serializes every particle (cells, expansion state, private port
+  /// labeling, fault flags) plus the exact occupancy-window geometry: the
+  /// sharded scheduler's stripe decomposition and deferral rules are
+  /// functions of it, so resume must reproduce the window verbatim rather
+  /// than re-derive it.  Only legal outside a sharded section.
+  void saveState(system::SnapshotWriter& w) const;
+
+  /// Inverse of saveState: replaces the particle set wholesale (the
+  /// constructor's random orientation draws are overwritten), rebuilds
+  /// the planes with the snapshotted geometry or pins the sparse
+  /// fallback, and recomputes the derived index/counters.
+  void restoreState(system::SnapshotReader& r);
 
  private:
   std::vector<Particle> particles_;

@@ -194,6 +194,7 @@ std::uint64_t ShardedPoissonRunner::runAtLeast(std::uint64_t minActivations) {
   const IdIndexSuspension suspension(sys_);
   std::uint64_t executed = 0;
   while (executed < minActivations) {
+    if (core::isCancelled(cancel_)) break;
     executed += runEpoch();
   }
   return executed;
@@ -204,9 +205,40 @@ std::uint64_t ShardedPoissonRunner::runFor(double duration) {
   const double target = now_ + duration;
   std::uint64_t executed = 0;
   while (now_ < target) {
+    if (core::isCancelled(cancel_)) break;
     executed += runEpoch();
   }
   return executed;
+}
+
+void ShardedPoissonRunner::saveState(system::SnapshotWriter& w) const {
+  w.f64(now_);
+  w.u64(totalActivations_);
+  w.u64(sweepActivations_);
+  w.u64(nextTime_.size());
+  for (std::size_t i = 0; i < nextTime_.size(); ++i) {
+    w.f64(nextTime_[i]);
+    system::writeRandom(w, clockRng_[i]);
+    system::writeRandom(w, coinRng_[i]);
+  }
+}
+
+void ShardedPoissonRunner::restoreState(system::SnapshotReader& r) {
+  now_ = r.f64();
+  totalActivations_ = r.u64();
+  sweepActivations_ = r.u64();
+  const std::uint64_t n = r.u64();
+  SOPS_REQUIRE(n == sys_.size(),
+               "snapshot: per-particle stream count does not match the "
+               "particle count");
+  clockRng_.clear();
+  coinRng_.clear();
+  nextTime_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    nextTime_.push_back(r.f64());
+    clockRng_.push_back(system::readRandom(r));
+    coinRng_.push_back(system::readRandom(r));
+  }
 }
 
 }  // namespace sops::amoebot

@@ -50,7 +50,9 @@
 
 #include "amoebot/amoebot_system.hpp"
 #include "amoebot/local_compression.hpp"
+#include "core/cancel.hpp"
 #include "rng/random.hpp"
+#include "system/snapshot.hpp"
 
 namespace sops::amoebot {
 
@@ -74,14 +76,37 @@ class ShardedPoissonRunner {
                        const LocalCompressionAlgorithm& algo,
                        std::uint64_t seed, ShardedOptions options = {});
 
+  /// Installs a cooperative cancel token polled between epochs: once it
+  /// trips, runAtLeast/runFor return early (possibly with zero progress)
+  /// with the system fully consistent — epoch boundaries are the only
+  /// safe preemption points, and also exactly the states saveState() can
+  /// serialize.  nullptr uninstalls.
+  void setCancelToken(const core::CancelToken* cancel) noexcept {
+    cancel_ = cancel;
+  }
+
   /// Runs whole epochs until at least `minActivations` activations have
-  /// executed in this call; returns the number executed.  The id index is
-  /// suspended for the duration and restored before returning, so the
-  /// system is fully consistent (at(), expandedCount()) between calls.
+  /// executed in this call (or the cancel token trips); returns the
+  /// number executed.  The id index is suspended for the duration and
+  /// restored before returning, so the system is fully consistent (at(),
+  /// expandedCount()) between calls.
   std::uint64_t runAtLeast(std::uint64_t minActivations);
 
-  /// Runs whole epochs until simulated time advances by `duration`.
+  /// Runs whole epochs until simulated time advances by `duration` (or
+  /// the cancel token trips).
   std::uint64_t runFor(double duration);
+
+  /// Serializes the runner's evolving state: simulated clock, activation
+  /// tallies, and every particle's pending event time plus both private
+  /// RNG streams.  The system itself is serialized separately
+  /// (AmoebotSystem::saveState); rates and epoch length come from the
+  /// constructor.  Only legal between runs (epoch boundaries).
+  void saveState(system::SnapshotWriter& w) const;
+
+  /// Inverse of saveState on a runner constructed with the same
+  /// (sys, algo, seed, options); continues the trajectory exactly, at any
+  /// thread count.
+  void restoreState(system::SnapshotReader& r);
 
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t activations() const noexcept {
@@ -112,6 +137,7 @@ class ShardedPoissonRunner {
   std::vector<rng::Random> clockRng_;  ///< waiting-time stream per particle
   std::vector<rng::Random> coinRng_;   ///< activation-coin stream per particle
   std::vector<double> nextTime_;       ///< next pending activation time
+  const core::CancelToken* cancel_ = nullptr;
 
   /// Reused per-epoch buffers.
   std::vector<std::vector<std::uint32_t>> stripeParticles_;

@@ -51,6 +51,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/cancel.hpp"
 #include "core/chain_stats.hpp"
 #include "core/compression_chain.hpp"
 #include "core/draw_guard.hpp"
@@ -59,6 +60,7 @@
 #include "rng/random.hpp"
 #include "system/metrics.hpp"
 #include "system/particle_system.hpp"
+#include "system/snapshot.hpp"
 
 namespace sops::core {
 
@@ -85,6 +87,35 @@ struct EngineStats {
     auxAccepted += other.auxAccepted;
   }
 };
+
+/// Snapshot round-trip of the engine's outcome tallies (every field of
+/// EngineStats/ChainStats explicitly, so a field added there without a
+/// snapshot bump fails the reader's finish() check in tests).
+inline void writeEngineStats(system::SnapshotWriter& w, const EngineStats& s) {
+  w.u64(s.steps);
+  w.u64(s.movement.steps);
+  w.u64(s.movement.accepted);
+  w.u64(s.movement.targetOccupied);
+  w.u64(s.movement.rejectedGap);
+  w.u64(s.movement.rejectedProperty);
+  w.u64(s.movement.rejectedFilter);
+  w.u64(s.auxProposed);
+  w.u64(s.auxAccepted);
+}
+
+[[nodiscard]] inline EngineStats readEngineStats(system::SnapshotReader& r) {
+  EngineStats s;
+  s.steps = r.u64();
+  s.movement.steps = r.u64();
+  s.movement.accepted = r.u64();
+  s.movement.targetOccupied = r.u64();
+  s.movement.rejectedGap = r.u64();
+  s.movement.rejectedProperty = r.u64();
+  s.movement.rejectedFilter = r.u64();
+  s.auxProposed = r.u64();
+  s.auxAccepted = r.u64();
+  return s;
+}
 
 /// What one engine step did; `movement` is meaningful iff !wasAux.
 struct EngineStepResult {
@@ -240,13 +271,20 @@ class BiasedChainEngine {
   }
 
   /// Runs `iterations` steps, invoking callback(done) every
-  /// `checkpointEvery` steps (and once at the end if not aligned).
+  /// `checkpointEvery` steps (and once at the end if not aligned).  With a
+  /// cancel token installed, the loop returns early at burst granularity
+  /// once the token trips — steps already taken are exactly the steps the
+  /// sequential chain would have taken uninterrupted (sub-bursting is
+  /// draw-for-draw identical), so a snapshot at the cancel point resumes
+  /// the identical trajectory.
   template <typename Callback>
   void runWithCheckpoints(std::uint64_t iterations,
-                          std::uint64_t checkpointEvery, Callback&& callback) {
+                          std::uint64_t checkpointEvery, Callback&& callback,
+                          const CancelToken* cancel = nullptr) {
     SOPS_REQUIRE(checkpointEvery > 0, "checkpointEvery must be positive");
     std::uint64_t done = 0;
     while (done < iterations) {
+      if (isCancelled(cancel)) return;
       const std::uint64_t burst = std::min(checkpointEvery, iterations - done);
       for (std::uint64_t i = 0; i < burst; ++i) step();
       done += burst;
@@ -267,6 +305,43 @@ class BiasedChainEngine {
   /// (Lemma 2.3; hole-freeness is absorbing under the movement rules).
   [[nodiscard]] std::int64_t perimeterIfHoleFree() const noexcept {
     return 3 * static_cast<std::int64_t>(system_.size()) - edges_ - 3;
+  }
+
+  /// Serializes the engine's evolving state: system (with exact window
+  /// geometry), model aux state, RNG engine state, outcome tallies, and
+  /// the incrementally tracked e(σ).  Derived structures (decision table,
+  /// shadow planes, id plane) are rebuilt on restore.
+  void saveState(system::SnapshotWriter& w) const {
+    system::writeParticleSystem(w, system_);
+    model_.serialize(w);
+    system::writeRandom(w, rng_);
+    writeEngineStats(w, stats_);
+    w.i64(edges_);
+  }
+
+  /// Inverse of saveState on an engine constructed from the same spec
+  /// (same model options/seed/greedy flag — the caller checks that; this
+  /// cross-checks the restored e(σ) against a fresh recount so corrupt
+  /// aux state cannot slip through).  The restored engine continues the
+  /// snapshotted trajectory draw-for-draw.
+  void restoreState(system::SnapshotReader& r) {
+    system_ = system::readParticleSystem(r);
+    model_.deserialize(r);
+    rng_ = system::readRandom(r);
+    stats_ = readEngineStats(r);
+    edges_ = r.i64();
+    particleCount32_ = checkedParticleDrawBound(system_.size());
+    model_.attach(system_);
+    if constexpr (kMaintainsIds) {
+      // The restored window geometry can equal the stale fingerprint
+      // (e.g. a run that never drifted out of its initial window), so a
+      // plain sync() would keep pre-restore ids.
+      partnerIds_.invalidate();
+      partnerIds_.sync(system_);
+    }
+    SOPS_REQUIRE(system::countEdges(system_) == edges_,
+                 "snapshot: restored edge count disagrees with the "
+                 "configuration — corrupt or mismatched snapshot");
   }
 
  private:

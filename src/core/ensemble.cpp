@@ -57,6 +57,7 @@ ReplicaResult runReplica(const ReplicaSpec& spec, std::size_t index,
 }  // namespace
 
 void parallelForIndex(std::size_t count, unsigned threads,
+                      const CancelToken* cancel,
                       const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   SOPS_REQUIRE(fn != nullptr, "parallelForIndex: fn required");
@@ -71,6 +72,10 @@ void parallelForIndex(std::size_t count, unsigned threads,
 
   const auto worker = [&] {
     while (true) {
+      // Cancellation skips every index not yet claimed; fn invocations
+      // already in flight run to completion (they poll the token
+      // themselves if they want finer granularity).
+      if (isCancelled(cancel)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
@@ -94,6 +99,11 @@ void parallelForIndex(std::size_t count, unsigned threads,
     for (std::thread& t : pool) t.join();
   }
   if (firstError) std::rethrow_exception(firstError);
+}
+
+void parallelForIndex(std::size_t count, unsigned threads,
+                      const std::function<void(std::size_t)>& fn) {
+  parallelForIndex(count, threads, nullptr, fn);
 }
 
 std::vector<ReplicaResult> runEnsemble(std::span<const ReplicaSpec> specs,

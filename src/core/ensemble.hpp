@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/compression_chain.hpp"
 #include "system/particle_system.hpp"
 
@@ -94,6 +95,16 @@ struct EnsembleOptions {
 /// fan-out through this function.  fn must make concurrent invocations on
 /// distinct indices safe.
 void parallelForIndex(std::size_t count, unsigned threads,
+                      const std::function<void(std::size_t)>& fn);
+
+/// parallelForIndex with cooperative cancellation: each worker polls the
+/// token before claiming an index, so a tripped token skips every index
+/// not yet started (indices already running finish normally — fn is never
+/// interrupted mid-flight).  The caller cannot tell skipped indices from
+/// the claim order alone; track completion inside fn.  nullptr behaves
+/// exactly like the overload above.
+void parallelForIndex(std::size_t count, unsigned threads,
+                      const CancelToken* cancel,
                       const std::function<void(std::size_t)>& fn);
 
 /// Runs every spec to completion across the thread pool; results are

@@ -65,6 +65,12 @@ class ParticleIdPlane {
     return true;
   }
 
+  /// Forces the next sync() to rebuild from scratch.  Required after the
+  /// particle system is replaced wholesale (snapshot restore): the new
+  /// window geometry can coincide with the old fingerprint while every id
+  /// is stale — geometry alone cannot detect that.
+  void invalidate() noexcept { active_ = false; }
+
   /// Relocates `particle` from `from` to `to`.  Precondition: synced with
   /// the current grid and both cells covered by it.
   void move(TriPoint from, TriPoint to, std::size_t particle) noexcept {

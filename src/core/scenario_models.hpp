@@ -35,6 +35,7 @@
 #include "core/properties.hpp"
 #include "system/bit_grid.hpp"
 #include "system/particle_system.hpp"
+#include "system/snapshot.hpp"
 
 namespace sops::core {
 
@@ -76,6 +77,11 @@ class ShadowPlanes {
     dense_ = true;
     return true;
   }
+
+  /// Forces the next sync() to rebuild from scratch — used after a model
+  /// deserialize replaces the per-particle classes wholesale (the grid
+  /// geometry alone cannot detect that).
+  void invalidate() noexcept { dense_ = false; }
 
   [[nodiscard]] system::BitGrid& plane(std::size_t k) noexcept {
     return planes_[k];
@@ -151,6 +157,11 @@ class CompressionModel {
   }
   void onMoved(const system::ParticleSystem&, std::size_t, TriPoint, TriPoint) {
   }
+
+  /// Snapshot hooks (Model contract): compression carries no aux state —
+  /// options come from the spec and the decision table is rebuilt.
+  void serialize(system::SnapshotWriter&) const {}
+  void deserialize(system::SnapshotReader&) {}
 
  private:
   ChainOptions options_;
@@ -343,6 +354,22 @@ class SeparationModel {
     return count;
   }
 
+  /// Snapshot hooks: the colors are the model's only evolving state (the
+  /// shadow planes and power tables are derived; options come from the
+  /// spec).  deserialize invalidates the planes so the next sync rebuilds
+  /// them from the restored colors.
+  void serialize(system::SnapshotWriter& w) const { w.bytes(colors_); }
+  void deserialize(system::SnapshotReader& r) {
+    std::vector<std::uint8_t> colors = r.bytes();
+    SOPS_REQUIRE(colors.size() == colors_.size(),
+                 "snapshot: color count does not match the particle count");
+    for (const std::uint8_t c : colors) {
+      SOPS_REQUIRE(c <= 1, "snapshot: colors are 0 or 1");
+    }
+    colors_ = std::move(colors);
+    planes_.invalidate();
+  }
+
  private:
   Options options_;
   std::vector<std::uint8_t> colors_;
@@ -497,6 +524,20 @@ class AlignmentModel {
   [[nodiscard]] std::int64_t alignedEdges(
       const system::ParticleSystem& sys) const {
     return sameClassEdges(sys, orientations_);
+  }
+
+  /// Snapshot hooks: orientations are the model's only evolving state.
+  void serialize(system::SnapshotWriter& w) const { w.bytes(orientations_); }
+  void deserialize(system::SnapshotReader& r) {
+    std::vector<std::uint8_t> orientations = r.bytes();
+    SOPS_REQUIRE(orientations.size() == orientations_.size(),
+                 "snapshot: orientation count does not match the particle "
+                 "count");
+    for (const std::uint8_t o : orientations) {
+      SOPS_REQUIRE(o < kOrientations, "snapshot: orientations are 0..5");
+    }
+    orientations_ = std::move(orientations);
+    planes_.invalidate();
   }
 
  private:

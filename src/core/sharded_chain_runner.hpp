@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "core/biased_chain_engine.hpp"
+#include "core/cancel.hpp"
 #include "core/ensemble.hpp"
 #include "system/metrics.hpp"
 
@@ -135,23 +136,38 @@ class ShardedChainRunner {
     }
   }
 
+  /// Installs a cooperative cancel token polled between epochs: once it
+  /// trips, runAtLeast/runFor return early (possibly with zero progress)
+  /// with the system fully consistent — epoch boundaries are the runner's
+  /// only safe preemption points, and they are also exactly the states
+  /// saveState() can serialize.  nullptr uninstalls.
+  void setCancelToken(const CancelToken* cancel) noexcept { cancel_ = cancel; }
+
   /// Runs whole epochs until at least `minEvents` chain events have
-  /// executed in this call; returns the number executed.  The system's id
-  /// index is suspended for the duration and restored before returning,
-  /// so the system is fully consistent (particleAt()) between calls.
+  /// executed in this call (or the cancel token trips); returns the
+  /// number executed.  The system's id index is suspended for the
+  /// duration and restored before returning, so the system is fully
+  /// consistent (particleAt()) between calls.
   std::uint64_t runAtLeast(std::uint64_t minEvents) {
     const IndexRestore restore(system_);
     std::uint64_t executed = 0;
-    while (executed < minEvents) executed += runEpoch();
+    while (executed < minEvents) {
+      if (isCancelled(cancel_)) break;
+      executed += runEpoch();
+    }
     return executed;
   }
 
-  /// Runs whole epochs until simulated time advances by `duration`.
+  /// Runs whole epochs until simulated time advances by `duration` (or
+  /// the cancel token trips).
   std::uint64_t runFor(double duration) {
     const IndexRestore restore(system_);
     const double target = now_ + duration;
     std::uint64_t executed = 0;
-    while (now_ < target) executed += runEpoch();
+    while (now_ < target) {
+      if (isCancelled(cancel_)) break;
+      executed += runEpoch();
+    }
     return executed;
   }
 
@@ -177,6 +193,67 @@ class ShardedChainRunner {
   /// (Lemma 2.3; hole-freeness is absorbing under the movement rules).
   [[nodiscard]] std::int64_t perimeterIfHoleFree() const noexcept {
     return 3 * static_cast<std::int64_t>(system_.size()) - edges_ - 3;
+  }
+
+  /// Serializes the runner's evolving state: system WITH its exact window
+  /// geometry (the stripe decomposition and halo/edge deferral rules are
+  /// functions of it — a re-derived window would change the trajectory),
+  /// model aux state, tallies, simulated clock, and every particle's
+  /// pending event time plus both private RNG streams.  Only legal
+  /// between runAtLeast/runFor calls (epoch boundaries), where the index
+  /// is live and the epoch buffers are empty.
+  void saveState(system::SnapshotWriter& w) const {
+    SOPS_REQUIRE(!system_.indexSuspended(),
+                 "saveState: only legal between runs (index suspended)");
+    system::writeParticleSystem(w, system_);
+    model_.serialize(w);
+    writeEngineStats(w, stats_);
+    w.i64(edges_);
+    w.f64(now_);
+    w.u64(sweepEventCount_);
+    w.u64(system_.size());
+    for (std::size_t i = 0; i < system_.size(); ++i) {
+      w.f64(nextTime_[i]);
+      system::writeRandom(w, clockRng_[i]);
+      system::writeRandom(w, coinRng_[i]);
+    }
+  }
+
+  /// Inverse of saveState on a runner constructed from the same spec
+  /// (same model options, seed, epoch target).  Epoch length, decision
+  /// table, and the derived planes come from the constructor; everything
+  /// history-dependent is restored, so the runner continues the
+  /// snapshotted trajectory exactly (at any thread count).
+  void restoreState(system::SnapshotReader& r) {
+    system_ = system::readParticleSystem(r);
+    model_.deserialize(r);
+    stats_ = readEngineStats(r);
+    edges_ = r.i64();
+    now_ = r.f64();
+    sweepEventCount_ = r.u64();
+    const std::uint64_t n = r.u64();
+    SOPS_REQUIRE(n == system_.size(),
+                 "snapshot: per-particle stream count does not match the "
+                 "particle count");
+    clockRng_.clear();
+    coinRng_.clear();
+    nextTime_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      nextTime_.push_back(r.f64());
+      clockRng_.push_back(system::readRandom(r));
+      coinRng_.push_back(system::readRandom(r));
+    }
+    (void)checkedParticleDrawBound(system_.size());
+    model_.attach(system_);
+    if constexpr (kMaintainsIds) {
+      // The restored window geometry can equal the stale fingerprint, so
+      // a plain sync() would keep pre-restore ids.
+      partnerIds_.invalidate();
+      partnerIds_.sync(system_);
+    }
+    SOPS_REQUIRE(system::countEdges(system_) == edges_,
+                 "snapshot: restored edge count disagrees with the "
+                 "configuration — corrupt or mismatched snapshot");
   }
 
  private:
@@ -406,6 +483,7 @@ class ShardedChainRunner {
   /// untouched otherwise (same contract as the engine's).
   ParticleIdPlane partnerIds_;
   std::array<MoveDecision, 256> decisions_{};
+  const CancelToken* cancel_ = nullptr;
 
   std::vector<rng::Random> clockRng_;  ///< waiting-time stream per particle
   std::vector<rng::Random> coinRng_;   ///< per-event draw stream per particle

@@ -94,6 +94,20 @@ class Random {
 
   /// Exposes the underlying engine for std::distributions in tests.
   [[nodiscard]] Xoshiro256PlusPlus& engine() noexcept { return engine_; }
+  [[nodiscard]] const Xoshiro256PlusPlus& engine() const noexcept {
+    return engine_;
+  }
+
+  /// Rebuilds a generator from a snapshotted (seed, engine state) pair.
+  /// The result continues the original draw stream exactly where the
+  /// snapshot captured it; seed() keeps reporting the original seed.
+  [[nodiscard]] static Random fromState(
+      std::uint64_t seed,
+      const std::array<std::uint64_t, 4>& engineState) noexcept {
+    Random r(seed);
+    r.engine_.setState(engineState);
+    return r;
+  }
 
  private:
   Xoshiro256PlusPlus engine_;

@@ -55,6 +55,15 @@ class Xoshiro256PlusPlus {
   /// Used to fork non-overlapping substreams.
   void jump() noexcept;
 
+  /// Raw 256-bit state, for exact snapshot round-trips.  setState(state())
+  /// reproduces the draw stream bit-for-bit.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  void setState(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

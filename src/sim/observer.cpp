@@ -172,20 +172,30 @@ void SvgSink::onReplicaEnd(const ReplicaSummary& summary) {
 
 void MemorySink::onRunBegin(const RunHeader& header) { header_ = header; }
 
+void MemorySink::record(EventKind kind) {
+  SOPS_REQUIRE(maxBufferedEvents_ == 0 || order_.size() < maxBufferedEvents_,
+               "MemorySink: buffered event cap of " +
+                   std::to_string(maxBufferedEvents_) +
+                   " events exceeded — lower the steps/checkpoint ratio or "
+                   "stream the run instead of buffering it");
+  order_.push_back(kind);
+}
+
 void MemorySink::onSample(const Sample& sample) {
+  record(EventKind::Sample);
   samples_.push_back(StoredSample{
       sample.replica, sample.iteration,
       std::vector<double>(sample.values.begin(), sample.values.end())});
-  order_.push_back(EventKind::Sample);
 }
 
 void MemorySink::onSnapshot(std::size_t replica, std::uint64_t iteration,
                             const system::ParticleSystem& sys) {
+  record(EventKind::Snapshot);
   snapshots_.push_back(StoredSnapshot{replica, iteration, sys});
-  order_.push_back(EventKind::Snapshot);
 }
 
 void MemorySink::onReplicaEnd(const ReplicaSummary& summary) {
+  record(EventKind::Summary);
   StoredSummary stored;
   stored.summary = summary;
   stored.hasSystem = summary.finalSystem != nullptr;
@@ -197,7 +207,6 @@ void MemorySink::onReplicaEnd(const ReplicaSummary& summary) {
   for (StoredSummary& s : summaries_) {
     s.summary.finalSystem = s.hasSystem ? &s.system : nullptr;
   }
-  order_.push_back(EventKind::Summary);
 }
 
 void MemorySink::replayInto(Observer& target, bool withRunBoundaries) const {
@@ -223,6 +232,17 @@ void MemorySink::replayInto(Observer& target, bool withRunBoundaries) const {
     }
   }
   if (withRunBoundaries) target.onRunEnd();
+}
+
+// -- preflight --------------------------------------------------------------
+
+void preflightWritableSink(const std::string& path) {
+  // Append mode probes writability (creating the file if missing) without
+  // truncating anything already there — the sink itself decides later
+  // whether to truncate or rotate.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  SOPS_REQUIRE(f != nullptr, "sink path is not writable: " + path);
+  std::fclose(f);
 }
 
 }  // namespace sops::sim

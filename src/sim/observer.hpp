@@ -157,6 +157,15 @@ class SvgSink : public Observer {
 /// order.
 class MemorySink : public Observer {
  public:
+  /// `maxBufferedEvents` bounds the total recorded events (samples +
+  /// snapshots + summaries); recording past the cap throws a
+  /// ContractViolation naming it.  0 = unbounded (the test default).  The
+  /// multi-replica runner buffers with a per-replica cap so a
+  /// steps/checkpoint ratio that would buffer millions of rows fails
+  /// loudly instead of creeping toward OOM.
+  explicit MemorySink(std::size_t maxBufferedEvents = 0)
+      : maxBufferedEvents_(maxBufferedEvents) {}
+
   struct StoredSample {
     std::size_t replica;
     std::uint64_t iteration;
@@ -202,12 +211,23 @@ class MemorySink : public Observer {
   /// Interleaving record so replayInto preserves sample/snapshot order.
   enum class EventKind : std::uint8_t { Sample, Snapshot, Summary };
 
+  /// Records one event in order, enforcing the buffer cap.
+  void record(EventKind kind);
+
+  std::size_t maxBufferedEvents_ = 0;
   RunHeader header_;
   std::vector<StoredSample> samples_;
   std::vector<StoredSnapshot> snapshots_;
   std::vector<StoredSummary> summaries_;
   std::vector<EventKind> order_;
 };
+
+/// Fail-fast writability probe for a sink path, run before any compute:
+/// opens `path` for append (never truncating an existing file) and throws
+/// ContractViolation naming the path if it cannot.  sim::run() preflights
+/// every path the spec names (csv/jsonl/svg/snapshot-file) so a typo'd
+/// directory fails in milliseconds, not after the run.
+void preflightWritableSink(const std::string& path);
 
 }  // namespace sops::sim
 

@@ -33,6 +33,14 @@ const ParamSchema& runSpecSchema() {
           "final-configuration SVG path (replica 0)");
     s.add("snapshots", ParamType::Bool, "false",
           "stream ASCII snapshots at checkpoints");
+    s.add("snapshot-file", ParamType::String, "",
+          "binary snapshot path, written atomically at every checkpoint "
+          "and on cancellation (replicas=1 only)");
+    s.add("resume", ParamType::String, "",
+          "snapshot path to resume from (replicas=1 only)");
+    s.add("deadline-ms", ParamType::Int, "0",
+          "wall-clock budget in milliseconds; 0 = none (the run cancels "
+          "cooperatively at the deadline)");
     return s;
   }();
   return schema;
@@ -86,6 +94,10 @@ RunSpec RunSpec::fromParams(const ParamMap& map) {
   spec.jsonlPath = reservedOnly.getString("jsonl", "");
   spec.svgPath = reservedOnly.getString("svg", "");
   spec.snapshots = reservedOnly.getBool("snapshots", false);
+  spec.snapshotPath = reservedOnly.getString("snapshot-file", "");
+  spec.resumePath = reservedOnly.getString("resume", "");
+  spec.deadlineMs = reservedOnly.getInt("deadline-ms", 0);
+  SOPS_REQUIRE(spec.deadlineMs >= 0, "deadline-ms must be non-negative");
 
   SOPS_REQUIRE(spec.shape == "line" || spec.shape == "spiral" ||
                    spec.shape == "ring" || spec.shape == "random",
@@ -116,6 +128,9 @@ std::string RunSpec::toText() const {
   if (!jsonlPath.empty()) map.set("jsonl", jsonlPath);
   if (!svgPath.empty()) map.set("svg", svgPath);
   if (snapshots) map.set("snapshots", "true");
+  if (!snapshotPath.empty()) map.set("snapshot-file", snapshotPath);
+  if (!resumePath.empty()) map.set("resume", resumePath);
+  if (deadlineMs != 0) map.set("deadline-ms", std::to_string(deadlineMs));
   for (const auto& [key, value] : params.entries()) map.set(key, value);
   return map.toText();
 }
@@ -127,6 +142,14 @@ void RunSpec::validate() const {
   SOPS_REQUIRE(n > 0, "n must be positive");
   SOPS_REQUIRE(replicas > 0, "replicas must be positive");
   SOPS_REQUIRE(threads <= 1024, "threads must be at most 1024");
+  SOPS_REQUIRE(deadlineMs >= 0, "deadline-ms must be non-negative");
+  // Snapshots capture ONE replica's trajectory; a multi-replica run has no
+  // single resumable state, so the combination is rejected rather than
+  // silently snapshotting replica 0.
+  SOPS_REQUIRE(snapshotPath.empty() || replicas == 1,
+               "snapshot-file requires replicas=1");
+  SOPS_REQUIRE(resumePath.empty() || replicas == 1,
+               "resume requires replicas=1");
   const Scenario& sc = Registry::instance().get(scenario);
   params.validateAgainst(sc.schema(), "scenario '" + scenario + "'");
 }

@@ -31,6 +31,12 @@
 ///              identical for every thread count > 1)
 ///   csv / jsonl / svg   sink paths                 (default off)
 ///   snapshots  stream ASCII snapshots to observers (default false)
+///   snapshot-file  binary snapshot path, written atomically at every
+///              checkpoint and on cancellation (default off; replicas=1)
+///   resume     snapshot path to resume from        (default off; replicas=1)
+///   deadline-ms  wall-clock budget; the run cancels cooperatively and —
+///              with snapshot-file set — leaves a resumable snapshot
+///              (default 0 = no deadline)
 
 #include <cstdint>
 #include <string>
@@ -57,6 +63,9 @@ struct RunSpec {
   std::string jsonlPath;
   std::string svgPath;
   bool snapshots = false;
+  std::string snapshotPath;  ///< snapshot-file=; empty = no snapshots
+  std::string resumePath;    ///< resume=; empty = fresh run
+  std::int64_t deadlineMs = 0;  ///< deadline-ms=; 0 = no deadline
 
   /// Splits a parsed ParamMap into reserved keys and scenario parameters
   /// and range-checks the reserved ones.  Scenario parameters are *not*

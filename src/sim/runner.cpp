@@ -3,24 +3,99 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <utility>
 
 #include "core/ensemble.hpp"
 #include "sim/registry.hpp"
+#include "system/snapshot.hpp"
 #include "util/assert.hpp"
 
 namespace sops::sim {
 namespace {
+
+/// Per-replica MemorySink event budget for the multi-replica fan-out.  A
+/// steps/checkpoint ratio that buffers millions of rows per replica is a
+/// spec mistake (stream single-replica runs instead); the cap turns the
+/// slow OOM into an immediate, named error.
+constexpr std::size_t kMaxBufferedEventsPerReplica = std::size_t{1} << 22;
+
+/// The canonical trajectory-identity key of a spec: the fields a snapshot
+/// is only valid under.  Steps, checkpoint cadence, sinks, deadline, and
+/// the exact thread *count* may change between save and resume; scenario,
+/// shape, n, seed, the scenario parameters, and the execution regime
+/// (sequential engine at threads <= 1 vs sharded runner at threads > 1 —
+/// the sharded trajectory is identical for every count > 1) may not.
+/// Scenario params are sorted so spelling order cannot matter.
+[[nodiscard]] std::string resumeCompatText(const RunSpec& spec) {
+  std::string out = "scenario=" + spec.scenario + " shape=" + spec.shape +
+                    " n=" + std::to_string(spec.n) +
+                    " seed=" + std::to_string(spec.seed) +
+                    " engine=" + (spec.threads > 1 ? "sharded" : "sequential");
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (const auto& [key, value] : spec.params.entries()) {
+    entries.emplace_back(key, value);
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [key, value] : entries) out += " " + key + "=" + value;
+  return out;
+}
 
 /// Runs one replica to completion, streaming into `observer`.  Returns the
 /// replica's summary (without the finalSystem pointer, which is only valid
 /// during the onReplicaEnd call).
 ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
                           std::size_t replica, unsigned scenarioThreads,
-                          Observer& observer, const StopWhen& stopWhen) {
+                          Observer& observer, const StopWhen& stopWhen,
+                          const core::CancelToken* cancel, bool* sawCancel) {
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t seed = spec.replicaSeed(replica);
   const std::unique_ptr<ScenarioRun> run =
       scenario.start(spec, seed, scenarioThreads);
+  run->setCancelToken(cancel);
+
+  if (!spec.resumePath.empty()) {
+    SOPS_REQUIRE(run->supportsSnapshots(),
+                 "scenario '" + spec.scenario + "' does not support resume");
+    const std::vector<std::uint8_t> payload =
+        system::loadResumableSnapshot(spec.resumePath);
+    system::SnapshotReader reader(payload);
+    const std::string storedCompat = reader.str();
+    const std::string expectedCompat = resumeCompatText(spec);
+    SOPS_REQUIRE(storedCompat == expectedCompat,
+                 "resume: snapshot " + spec.resumePath +
+                     " was written by an incompatible spec\n  snapshot: " +
+                     storedCompat + "\n  current:  " + expectedCompat);
+    const std::uint64_t storedReplica = reader.u64();
+    SOPS_REQUIRE(storedReplica == replica,
+                 "resume: snapshot holds replica " +
+                     std::to_string(storedReplica));
+    const std::uint64_t storedSteps = reader.u64();
+    run->restoreState(reader);
+    reader.finish();
+    SOPS_REQUIRE(run->stepsDone() == storedSteps,
+                 "resume: restored run reports " +
+                     std::to_string(run->stepsDone()) +
+                     " steps but the snapshot recorded " +
+                     std::to_string(storedSteps));
+  }
+
+  // Atomic checkpoint snapshot: the full trajectory-identity key plus the
+  // run's complete evolving state, written after every advance (so the
+  // newest durable state is at most one checkpoint old) and at the
+  // cancellation point.
+  const auto writeSnapshot = [&] {
+    if (spec.snapshotPath.empty()) return;
+    SOPS_REQUIRE(run->supportsSnapshots(),
+                 "scenario '" + spec.scenario +
+                     "' does not support snapshot-file");
+    system::SnapshotWriter writer;
+    writer.str(resumeCompatText(spec));
+    writer.u64(replica);
+    writer.u64(run->stepsDone());
+    run->saveState(writer);
+    system::writeSnapshotFile(spec.snapshotPath, writer.payload());
+  };
+
   // Enforced here, once, for every consumer (sinks, StopWhen, reports):
   // a scenario emitting a different number of values than it declared
   // would otherwise misalign CSV columns and JSONL keys silently.
@@ -39,16 +114,37 @@ ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
     return stopWhen != nullptr && stopWhen(s);
   };
 
-  bool stopped = sample();  // iteration-0 row: the start of every curve
-  if (spec.snapshots) observer.onSnapshot(replica, 0, run->snapshot());
+  // Iteration-0 row (or, resumed, the restored checkpoint's row): the
+  // start of every curve.
+  bool stopped = sample();
+  if (spec.snapshots) {
+    observer.onSnapshot(replica, run->stepsDone(), run->snapshot());
+  }
+  // Baseline snapshot before any work: from here on a resumable snapshot
+  // exists on disk no matter when the process dies or is cancelled.
+  writeSnapshot();
   const std::uint64_t chunk =
       spec.checkpointEvery > 0 ? spec.checkpointEvery
                                : std::max<std::uint64_t>(spec.steps, 1);
   while (!stopped && run->stepsDone() < spec.steps) {
+    if (core::isCancelled(cancel)) {
+      *sawCancel = true;
+      break;
+    }
     run->advance(std::min(chunk, spec.steps - run->stepsDone()));
+    // Poll after the advance too: a cancelled advance may have returned
+    // early (even with zero progress), and looping without the check
+    // would spin.  Sample and snapshot the partial state first — it is
+    // consistent and exactly the state a resume continues from.
+    const bool cancelled = core::isCancelled(cancel);
     stopped = sample();
     if (spec.snapshots) {
       observer.onSnapshot(replica, run->stepsDone(), run->snapshot());
+    }
+    writeSnapshot();
+    if (cancelled) {
+      *sawCancel = true;
+      break;
     }
   }
 
@@ -73,15 +169,37 @@ ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
 double RunReport::finalMetric(std::size_t replica,
                               std::string_view name) const {
   SOPS_REQUIRE(replica < replicas.size(), "replica index out of range");
+  SOPS_REQUIRE(replicas[replica].finalMetrics.size() == metricNames.size(),
+               "replica " + std::to_string(replica) +
+                   " has no final metrics (cancelled before start)");
   for (std::size_t i = 0; i < metricNames.size(); ++i) {
     if (metricNames[i] == name) return replicas[replica].finalMetrics[i];
   }
   throw ContractViolation("unknown metric '" + std::string(name) + "'");
 }
 
-RunReport run(const RunSpec& spec, Observer& extra, const StopWhen& stopWhen) {
+RunReport run(const RunSpec& spec, Observer& extra, const StopWhen& stopWhen,
+              core::CancelToken* cancel) {
   spec.validate();
   const Scenario& scenario = Registry::instance().get(spec.scenario);
+
+  // Preflight every sink path before any compute: an unwritable path
+  // should fail in milliseconds, not after the run (the SVG sink, for
+  // one, only opens its file at the end of replica 0).
+  if (!spec.csvPath.empty()) preflightWritableSink(spec.csvPath);
+  if (!spec.jsonlPath.empty()) preflightWritableSink(spec.jsonlPath);
+  if (!spec.svgPath.empty()) preflightWritableSink(spec.svgPath);
+  if (!spec.snapshotPath.empty()) preflightWritableSink(spec.snapshotPath);
+
+  // The spec's deadline arms the caller's token when there is one (so a
+  // signal handler and the deadline share a flag), an internal one
+  // otherwise.
+  core::CancelToken deadlineToken;
+  core::CancelToken* token = cancel;
+  if (spec.deadlineMs > 0) {
+    if (token == nullptr) token = &deadlineToken;
+    token->setDeadlineMs(spec.deadlineMs);
+  }
 
   ObserverList observers;
   observers.attach(&extra);
@@ -109,26 +227,55 @@ RunReport run(const RunSpec& spec, Observer& extra, const StopWhen& stopWhen) {
   report.metricNames = header.metricNames;
   observers.onRunBegin(header);
 
+  bool cancelled = false;
   if (spec.replicas == 1) {
     // Inline: stream live, scenario gets the whole thread budget.
-    report.replicas.push_back(
-        runReplica(spec, scenario, 0, spec.threads, observers, stopWhen));
+    report.replicas.push_back(runReplica(spec, scenario, 0, spec.threads,
+                                         observers, stopWhen, token,
+                                         &cancelled));
   } else {
     // Fan out replicas across the ensemble pool; each worker buffers its
     // replica's events, replayed in replica order after the join so the
     // observer stream is deterministic and thread-count independent.
-    std::vector<MemorySink> buffers(spec.replicas);
+    // Cancellation skips replicas not yet claimed (their buffers stay
+    // empty, so the sinks see nothing from them) and interrupts running
+    // ones at their next checkpoint.
+    std::vector<MemorySink> buffers;
+    buffers.reserve(spec.replicas);
+    for (std::uint32_t r = 0; r < spec.replicas; ++r) {
+      buffers.emplace_back(kMaxBufferedEventsPerReplica);
+    }
     std::vector<ReplicaSummary> summaries(spec.replicas);
-    core::parallelForIndex(spec.replicas, spec.threads, [&](std::size_t r) {
-      summaries[r] = runReplica(spec, scenario, r, /*scenarioThreads=*/1,
-                                buffers[r], stopWhen);
-    });
+    std::vector<char> completed(spec.replicas, 0);
+    std::vector<char> replicaCancelled(spec.replicas, 0);
+    core::parallelForIndex(
+        spec.replicas, spec.threads, token, [&](std::size_t r) {
+          bool saw = false;
+          summaries[r] = runReplica(spec, scenario, r, /*scenarioThreads=*/1,
+                                    buffers[r], stopWhen, token, &saw);
+          completed[r] = 1;
+          replicaCancelled[r] = saw ? 1 : 0;
+        });
     for (std::size_t r = 0; r < buffers.size(); ++r) {
       buffers[r].replayInto(observers);
+      if (!completed[r] || replicaCancelled[r]) cancelled = true;
+      if (!completed[r]) {
+        // Never claimed (cancelled before start): identify the slot but
+        // leave finalMetrics empty — finalMetric() rejects it loudly.
+        summaries[r].replica = r;
+        summaries[r].seed = spec.replicaSeed(r);
+        summaries[r].label = spec.scenario +
+                             " seed=" + std::to_string(summaries[r].seed) +
+                             " (cancelled before start)";
+      }
       report.replicas.push_back(std::move(summaries[r]));
     }
   }
   observers.onRunEnd();
+  // The flag observed by the replica loops, not the token's state now: a
+  // deadline that fires after the last step finished did not cancel
+  // anything.
+  report.cancelled = cancelled;
   return report;
 }
 

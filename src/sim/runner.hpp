@@ -21,9 +21,17 @@
 ///
 /// Checkpoint cadence: metrics are sampled at iteration 0, after every
 /// `checkpoint` steps (when set), and after the final step.
+///
+/// Durable runs: with `snapshot-file=` set (replicas=1), the runner writes
+/// an atomic binary snapshot of the replica's complete state after every
+/// checkpoint and at the cancellation point; `resume=` restores one and
+/// continues the identical trajectory.  A CancelToken (caller-supplied or
+/// armed from `deadline-ms=`) makes the whole run cooperatively
+/// interruptible.  See DESIGN.md §Durable runs.
 
 #include <functional>
 
+#include "core/cancel.hpp"
 #include "sim/observer.hpp"
 #include "sim/run_spec.hpp"
 
@@ -44,13 +52,27 @@ namespace sops::sim {
 /// reported by TSan and pinned by SimRunner.StopWhenSharedAcrossWorkers.
 /// Each replica stops independently: returning true ends only the
 /// replica whose sample was passed.
+///
+/// **StopWhen vs CancelToken.**  StopWhen is a *data-driven successful
+/// stop*: the replica reached its target (α below threshold, metric
+/// converged), its summary is complete, and no snapshot is owed.  A
+/// CancelToken is an *externally-driven resumable abort* (signal,
+/// deadline, controlling thread): it stops every replica at the next safe
+/// point, marks the report cancelled, and — with snapshot-file set —
+/// leaves a snapshot the same spec can resume from.  Use StopWhen to
+/// express "done", a CancelToken to express "stop for now".
 using StopWhen = std::function<bool(const Sample&)>;
 
 struct RunReport {
   std::vector<std::string> metricNames;
   /// One summary per replica, in replica order (finalSystem is null here;
-  /// attach an observer to capture final configurations).
+  /// attach an observer to capture final configurations).  A cancelled
+  /// multi-replica run still has one entry per replica: replicas the pool
+  /// never started carry their index/seed/label but empty finalMetrics.
   std::vector<ReplicaSummary> replicas;
+  /// True when a cancel token (caller-supplied or deadline-armed) tripped
+  /// before the run finished — the summaries describe partial work.
+  bool cancelled = false;
 
   /// Value of a named final metric for one replica.
   [[nodiscard]] double finalMetric(std::size_t replica,
@@ -59,8 +81,16 @@ struct RunReport {
 
 /// Runs the spec end to end, streaming through `extra` (plus the sinks the
 /// spec itself names).  Throws ContractViolation on an invalid spec.
+///
+/// `cancel`, when non-null, is polled at every safe point (and handed to
+/// the scenario runs, which poll at burst/epoch granularity); the spec's
+/// deadline-ms, when set, is armed on it — or on an internal token when
+/// the caller passes none.  On cancellation the report comes back with
+/// cancelled=true and, when snapshot-file is set, a resumable snapshot on
+/// disk at the cancellation point.
 RunReport run(const RunSpec& spec, Observer& extra,
-              const StopWhen& stopWhen = nullptr);
+              const StopWhen& stopWhen = nullptr,
+              core::CancelToken* cancel = nullptr);
 
 /// Same, with no caller observer (spec sinks only).
 RunReport run(const RunSpec& spec);

@@ -20,8 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "sim/params.hpp"
 #include "system/particle_system.hpp"
+#include "system/snapshot.hpp"
+#include "util/assert.hpp"
 
 namespace sops::sim {
 
@@ -48,6 +51,32 @@ class ScenarioRun {
   /// A copy of the current configuration (amoebot: tail configuration) for
   /// snapshot sinks and final-state checks.  Not a hot-path call.
   [[nodiscard]] virtual system::ParticleSystem snapshot() const = 0;
+
+  /// Installs a cooperative cancel token: once it trips, advance() returns
+  /// early — possibly having made no progress — with the run in a
+  /// consistent (sampleable, serializable) state.  Scenarios that ignore
+  /// the token simply run each advance() to completion; the driver polls
+  /// the token between advances either way.  nullptr uninstalls.
+  virtual void setCancelToken(const core::CancelToken* /*cancel*/) {}
+
+  /// Whether saveState()/restoreState() are implemented.  Scenarios that
+  /// return false here cannot be used with snapshot-file=/resume=.
+  [[nodiscard]] virtual bool supportsSnapshots() const { return false; }
+
+  /// Serializes the run's complete evolving state (configuration, model
+  /// aux state, RNG streams, stats) so that a fresh run started from the
+  /// same spec and replica seed, after restoreState(), continues the
+  /// identical trajectory.  Only legal when the run is quiescent (between
+  /// advance() calls).
+  virtual void saveState(system::SnapshotWriter& /*w*/) const {
+    SOPS_REQUIRE(false, "scenario does not support snapshots");
+  }
+
+  /// Inverse of saveState() on a freshly started run with the same spec
+  /// and replica seed.
+  virtual void restoreState(system::SnapshotReader& /*r*/) {
+    SOPS_REQUIRE(false, "scenario does not support snapshots");
+  }
 };
 
 class Scenario {

@@ -107,7 +107,17 @@ class EngineRun : public ScenarioRun {
   EngineRun(Engine engine, Sampler sampler)
       : engine_(std::move(engine)), sampler_(sampler) {}
 
-  void advance(std::uint64_t steps) override { engine_.run(steps); }
+  void advance(std::uint64_t steps) override {
+    if (cancel_ == nullptr) {
+      engine_.run(steps);
+      return;
+    }
+    // Sub-bursting the sequential chain is draw-for-draw identical to one
+    // run() call, so a deadline/cancel interruption leaves exactly the
+    // prefix of the uninterrupted trajectory.
+    engine_.runWithCheckpoints(steps, kCancelBurst, [](std::uint64_t) {},
+                               cancel_);
+  }
   [[nodiscard]] std::uint64_t stepsDone() const override {
     return engine_.stats().steps;
   }
@@ -117,10 +127,24 @@ class EngineRun : public ScenarioRun {
   [[nodiscard]] system::ParticleSystem snapshot() const override {
     return engine_.system();
   }
+  void setCancelToken(const core::CancelToken* cancel) override {
+    cancel_ = cancel;
+  }
+  [[nodiscard]] bool supportsSnapshots() const override { return true; }
+  void saveState(system::SnapshotWriter& w) const override {
+    engine_.saveState(w);
+  }
+  void restoreState(system::SnapshotReader& r) override {
+    engine_.restoreState(r);
+  }
 
  private:
+  /// Cancel-poll granularity of the sequential engine, in chain steps.
+  static constexpr std::uint64_t kCancelBurst = std::uint64_t{1} << 16;
+
   Engine engine_;
   Sampler sampler_;
+  const core::CancelToken* cancel_ = nullptr;
 };
 
 /// One replica on the multi-core sharded runner: advance() rounds up to
@@ -147,6 +171,16 @@ class ShardedRun : public ScenarioRun {
   }
   [[nodiscard]] system::ParticleSystem snapshot() const override {
     return runner_.system();
+  }
+  void setCancelToken(const core::CancelToken* cancel) override {
+    runner_.setCancelToken(cancel);
+  }
+  [[nodiscard]] bool supportsSnapshots() const override { return true; }
+  void saveState(system::SnapshotWriter& w) const override {
+    runner_.saveState(w);
+  }
+  void restoreState(system::SnapshotReader& r) override {
+    runner_.restoreState(r);
   }
 
  private:
@@ -375,6 +409,22 @@ class AmoebotRun : public ScenarioRun {
   }
   [[nodiscard]] system::ParticleSystem snapshot() const override {
     return sys_.tailConfiguration();
+  }
+  void setCancelToken(const core::CancelToken* cancel) override {
+    runner_->setCancelToken(cancel);
+  }
+  [[nodiscard]] bool supportsSnapshots() const override { return true; }
+  // The system (particle structs, fault flags, window geometry) and the
+  // runner (clock, per-particle streams) serialize back to back; the
+  // constructor's random orientation/fault draws are overwritten wholesale
+  // on restore, so a resumed run needs only the same spec and seed.
+  void saveState(system::SnapshotWriter& w) const override {
+    sys_.saveState(w);
+    runner_->saveState(w);
+  }
+  void restoreState(system::SnapshotReader& r) override {
+    sys_.restoreState(r);
+    runner_->restoreState(r);
   }
 
  private:

@@ -41,6 +41,27 @@ bool BitGrid::rebuild(std::span<const TriPoint> points,
   return true;
 }
 
+void BitGrid::rebuildExact(std::span<const TriPoint> points,
+                           std::int64_t originX, std::int64_t originY,
+                           std::uint64_t width, std::uint64_t height) {
+  SOPS_REQUIRE(width > 0 && height > 0, "rebuildExact: empty window");
+  const std::uint64_t strideWords = (width + 63) / 64;
+  SOPS_REQUIRE(strideWords <= kMaxWords / height,
+               "rebuildExact: window exceeds the dense cap");
+  originX_ = originX;
+  originY_ = originY;
+  width_ = width;
+  height_ = height;
+  strideWords_ = strideWords;
+  computeDeltas();
+  words_.assign(static_cast<std::size_t>(strideWords * height), 0);
+  for (const TriPoint p : points) {
+    SOPS_REQUIRE(coversInterior(p),
+                 "rebuildExact: point violates the interior-margin invariant");
+    set(p);
+  }
+}
+
 void BitGrid::computeDeltas() noexcept {
   const auto strideBits = static_cast<std::int64_t>(strideWords_ * 64);
   for (int d = 0; d < lattice::kNumDirections; ++d) {

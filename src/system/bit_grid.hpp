@@ -176,6 +176,18 @@ class BitGrid {
   /// the window would exceed kMaxWords or points is empty.
   bool rebuild(std::span<const TriPoint> points, std::int64_t baseMargin);
 
+  /// Reallocates the window with the EXACT geometry given and sets exactly
+  /// the given points.  Snapshot restore uses this instead of rebuild():
+  /// the sharded runners' stripe decomposition and edge-deferral rules are
+  /// functions of the window origin/size, so resuming a run must reproduce
+  /// the snapshotted window verbatim — rebuild()'s proportional margin
+  /// would re-derive a different (history-dependent) one.  Throws when the
+  /// window exceeds kMaxWords or a point violates the interior-margin
+  /// invariant the geometry is supposed to carry.
+  void rebuildExact(std::span<const TriPoint> points, std::int64_t originX,
+                    std::int64_t originY, std::uint64_t width,
+                    std::uint64_t height);
+
   /// Allocates an all-clear window with the exact geometry of `other`
   /// (origin, width, height, stride, precomputed deltas).  Grids built this
   /// way answer unchecked queries under the same interior-margin invariant

@@ -105,6 +105,21 @@ void ParticleSystem::moveParticle(std::size_t particle, TriPoint to) {
   SOPS_DASSERT(!grid_.enabled() || !grid_.test(from));
 }
 
+void ParticleSystem::restoreWindowGeometry(bool dense, std::int64_t originX,
+                                           std::int64_t originY,
+                                           std::uint64_t width,
+                                           std::uint64_t height) {
+  SOPS_REQUIRE(!indexSuspended_,
+               "restoreWindowGeometry() while the id index is suspended");
+  if (dense) {
+    grid_.rebuildExact(positions_, originX, originY, width, height);
+    gridGaveUp_ = false;
+  } else {
+    gridGaveUp_ = true;
+    grid_.disable();
+  }
+}
+
 bool ParticleSystem::sameArrangement(const ParticleSystem& other) const {
   if (size() != other.size()) return false;
   for (const TriPoint p : positions_) {

@@ -168,6 +168,16 @@ class ParticleSystem {
   /// ordering are irrelevant, matching the paper's notion of arrangement).
   [[nodiscard]] bool sameArrangement(const ParticleSystem& other) const;
 
+  /// Snapshot-restore hook: forces the dense window to the exact geometry
+  /// a snapshot recorded (the sharded runners' trajectories depend on it;
+  /// regrowGrid()'s proportional margin would re-derive a different one),
+  /// or pins the permanent sparse fallback when the snapshotted run had
+  /// already given up on the dense window.  Must not be called while the
+  /// index is suspended.
+  void restoreWindowGeometry(bool dense, std::int64_t originX,
+                             std::int64_t originY, std::uint64_t width,
+                             std::uint64_t height);
+
  private:
   /// Rebuilds the dense window from positions_ (with proportional margin so
   /// rebuilds stay rare as the configuration drifts).  Falls back to the

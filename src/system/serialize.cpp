@@ -1,9 +1,29 @@
 #include "system/serialize.hpp"
 
 #include <charconv>
+#include <string>
 #include <vector>
 
 namespace sops::system {
+
+namespace {
+
+[[nodiscard]] bool isSpaceChar(char c) {
+  return c == ' ' || c == '\n' || c == '\t' || c == '\r';
+}
+
+/// A short quoted excerpt of the text at `pos`, for error messages.
+[[nodiscard]] std::string excerptAt(std::string_view text, std::size_t pos) {
+  constexpr std::size_t kExcerpt = 16;
+  const std::string_view tail = text.substr(pos, kExcerpt);
+  std::string out = "at offset " + std::to_string(pos) + ": \"";
+  out.append(tail);
+  if (pos + kExcerpt < text.size()) out += "...";
+  out += '"';
+  return out;
+}
+
+}  // namespace
 
 std::string toText(const ParticleSystem& sys) {
   std::string out;
@@ -21,25 +41,45 @@ ParticleSystem fromText(std::string_view text) {
   std::vector<TriPoint> points;
   std::size_t i = 0;
   const auto skipSpace = [&] {
-    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' ||
-                               text[i] == '\t' || text[i] == '\r')) {
-      ++i;
-    }
+    while (i < text.size() && isSpaceChar(text[i])) ++i;
   };
-  const auto parseInt = [&]() -> std::int32_t {
+  const auto parseInt = [&](const char* which) -> std::int32_t {
     std::int32_t value = 0;
     const auto [ptr, ec] =
         std::from_chars(text.data() + i, text.data() + text.size(), value);
-    SOPS_REQUIRE(ec == std::errc{}, "fromText: expected integer");
+    SOPS_REQUIRE(ec != std::errc::result_out_of_range,
+                 std::string("fromText: ") + which + " coordinate of pair " +
+                     std::to_string(points.size()) + " overflows 32 bits " +
+                     excerptAt(text, i));
+    SOPS_REQUIRE(ec == std::errc{},
+                 std::string("fromText: expected integer ") + which +
+                     " coordinate for pair " + std::to_string(points.size()) +
+                     " " + excerptAt(text, i));
     i = static_cast<std::size_t>(ptr - text.data());
+    // from_chars stops at the '.' of "1.5" having happily parsed "1" — a
+    // fractional coordinate must be named as such, not surface as a
+    // confusing "expected ','"/"trailing garbage" one character later.
+    SOPS_REQUIRE(i >= text.size() || text[i] != '.',
+                 std::string("fromText: ") + which + " coordinate of pair " +
+                     std::to_string(points.size()) +
+                     " is not an integer (fractional coordinates are not "
+                     "representable) " + excerptAt(text, i));
     return value;
   };
   skipSpace();
   while (i < text.size()) {
-    const std::int32_t x = parseInt();
-    SOPS_REQUIRE(i < text.size() && text[i] == ',', "fromText: expected ','");
+    const std::int32_t x = parseInt("x");
+    SOPS_REQUIRE(i < text.size() && text[i] == ',',
+                 "fromText: expected ',' between the coordinates of pair " +
+                     std::to_string(points.size()) + " " + excerptAt(text, i));
     ++i;
-    const std::int32_t y = parseInt();
+    const std::int32_t y = parseInt("y");
+    // A pair must end at whitespace or end-of-text; "3,4x" silently
+    // dropping the "x" (or worse, "3,4,5" dropping ",5") would corrupt a
+    // configuration without a trace.
+    SOPS_REQUIRE(i >= text.size() || isSpaceChar(text[i]),
+                 "fromText: trailing garbage after pair " +
+                     std::to_string(points.size()) + " " + excerptAt(text, i));
     points.push_back({x, y});
     skipSpace();
   }

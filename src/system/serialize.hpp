@@ -15,8 +15,11 @@ namespace sops::system {
 
 [[nodiscard]] std::string toText(const ParticleSystem& sys);
 
-/// Parses the format produced by toText.  Throws ContractViolation on
-/// malformed input or duplicate points.
+/// Parses the format produced by toText — strictly.  Fractional
+/// coordinates ("1.5,2"), missing commas, 32-bit overflow, and trailing
+/// garbage after a pair ("3,4x", "3,4,5") all throw ContractViolation
+/// naming the offending pair and byte offset, as do duplicate points;
+/// nothing is silently dropped or truncated.
 [[nodiscard]] ParticleSystem fromText(std::string_view text);
 
 }  // namespace sops::system

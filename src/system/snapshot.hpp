@@ -1,0 +1,134 @@
+#ifndef SOPS_SYSTEM_SNAPSHOT_HPP
+#define SOPS_SYSTEM_SNAPSHOT_HPP
+
+/// \file snapshot.hpp
+/// Versioned, checksummed binary snapshots of run state, written atomically.
+///
+/// A snapshot file is a framed payload:
+///
+///   bytes 0..7    magic "SOPSSNAP"
+///   bytes 8..11   format version (u32 little-endian, currently 1)
+///   bytes 12..19  payload length in bytes (u64 LE)
+///   bytes 20..27  FNV-1a-64 checksum of the payload (u64 LE)
+///   bytes 28..    payload
+///
+/// The payload is a flat little-endian byte stream produced by
+/// SnapshotWriter and consumed by SnapshotReader: typed primitives only
+/// (u8/u32/u64/i64/f64, length-prefixed strings and byte blobs), every
+/// read bounds-checked, so a truncated or bit-flipped file fails loudly at
+/// the frame checksum or at the first short read — never by silently
+/// misinterpreting state.
+///
+/// Durability discipline (writeSnapshotFile):
+///   1. write to `<path>.tmp`, fflush + fsync, close;
+///   2. rotate an existing `<path>` to `<path>.prev` (rename);
+///   3. rename `<path>.tmp` → `<path>`;
+///   4. fsync the containing directory.
+/// A crash at any point leaves either the previous durable snapshot at
+/// `<path>` or at `<path>.prev`; loadResumableSnapshot() tries `<path>`
+/// first and falls back to `<path>.prev` when the primary is torn,
+/// truncated, or missing.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rng/random.hpp"
+#include "system/particle_system.hpp"
+
+namespace sops::system {
+
+/// FNV-1a 64-bit over a byte range — the frame checksum.
+[[nodiscard]] std::uint64_t snapshotChecksum(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+/// Current frame format version.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Accumulates a snapshot payload as typed little-endian primitives.
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Length-prefixed (u64) byte string.
+  void str(std::string_view v);
+  void bytes(std::span<const std::uint8_t> v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept {
+    return payload_;
+  }
+
+ private:
+  std::vector<std::uint8_t> payload_;
+};
+
+/// Bounds-checked reader over a snapshot payload.  Every short read throws
+/// ContractViolation naming the field kind; finish() requires the payload
+/// to be fully consumed (trailing bytes are corruption, not padding).
+/// The reader is a *view*: the payload bytes must outlive it — never
+/// construct one from a temporary (e.g. directly from the return value of
+/// loadResumableSnapshot).
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::span<const std::uint8_t> payload) noexcept
+      : payload_(payload) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return payload_.size() - pos_;
+  }
+  /// Throws unless the payload is fully consumed.
+  void finish() const;
+
+ private:
+  void need(std::size_t count, const char* what) const;
+
+  std::span<const std::uint8_t> payload_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes `payload` to `path` with the frame header, atomically (see file
+/// comment for the tmp/fsync/rotate/rename discipline).  Throws
+/// ContractViolation on any I/O failure.
+void writeSnapshotFile(const std::string& path,
+                       std::span<const std::uint8_t> payload);
+
+/// Reads and verifies one snapshot file: magic, version, length, checksum.
+/// Throws ContractViolation (naming the path and the failure) on a
+/// missing, torn, truncated, or corrupt file.
+[[nodiscard]] std::vector<std::uint8_t> readSnapshotFile(
+    const std::string& path);
+
+/// readSnapshotFile(path), falling back to `<path>.prev` when the primary
+/// is unreadable or fails verification (the window between rotate and
+/// rename, or a torn write).  Throws only when both fail, with both
+/// errors in the message.
+[[nodiscard]] std::vector<std::uint8_t> loadResumableSnapshot(
+    const std::string& path);
+
+/// Serializes a ParticleSystem: positions plus the exact dense-window
+/// geometry (the sharded runners' trajectories depend on it — see
+/// ParticleSystem::restoreWindowGeometry).
+void writeParticleSystem(SnapshotWriter& w, const ParticleSystem& sys);
+[[nodiscard]] ParticleSystem readParticleSystem(SnapshotReader& r);
+
+/// Serializes an rng::Random exactly: seed plus the 256-bit engine state.
+void writeRandom(SnapshotWriter& w, const rng::Random& random);
+[[nodiscard]] rng::Random readRandom(SnapshotReader& r);
+
+}  // namespace sops::system
+
+#endif  // SOPS_SYSTEM_SNAPSHOT_HPP

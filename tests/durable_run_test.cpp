@@ -1,0 +1,569 @@
+// Durable runs: crash-consistent checkpoint/resume, cooperative
+// cancellation, and deadlines.
+//
+//  1. Primitives: xoshiro/Random state round-trip; SnapshotWriter/Reader
+//     typed round-trip with bounds-checked failure modes; the framed file
+//     format (atomic write, checksum rejection of torn/truncated files,
+//     .prev fallback);
+//  2. Golden kill-and-resume: for every scenario × execution regime, a
+//     run snapshotted at a checkpoint and resumed in a fresh process
+//     state equals the uninterrupted run — same final arrangement, same
+//     metrics, same exact step count;
+//  3. Cancellation: a tripped token stops the run at the next safe point
+//     with a resumable snapshot; deadline-ms arms the same machinery;
+//     multi-replica cancellation skips unclaimed replicas and reports
+//     honestly;
+//  4. Satellites: sink-path preflight, the MemorySink buffering cap, the
+//     strict text-configuration parser, and the amoebot crash-fraction
+//     fault path through the facade.
+//
+// Suite names all start with DurableRun so CI's TSan job can filter them
+// with one anchor (they re-run full trajectories and would dominate its
+// wall clock; the plain jobs run them all).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "rng/random.hpp"
+#include "sim/registry.hpp"
+#include "sim/runner.hpp"
+#include "system/metrics.hpp"
+#include "system/serialize.hpp"
+#include "system/snapshot.hpp"
+#include "util/assert.hpp"
+
+namespace sops {
+namespace {
+
+[[nodiscard]] std::string tempPath(const std::string& name) {
+  return ::testing::TempDir() + "sops_durable_" + name;
+}
+
+// -- 1. primitives ----------------------------------------------------------
+
+TEST(DurableRunRng, XoshiroStateRoundTripContinuesIdentically) {
+  rng::Random a(1603);
+  for (int i = 0; i < 100; ++i) (void)a.uniform();
+  const rng::Random b = rng::Random::fromState(a.seed(), a.engine().state());
+  EXPECT_EQ(b.seed(), a.seed());
+  rng::Random c = a;  // reference continuation
+  rng::Random d = b;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.bits(), d.bits());
+  }
+}
+
+TEST(DurableRunPayload, WriterReaderRoundTripAllTypes) {
+  system::SnapshotWriter w;
+  w.u8(200);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.25);
+  w.str("hello snapshot");
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 255};
+  w.bytes(blob);
+
+  system::SnapshotReader r(w.payload());
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello snapshot");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.finish());
+}
+
+TEST(DurableRunPayload, ShortReadsAndTrailingBytesThrow) {
+  system::SnapshotWriter w;
+  w.u32(7);
+  {
+    system::SnapshotReader r(w.payload());
+    EXPECT_THROW((void)r.u64(), ContractViolation);  // 4 bytes can't give 8
+  }
+  {
+    system::SnapshotReader r(w.payload());
+    (void)r.u8();
+    EXPECT_THROW(r.finish(), ContractViolation);  // trailing bytes
+  }
+  system::SnapshotWriter bad;
+  bad.u64(1000);  // claims a 1000-byte string follows
+  system::SnapshotReader r(bad.payload());
+  EXPECT_THROW((void)r.str(), ContractViolation);
+}
+
+TEST(DurableRunFile, RoundTripsAndVerifiesChecksum) {
+  const std::string path = tempPath("frame.snap");
+  system::SnapshotWriter w;
+  w.str("payload under test");
+  w.u64(99);
+  system::writeSnapshotFile(path, w.payload());
+
+  const std::vector<std::uint8_t> payload = system::readSnapshotFile(path);
+  system::SnapshotReader r(payload);
+  EXPECT_EQ(r.str(), "payload under test");
+  EXPECT_EQ(r.u64(), 99u);
+  r.finish();
+
+  // Flip one payload byte: the checksum must reject it, loudly.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);  // inside the payload (header is 28 bytes)
+    char c = 0;
+    f.seekg(30);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x40);
+    f.seekp(30);
+    f.write(&c, 1);
+  }
+  try {
+    (void)system::readSnapshotFile(path);
+    FAIL() << "corrupt snapshot was accepted";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(DurableRunFile, TruncationAndWrongMagicThrow) {
+  const std::string path = tempPath("trunc.snap");
+  system::SnapshotWriter w;
+  w.str("0123456789abcdef0123456789abcdef");
+  system::writeSnapshotFile(path, w.payload());
+
+  // Truncate mid-payload: a torn write must not parse.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "SOPSSNAP truncated";
+  }
+  EXPECT_THROW((void)system::readSnapshotFile(path), ContractViolation);
+
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "NOTASNAP" << std::string(40, '\0');
+  }
+  EXPECT_THROW((void)system::readSnapshotFile(path), ContractViolation);
+
+  EXPECT_THROW((void)system::readSnapshotFile(tempPath("missing.snap")),
+               ContractViolation);
+}
+
+TEST(DurableRunFile, TornPrimaryFallsBackToPrev) {
+  const std::string path = tempPath("rotate.snap");
+  system::SnapshotWriter first;
+  first.u64(1);
+  system::writeSnapshotFile(path, first.payload());
+  system::SnapshotWriter second;
+  second.u64(2);
+  system::writeSnapshotFile(path, second.payload());  // rotates 1 → .prev
+
+  // Primary intact: the newer state wins.  (The payload must outlive the
+  // reader — SnapshotReader is a view, not an owner.)
+  {
+    const std::vector<std::uint8_t> payload =
+        system::loadResumableSnapshot(path);
+    system::SnapshotReader r(payload);
+    EXPECT_EQ(r.u64(), 2u);
+  }
+  // Tear the primary: the fallback must surface the previous durable
+  // snapshot instead of failing the resume.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "torn";
+  }
+  {
+    const std::vector<std::uint8_t> payload =
+        system::loadResumableSnapshot(path);
+    system::SnapshotReader r(payload);
+    EXPECT_EQ(r.u64(), 1u);
+  }
+  // Both torn: loud failure naming both.
+  std::remove((path + ".prev").c_str());
+  EXPECT_THROW((void)system::loadResumableSnapshot(path), ContractViolation);
+}
+
+// -- 2. golden kill-and-resume ----------------------------------------------
+
+struct FinalState {
+  std::vector<double> metrics;
+  std::string arrangement;
+  std::uint64_t steps = 0;
+  bool cancelled = false;
+};
+
+/// Captures the final configuration (the part RunReport doesn't keep).
+class FinalArrangementCapture : public sim::Observer {
+ public:
+  void onReplicaEnd(const sim::ReplicaSummary& summary) override {
+    if (summary.replica == 0 && summary.finalSystem != nullptr) {
+      arrangement = system::toText(*summary.finalSystem);
+    }
+  }
+  std::string arrangement;
+};
+
+[[nodiscard]] FinalState runToEnd(const sim::RunSpec& spec,
+                                  const sim::StopWhen& stopWhen = nullptr,
+                                  core::CancelToken* token = nullptr) {
+  FinalArrangementCapture capture;
+  const sim::RunReport report = sim::run(spec, capture, stopWhen, token);
+  FinalState out;
+  out.metrics = report.replicas.at(0).finalMetrics;
+  out.arrangement = capture.arrangement;
+  out.steps = report.replicas.at(0).steps;
+  out.cancelled = report.cancelled;
+  return out;
+}
+
+[[nodiscard]] sim::RunSpec baseSpec(const std::string& scenario,
+                                    unsigned threads) {
+  sim::RunSpec spec;
+  spec.scenario = scenario;
+  spec.shape = "line";
+  spec.n = 48;
+  spec.steps = 30000;
+  spec.checkpointEvery = 6000;
+  spec.seed = 1603;
+  spec.threads = threads;
+  return spec;
+}
+
+/// The golden contract: run uninterrupted; run the same spec "killed"
+/// after two checkpoints with a snapshot-file; resume in a fresh run.
+/// Final arrangement, metrics, and exact step count must all agree.
+void expectKillResumeIdentical(const sim::RunSpec& base,
+                               const std::string& tag,
+                               unsigned resumeThreads) {
+  const FinalState uninterrupted = runToEnd(base);
+  ASSERT_GT(uninterrupted.steps, 0u);
+
+  const std::string snap = tempPath(tag + ".snap");
+  sim::RunSpec partial = base;
+  partial.steps = base.checkpointEvery * 2;  // die after two checkpoints
+  partial.snapshotPath = snap;
+  const FinalState atKill = runToEnd(partial);
+  ASSERT_GE(atKill.steps, partial.steps);
+  ASSERT_LT(atKill.steps, base.steps);
+
+  sim::RunSpec resumed = base;
+  resumed.resumePath = snap;
+  resumed.threads = resumeThreads;
+  const FinalState r = runToEnd(resumed);
+
+  EXPECT_EQ(r.steps, uninterrupted.steps) << tag;
+  EXPECT_EQ(r.arrangement, uninterrupted.arrangement) << tag;
+  EXPECT_EQ(r.metrics, uninterrupted.metrics) << tag;
+}
+
+TEST(DurableRunGolden, CompressionSequentialKillResume) {
+  const sim::RunSpec spec = baseSpec("compression", 1);
+  expectKillResumeIdentical(spec, "comp_seq", 1);
+}
+
+TEST(DurableRunGolden, CompressionShardedKillResume) {
+  const sim::RunSpec spec = baseSpec("compression", 2);
+  expectKillResumeIdentical(spec, "comp_sharded", 2);
+}
+
+TEST(DurableRunGolden, CompressionShardedResumeAtDifferentThreadCount) {
+  // The sharded trajectory is a pure function of the seed for every
+  // thread count > 1 — so is a resumed tail started at a different count.
+  const sim::RunSpec spec = baseSpec("compression", 2);
+  expectKillResumeIdentical(spec, "comp_sharded_hw", 4);
+}
+
+TEST(DurableRunGolden, SeparationSequentialKillResume) {
+  // Color swaps exercise SeparationModel's aux-plane serialization.
+  sim::RunSpec spec = baseSpec("separation", 1);
+  spec.params.set("gamma", "4.0");
+  expectKillResumeIdentical(spec, "sep_seq", 1);
+}
+
+TEST(DurableRunGolden, SeparationShardedKillResume) {
+  sim::RunSpec spec = baseSpec("separation", 2);
+  spec.params.set("gamma", "4.0");
+  expectKillResumeIdentical(spec, "sep_sharded", 2);
+}
+
+TEST(DurableRunGolden, AlignmentSequentialKillResume) {
+  sim::RunSpec spec = baseSpec("alignment", 1);
+  spec.params.set("kappa", "4.0");
+  expectKillResumeIdentical(spec, "ali_seq", 1);
+}
+
+TEST(DurableRunGolden, AlignmentShardedKillResume) {
+  sim::RunSpec spec = baseSpec("alignment", 2);
+  spec.params.set("kappa", "4.0");
+  expectKillResumeIdentical(spec, "ali_sharded", 2);
+}
+
+TEST(DurableRunGolden, AmoebotKillResume) {
+  const sim::RunSpec spec = baseSpec("amoebot", 2);
+  expectKillResumeIdentical(spec, "amoebot", 2);
+}
+
+TEST(DurableRunGolden, AmoebotWithCrashFaultsKillResume) {
+  // Crashed-particle flags must survive the snapshot, or the resumed run
+  // would wake the crashed particles and diverge.
+  sim::RunSpec spec = baseSpec("amoebot", 2);
+  spec.params.set("crash-fraction", "0.2");
+  expectKillResumeIdentical(spec, "amoebot_crash", 2);
+}
+
+TEST(DurableRunGolden, ResumeRejectsMismatchedSpec) {
+  sim::RunSpec spec = baseSpec("compression", 1);
+  spec.steps = 12000;
+  const std::string snap = tempPath("mismatch.snap");
+  spec.snapshotPath = snap;
+  (void)runToEnd(spec);
+
+  // Different scenario parameter: a snapshot from λ=4 must not seed a
+  // λ=2 run.
+  sim::RunSpec other = baseSpec("compression", 1);
+  other.resumePath = snap;
+  other.params.set("lambda", "2.0");
+  try {
+    (void)runToEnd(other);
+    FAIL() << "mismatched spec resumed";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("incompatible"), std::string::npos);
+  }
+
+  // Different execution regime (sequential snapshot, sharded resume).
+  sim::RunSpec regime = baseSpec("compression", 2);
+  regime.resumePath = snap;
+  EXPECT_THROW((void)runToEnd(regime), ContractViolation);
+
+  // Different seed.
+  sim::RunSpec reseeded = baseSpec("compression", 1);
+  reseeded.resumePath = snap;
+  reseeded.seed = 7;
+  EXPECT_THROW((void)runToEnd(reseeded), ContractViolation);
+}
+
+TEST(DurableRunGolden, SnapshotRequiresSingleReplica) {
+  sim::RunSpec spec = baseSpec("compression", 1);
+  spec.replicas = 2;
+  spec.snapshotPath = tempPath("multi.snap");
+  EXPECT_THROW((void)sim::run(spec), ContractViolation);
+  spec.snapshotPath.clear();
+  spec.resumePath = tempPath("multi.snap");
+  EXPECT_THROW((void)sim::run(spec), ContractViolation);
+}
+
+// -- 3. cancellation --------------------------------------------------------
+
+TEST(DurableRunCancel, TokenCancelLeavesResumableSnapshotMatchingGolden) {
+  sim::RunSpec base = baseSpec("compression", 1);
+  const FinalState uninterrupted = runToEnd(base);
+
+  // Trip the token from the checkpoint-2 sample: the runner must finish
+  // the sample, write the snapshot, and stop — reporting cancelled.
+  const std::string snap = tempPath("cancel.snap");
+  sim::RunSpec interrupted = base;
+  interrupted.snapshotPath = snap;
+  core::CancelToken token;
+  const sim::StopWhen trip = [&](const sim::Sample& s) {
+    if (s.iteration >= 2 * base.checkpointEvery) token.requestCancel();
+    return false;
+  };
+  const FinalState partial = runToEnd(interrupted, trip, &token);
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_LT(partial.steps, base.steps);
+
+  sim::RunSpec resumed = base;
+  resumed.resumePath = snap;
+  const FinalState r = runToEnd(resumed);
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_EQ(r.steps, uninterrupted.steps);
+  EXPECT_EQ(r.arrangement, uninterrupted.arrangement);
+  EXPECT_EQ(r.metrics, uninterrupted.metrics);
+}
+
+TEST(DurableRunCancel, DeadlineCancelsAndResumeCompletesIdentically) {
+  sim::RunSpec base = baseSpec("compression", 1);
+  base.steps = 40000000;  // far more work than 1 ms allows
+  base.checkpointEvery = 500000;
+  const std::string snap = tempPath("deadline.snap");
+
+  sim::RunSpec limited = base;
+  limited.snapshotPath = snap;
+  limited.deadlineMs = 1;
+  const FinalState partial = runToEnd(limited);
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_LT(partial.steps, base.steps);
+
+  // Resume with a deadline of its own — chained deadline slices must
+  // still land on the uninterrupted trajectory, so instead of running
+  // the 40M-step reference we check exact agreement at the next common
+  // checkpoint via a second, longer slice.
+  sim::RunSpec second = base;
+  second.resumePath = snap;
+  second.snapshotPath = snap;
+  second.steps = partial.steps + base.checkpointEvery;
+  const FinalState continued = runToEnd(second);
+  EXPECT_FALSE(continued.cancelled);
+  EXPECT_EQ(continued.steps, partial.steps + base.checkpointEvery);
+
+  // Reference: one uninterrupted run to the same step count.
+  sim::RunSpec reference = base;
+  reference.steps = continued.steps;
+  const FinalState ref = runToEnd(reference);
+  EXPECT_EQ(continued.steps, ref.steps);
+  EXPECT_EQ(continued.arrangement, ref.arrangement);
+  EXPECT_EQ(continued.metrics, ref.metrics);
+}
+
+TEST(DurableRunCancel, MultiReplicaCancelSkipsUnstartedReplicas) {
+  // threads=1 claims replicas inline in order, so the cut is exact:
+  // replica 0 completes, replica 1 is interrupted at its first
+  // checkpoint, replicas 2 and 3 are never started.
+  sim::RunSpec spec = baseSpec("compression", 1);
+  spec.replicas = 4;
+  spec.threads = 1;
+  core::CancelToken token;
+  const sim::StopWhen trip = [&](const sim::Sample& s) {
+    if (s.replica == 1 && s.iteration > 0) token.requestCancel();
+    return false;
+  };
+  sim::Observer none;
+  const sim::RunReport report = sim::run(spec, none, trip, &token);
+
+  EXPECT_TRUE(report.cancelled);
+  ASSERT_EQ(report.replicas.size(), 4u);
+  EXPECT_EQ(report.replicas[0].steps, spec.steps);
+  EXPECT_GT(report.replicas[1].steps, 0u);
+  EXPECT_LT(report.replicas[1].steps, spec.steps);
+  for (std::size_t r = 2; r < 4; ++r) {
+    EXPECT_EQ(report.replicas[r].steps, 0u);
+    EXPECT_EQ(report.replicas[r].seed, spec.replicaSeed(r));
+    EXPECT_NE(report.replicas[r].label.find("cancelled before start"),
+              std::string::npos);
+    EXPECT_THROW((void)report.finalMetric(r, "edges"), ContractViolation);
+  }
+  EXPECT_NO_THROW((void)report.finalMetric(0, "edges"));
+}
+
+// -- 4. satellites ----------------------------------------------------------
+
+TEST(DurableRunPreflight, UnwritableSinkPathFailsBeforeAnyCompute) {
+  for (const char* key : {"csv", "jsonl", "svg", "snapshot"}) {
+    sim::RunSpec spec = baseSpec("compression", 1);
+    spec.steps = 1000000000;  // would take minutes if preflight ran late
+    const std::string bad = "/nonexistent-sops-dir/out." + std::string(key);
+    if (std::string(key) == "csv") spec.csvPath = bad;
+    if (std::string(key) == "jsonl") spec.jsonlPath = bad;
+    if (std::string(key) == "svg") spec.svgPath = bad;
+    if (std::string(key) == "snapshot") spec.snapshotPath = bad;
+    try {
+      (void)sim::run(spec);
+      FAIL() << key << " sink path was not preflighted";
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find("not writable"), std::string::npos)
+          << key;
+    }
+  }
+}
+
+TEST(DurableRunBuffer, MemorySinkCapFailsLoudlyNamingTheCap) {
+  sim::MemorySink sink(3);
+  const std::vector<double> values = {1.0};
+  sink.onSample(sim::Sample{0, 0, values});
+  sink.onSample(sim::Sample{0, 1, values});
+  sink.onSample(sim::Sample{0, 2, values});
+  try {
+    sink.onSample(sim::Sample{0, 3, values});
+    FAIL() << "cap not enforced";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("cap of 3"), std::string::npos);
+  }
+  // Unbounded by default: the test seam stays frictionless.
+  sim::MemorySink unbounded;
+  for (int i = 0; i < 100; ++i) {
+    unbounded.onSample(sim::Sample{0, static_cast<std::uint64_t>(i), values});
+  }
+  EXPECT_EQ(unbounded.samples().size(), 100u);
+}
+
+TEST(DurableRunSerialize, StrictTextParsingNamesTheDefect) {
+  const auto expectError = [](std::string_view text, const char* needle) {
+    try {
+      (void)system::fromText(text);
+      FAIL() << "accepted: " << text;
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << text << " → " << e.what();
+    }
+  };
+  expectError("1.5,2", "not an integer");
+  expectError("0,0 1,2.5", "not an integer");
+  expectError("1 2", "expected ','");
+  expectError("3,4x", "trailing garbage");
+  expectError("0,0 3,4,5", "trailing garbage");
+  expectError("99999999999,0", "overflows");
+  expectError("a,b", "expected integer");
+  expectError("3,", "expected integer");
+
+  // The happy path still round-trips exactly, whitespace-insensitively.
+  const system::ParticleSystem sys = system::fromText("0,0\n 1,0\t2,0");
+  EXPECT_EQ(sys.size(), 3u);
+  EXPECT_EQ(system::fromText(system::toText(sys)).size(), 3u);
+}
+
+TEST(DurableRunFaults, AmoebotCrashFractionRunsDeterministicallyViaFacade) {
+  sim::RunSpec spec = baseSpec("amoebot", 2);
+  spec.steps = 12000;
+  spec.params.set("crash-fraction", "0.25");
+  const FinalState a = runToEnd(spec);
+  const FinalState b = runToEnd(spec);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.arrangement, b.arrangement);
+  EXPECT_EQ(a.metrics, b.metrics);
+
+  // Faults change the trajectory: the fault-free run differs.
+  sim::RunSpec clean = spec;
+  clean.params.erase("crash-fraction");
+  const FinalState c = runToEnd(clean);
+  EXPECT_NE(a.arrangement, c.arrangement);
+
+  sim::RunSpec invalid = spec;
+  invalid.params.set("crash-fraction", "1.5");
+  EXPECT_THROW((void)sim::run(invalid), ContractViolation);
+}
+
+TEST(DurableRunFaults, AmoebotCompressesAroundCrashedParticles) {
+  // §3.3 through the facade: with a fifth of the particles pinned where
+  // they stand, the survivors still lower the perimeter (slowly — every
+  // pinned cell of the initial line is held forever) and the aggregate
+  // stays connected.
+  sim::RunSpec spec = baseSpec("amoebot", 2);
+  spec.steps = 1000000;
+  spec.checkpointEvery = 500000;
+  spec.params.set("crash-fraction", "0.2");
+  FinalArrangementCapture capture;
+  std::vector<double> initial;
+  const sim::StopWhen recordStart = [&](const sim::Sample& s) {
+    if (s.iteration == 0) initial = {s.values.begin(), s.values.end()};
+    return false;
+  };
+  const sim::RunReport report = sim::run(spec, capture, recordStart);
+  ASSERT_FALSE(initial.empty());
+  const std::size_t perimeterIdx = [&] {
+    const auto& names = report.metricNames;
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), "perimeter") - names.begin());
+  }();
+  EXPECT_LT(report.finalMetric(0, "perimeter"), initial[perimeterIdx]);
+  const system::ParticleSystem tails = system::fromText(capture.arrangement);
+  EXPECT_EQ(tails.size(), spec.n);
+  EXPECT_TRUE(system::isConnected(tails));
+}
+
+}  // namespace
+}  // namespace sops

@@ -5,13 +5,22 @@ The CI smoke job for the scenario facade: every scenario must be runnable
 from a RunSpec alone, and its CSV/JSONL sinks must have the declared
 column shape with one sample row per (replica, checkpoint).
 
+Also the crash-resume smoke for durable runs: SIGKILL an spps process
+mid-run (no cleanup, the real crash), resume from the snapshot it left,
+and require the resumed trajectory to finish byte-identical to an
+uninterrupted run of the same spec; plus SIGTERM → graceful exit 3 with
+a resumable snapshot.
+
 Usage:
     python3 tools/check_spps_smoke.py path/to/spps [workdir]
 """
 import json
 import os
+import signal
+import struct
 import subprocess
 import sys
+import time
 
 # (scenario, extra spec keys, expected metric columns).  The alignment
 # entry runs threads=2: a single-replica chain spec with a thread budget
@@ -100,6 +109,139 @@ def check_jsonl(path, scenario, metrics, replicas):
             fail(f"{scenario}: replica ran only {summary['steps']} steps")
 
 
+def snapshot_steps(path):
+    """The stepsDone recorded in a snapshot file, or None when the file is
+    missing/torn (mirrors the C++ frame: magic, version, length, FNV-1a-64
+    checksum, then payload = len-prefixed compat string, replica, steps)."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError:
+        return None
+    if len(data) < 28 or data[:8] != b"SOPSSNAP":
+        return None
+    length, checksum = struct.unpack_from("<QQ", data, 12)
+    payload = data[28:28 + length]
+    if len(payload) != length or len(payload) < 8:
+        return None
+    h = 0xcbf29ce484222325
+    for b in payload:
+        h = ((h ^ b) * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
+    if h != checksum:
+        return None
+    compat_len, = struct.unpack_from("<Q", payload, 0)
+    _, steps = struct.unpack_from("<QQ", payload, 8 + compat_len)
+    return steps
+
+
+def resumable_steps(snap):
+    """stepsDone from the primary snapshot, falling back to .prev exactly
+    like loadResumableSnapshot (a SIGKILL can land mid-rotation)."""
+    steps = snapshot_steps(snap)
+    return steps if steps is not None else snapshot_steps(snap + ".prev")
+
+
+def wait_for_checkpoints(proc, snap, min_steps, timeout=60.0):
+    """Polls until the running spps has durably checkpointed >= min_steps."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            fail(f"spps exited {proc.returncode} before being killed:\n"
+                 f"{proc.stdout.read()}\n{proc.stderr.read()}")
+        steps = resumable_steps(snap)
+        if steps is not None and steps >= min_steps:
+            return steps
+        time.sleep(0.02)
+    fail(f"no snapshot with >= {min_steps} steps within {timeout}s")
+
+
+def final_csv_row(path):
+    with open(path) as f:
+        lines = [line.rstrip("\n") for line in f if line.strip()]
+    return lines[-1]
+
+
+def check_crash_resume(spps, workdir, scenario, extra):
+    """SIGKILL mid-run, resume from the snapshot, compare the final CSV row
+    against an uninterrupted run of the identical spec."""
+    checkpoint = 50000
+    base = (f"scenario={scenario} n=60 checkpoint={checkpoint} seed=1603 "
+            f"{extra}").strip()
+    snap = os.path.join(workdir, f"{scenario}_crash.snap")
+    for leftover in (snap, snap + ".prev"):
+        if os.path.exists(leftover):
+            os.remove(leftover)
+
+    # Effectively unbounded run so the kill always lands mid-flight; the
+    # snapshot spec's steps need not match the resume spec's.
+    crash_spec = f"{base} steps=4000000000 snapshot-file={snap}"
+    proc = subprocess.Popen([spps] + crash_spec.split(),
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+    wait_for_checkpoints(proc, snap, 2 * checkpoint)
+    proc.kill()  # SIGKILL: no handler, no final snapshot, a real crash
+    proc.wait()
+
+    steps_at_kill = resumable_steps(snap)
+    if steps_at_kill is None:
+        fail(f"{scenario}: no resumable snapshot survived the SIGKILL")
+    target = steps_at_kill + 4 * checkpoint
+
+    resumed_csv = os.path.join(workdir, f"{scenario}_resumed.csv")
+    result = subprocess.run(
+        [spps] + f"{base} steps={target} resume={snap} "
+                 f"csv={resumed_csv}".split(),
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        fail(f"{scenario}: resume exited {result.returncode}:\n"
+             f"{result.stdout}\n{result.stderr}")
+
+    reference_csv = os.path.join(workdir, f"{scenario}_reference.csv")
+    result = subprocess.run(
+        [spps] + f"{base} steps={target} csv={reference_csv}".split(),
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        fail(f"{scenario}: reference run exited {result.returncode}")
+
+    resumed, reference = final_csv_row(resumed_csv), final_csv_row(reference_csv)
+    if resumed != reference:
+        fail(f"{scenario}: resumed trajectory diverged\n"
+             f"  resumed:   {resumed}\n  reference: {reference}")
+    print(f"ok: {scenario} SIGKILL at {steps_at_kill} steps, resumed to "
+          f"{target} — final row identical to the uninterrupted run")
+
+
+def check_sigterm_exit(spps, workdir):
+    """SIGTERM must cancel cooperatively: exit 3, resumable snapshot named,
+    and the snapshot must actually resume to completion."""
+    checkpoint = 50000
+    snap = os.path.join(workdir, "sigterm.snap")
+    spec = (f"scenario=compression n=60 steps=4000000000 "
+            f"checkpoint={checkpoint} seed=1603 snapshot-file={snap}")
+    proc = subprocess.Popen([spps] + spec.split(), stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    wait_for_checkpoints(proc, snap, checkpoint)
+    proc.send_signal(signal.SIGTERM)
+    stdout, stderr = proc.communicate(timeout=120)
+    if proc.returncode != 3:
+        fail(f"SIGTERM: spps exited {proc.returncode}, expected 3:\n"
+             f"{stdout}\n{stderr}")
+    if "interrupted" not in stdout or "resumable snapshot" not in stdout:
+        fail(f"SIGTERM: stdout does not name the resumable snapshot:\n{stdout}")
+    steps = resumable_steps(snap)
+    if steps is None:
+        fail("SIGTERM: no resumable snapshot left behind")
+    result = subprocess.run(
+        [spps] + f"scenario=compression n=60 steps={steps + checkpoint} "
+                 f"checkpoint={checkpoint} seed=1603 "
+                 f"resume={snap}".split(),
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        fail(f"SIGTERM: resume after graceful cancel exited "
+             f"{result.returncode}:\n{result.stdout}\n{result.stderr}")
+    print(f"ok: SIGTERM → exit 3 at {steps} steps, snapshot resumed cleanly")
+
+
 def main():
     if len(sys.argv) < 2:
         raise SystemExit(__doc__)
@@ -131,7 +273,15 @@ def main():
         if "unknown" not in result.stderr:
             fail(f"spps {bad!r}: stderr lacks an 'unknown ...' message")
     print("ok: unknown scenario/parameter specs fail loudly")
-    print("spps smoke: all scenarios runnable from a RunSpec alone")
+
+    # Durable runs: a real SIGKILL (sequential compression and the sharded
+    # separation runner — the one with the most derived state to rebuild on
+    # restore), then graceful SIGTERM.
+    check_crash_resume(spps, workdir, "compression", "lambda=4.0")
+    check_crash_resume(spps, workdir, "separation", "gamma=4.0 threads=2")
+    check_sigterm_exit(spps, workdir)
+    print("spps smoke: all scenarios runnable from a RunSpec alone; "
+          "crash-resume and SIGTERM cancellation verified")
     return 0
 
 

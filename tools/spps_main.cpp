@@ -9,6 +9,7 @@
 // key=value is a scenario parameter validated against the registry's
 // schema — unknown keys and malformed values are hard errors, never
 // silently ignored.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "sim/registry.hpp"
 #include "sim/runner.hpp"
 #include "util/assert.hpp"
@@ -23,6 +25,14 @@
 namespace {
 
 using namespace sops;
+
+/// SIGINT/SIGTERM trip this token; the run notices at its next safe point,
+/// writes a final snapshot when snapshot-file= is set, and spps exits 3.
+/// requestCancel() is async-signal-safe (a relaxed atomic store on an
+/// object with static storage duration).
+core::CancelToken signalToken;
+
+extern "C" void onTerminationSignal(int) { signalToken.requestCancel(); }
 
 void printSchema(const sim::ParamSchema& schema, const char* indent) {
   for (const sim::ParamInfo& info : schema.params()) {
@@ -59,7 +69,17 @@ void printUsage() {
       "  spps --help            this message\n"
       "\nexample:\n"
       "  spps scenario=separation n=100 gamma=4 steps=2000000 "
-      "checkpoint=500000 csv=separation.csv\n");
+      "checkpoint=500000 csv=separation.csv\n"
+      "\ndurable runs:\n"
+      "  snapshot-file=PATH     atomic binary snapshot at every checkpoint\n"
+      "  resume=PATH            continue the identical trajectory from a\n"
+      "                         snapshot (same scenario/shape/n/seed/params)\n"
+      "  deadline-ms=N          cancel cooperatively after N ms\n"
+      "  SIGINT/SIGTERM cancel cooperatively at the next checkpoint,\n"
+      "  leaving a resumable snapshot when snapshot-file= is set\n"
+      "\nexit codes:\n"
+      "  0 run completed    1 contract violation (bad spec, torn snapshot)\n"
+      "  2 usage error      3 run cancelled (signal or deadline)\n");
 }
 
 /// Prints one table row per sample as the run streams (all replicas; the
@@ -131,19 +151,34 @@ int main(int argc, char** argv) {
     sim::AsciiSnapshotSink snapshots(stdout);
     if (spec.snapshots) observers.attach(&snapshots);
 
-    const sim::RunReport report = sim::run(spec, observers);
+    std::signal(SIGINT, onTerminationSignal);
+    std::signal(SIGTERM, onTerminationSignal);
+    const sim::RunReport report =
+        sim::run(spec, observers, nullptr, &signalToken);
 
     double wall = 0.0;
     for (const sim::ReplicaSummary& r : report.replicas) {
       wall += r.wallSeconds;
     }
-    std::printf("\n%zu replica(s) done (%.2fs of replica work)\n",
-                report.replicas.size(), wall);
+    std::printf("\n%zu replica(s) %s (%.2fs of replica work)\n",
+                report.replicas.size(),
+                report.cancelled ? "interrupted" : "done", wall);
     if (!spec.csvPath.empty()) std::printf("csv:   %s\n", spec.csvPath.c_str());
     if (!spec.jsonlPath.empty()) {
       std::printf("jsonl: %s\n", spec.jsonlPath.c_str());
     }
     if (!spec.svgPath.empty()) std::printf("svg:   %s\n", spec.svgPath.c_str());
+    if (report.cancelled) {
+      if (!spec.snapshotPath.empty()) {
+        std::printf("cancelled: resumable snapshot at %s (rerun with "
+                    "resume=%s)\n",
+                    spec.snapshotPath.c_str(), spec.snapshotPath.c_str());
+      } else {
+        std::printf("cancelled: no snapshot-file configured, progress "
+                    "discarded\n");
+      }
+      return 3;
+    }
     return 0;
   } catch (const sops::ContractViolation& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
