@@ -41,63 +41,54 @@ ShardedPoissonRunner::ShardedPoissonRunner(
     AmoebotSystem& sys, const LocalCompressionAlgorithm& algo,
     std::uint64_t seed, ShardedOptions options)
     : sys_(sys), algo_(algo), options_(std::move(options)),
-      rates_(std::move(options_.rates)) {
+      controller_(sys.size()) {
   const std::size_t n = sys_.size();
   SOPS_REQUIRE(n > 0, "sharded runner needs particles");
   SOPS_REQUIRE(n <= std::numeric_limits<std::uint32_t>::max(),
                "sharded runner: particle ids are 32-bit");
-  if (rates_.empty()) rates_.assign(n, 1.0);
-  SOPS_REQUIRE(rates_.size() == n, "one rate per particle");
-  double totalRate = 0.0;
-  for (const double rate : rates_) {
-    SOPS_REQUIRE(rate > 0.0, "Poisson rates must be positive");
-    totalRate += rate;
-  }
-  std::uint64_t target = options_.targetEventsPerEpoch;
-  if (target == 0) {
-    target = std::max<std::uint64_t>(2 * n, 1024);
-  }
-  epochLength_ = static_cast<double>(target) / totalRate;
+  SOPS_REQUIRE(options_.targetEventsPerEpoch <= core::kMaxEventsPerEpoch,
+               "targetEventsPerEpoch must be at most 2^28");
+  SOPS_REQUIRE(options_.rates.empty() || options_.rates.size() == n,
+               "one rate per particle");
+  adaptive_ = options_.targetEventsPerEpoch == 0 && options_.adaptiveEpochs;
+  epochTarget_ = options_.targetEventsPerEpoch != 0
+                     ? options_.targetEventsPerEpoch
+                     : core::derivedEpochTarget(n);
 
-  // Independent decorrelated streams per particle: every draw is a pure
-  // function of (seed, particle, draw index) — thread interleaving cannot
-  // reach them.  rng::particleStream documents why mix64 seeding beats
-  // Random::fork() here; the sharded chain runner shares the discipline.
-  clockRng_.reserve(n);
-  coinRng_.reserve(n);
-  nextTime_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto stream = static_cast<std::uint64_t>(i);
-    clockRng_.push_back(rng::particleStream(seed, stream, 1));
-    coinRng_.push_back(rng::particleStream(seed, stream, 2));
-    nextTime_.push_back(clockRng_[i].exponential(rates_[i]));
-  }
+  // SoA stream banks, seeded once per particle (rng::particleStream
+  // documents why mix64 seeding beats Random::fork() here; the sharded
+  // chain runner shares the discipline).  The clock bank also draws each
+  // particle's first waiting time, exactly as the AoS constructor did.
+  clock_ = rng::PoissonClockBank(seed, n, 1, options_.rates);
+  coin_ = rng::StreamBank(seed, n, 2);
+  epochLength_ = static_cast<double>(epochTarget_) / clock_.totalRate();
 }
 
-void ShardedPoissonRunner::runStripe(std::size_t s, double epochEnd,
-                                     std::int64_t originX) {
+void ShardedPoissonRunner::sortEvents(std::vector<Event>& events,
+                                      util::EventSortScratch<Event>& scratch,
+                                      double begin, double end) {
+  util::sortEventsInWindow(events, scratch, begin, end,
+                           [](const Event& e) { return e.time; });
+}
+
+void ShardedPoissonRunner::runStripe(std::size_t s, std::int64_t originX,
+                                     double epochEnd) {
   std::vector<Event>& deferred = stripeDeferred_[s];
   deferred.clear();
   std::uint64_t executed = 0;
 
-  // Event times are independent of system state, so the stripe's whole
-  // epoch schedule can be drawn up front (the per-particle clock streams
-  // make the draws order-insensitive across particles) and sorted once —
-  // one sequential pass instead of per-event heap churn.
+  // Event times are independent of system state, so the whole epoch's
+  // schedule was drawn up front in one batched pass (fillEpoch); the
+  // stripe just gathers its particles' slices and sorts once.
   std::vector<Event>& events = stripeEvents_[s];
   events.clear();
   for (const std::uint32_t i : stripeParticles_[s]) {
-    double t = nextTime_[i];
-    do {
-      events.push_back({t, i});
-      t += clockRng_[i].exponential(rates_[i]);
-    } while (t < epochEnd);
-    nextTime_[i] = t;
+    const std::uint64_t end = draws_.offsets[i + 1];
+    for (std::uint64_t k = draws_.offsets[i]; k < end; ++k) {
+      events.push_back({draws_.times[k], i});
+    }
   }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.particle < b.particle;
-  });
+  sortEvents(events, sortScratch_[s], now_, epochEnd);
 
   for (const Event& event : events) {
     const std::uint32_t i = event.particle;
@@ -112,7 +103,8 @@ void ShardedPoissonRunner::runStripe(std::size_t s, double epochEnd,
                       inStripe < kStripeColumns - kHaloColumns &&
                       sys_.shardSafe(tail);
     if (safe) {
-      algo_.activate(sys_, i, coinRng_[i]);
+      rng::StreamBank::Use use = coin_.use(i);
+      algo_.activate(sys_, i, use.rng());
       ++executed;
     } else {
       deferred.push_back(event);
@@ -123,10 +115,17 @@ void ShardedPoissonRunner::runStripe(std::size_t s, double epochEnd,
 
 std::uint64_t ShardedPoissonRunner::runEpoch() {
   const double epochEnd = now_ + epochLength_;
+  // Batched draw: every clock's firings in [now, epochEnd), per particle
+  // ascending, in one tight sequential pass over the SoA bank.
+  clock_.fillEpoch(epochEnd, draws_);
+  const std::uint64_t total = draws_.total();
+
   sweepEvents_.clear();
   std::uint64_t executed = 0;
+  bool striped = false;
 
   if (sys_.fastPathEnabled()) {
+    striped = true;
     const system::BitGrid& grid = sys_.occupancyGrid();
     const std::int64_t originX = grid.originX();
     const std::size_t stripeCount =
@@ -137,50 +136,71 @@ std::uint64_t ShardedPoissonRunner::runEpoch() {
       stripeEvents_.resize(stripeCount);
       stripeDeferred_.resize(stripeCount);
       stripeActivations_.resize(stripeCount);
+      sortScratch_.resize(stripeCount);
     }
     for (auto& list : stripeParticles_) list.clear();
 
     for (std::size_t i = 0; i < sys_.size(); ++i) {
-      if (nextTime_[i] >= epochEnd) continue;
+      if (draws_.count(i) == 0) continue;
       const auto col = static_cast<std::uint64_t>(
           static_cast<std::int64_t>(sys_.particle(i).tail.x) - originX);
       stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
     }
 
-    std::vector<std::size_t> active;
+    activeStripes_.clear();
     for (std::size_t s = 0; s < stripeCount; ++s) {
-      if (!stripeParticles_[s].empty()) active.push_back(s);
+      if (!stripeParticles_[s].empty()) activeStripes_.push_back(s);
     }
-    core::parallelForIndex(active.size(), options_.threads,
+    core::parallelForIndex(activeStripes_.size(), options_.threads,
                            [&](std::size_t k) {
-                             runStripe(active[k], epochEnd, originX);
+                             runStripe(activeStripes_[k], originX, epochEnd);
                            });
-    for (const std::size_t s : active) {
+    // Merge in stripe order (fixed regardless of which thread ran what).
+    // The deferred lists are each already in (time, particle) order, so
+    // an std::merge cascade assembles the sweep schedule without another
+    // sort.
+    for (const std::size_t s : activeStripes_) {
       executed += stripeActivations_[s];
-      sweepEvents_.insert(sweepEvents_.end(), stripeDeferred_[s].begin(),
-                          stripeDeferred_[s].end());
+      const std::vector<Event>& deferred = stripeDeferred_[s];
+      if (deferred.empty()) continue;
+      if (sweepEvents_.empty()) {
+        sweepEvents_ = deferred;
+      } else {
+        mergeBuf_.resize(sweepEvents_.size() + deferred.size());
+        std::merge(sweepEvents_.begin(), sweepEvents_.end(), deferred.begin(),
+                   deferred.end(), mergeBuf_.begin());
+        sweepEvents_.swap(mergeBuf_);
+      }
     }
   } else {
     // Sparse fallback: no stripe geometry — the whole epoch runs on the
     // sweep path in pure (time, particle) order.
+    sweepEvents_.reserve(total);
     for (std::size_t i = 0; i < sys_.size(); ++i) {
-      while (nextTime_[i] < epochEnd) {
-        sweepEvents_.push_back({nextTime_[i], static_cast<std::uint32_t>(i)});
-        nextTime_[i] += clockRng_[i].exponential(rates_[i]);
+      const std::uint64_t end = draws_.offsets[i + 1];
+      for (std::uint64_t k = draws_.offsets[i]; k < end; ++k) {
+        sweepEvents_.push_back(
+            {draws_.times[k], static_cast<std::uint32_t>(i)});
       }
     }
+    sortEvents(sweepEvents_, sweepScratch_, now_, epochEnd);
+  }
+
+  // Adapt the next epoch's target from the deferred fraction — a pure
+  // function of the seeded trajectory, so every thread count computes the
+  // same schedule.  The sparse regime leaves the target alone (everything
+  // is "deferred" there, which says nothing about stripe balance).
+  if (adaptive_ && striped) {
+    epochTarget_ = controller_.update(sweepEvents_.size(), total);
+    epochLength_ = static_cast<double>(epochTarget_) / clock_.totalRate();
   }
 
   // Single-threaded sweep: all deferred events in (time, particle) order —
   // a legal sequential tail of the epoch's schedule; window regrows are
   // safe here.
-  std::sort(sweepEvents_.begin(), sweepEvents_.end(),
-            [](const Event& a, const Event& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.particle < b.particle;
-            });
   for (const Event& event : sweepEvents_) {
-    algo_.activate(sys_, event.particle, coinRng_[event.particle]);
+    rng::StreamBank::Use use = coin_.use(event.particle);
+    algo_.activate(sys_, event.particle, use.rng());
   }
   executed += sweepEvents_.size();
   sweepActivations_ += sweepEvents_.size();
@@ -215,11 +235,12 @@ void ShardedPoissonRunner::saveState(system::SnapshotWriter& w) const {
   w.f64(now_);
   w.u64(totalActivations_);
   w.u64(sweepActivations_);
-  w.u64(nextTime_.size());
-  for (std::size_t i = 0; i < nextTime_.size(); ++i) {
-    w.f64(nextTime_[i]);
-    system::writeRandom(w, clockRng_[i]);
-    system::writeRandom(w, coinRng_[i]);
+  w.u64(epochTarget_);
+  w.u64(clock_.size());
+  for (std::size_t i = 0; i < clock_.size(); ++i) {
+    w.f64(clock_.nextTime(i));
+    system::writeEngineState(w, clock_.state(i));
+    system::writeEngineState(w, coin_.state(i));
   }
 }
 
@@ -227,17 +248,24 @@ void ShardedPoissonRunner::restoreState(system::SnapshotReader& r) {
   now_ = r.f64();
   totalActivations_ = r.u64();
   sweepActivations_ = r.u64();
+  const std::uint64_t target = r.u64();
+  if (adaptive_) {
+    controller_.setTarget(target);
+    epochTarget_ = target;
+  } else {
+    SOPS_REQUIRE(target == epochTarget_,
+                 "snapshot: fixed epoch target does not match the runner's "
+                 "options");
+  }
+  epochLength_ = static_cast<double>(epochTarget_) / clock_.totalRate();
   const std::uint64_t n = r.u64();
   SOPS_REQUIRE(n == sys_.size(),
                "snapshot: per-particle stream count does not match the "
                "particle count");
-  clockRng_.clear();
-  coinRng_.clear();
-  nextTime_.clear();
   for (std::uint64_t i = 0; i < n; ++i) {
-    nextTime_.push_back(r.f64());
-    clockRng_.push_back(system::readRandom(r));
-    coinRng_.push_back(system::readRandom(r));
+    clock_.setNextTime(i, r.f64());
+    clock_.setState(i, system::readEngineState(r));
+    coin_.setState(i, system::readEngineState(r));
   }
 }
 

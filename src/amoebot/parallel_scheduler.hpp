@@ -32,16 +32,23 @@
 /// legal sequential tail of the epoch's schedule, free to regrow windows.
 ///
 /// **Clocks and coins.**  Each particle owns two decorrelated RNG streams
-/// forked from the master seed: one drives its exponential waiting times,
-/// one its activation coin flips.  Every random draw is therefore a pure
+/// seeded once from the master seed (rng::particleStream): one drives its
+/// exponential waiting times, one its activation coin flips.  The streams
+/// live in SoA banks (rng/stream_bank.hpp) — packed 32-byte engine states,
+/// one cache line per touched stream — and the clock bank draws a whole
+/// epoch's waiting times in one batched sequential pass
+/// (PoissonClockBank::fillEpoch).  Every random draw is therefore a pure
 /// function of (seed, particle, how often that particle acted) — never of
 /// thread interleaving — which, with the deterministic stripe/halo rules
 /// above, makes the whole trajectory a pure function of the seed.
 /// tests/local_golden_test.cpp pins this across thread counts.
 ///
-/// Time advances in epochs of Δ = targetEventsPerEpoch / Σrates; epoch
-/// boundaries are the only global synchronization.  Configurations too
-/// spread out for the dense planes (AmoebotSystem::fastPathEnabled()
+/// Time advances in epochs of Δ = target / Σrates; epoch boundaries are
+/// the only global synchronization.  An explicit targetEventsPerEpoch
+/// fixes the target; the default adapts it each epoch from the
+/// deferred-event fraction (core/epoch_control.hpp — a thread-count-
+/// invariant signal, so adaptivity preserves determinism).  Configurations
+/// too spread out for the dense planes (AmoebotSystem::fastPathEnabled()
 /// false) degrade to running every event on the sweep path — same
 /// trajectory contract, no parallelism.
 
@@ -51,8 +58,10 @@
 #include "amoebot/amoebot_system.hpp"
 #include "amoebot/local_compression.hpp"
 #include "core/cancel.hpp"
-#include "rng/random.hpp"
+#include "core/epoch_control.hpp"
+#include "rng/stream_bank.hpp"
 #include "system/snapshot.hpp"
+#include "util/event_sort.hpp"
 
 namespace sops::amoebot {
 
@@ -61,9 +70,12 @@ struct ShardedOptions {
   /// The trajectory is identical for every value.
   unsigned threads = 0;
   /// Expected activations per epoch (sets Δ = target / Σrates); 0 derives
-  /// max(2n, 1024).  Smaller epochs tighten the interleaving granularity,
-  /// larger ones amortize the epoch barrier.
+  /// min(max(2n, 1024), 2^28) and lets the adaptive controller move it.
+  /// An explicit value fixes the target for the whole run.
   std::uint64_t targetEventsPerEpoch = 0;
+  /// Adapt the derived epoch target from the deferred-event fraction
+  /// (core/epoch_control.hpp).  Ignored when targetEventsPerEpoch != 0.
+  bool adaptiveEpochs = true;
   /// Per-particle Poisson rates; empty => all 1 (§3.2 allows heterogeneous
   /// rates without changing the stationary distribution).
   std::vector<double> rates;
@@ -97,10 +109,12 @@ class ShardedPoissonRunner {
   std::uint64_t runFor(double duration);
 
   /// Serializes the runner's evolving state: simulated clock, activation
-  /// tallies, and every particle's pending event time plus both private
-  /// RNG streams.  The system itself is serialized separately
-  /// (AmoebotSystem::saveState); rates and epoch length come from the
-  /// constructor.  Only legal between runs (epoch boundaries).
+  /// tallies, the current epoch target (history-dependent under the
+  /// adaptive controller), and every particle's pending event time plus
+  /// both private stream states (bare engine words — the banks' master
+  /// seed comes from the constructor).  The system itself is serialized
+  /// separately (AmoebotSystem::saveState); rates and epoch bounds come
+  /// from the constructor.  Only legal between runs (epoch boundaries).
   void saveState(system::SnapshotWriter& w) const;
 
   /// Inverse of saveState on a runner constructed with the same
@@ -118,25 +132,37 @@ class ShardedPoissonRunner {
     return sweepActivations_;
   }
   [[nodiscard]] double epochLength() const noexcept { return epochLength_; }
+  /// Current activations-per-epoch target (fixed, or the adaptive
+  /// controller's latest decision).
+  [[nodiscard]] std::uint64_t epochTarget() const noexcept {
+    return epochTarget_;
+  }
 
  private:
   struct Event {
     double time;
     std::uint32_t particle;
+
+    friend bool operator<(const Event& a, const Event& b) noexcept {
+      if (a.time != b.time) return a.time < b.time;
+      return a.particle < b.particle;
+    }
   };
 
   AmoebotSystem& sys_;
   const LocalCompressionAlgorithm& algo_;
   ShardedOptions options_;
-  std::vector<double> rates_;
+  bool adaptive_ = true;
   double epochLength_;
   double now_ = 0.0;
+  std::uint64_t epochTarget_ = 0;
   std::uint64_t totalActivations_ = 0;
   std::uint64_t sweepActivations_ = 0;
+  core::AdaptiveEpochController controller_;
 
-  std::vector<rng::Random> clockRng_;  ///< waiting-time stream per particle
-  std::vector<rng::Random> coinRng_;   ///< activation-coin stream per particle
-  std::vector<double> nextTime_;       ///< next pending activation time
+  rng::PoissonClockBank clock_;  ///< SoA waiting-time streams + rates
+  rng::StreamBank coin_;         ///< SoA activation-coin streams
+  rng::PoissonClockBank::EpochDraws draws_;
   const core::CancelToken* cancel_ = nullptr;
 
   /// Reused per-epoch buffers.
@@ -144,14 +170,25 @@ class ShardedPoissonRunner {
   std::vector<std::vector<Event>> stripeEvents_;
   std::vector<std::vector<Event>> stripeDeferred_;
   std::vector<std::uint64_t> stripeActivations_;
+  std::vector<util::EventSortScratch<Event>> sortScratch_;
+  util::EventSortScratch<Event> sweepScratch_;
+  std::vector<std::size_t> activeStripes_;
   std::vector<Event> sweepEvents_;
+  std::vector<Event> mergeBuf_;
 
-  /// One epoch [now_, now_ + Δ): stripe phase, join, deferred sweep.
-  /// Returns activations executed.
+  /// One epoch [now_, now_ + Δ): batched draw, stripe phase, join,
+  /// deferred sweep.  Returns activations executed.
   std::uint64_t runEpoch();
   /// Processes stripe `s` (events of its interior particles in time order,
   /// halo events routed to stripeDeferred_[s]).  Runs on a worker thread.
-  void runStripe(std::size_t s, double epochEnd, std::int64_t originX);
+  void runStripe(std::size_t s, std::int64_t originX, double epochEnd);
+  /// (time, particle) sort shared by the stripe phase and the sweep:
+  /// every firing time lies in the epoch window, so the bucket sort in
+  /// util/event_sort.hpp applies; per-bucket comparison is Event's own
+  /// operator<, so the result is the exact lexicographic schedule.
+  static void sortEvents(std::vector<Event>& events,
+                         util::EventSortScratch<Event>& scratch,
+                         double begin, double end);
 };
 
 }  // namespace sops::amoebot

@@ -8,9 +8,10 @@
 ///
 /// The chain M activates one particle per step, which pins a replica to
 /// one core no matter how large n grows.  Poissonization breaks the
-/// serialization: give every particle an independent rate-1 exponential
-/// clock and execute clock events instead of uniform draws — the embedded
-/// jump chain selects particles uniformly, so each event is exactly one
+/// serialization: give every particle an independent exponential clock
+/// and execute clock events instead of uniform draws — the embedded
+/// jump chain selects particle i with probability rate_i / Σ rates (the
+/// uniform chain when all rates are 1), so each event is exactly one
 /// Metropolis proposal of the engine's weight model, and the per-event
 /// body is the *same* chainEventStep() the sequential engine runs.
 ///
@@ -43,14 +44,40 @@
 /// free to regrow windows and resync planes.
 ///
 /// **Clocks and coins.**  Each particle owns two decorrelated RNG streams
-/// forked from the master seed (mix64 of (seed, 2i+1) and (seed, 2i+2),
-/// the amoebot runner's seeding): one drives its exponential waiting
-/// times, one its per-event draws (aux coin, direction/orientation,
-/// Metropolis uniform).  Every draw is a pure function of
+/// seeded once from the master seed (rng::particleStream — mix64 of
+/// (seed, 2i+1) and (seed, 2i+2), the discipline shared with the amoebot
+/// runner): one drives its exponential waiting times, one its per-event
+/// draws (aux coin, direction/orientation, Metropolis uniform).  The
+/// streams live in SoA banks (rng/stream_bank.hpp) — 32-byte packed
+/// engine states, one cache line per touched stream instead of the two
+/// scattered lines the old AoS `std::vector<rng::Random>` cost — and the
+/// clock bank fills a whole epoch's waiting times in one batched
+/// sequential pass (PoissonClockBank::fillEpoch) rather than one
+/// scattered draw per event.  Every draw remains a pure function of
 /// (seed, particle, draw index) — never of thread interleaving — which,
 /// with the deterministic stripe/halo rules above, makes the whole
 /// trajectory a pure function of the seed.  tests/sharded_chain_test.cpp
 /// pins this across thread counts for all three shipped models.
+///
+/// **Epoch sizing and overlap.**  Epoch length Δ = target / Σ rates.  An
+/// explicit targetEventsPerEpoch fixes the target; the default adapts it
+/// each epoch from the deferred-event fraction (core/epoch_control.hpp —
+/// a thread-count-invariant signal, so adaptivity preserves the
+/// determinism contract).  Because the clock draws depend only on the
+/// clock streams, never on particle positions, the next epoch's batched
+/// fill can run on a persistent helper thread while the coordinating
+/// thread executes this epoch's sequential sweep — hiding most of the
+/// Amdahl serial fraction.  The helper is disabled at threads == 1, which
+/// therefore measures the honest single-thread premium.
+///
+/// **Heterogeneous rates.**  ShardedChainOptions::rates gives particle i
+/// activation rate rate_i > 0 (empty = all 1.0, the paper's uniform
+/// chain).  Each accepted move's reverse is proposed by the *same*
+/// particle's clock (movement: the moved particle; swap and rotation:
+/// per-particle coins pair i with i), so the Metropolis ratio — and with
+/// it the stationary distribution π — is unchanged by the rates; only
+/// the selection frequencies shift.  tests/sharded_chain_test.cpp checks
+/// this against exact π by chi-square at n = 4 and 5.
 ///
 /// **What is and is not preserved.**  Unlike the facade's sequential
 /// path, the sharded trajectory is *not* draw-for-draw the engine's (the
@@ -73,23 +100,39 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/biased_chain_engine.hpp"
 #include "core/cancel.hpp"
 #include "core/ensemble.hpp"
+#include "core/epoch_control.hpp"
+#include "core/overlap_worker.hpp"
+#include "rng/stream_bank.hpp"
 #include "system/metrics.hpp"
+#include "util/event_sort.hpp"
 
 namespace sops::core {
 
 struct ShardedChainOptions {
   /// Worker threads for the stripe phase; 0 uses hardware_concurrency().
-  /// The trajectory is identical for every value.
+  /// The trajectory is identical for every value.  threads == 1 also
+  /// disables the draw/sweep overlap helper, so it runs strictly
+  /// single-threaded.
   unsigned threads = 0;
-  /// Expected events per epoch (sets Δ = target / n); 0 derives
-  /// max(2n, 1024).  Smaller epochs tighten the interleaving granularity,
-  /// larger ones amortize the epoch barrier.
+  /// Expected events per epoch (sets Δ = target / Σ rates); 0 derives
+  /// min(max(2n, 1024), 2^28) and lets the adaptive controller move it.
+  /// An explicit value fixes the target for the whole run.
   std::uint64_t targetEventsPerEpoch = 0;
+  /// Adapt the derived epoch target from the deferred-event fraction
+  /// (core/epoch_control.hpp).  Ignored when targetEventsPerEpoch != 0.
+  bool adaptiveEpochs = true;
+  /// Per-particle Poisson activation rates; empty means all 1.0 (the
+  /// paper's uniform-activation chain).  Must be positive and match the
+  /// particle count when present.  π is unchanged (see file comment);
+  /// only selection frequencies shift.
+  std::vector<double> rates;
 };
 
 template <typename Model>
@@ -98,7 +141,7 @@ class ShardedChainRunner {
   ShardedChainRunner(system::ParticleSystem initial, Model model,
                      std::uint64_t seed, ShardedChainOptions options = {})
       : system_(std::move(initial)), model_(std::move(model)),
-        options_(options) {
+        options_(std::move(options)), controller_(system_.size()) {
     const std::size_t n = system_.size();
     SOPS_REQUIRE(n > 0, "sharded chain runner needs particles");
     (void)checkedParticleDrawBound(n);  // 32-bit particle ids
@@ -115,25 +158,25 @@ class ShardedChainRunner {
     decisions_ = buildDecisionTable(chainOptions);
 
     // One epoch's schedule lives in memory (~16 bytes/event); an explicit
-    // target beyond 2^28 can only be a mis-keyed step count.  (The
-    // derived default 2n scales with state the caller already holds.)
-    SOPS_REQUIRE(options_.targetEventsPerEpoch <= (std::uint64_t{1} << 28),
+    // target beyond the cap can only be a mis-keyed step count, and the
+    // derived default is clamped to the same cap (an unclamped 2n once
+    // let a legal huge-n system build a multi-GiB schedule).
+    SOPS_REQUIRE(options_.targetEventsPerEpoch <= kMaxEventsPerEpoch,
                  "targetEventsPerEpoch must be at most 2^28");
-    std::uint64_t target = options_.targetEventsPerEpoch;
-    if (target == 0) target = std::max<std::uint64_t>(2 * n, 1024);
-    epochLength_ = static_cast<double>(target) / static_cast<double>(n);
+    SOPS_REQUIRE(options_.rates.empty() || options_.rates.size() == n,
+                 "rates must be empty or give one rate per particle");
+    adaptive_ =
+        options_.targetEventsPerEpoch == 0 && options_.adaptiveEpochs;
+    epochTarget_ = options_.targetEventsPerEpoch != 0
+                       ? options_.targetEventsPerEpoch
+                       : derivedEpochTarget(n);
 
-    // Independent decorrelated streams per particle — the seeding
-    // discipline shared with the amoebot runner (rng::particleStream).
-    clockRng_.reserve(n);
-    coinRng_.reserve(n);
-    nextTime_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto stream = static_cast<std::uint64_t>(i);
-      clockRng_.push_back(rng::particleStream(seed, stream, 1));
-      coinRng_.push_back(rng::particleStream(seed, stream, 2));
-      nextTime_.push_back(clockRng_[i].exponential(1.0));
-    }
+    // SoA stream banks, seeded once with the discipline shared with the
+    // amoebot runner (rng::particleStream); the clock bank also draws
+    // each particle's first firing time, as the AoS constructor did.
+    clock_ = rng::PoissonClockBank(seed, n, 1, options_.rates);
+    coin_ = rng::StreamBank(seed, n, 2);
+    epochLength_ = static_cast<double>(epochTarget_) / clock_.totalRate();
   }
 
   /// Installs a cooperative cancel token polled between epochs: once it
@@ -150,10 +193,17 @@ class ShardedChainRunner {
   /// consistent (particleAt()) between calls.
   std::uint64_t runAtLeast(std::uint64_t minEvents) {
     const IndexRestore restore(system_);
+    const OverlapDrain drain(*this);
     std::uint64_t executed = 0;
-    while (executed < minEvents) {
-      if (isCancelled(cancel_)) break;
-      executed += runEpoch();
+    while (executed < minEvents || overlapPending_) {
+      // A pre-drawn epoch must be consumed before stopping (its draws
+      // have already advanced the clock bank), so a cancel with a fill in
+      // flight runs exactly one more epoch — which also skips the next
+      // pre-draw, unwinding the pipeline.
+      if (isCancelled(cancel_) && !overlapPending_) break;
+      executed += runEpoch(
+          [&](std::uint64_t after, double) { return after < minEvents; },
+          executed);
     }
     return executed;
   }
@@ -162,11 +212,13 @@ class ShardedChainRunner {
   /// the cancel token trips).
   std::uint64_t runFor(double duration) {
     const IndexRestore restore(system_);
+    const OverlapDrain drain(*this);
     const double target = now_ + duration;
     std::uint64_t executed = 0;
-    while (now_ < target) {
-      if (isCancelled(cancel_)) break;
-      executed += runEpoch();
+    while (now_ < target || overlapPending_) {
+      if (isCancelled(cancel_) && !overlapPending_) break;
+      executed += runEpoch(
+          [&](std::uint64_t, double end) { return end < target; }, executed);
     }
     return executed;
   }
@@ -178,6 +230,12 @@ class ShardedChainRunner {
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] double epochLength() const noexcept { return epochLength_; }
+
+  /// Current events-per-epoch target (fixed, or the adaptive controller's
+  /// latest decision).
+  [[nodiscard]] std::uint64_t epochTarget() const noexcept {
+    return epochTarget_;
+  }
 
   /// Events executed on the sequential sweep (halo + window-edge
   /// deferrals) since construction — the serial fraction of the run.
@@ -198,51 +256,67 @@ class ShardedChainRunner {
   /// Serializes the runner's evolving state: system WITH its exact window
   /// geometry (the stripe decomposition and halo/edge deferral rules are
   /// functions of it — a re-derived window would change the trajectory),
-  /// model aux state, tallies, simulated clock, and every particle's
-  /// pending event time plus both private RNG streams.  Only legal
-  /// between runAtLeast/runFor calls (epoch boundaries), where the index
-  /// is live and the epoch buffers are empty.
+  /// model aux state, tallies, simulated clock, the current epoch target
+  /// (history-dependent under the adaptive controller), and every
+  /// particle's pending event time plus both private stream states (the
+  /// banks' master seed is the constructor's, so only the 4 engine words
+  /// per stream are stored).  Only legal between runAtLeast/runFor calls
+  /// (epoch boundaries), where the index is live and the epoch buffers —
+  /// including any overlap pre-draw — are empty.
   void saveState(system::SnapshotWriter& w) const {
     SOPS_REQUIRE(!system_.indexSuspended(),
                  "saveState: only legal between runs (index suspended)");
+    SOPS_REQUIRE(!overlapPending_,
+                 "saveState: overlap pre-draw still pending (only legal "
+                 "between runs)");
     system::writeParticleSystem(w, system_);
     model_.serialize(w);
     writeEngineStats(w, stats_);
     w.i64(edges_);
     w.f64(now_);
     w.u64(sweepEventCount_);
+    w.u64(epochTarget_);
     w.u64(system_.size());
     for (std::size_t i = 0; i < system_.size(); ++i) {
-      w.f64(nextTime_[i]);
-      system::writeRandom(w, clockRng_[i]);
-      system::writeRandom(w, coinRng_[i]);
+      w.f64(clock_.nextTime(i));
+      system::writeEngineState(w, clock_.state(i));
+      system::writeEngineState(w, coin_.state(i));
     }
   }
 
   /// Inverse of saveState on a runner constructed from the same spec
-  /// (same model options, seed, epoch target).  Epoch length, decision
-  /// table, and the derived planes come from the constructor; everything
-  /// history-dependent is restored, so the runner continues the
-  /// snapshotted trajectory exactly (at any thread count).
+  /// (same model options, seed, epoch/rate options).  Epoch bounds,
+  /// decision table, rates, and the derived planes come from the
+  /// constructor; everything history-dependent is restored, so the runner
+  /// continues the snapshotted trajectory exactly (at any thread count).
   void restoreState(system::SnapshotReader& r) {
+    SOPS_REQUIRE(!overlapPending_,
+                 "restoreState: overlap pre-draw still pending");
     system_ = system::readParticleSystem(r);
     model_.deserialize(r);
     stats_ = readEngineStats(r);
     edges_ = r.i64();
     now_ = r.f64();
     sweepEventCount_ = r.u64();
+    const std::uint64_t target = r.u64();
+    if (adaptive_) {
+      controller_.setTarget(target);
+      epochTarget_ = target;
+    } else {
+      SOPS_REQUIRE(target == epochTarget_,
+                   "snapshot: fixed epoch target does not match the "
+                   "runner's options");
+    }
     const std::uint64_t n = r.u64();
     SOPS_REQUIRE(n == system_.size(),
                  "snapshot: per-particle stream count does not match the "
                  "particle count");
-    clockRng_.clear();
-    coinRng_.clear();
-    nextTime_.clear();
     for (std::uint64_t i = 0; i < n; ++i) {
-      nextTime_.push_back(r.f64());
-      clockRng_.push_back(system::readRandom(r));
-      coinRng_.push_back(system::readRandom(r));
+      clock_.setNextTime(i, r.f64());
+      clock_.setState(i, system::readEngineState(r));
+      coin_.setState(i, system::readEngineState(r));
     }
+    epochLength_ = static_cast<double>(epochTarget_) / clock_.totalRate();
     (void)checkedParticleDrawBound(system_.size());
     model_.attach(system_);
     if constexpr (kMaintainsIds) {
@@ -264,7 +338,6 @@ class ShardedChainRunner {
   static_assert(ModelInteractionRadius<Model>::value >= 1 &&
                     ModelInteractionRadius<Model>::value <= 8,
                 "interaction radius must leave a non-trivial stripe interior");
-
   /// One pending activation.  The (time, particle) order below is THE
   /// schedule order — both the per-stripe pass and the deferred sweep
   /// sort by it, and trajectory reproducibility across thread counts
@@ -278,6 +351,17 @@ class ShardedChainRunner {
       return a.particle < b.particle;
     }
   };
+
+  /// Sorts events into (time, particle) order.  Every firing time lies
+  /// in the epoch window [begin, end), so the bucket sort applies; its
+  /// per-bucket comparison is Event's own operator<, making the result
+  /// the exact lexicographic schedule.
+  static void sortEvents(std::vector<Event>& events,
+                         util::EventSortScratch<Event>& scratch,
+                         double begin, double end) {
+    util::sortEventsInWindow(events, scratch, begin, end,
+                             [](const Event& e) { return e.time; });
+  }
 
   /// Per-stripe outcome tally, merged on the coordinating thread in
   /// stripe order after the join.
@@ -302,13 +386,44 @@ class ShardedChainRunner {
     system::ParticleSystem& sys_;
   };
 
+  /// RAII overlap quiescence for one run: if an epoch throws with a
+  /// pre-draw in flight, the helper must finish before unwinding (it
+  /// writes the clock bank).  The completed buffer stays pending — it is
+  /// a valid continuation the next run consumes.  Normal exits never
+  /// leave a pre-draw pending (the moreAfter prediction is exact).
+  class OverlapDrain {
+   public:
+    explicit OverlapDrain(ShardedChainRunner& runner) noexcept
+        : runner_(runner) {}
+    ~OverlapDrain() {
+      if (runner_.overlapPending_) {
+        try {
+          runner_.overlap_->wait();
+        } catch (...) {
+          runner_.overlapPending_ = false;  // fill died; buffer unusable
+        }
+      }
+    }
+    OverlapDrain(const OverlapDrain&) = delete;
+    OverlapDrain& operator=(const OverlapDrain&) = delete;
+
+   private:
+    ShardedChainRunner& runner_;
+  };
+
+  [[nodiscard]] bool overlapEnabled() const noexcept {
+    return options_.threads != 1;
+  }
+
   /// One event of `particle`, drawing (aux coin, direction, uniform) from
-  /// its private coin stream; outcomes tallied into `stats`/`edges` (a
+  /// its private coin stream — materialized from the SoA bank for the
+  /// duration of the event; outcomes tallied into `stats`/`edges` (a
   /// stripe-local tally in the parallel phase, the members on the sweep).
   void runEvent(std::uint32_t particle, EngineStats& stats,
                 std::int64_t& edges) {
     ++stats.steps;
-    rng::Random& rng = coinRng_[particle];
+    rng::StreamBank::Use use = coin_.use(particle);
+    rng::Random& rng = use.rng();
     bool auxMove = false;
     if constexpr (Model::kHasAuxMove) {
       auxMove = model_.auxEnabled() && rng.bernoulli(model_.auxProbability());
@@ -325,13 +440,13 @@ class ShardedChainRunner {
     }
   }
 
-  /// Processes stripe `s`: draws the epoch's event times for its
-  /// particles up front (clock streams are independent of system state,
-  /// so the draws are order-insensitive across particles), sorts once,
-  /// executes interior events and routes halo/window-edge events to
+  /// Processes stripe `s`: gathers its particles' pre-drawn firing times
+  /// from the epoch buffer (filled in one batched pass — possibly by the
+  /// overlap helper during the previous sweep), sorts once, executes
+  /// interior events and routes halo/window-edge events to
   /// stripeDeferred_[s].  Runs on a worker thread; touches only this
-  /// stripe's words, its particles' streams, and its own tally.
-  void runStripe(std::size_t s, double epochEnd, std::int64_t originX) {
+  /// stripe's words, its particles' coin streams, and its own tally.
+  void runStripe(std::size_t s, std::int64_t originX, double epochEnd) {
     std::vector<Event>& deferred = stripeDeferred_[s];
     deferred.clear();
     StripeTally& tally = stripeTally_[s];
@@ -340,14 +455,12 @@ class ShardedChainRunner {
     std::vector<Event>& events = stripeEvents_[s];
     events.clear();
     for (const std::uint32_t i : stripeParticles_[s]) {
-      double t = nextTime_[i];
-      do {
-        events.push_back({t, i});
-        t += clockRng_[i].exponential(1.0);
-      } while (t < epochEnd);
-      nextTime_[i] = t;
+      const std::uint64_t end = draws_.offsets[i + 1];
+      for (std::uint64_t k = draws_.offsets[i]; k < end; ++k) {
+        events.push_back({draws_.times[k], i});
+      }
     }
-    std::sort(events.begin(), events.end());
+    sortEvents(events, sortScratch_[s], now_, epochEnd);
 
     const system::BitGrid& grid = system_.grid();
     for (const Event& event : events) {
@@ -372,11 +485,32 @@ class ShardedChainRunner {
     }
   }
 
-  /// One epoch [now_, now_ + Δ): stripe phase, join, deferred sweep.
-  std::uint64_t runEpoch() {
+  /// One epoch [now_, now_ + Δ): batched draw (or overlap handoff),
+  /// stripe phase, join, next-Δ decision + pre-draw submit, deferred
+  /// sweep.  `moreAfter(eventsAfterThisEpoch, epochEnd)` predicts whether
+  /// the burst continues — it gates the pre-draw, and it must be exact so
+  /// bursts never end with a fill pending.
+  template <typename MoreAfter>
+  std::uint64_t runEpoch(MoreAfter&& moreAfter, std::uint64_t executedBefore) {
     const double epochEnd = now_ + epochLength_;
+
+    // The epoch's full schedule of firing times, per particle ascending.
+    // Either the helper pre-drew it during the previous sweep or it is
+    // filled here — identical draws either way (fillEpoch is a pure
+    // function of the clock bank's state).
+    if (overlapPending_) {
+      overlap_->wait();
+      overlapPending_ = false;
+      SOPS_DASSERT(pendingEnd_ == epochEnd);
+      std::swap(draws_, pending_);
+    } else {
+      clock_.fillEpoch(epochEnd, draws_);
+    }
+    const std::uint64_t total = draws_.total();
+
     sweepQueue_.clear();
     std::uint64_t executed = 0;
+    bool striped = false;
 
     // A dense window the id mirror cannot cover (ParticleIdPlane::
     // kMaxCells, smaller than BitGrid's own cap) forces pair moves onto
@@ -390,6 +524,7 @@ class ShardedChainRunner {
     }
 
     if (system_.grid().enabled() && idPlaneReady) {
+      striped = true;
       // Pre-phase plane sync on the coordinating thread: with the window
       // geometry fixed for the whole stripe phase (window-edge events are
       // deferred), no shadow-plane or id-plane rebuild can trigger inside
@@ -407,11 +542,12 @@ class ShardedChainRunner {
         stripeEvents_.resize(stripeCount);
         stripeDeferred_.resize(stripeCount);
         stripeTally_.resize(stripeCount);
+        sortScratch_.resize(stripeCount);
       }
       for (auto& list : stripeParticles_) list.clear();
 
       for (std::size_t i = 0; i < system_.size(); ++i) {
-        if (nextTime_[i] >= epochEnd) continue;
+        if (draws_.count(i) == 0) continue;
         const auto col = static_cast<std::uint64_t>(
             static_cast<std::int64_t>(system_.position(i).x) - originX);
         stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
@@ -423,16 +559,27 @@ class ShardedChainRunner {
       }
       core::parallelForIndex(activeStripes_.size(), options_.threads,
                              [&](std::size_t k) {
-                               runStripe(activeStripes_[k], epochEnd, originX);
+                               runStripe(activeStripes_[k], originX, epochEnd);
                              });
       // Merge in stripe order (fixed regardless of which thread ran
       // what): totals are sums, so any fixed order gives the same state.
+      // The deferred lists are each already in (time, particle) order, so
+      // an std::merge cascade assembles the sweep schedule without
+      // another sort.
       for (const std::size_t s : activeStripes_) {
         executed += stripeTally_[s].stats.steps;
         edges_ += stripeTally_[s].edgeDelta;
         stats_.merge(stripeTally_[s].stats);
-        sweepQueue_.insert(sweepQueue_.end(), stripeDeferred_[s].begin(),
-                           stripeDeferred_[s].end());
+        const std::vector<Event>& deferred = stripeDeferred_[s];
+        if (deferred.empty()) continue;
+        if (sweepQueue_.empty()) {
+          sweepQueue_ = deferred;
+        } else {
+          mergeBuf_.resize(sweepQueue_.size() + deferred.size());
+          std::merge(sweepQueue_.begin(), sweepQueue_.end(), deferred.begin(),
+                     deferred.end(), mergeBuf_.begin());
+          sweepQueue_.swap(mergeBuf_);
+        }
       }
     } else {
       // Sequential regimes — sparse fallback (no stripe geometry) or an
@@ -441,18 +588,42 @@ class ShardedChainRunner {
       // fallback mid-run has already restored the index (moveParticle
       // does it on the spot); the overflow regime restores it here.
       system_.restoreIndex();
+      sweepQueue_.reserve(total);
       for (std::size_t i = 0; i < system_.size(); ++i) {
-        while (nextTime_[i] < epochEnd) {
-          sweepQueue_.push_back({nextTime_[i], static_cast<std::uint32_t>(i)});
-          nextTime_[i] += clockRng_[i].exponential(1.0);
+        const std::uint64_t end = draws_.offsets[i + 1];
+        for (std::uint64_t k = draws_.offsets[i]; k < end; ++k) {
+          sweepQueue_.push_back(
+              {draws_.times[k], static_cast<std::uint32_t>(i)});
         }
       }
+      sortEvents(sweepQueue_, sweepScratch_, now_, epochEnd);
+    }
+
+    // Decide the next epoch's length BEFORE the sweep — the overlap
+    // helper needs the next window's end now.  The deferred fraction is a
+    // pure function of the seeded trajectory (stripe geometry + event
+    // positions), so every thread count computes the same schedule; the
+    // sequential regime leaves the target alone (everything is "deferred"
+    // there, which says nothing about stripe balance).
+    if (adaptive_ && striped) {
+      epochTarget_ = controller_.update(sweepQueue_.size(), total);
+    }
+    const double nextLength =
+        static_cast<double>(epochTarget_) / clock_.totalRate();
+    const double nextEnd = epochEnd + nextLength;
+    if (overlapEnabled() && !isCancelled(cancel_) &&
+        moreAfter(executedBefore + total, epochEnd)) {
+      if (!overlap_) overlap_ = std::make_unique<OverlapWorker>();
+      overlapPending_ = true;
+      pendingEnd_ = nextEnd;
+      overlap_->submit([this, nextEnd] { clock_.fillEpoch(nextEnd, pending_); });
     }
 
     // Sequential sweep: all deferred events by *original timestamps* in
     // (time, particle) order — a sequential tail of the epoch's schedule;
-    // window regrows and plane resyncs are safe here.
-    std::sort(sweepQueue_.begin(), sweepQueue_.end());
+    // window regrows and plane resyncs are safe here.  The overlap helper
+    // only touches the clock bank and its own buffer, never the system or
+    // the coin bank, so it runs concurrently with this loop.
     for (const Event& event : sweepQueue_) {
       if constexpr (kMaintainsIds) {
         // A sweep regrow can push the window past the id mirror's cap
@@ -467,6 +638,7 @@ class ShardedChainRunner {
     sweepEventCount_ += sweepQueue_.size();
 
     now_ = epochEnd;
+    epochLength_ = nextLength;
     return executed;
   }
 
@@ -476,26 +648,39 @@ class ShardedChainRunner {
   EngineStats stats_;
   std::int64_t edges_ = 0;
   bool greedy_ = false;
+  bool adaptive_ = true;
   double epochLength_ = 1.0;
   double now_ = 0.0;
+  std::uint64_t epochTarget_ = 0;
   std::uint64_t sweepEventCount_ = 0;
+  AdaptiveEpochController controller_;
   /// cell → id mirror for models that declare kNeedsPartnerIds; empty and
   /// untouched otherwise (same contract as the engine's).
   ParticleIdPlane partnerIds_;
   std::array<MoveDecision, 256> decisions_{};
   const CancelToken* cancel_ = nullptr;
 
-  std::vector<rng::Random> clockRng_;  ///< waiting-time stream per particle
-  std::vector<rng::Random> coinRng_;   ///< per-event draw stream per particle
-  std::vector<double> nextTime_;       ///< next pending event time
+  rng::PoissonClockBank clock_;  ///< SoA waiting-time streams + rates
+  rng::StreamBank coin_;         ///< SoA per-event draw streams
+
+  /// Epoch draw buffers: draws_ is the epoch being executed, pending_ the
+  /// overlap helper's output for the next one.
+  rng::PoissonClockBank::EpochDraws draws_;
+  rng::PoissonClockBank::EpochDraws pending_;
+  bool overlapPending_ = false;
+  double pendingEnd_ = 0.0;
+  std::unique_ptr<OverlapWorker> overlap_;
 
   /// Reused per-epoch buffers.
   std::vector<std::vector<std::uint32_t>> stripeParticles_;
   std::vector<std::vector<Event>> stripeEvents_;
   std::vector<std::vector<Event>> stripeDeferred_;
   std::vector<StripeTally> stripeTally_;
+  std::vector<util::EventSortScratch<Event>> sortScratch_;
+  util::EventSortScratch<Event> sweepScratch_;
   std::vector<std::size_t> activeStripes_;
   std::vector<Event> sweepQueue_;
+  std::vector<Event> mergeBuf_;
 };
 
 }  // namespace sops::core

@@ -18,10 +18,65 @@
 
 namespace sops::rng {
 
+/// Shared draw formulas, templated over any uniform-random-bit engine
+/// producing 64-bit words.  `Random` delegates to these, and the SoA stream
+/// banks (stream_bank.hpp) call them directly on a register-resident
+/// engine — one definition, so the two paths cannot drift bit-wise.
+
+/// Uniform double in [0, 1) with 53 bits of precision.
+template <typename Engine>
+[[nodiscard]] double drawUniform(Engine& engine) noexcept {
+  return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in (0, 1]; safe as an argument to log().
+template <typename Engine>
+[[nodiscard]] double drawUniformPositive(Engine& engine) noexcept {
+  return (static_cast<double>(engine() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Exponential with the given rate (mean 1/rate); used by Poisson clocks.
+/// Divides by rate (rather than multiplying by a cached reciprocal) so the
+/// heterogeneous-rate draws stay bit-identical to the historical
+/// `Random::exponential` results.
+template <typename Engine>
+[[nodiscard]] double drawExponential(Engine& engine, double rate = 1.0) noexcept {
+  SOPS_DASSERT(rate > 0.0);
+  return -std::log(drawUniformPositive(engine)) / rate;
+}
+
+/// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
+/// method: unbiased for every bound, one division only on rejection.
+template <typename Engine>
+[[nodiscard]] std::uint32_t drawBelow(Engine& engine,
+                                      std::uint32_t bound) noexcept {
+  SOPS_DASSERT(bound > 0);
+  std::uint64_t x = engine() >> 32;  // 32 uniform bits
+  std::uint64_t m = x * bound;
+  auto low = static_cast<std::uint32_t>(m);
+  if (low < bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      x = engine() >> 32;
+      m = x * bound;
+      low = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
 class Random {
  public:
   explicit Random(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept
       : engine_(seed), seed_(seed) {}
+
+  /// Adopts a captured engine state verbatim (no splitmix seeding pass).
+  /// This is the cheap per-event materialization path used by
+  /// `StreamBank::use`: the bank stores only the four state words per
+  /// stream, and seed() reports the bank's master seed.
+  Random(const std::array<std::uint64_t, 4>& engineState,
+         std::uint64_t seed) noexcept
+      : engine_(engineState), seed_(seed) {}
 
   /// Seed this generator was constructed with (for experiment logging).
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
@@ -38,22 +93,9 @@ class Random {
   /// Raw 64 uniform random bits.
   std::uint64_t bits() noexcept { return engine_(); }
 
-  /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift rejection
-  /// method: unbiased for every bound, one division only on rejection.
+  /// Uniform integer in [0, bound) via Lemire rejection (see drawBelow).
   std::uint32_t below(std::uint32_t bound) noexcept {
-    SOPS_DASSERT(bound > 0);
-    std::uint64_t x = engine_() >> 32;  // 32 uniform bits
-    std::uint64_t m = x * bound;
-    auto low = static_cast<std::uint32_t>(m);
-    if (low < bound) {
-      const std::uint32_t threshold = (0u - bound) % bound;
-      while (low < threshold) {
-        x = engine_() >> 32;
-        m = x * bound;
-        low = static_cast<std::uint32_t>(m);
-      }
-    }
-    return static_cast<std::uint32_t>(m >> 32);
+    return drawBelow(engine_, bound);
   }
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -64,22 +106,17 @@ class Random {
   }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double uniform() noexcept {
-    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
-  }
+  double uniform() noexcept { return drawUniform(engine_); }
 
   /// Uniform double in (0, 1]; safe as an argument to log().
-  double uniformPositive() noexcept {
-    return (static_cast<double>(engine_() >> 11) + 1.0) * 0x1.0p-53;
-  }
+  double uniformPositive() noexcept { return drawUniformPositive(engine_); }
 
   /// Bernoulli(p) draw.
   bool bernoulli(double p) noexcept { return uniform() < p; }
 
   /// Exponential with the given rate (mean 1/rate); used by Poisson clocks.
   double exponential(double rate = 1.0) noexcept {
-    SOPS_DASSERT(rate > 0.0);
-    return -std::log(uniformPositive()) / rate;
+    return drawExponential(engine_, rate);
   }
 
   /// Fisher-Yates shuffle of a random-access container.
@@ -121,7 +158,10 @@ class Random {
 /// dominate construction at 10⁶ particles.  Every draw from the returned
 /// generator is a pure function of (seed, particle, lane, draw index).
 /// One shared definition so the two runners' documented common discipline
-/// cannot drift.
+/// cannot drift.  Streams are seeded here exactly once, when a runner (or
+/// its `StreamBank`) is constructed; per event the runners touch only the
+/// 32-byte engine state, stored SoA in stream_bank.hpp so one stream costs
+/// one cache line instead of two scattered ones.
 [[nodiscard]] inline Random particleStream(std::uint64_t seed,
                                            std::uint64_t particle,
                                            std::uint64_t lane) noexcept {

@@ -1,0 +1,195 @@
+#ifndef SOPS_RNG_STREAM_BANK_HPP
+#define SOPS_RNG_STREAM_BANK_HPP
+
+/// \file stream_bank.hpp
+/// SoA per-particle random streams for the sharded runners.
+///
+/// The sharded runners used to keep one 40-byte `rng::Random` per particle
+/// per lane in an AoS vector, so every event touched two scattered cache
+/// lines of RNG state (clock + coin) on top of the event body.  A
+/// `StreamBank` stores only the 32-byte xoshiro256++ state per stream,
+/// packed and cache-line-friendly; draws materialize a register-resident
+/// engine via the shared `draw*` templates in random.hpp (one definition,
+/// so the banked path cannot drift bit-wise from `rng::Random`).
+///
+/// Seeding is `rng::particleStream(seed, i, lane)` — exactly the discipline
+/// the AoS vectors used — so every draw remains a pure function of
+/// (seed, particle, lane, draw index) and all pre-existing trajectories are
+/// bit-identical.
+///
+/// `PoissonClockBank` layers the Poissonization clocks on top: per-particle
+/// next-event times and (optionally heterogeneous) rates in parallel SoA
+/// arrays, plus `fillEpoch`, the batched exponential-draw pass that emits a
+/// whole epoch's waiting times per particle in one tight sequential sweep
+/// instead of one scattered draw per event.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rng/random.hpp"
+#include "util/assert.hpp"
+
+namespace sops::rng {
+
+/// One xoshiro256++ state, aligned so a single stream never straddles two
+/// cache lines on a 64-byte machine (two states share one line).
+struct alignas(32) EngineState {
+  std::array<std::uint64_t, 4> s;
+};
+
+/// Packed per-particle streams for one lane under one master seed.
+class StreamBank {
+ public:
+  StreamBank() = default;
+
+  /// Seeds `count` streams as particleStream(seed, i, lane) — the seeding
+  /// runs once here; afterwards only the state words are touched.
+  StreamBank(std::uint64_t seed, std::size_t count, std::uint64_t lane)
+      : seed_(seed) {
+    states_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      states_[i].s = particleStream(seed, i, lane).engine().state();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Scoped register-resident view of stream `i`: loads the state into a
+  /// stack `rng::Random`, writes it back on destruction.  Lets per-event
+  /// call sites keep the plain `rng::Random&` interface (chainEventStep,
+  /// the models' auxStep) without templating them over an engine.
+  class Use {
+   public:
+    Use(StreamBank& bank, std::size_t i) noexcept
+        : slot_(&bank.states_[i]), rng_(slot_->s, bank.seed_) {}
+    Use(const Use&) = delete;
+    Use& operator=(const Use&) = delete;
+    ~Use() { slot_->s = rng_.engine().state(); }
+
+    [[nodiscard]] Random& rng() noexcept { return rng_; }
+
+   private:
+    EngineState* slot_;
+    Random rng_;
+  };
+
+  [[nodiscard]] Use use(std::size_t i) noexcept { return Use(*this, i); }
+
+  /// Raw state access for snapshot round-trips.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state(
+      std::size_t i) const noexcept {
+    return states_[i].s;
+  }
+  void setState(std::size_t i,
+                const std::array<std::uint64_t, 4>& state) noexcept {
+    states_[i].s = state;
+  }
+
+ private:
+  std::vector<EngineState> states_;
+  std::uint64_t seed_ = 0;
+};
+
+/// Per-particle Poisson clocks in SoA form: engine states, next firing
+/// times, and activation rates, plus the batched epoch fill.
+class PoissonClockBank {
+ public:
+  /// Flat per-epoch draw buffer: particle i's firing times in this epoch
+  /// are times[offsets[i] .. offsets[i+1]), ascending.  Reused across
+  /// epochs to avoid reallocation.
+  struct EpochDraws {
+    std::vector<double> times;
+    std::vector<std::uint64_t> offsets;  // size n + 1
+
+    [[nodiscard]] std::size_t total() const noexcept { return times.size(); }
+    [[nodiscard]] std::size_t count(std::size_t i) const noexcept {
+      return static_cast<std::size_t>(offsets[i + 1] - offsets[i]);
+    }
+  };
+
+  PoissonClockBank() = default;
+
+  /// Seeds `count` clock streams on `lane` and draws each particle's first
+  /// firing time — the same initial draw the AoS constructors made, so
+  /// trajectories are unchanged.  `rates` empty means all rates are 1.0
+  /// (the paper's uniform-activation chain); otherwise it must have one
+  /// positive entry per particle.
+  PoissonClockBank(std::uint64_t seed, std::size_t count, std::uint64_t lane,
+                   std::vector<double> rates = {})
+      : bank_(seed, count, lane), rates_(std::move(rates)) {
+    SOPS_REQUIRE(rates_.empty() || rates_.size() == count,
+                 "PoissonClockBank: rates size must match particle count");
+    if (rates_.empty()) rates_.assign(count, 1.0);
+    totalRate_ = 0.0;
+    nextTime_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      SOPS_REQUIRE(rates_[i] > 0.0,
+                   "PoissonClockBank: activation rates must be positive");
+      totalRate_ += rates_[i];
+      Xoshiro256PlusPlus engine(bank_.state(i));
+      nextTime_[i] = drawExponential(engine, rates_[i]);
+      bank_.setState(i, engine.state());
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bank_.size(); }
+  [[nodiscard]] double totalRate() const noexcept { return totalRate_; }
+  [[nodiscard]] double rate(std::size_t i) const noexcept { return rates_[i]; }
+  [[nodiscard]] const std::vector<double>& rates() const noexcept {
+    return rates_;
+  }
+
+  /// Advances every clock past `epochEnd`, recording each firing time in
+  /// `out` (ascending per particle, particles in ascending id order).  This
+  /// is the batched draw pass: one sequential sweep over the SoA arrays
+  /// with the engine in registers, instead of a scattered random-access
+  /// draw per event.  Draw-for-draw identical to the per-event AoS loop.
+  void fillEpoch(double epochEnd, EpochDraws& out) {
+    const std::size_t n = bank_.size();
+    out.times.clear();
+    out.offsets.resize(n + 1);
+    out.offsets[0] = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double t = nextTime_[i];
+      if (t < epochEnd) {
+        Xoshiro256PlusPlus engine(bank_.state(i));
+        const double rate = rates_[i];
+        do {
+          out.times.push_back(t);
+          t += drawExponential(engine, rate);
+        } while (t < epochEnd);
+        bank_.setState(i, engine.state());
+        nextTime_[i] = t;
+      }
+      out.offsets[i + 1] = out.times.size();
+    }
+  }
+
+  /// Raw access for snapshot round-trips (rates are construction inputs
+  /// and are not part of the mutable state).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state(
+      std::size_t i) const noexcept {
+    return bank_.state(i);
+  }
+  void setState(std::size_t i,
+                const std::array<std::uint64_t, 4>& state) noexcept {
+    bank_.setState(i, state);
+  }
+  [[nodiscard]] double nextTime(std::size_t i) const noexcept {
+    return nextTime_[i];
+  }
+  void setNextTime(std::size_t i, double t) noexcept { nextTime_[i] = t; }
+
+ private:
+  StreamBank bank_;
+  std::vector<double> nextTime_;
+  std::vector<double> rates_;
+  double totalRate_ = 0.0;
+};
+
+}  // namespace sops::rng
+
+#endif  // SOPS_RNG_STREAM_BANK_HPP

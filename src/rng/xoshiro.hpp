@@ -36,6 +36,12 @@ class Xoshiro256PlusPlus {
     for (auto& word : state_) word = splitmix64(sm);
   }
 
+  /// Adopts a previously captured 256-bit state verbatim (no seeding pass).
+  /// Used by the SoA stream banks, which keep only these four words per
+  /// stream and materialize an engine on demand.
+  explicit Xoshiro256PlusPlus(const std::array<std::uint64_t, 4>& state) noexcept
+      : state_(state) {}
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
 

@@ -22,9 +22,11 @@
 /// Adding a workload = one weight model (core/scenario_models.hpp style)
 /// plus one Scenario subclass here (or anywhere, via ScenarioRegistrar).
 
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "amoebot/amoebot_system.hpp"
 #include "amoebot/faults.hpp"
@@ -67,7 +69,36 @@ void addChainKeys(ParamSchema& schema) {
 void addShardedKeys(ParamSchema& schema) {
   schema.add("epoch-events", ParamType::Int, "0",
              "sharded runner: target events per epoch; 0 derives "
-             "max(2n, 1024)");
+             "min(max(2n, 1024), 2^28) and adapts");
+  schema.add("epoch-adaptive", ParamType::Bool, "true",
+             "sharded runner: adapt the derived epoch target from the "
+             "deferred-event fraction (ignored when epoch-events is set)");
+  schema.add("rate-spread", ParamType::Double, "0.0",
+             "sharded runner: heterogeneous Poisson rates — particle i "
+             "activates at rate 1 + spread*i/(n-1); 0 keeps the uniform "
+             "chain");
+}
+
+[[nodiscard]] double rateSpreadFrom(const ParamMap& params) {
+  const double spread = params.getDouble("rate-spread", 0.0);
+  SOPS_REQUIRE(std::isfinite(spread) && spread >= 0.0,
+               "rate-spread must be finite and non-negative");
+  return spread;
+}
+
+/// Deterministic heterogeneous-rate ramp: particle i activates at rate
+/// 1 + spread·i/(n−1).  The stationary distribution is unchanged (each
+/// move's reverse is proposed by the same particle's clock — see the
+/// sharded runner headers); only selection frequencies shift.  spread = 0
+/// returns the empty vector, i.e. the bit-identical uniform default.
+[[nodiscard]] std::vector<double> rampRates(double spread, std::size_t n) {
+  if (spread == 0.0) return {};
+  std::vector<double> rates(n);
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = 1.0 + spread * (static_cast<double>(i) / denom);
+  }
+  return rates;
 }
 
 [[nodiscard]] std::uint64_t epochEventsFrom(const ParamMap& params) {
@@ -198,15 +229,21 @@ std::unique_ptr<ScenarioRun> makeChainRun(system::ParticleSystem initial,
                                           unsigned workerThreads,
                                           EngineSampler engineSampler,
                                           ShardedSampler shardedSampler) {
+  const double rateSpread = rateSpreadFrom(spec.params);
   if (workerThreads > 1) {
     core::ShardedChainOptions options;
     options.threads = workerThreads;
     options.targetEventsPerEpoch = epochEventsFrom(spec.params);
+    options.adaptiveEpochs = spec.params.getBool("epoch-adaptive", true);
+    options.rates = rampRates(rateSpread, initial.size());
     return std::make_unique<ShardedRun<Model>>(
         core::ShardedChainRunner<Model>(std::move(initial), std::move(model),
                                         replicaSeed, options),
         shardedSampler);
   }
+  SOPS_REQUIRE(rateSpread == 0.0,
+               "rate-spread requires threads > 1 (the sequential chain "
+               "activates uniformly)");
   return std::make_unique<EngineRun<Model>>(
       core::BiasedChainEngine<Model>(std::move(initial), std::move(model),
                                      replicaSeed),
@@ -379,18 +416,15 @@ class AlignmentScenario : public Scenario {
 class AmoebotRun : public ScenarioRun {
  public:
   AmoebotRun(const system::ParticleSystem& initial, double lambda,
-             double crashFraction, std::uint64_t seed, unsigned threads,
-             std::uint64_t targetEventsPerEpoch)
+             double crashFraction, std::uint64_t seed,
+             amoebot::ShardedOptions options)
       : sysRng_(seed), sys_(initial, sysRng_), algo_({lambda}) {
     if (crashFraction > 0.0) {
       rng::Random faultRng(seed + 1);
       amoebot::applyFaults(
           sys_, amoebot::randomCrashes(sys_.size(), crashFraction, faultRng));
     }
-    amoebot::ShardedOptions options;
-    options.threads = threads;
-    options.targetEventsPerEpoch = targetEventsPerEpoch;
-    runner_.emplace(sys_, algo_, seed + 2, options);
+    runner_.emplace(sys_, algo_, seed + 2, std::move(options));
   }
 
   void advance(std::uint64_t steps) override { runner_->runAtLeast(steps); }
@@ -460,10 +494,15 @@ class AmoebotScenario : public Scenario {
         spec.params.getDouble("crash-fraction", 0.0);
     SOPS_REQUIRE(crashFraction >= 0.0 && crashFraction < 1.0,
                  "crash-fraction must be in [0, 1)");
+    system::ParticleSystem initial = spec.makeInitial(replicaSeed);
+    amoebot::ShardedOptions options;
+    options.threads = workerThreads;
+    options.targetEventsPerEpoch = epochEventsFrom(spec.params);
+    options.adaptiveEpochs = spec.params.getBool("epoch-adaptive", true);
+    options.rates = rampRates(rateSpreadFrom(spec.params), initial.size());
     return std::make_unique<AmoebotRun>(
-        spec.makeInitial(replicaSeed), spec.params.getDouble("lambda", 4.0),
-        crashFraction, replicaSeed, workerThreads,
-        epochEventsFrom(spec.params));
+        std::move(initial), spec.params.getDouble("lambda", 4.0),
+        crashFraction, replicaSeed, std::move(options));
   }
 };
 

@@ -7,7 +7,7 @@
 /// A snapshot file is a framed payload:
 ///
 ///   bytes 0..7    magic "SOPSSNAP"
-///   bytes 8..11   format version (u32 little-endian, currently 1)
+///   bytes 8..11   format version (u32 little-endian, currently 2)
 ///   bytes 12..19  payload length in bytes (u64 LE)
 ///   bytes 20..27  FNV-1a-64 checksum of the payload (u64 LE)
 ///   bytes 28..    payload
@@ -45,8 +45,12 @@ namespace sops::system {
 [[nodiscard]] std::uint64_t snapshotChecksum(
     std::span<const std::uint8_t> bytes) noexcept;
 
-/// Current frame format version.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Current frame format version.  v2: the sharded runners serialize their
+/// per-particle streams as bare 256-bit engine states (SoA banks; the
+/// master seed is part of the run spec) plus the adaptive epoch target —
+/// v1 payloads stored full (seed, state) Random pairs and no target, so
+/// they must fail loudly rather than be misread.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Accumulates a snapshot payload as typed little-endian primitives.
 class SnapshotWriter {
@@ -128,6 +132,13 @@ void writeParticleSystem(SnapshotWriter& w, const ParticleSystem& sys);
 /// Serializes an rng::Random exactly: seed plus the 256-bit engine state.
 void writeRandom(SnapshotWriter& w, const rng::Random& random);
 [[nodiscard]] rng::Random readRandom(SnapshotReader& r);
+
+/// Serializes a bare 256-bit engine state — the per-stream unit of the
+/// SoA stream banks (rng/stream_bank.hpp), whose master seed lives in the
+/// run spec rather than in every stream.
+void writeEngineState(SnapshotWriter& w,
+                      const std::array<std::uint64_t, 4>& state);
+[[nodiscard]] std::array<std::uint64_t, 4> readEngineState(SnapshotReader& r);
 
 }  // namespace sops::system
 

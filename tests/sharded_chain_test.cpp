@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "analysis/stats.hpp"
+#include "core/epoch_control.hpp"
 #include "core/scenario_models.hpp"
 #include "core/sharded_chain_runner.hpp"
 #include "enumeration/exact_distribution.hpp"
@@ -190,6 +191,84 @@ TEST(ShardedChain, IdPlaneOverflowRunsSequentialWithLiveIndex) {
   EXPECT_EQ(runner.edges(), system::countEdges(runner.system()));
 }
 
+TEST(ShardedChain, ThreadInvariantAcrossEpochConfigurations) {
+  // The contract quantifies over the epoch machinery too: several fixed
+  // targets (small epochs, derived-scale epochs, big epochs), the
+  // adaptive controller (the default), and heterogeneous clock rates must
+  // each give a trajectory — and an adaptive-target history — that is a
+  // pure function of the seed.  The final epoch target is part of the
+  // signature: the controller's decisions are made from deferred/total
+  // counts, which are themselves thread-invariant.
+  struct Config {
+    std::uint64_t target;  // 0 = adaptive
+    bool ramped;           // heterogeneous rates?
+  };
+  const std::size_t n = 300;
+  std::vector<double> ramp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ramp[i] = 1.0 + 3.0 * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  for (const Config config :
+       {Config{96, false}, Config{2048, false}, Config{16384, false},
+        Config{0, false}, Config{0, true}}) {
+    std::vector<RunSignature> signatures;
+    std::vector<std::uint64_t> targets;
+    for (const unsigned threads : {1u, 3u, std::max(
+             1u, std::thread::hardware_concurrency())}) {
+      ChainOptions options;
+      options.lambda = 4.0;
+      ShardedChainOptions sharded;
+      sharded.threads = threads;
+      sharded.targetEventsPerEpoch = config.target;
+      if (config.ramped) sharded.rates = ramp;
+      ShardedChainRunner<CompressionModel> runner(
+          system::lineConfiguration(static_cast<std::int64_t>(n)),
+          CompressionModel(options), 9019, sharded);
+      signatures.push_back(runAndCheck(runner, 90000));
+      targets.push_back(runner.epochTarget());
+    }
+    for (std::size_t i = 1; i < signatures.size(); ++i) {
+      EXPECT_TRUE(signatures[i] == signatures[0])
+          << "target " << config.target << " ramped " << config.ramped
+          << " thread count #" << i;
+      EXPECT_EQ(targets[i], targets[0])
+          << "target " << config.target << " ramped " << config.ramped;
+    }
+    if (config.target != 0) EXPECT_EQ(targets[0], config.target);
+  }
+}
+
+TEST(ShardedChain, DerivedEpochTargetClampedToCap) {
+  // Regression: the derived default target (2n) used to bypass the 2^28
+  // guard that explicit targets got, so a hypothetical 2^27-particle
+  // system would have produced epochs above the cap (and with it an
+  // event-buffer footprint the sort/merge machinery never budgets for).
+  // The derivation is a pure function, so the regression pins it
+  // directly, plus the floor and the midrange.
+  EXPECT_EQ(derivedEpochTarget(1), 1024u);
+  EXPECT_EQ(derivedEpochTarget(512), 1024u);
+  EXPECT_EQ(derivedEpochTarget(10000), 20000u);
+  EXPECT_EQ(derivedEpochTarget(std::uint64_t{1} << 27), kMaxEventsPerEpoch);
+  EXPECT_EQ(derivedEpochTarget((std::uint64_t{1} << 27) + 12345),
+            kMaxEventsPerEpoch);
+  EXPECT_EQ(derivedEpochTarget(std::uint64_t{1} << 40), kMaxEventsPerEpoch);
+
+  // The adaptive controller inherits the cap: from any particle count its
+  // upper bound never exceeds 2^28, so no sequence of doublings can
+  // escape it.
+  AdaptiveEpochController huge(std::uint64_t{1} << 40);
+  EXPECT_EQ(huge.target(), kMaxEventsPerEpoch);
+  for (int i = 0; i < 80; ++i) huge.update(0, 1000);  // always "double"
+  EXPECT_EQ(huge.target(), kMaxEventsPerEpoch);
+
+  AdaptiveEpochController small(300);
+  EXPECT_EQ(small.target(), 1024u);
+  for (int i = 0; i < 80; ++i) small.update(1000, 1000);  // always "halve"
+  EXPECT_EQ(small.target(), 1024u);  // floor holds
+  for (int i = 0; i < 80; ++i) small.update(0, 1000);  // always "double"
+  EXPECT_EQ(small.target(), 4800u);  // ceiling: min(16n, cap)
+}
+
 TEST(ShardedChain, CompactShapeTrajectoryIndependentOfThreadCount) {
   // A spiral sits inside one or two stripes with the action at the
   // window's interior — the complementary stripe geometry to the line.
@@ -227,8 +306,8 @@ constexpr double kAcceptP = 0.01;
 /// Chi-square of the sharded compression runner's visited configurations
 /// against the exact π(σ) = λ^e/Z over Ω*.  Epochs are sized to the
 /// sampling stride so each runAtLeast() burst is one sampling interval.
-void expectShardedCompressionMatchesPi(int n, int instants,
-                                       std::uint64_t seed) {
+void expectShardedCompressionMatchesPi(int n, int instants, std::uint64_t seed,
+                                       std::vector<double> rates = {}) {
   const enumeration::ExactEnsemble ensemble(n);
   const double lambda = 2.0;
   std::unordered_map<std::string, std::size_t> indexOf;
@@ -240,6 +319,7 @@ void expectShardedCompressionMatchesPi(int n, int instants,
   options.lambda = lambda;
   ShardedChainOptions sharded;
   sharded.targetEventsPerEpoch = kStride;
+  sharded.rates = std::move(rates);
   ShardedChainRunner<CompressionModel> runner(
       system::lineConfiguration(n), CompressionModel(options), seed, sharded);
   runner.runAtLeast(kBurnIn);
@@ -267,6 +347,23 @@ TEST(ShardedChainDistribution, CompressionMatchesExactPiN4) {
 
 TEST(ShardedChainDistribution, CompressionMatchesExactPiN5) {
   expectShardedCompressionMatchesPi(5, 200000, 1301);
+}
+
+// Heterogeneous clock rates leave π unchanged: the jump chain picks
+// particle i with probability r_i / Σr, but a move σ→τ and its reverse
+// τ→σ are proposals of the *same* particle (the one that moves), so the
+// selection bias cancels pairwise and the Metropolis filter min(1, λ^Δe)
+// still balances π(σ) ∝ λ^{e(σ)}.  Only the *clock* on each transition
+// changes, not the stationary law — so the expected chi-square counts are
+// the plain exact π, same as the uniform chain.
+
+TEST(ShardedChainDistribution, HeterogeneousRatesMatchExactPiN4) {
+  expectShardedCompressionMatchesPi(4, 150000, 1401, {0.5, 2.0, 1.25, 3.0});
+}
+
+TEST(ShardedChainDistribution, HeterogeneousRatesMatchExactPiN5) {
+  expectShardedCompressionMatchesPi(5, 200000, 1501,
+                                    {1.0, 4.0, 0.25, 2.0, 1.5});
 }
 
 TEST(ShardedChainDistribution, PerimeterMatchesSequentialEngineKS) {

@@ -24,6 +24,13 @@ def main() -> int:
         print(f"{run_path}: not a google-benchmark output (no 'benchmarks')",
               file=sys.stderr)
         return 1
+    if not run["benchmarks"]:
+        # Zero rows means the bench binary crashed mid-run or a filter
+        # matched nothing; silently appending an empty run would make the
+        # perf trajectory look green while measuring nothing.
+        print(f"{run_path}: zero benchmark rows — refusing to append an "
+              "empty run to the trajectory", file=sys.stderr)
+        return 1
 
     try:
         with open(trajectory_path) as f:

@@ -22,12 +22,15 @@ import sys
 
 
 def load_runs(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        return []
     if isinstance(data, dict):  # a single raw google-benchmark file
         data = [data]
-    if not isinstance(data, list) or not data:
-        raise SystemExit(f"{path}: expected a non-empty array of runs")
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected an array of runs")
     return data
 
 
@@ -86,8 +89,9 @@ def render_svg(labels, series, out_path):
     plot_h = height - margin["t"] - margin["b"]
 
     points = [v for vals in series.values() for v in vals if v]
-    if not points or len(labels) < 1:
-        raise SystemExit("no data points to plot")
+    if not points:
+        print("no data points to plot; skipping SVG")
+        return
     lo = math.log10(min(points)) - 0.1
     hi = math.log10(max(points)) + 0.1
 
@@ -167,6 +171,11 @@ def main():
     args = parser.parse_args()
 
     runs = load_runs(args.history)
+    if not runs:
+        # A fresh checkout or a pre-first-bench branch has no history yet;
+        # that is not an error — there is just nothing to draw.
+        print(f"{args.history}: no runs recorded yet — nothing to plot")
+        return 0
     labels, series = collect(runs, args.filter)
     if not series:
         raise SystemExit("no benchmarks matched")

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf-trajectory tooling (append_bench / plot_bench_trend).
+
+Runs under ctest (registered in CMakeLists.txt) and standalone:
+
+    python3 tools/test_bench_tools.py
+
+The tools are exercised as subprocesses — exactly how CI invokes them —
+so exit codes and stderr contracts are what gets pinned, not internals.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def run_tool(name, *args, cwd=None):
+    return subprocess.run(
+        [sys.executable, os.path.join(TOOLS_DIR, name), *args],
+        capture_output=True, text=True, cwd=cwd)
+
+
+def bench_run(names_and_times, date="2026-08-08T00:00:00+00:00"):
+    return {
+        "context": {"date": date},
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "cpu_time": cpu}
+            for name, cpu in names_and_times
+        ],
+    }
+
+
+class AppendBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.trajectory = os.path.join(self.dir.name, "BENCH_perf.json")
+        self.run_path = os.path.join(self.dir.name, "bench_run.json")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write_run(self, obj):
+        with open(self.run_path, "w") as f:
+            json.dump(obj, f)
+
+    def test_appends_and_accumulates(self):
+        self.write_run(bench_run([("BM_A/1", 10.0)]))
+        for expected_len in (1, 2):
+            result = run_tool("append_bench.py", self.trajectory,
+                              self.run_path)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            with open(self.trajectory) as f:
+                trajectory = json.load(f)
+            self.assertEqual(len(trajectory), expected_len)
+
+    def test_upgrades_legacy_single_run_file(self):
+        with open(self.trajectory, "w") as f:
+            json.dump(bench_run([("BM_Old/1", 5.0)]), f)
+        self.write_run(bench_run([("BM_A/1", 10.0)]))
+        result = run_tool("append_bench.py", self.trajectory, self.run_path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(self.trajectory) as f:
+            trajectory = json.load(f)
+        self.assertEqual(len(trajectory), 2)
+
+    def test_rejects_zero_benchmark_rows(self):
+        # The perf-smoke loud-failure contract: an empty run (crashed bench
+        # binary, filter that matched nothing) must fail the CI step, not
+        # append a hollow entry.
+        self.write_run({"context": {}, "benchmarks": []})
+        result = run_tool("append_bench.py", self.trajectory, self.run_path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("zero benchmark rows", result.stderr)
+        self.assertFalse(os.path.exists(self.trajectory))
+
+    def test_rejects_non_benchmark_json(self):
+        self.write_run({"hello": "world"})
+        result = run_tool("append_bench.py", self.trajectory, self.run_path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertFalse(os.path.exists(self.trajectory))
+
+
+class PlotBenchTrendTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.history = os.path.join(self.dir.name, "BENCH_perf.json")
+        self.svg = os.path.join(self.dir.name, "out", "trend.svg")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write_history(self, runs):
+        with open(self.history, "w") as f:
+            json.dump(runs, f)
+
+    def plot(self, *extra):
+        return run_tool("plot_bench_trend.py", self.history,
+                        "--out", self.svg, *extra)
+
+    def test_empty_history_is_not_an_error(self):
+        self.write_history([])
+        result = self.plot()
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("no runs recorded yet", result.stdout)
+        self.assertFalse(os.path.exists(self.svg))
+
+    def test_missing_history_is_not_an_error(self):
+        result = self.plot()  # self.history never written
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("no runs recorded yet", result.stdout)
+
+    def test_single_run_renders_table_and_svg(self):
+        self.write_history([bench_run([("BM_A/1", 10.0), ("BM_B/1", 20.0)])])
+        result = self.plot()
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("BM_A/1", result.stdout)
+        self.assertTrue(os.path.exists(self.svg))
+        with open(self.svg) as f:
+            svg = f.read()
+        # One run means one point per benchmark: dots, not polylines.
+        self.assertIn("<circle", svg)
+
+    def test_two_runs_report_a_trend(self):
+        self.write_history([
+            bench_run([("BM_A/1", 10.0)], date="2026-08-01T00:00:00+00:00"),
+            bench_run([("BM_A/1", 5.0)], date="2026-08-08T00:00:00+00:00"),
+        ])
+        result = self.plot()
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("0.50x", result.stdout)
+        with open(self.svg) as f:
+            self.assertIn("<polyline", f.read())
+
+    def test_filter_miss_fails(self):
+        self.write_history([bench_run([("BM_A/1", 10.0)])])
+        result = self.plot("--filter", "NoSuchBenchmark")
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
