@@ -336,9 +336,10 @@ BENCHMARK(BM_CompressionEngineStep)->Arg(100)->Arg(400);
 void BM_CompressionEngineStepSpiral(benchmark::State& state) {
   // The sequential single-replica baseline BM_ShardedChainStepCompression
   // is compared against.  Spiral, not line: a 1e5 line's proportional
-  // margins blow the dense-window cap (sparse fallback — no stripes to
-  // measure on either side), while the spiral stays dense like the
-  // separation/alignment n=1e5 baselines above.
+  // margins exceed the flat-window cap, so it runs on the tiled backend —
+  // the spiral stays on the flat window like the separation/alignment
+  // n=1e5 baselines above, keeping this row comparable with the history.
+  // (BM_ShardedChainStepSeparationTiledLine is the tiled-backend row.)
   core::ChainOptions options;
   options.lambda = 4.0;
   core::CompressionEngine engine(system::spiralConfiguration(state.range(0)),
@@ -372,9 +373,10 @@ BENCHMARK(BM_AlignmentEngineStep)->Arg(100)->Arg(400)->Arg(100000);
 // weight models (core/sharded_chain_runner.hpp).  Arg is the stripe-phase
 // thread count; items are chain events, so items/s is comparable with the
 // BM_*EngineStep(Spiral) single-core baselines at n = 1e5.  All three run
-// the spiral their sequential baselines use — it stays inside the dense
-// window (~8 active stripes at this n); a 1e5 *line* would fall back to
-// the sparse index and measure the sweep path, not the stripes.  (This
+// the spiral their sequential baselines use — it stays inside the flat
+// window (~8 active stripes at this n), keeping the rows comparable with
+// the pre-tiled history; the *TiledLine rows below measure the tiled
+// backend on the shapes that used to fall off the dense path.  (This
 // repo's CI box is single-core — run on a multi-core host to see the
 // stripe scaling; the Arg(8) rows are recorded for exactly that
 // comparison.)
@@ -433,6 +435,56 @@ void BM_ShardedChainStepAlignment(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedChainStepAlignment)->Arg(1)->Arg(2)->Arg(8)
     ->UseRealTime();
+
+void BM_ShardedChainStepSeparationTiledLine(benchmark::State& state) {
+  // The previously-cliffed shape: a 3e5-particle line's derived window is
+  // ~1e9 words — far past the 32 MiB flat cap — so before the tiled
+  // backend this configuration fell onto the sparse hash path and ran
+  // every event on the sequential sweep.  Now it runs dense-tiled and
+  // striped with the paged id plane; items/s here against the *Sparse row
+  // below is the measured price of the old cliff.  Arg is the
+  // stripe-phase thread count.
+  core::SeparationModel::Options options;
+  options.lambda = 4.0;
+  options.gamma = 4.0;
+  core::ShardedChainOptions sharded;
+  sharded.threads = static_cast<unsigned>(state.range(0));
+  core::ShardedChainRunner<core::SeparationModel> runner(
+      system::lineConfiguration(300000),
+      core::SeparationModel(options, system::alternatingClasses(300000, 2)),
+      42, sharded);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    done += runner.runAtLeast(400000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_ShardedChainStepSeparationTiledLine)->Arg(1)->Arg(2)->Arg(8)
+    ->UseRealTime();
+
+void BM_ShardedChainStepSeparationSparseLine(benchmark::State& state) {
+  // The before side of the tiled-occupancy work, kept measurable from the
+  // same binary: the identical 3e5-line workload forced onto the sparse
+  // regime (hash-index queries, every event on the sequential sweep) —
+  // exactly where this shape landed before the flat cap was broken.
+  core::SeparationModel::Options options;
+  options.lambda = 4.0;
+  options.gamma = 4.0;
+  core::ShardedChainOptions sharded;
+  sharded.threads = 1;
+  system::ParticleSystem start = system::lineConfiguration(300000);
+  start.forceSparseForTest();
+  core::ShardedChainRunner<core::SeparationModel> runner(
+      std::move(start),
+      core::SeparationModel(options, system::alternatingClasses(300000, 2)),
+      42, sharded);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    done += runner.runAtLeast(400000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_ShardedChainStepSeparationSparseLine)->UseRealTime();
 
 void BM_SchedulerNext(benchmark::State& state) {
   amoebot::PoissonScheduler scheduler(

@@ -8,6 +8,11 @@ namespace {
 /// Base window margin, matching ParticleSystem's dense-window policy
 /// (BitGrid::rebuild adds span/4 proportional headroom on top).
 constexpr std::int64_t kPlaneBaseMargin = 32;
+/// Tile headroom allocated around a cell that escapes the interior of a
+/// tiled plane: > kInteriorMargin + 1 so one ensureRegion() buys several
+/// further expansions in the same direction before the next directory
+/// touch (mirrors ParticleSystem's policy).
+constexpr std::int64_t kPlaneEnsureMargin = 8;
 }  // namespace
 
 AmoebotSystem::AmoebotSystem(const system::ParticleSystem& initial,
@@ -35,27 +40,30 @@ void AmoebotSystem::regrowPlanes() {
     cells.push_back(p.tail);
     if (p.expanded) cells.push_back(p.head);
   }
-  if (occ_.rebuild(cells, kPlaneBaseMargin)) {
-    heads_.allocateLike(occ_);
-    expanded_.allocateLike(occ_);
-    for (const Particle& p : particles_) {
-      if (!p.expanded) continue;
-      heads_.set(p.head);
-      expanded_.set(p.tail);
-      expanded_.set(p.head);
-    }
-    gridsOn_ = true;
-    return;
+  // rebuild() promotes oversized bounding boxes to the tiled backend, so
+  // it only fails on an empty cell set — excluded by the constructor.
+  // The sparse regime survives solely behind forceSparseForTest().
+  const bool built = occ_.rebuild(cells, kPlaneBaseMargin);
+  SOPS_DASSERT(built);
+  (void)built;
+  heads_.allocateLike(occ_);
+  expanded_.allocateLike(occ_);
+  for (const Particle& p : particles_) {
+    if (!p.expanded) continue;
+    heads_.set(p.head);
+    expanded_.set(p.tail);
+    expanded_.set(p.head);
   }
-  // Sparse fallback from here on: the hash index becomes the occupancy
-  // source of truth, so any deferred (or suspended) state must be rebuilt
-  // now — regrows only ever run single-threaded (a sharded runner's
-  // parallel phase defers every regrow-risk event to its sweep).  The
-  // sharded suspension is void with the planes gone: eager maintenance
-  // resumes immediately, so at() is valid again.
+  gridsOn_ = true;
+}
+
+void AmoebotSystem::forceSparseForTest() {
+  SOPS_REQUIRE(!sharded_, "forceSparseForTest: inside a sharded section");
+  // The hash index becomes the occupancy source of truth, so eager
+  // maintenance resumes and at() is valid again.
   gridsGaveUp_ = true;
   gridsOn_ = false;
-  sharded_ = false;
+  occ_.disable();
   heads_.disable();
   expanded_.disable();
   rebuildIdIndex();
@@ -216,14 +224,23 @@ void AmoebotSystem::expand(std::size_t id, Direction d) {
     setCell(target, static_cast<std::int32_t>(id), true);
   } else {
     noteMutation();
+    // Keep every particle cell interior so unchecked gathers stay
+    // licensed.  Tiled planes only grow: allocating around the escape up
+    // front keeps all three directories mirrored (heads_/expanded_ must
+    // cover every occ_ tile so stripe workers never allocate); flat
+    // windows rebuild below, after the bits are placed.  Neither path
+    // triggers during a sharded parallel phase: the runner only
+    // activates shardSafe() particles there, and defers the rest to its
+    // single-threaded sweep.
+    if (occ_.tiled() && !occ_.coversInterior(target)) {
+      occ_.ensureRegion(target, kPlaneEnsureMargin);
+      heads_.ensureTilesOf(occ_);
+      expanded_.ensureTilesOf(occ_);
+    }
     occ_.set(target);
     heads_.set(target);
     expanded_.set(p.tail);
     expanded_.set(target);
-    // Keep every particle cell interior so unchecked gathers stay licensed.
-    // Never triggers during a sharded parallel phase: the runner only
-    // activates shardSafe() particles there, and defers the rest to its
-    // single-threaded sweep.
     if (!occ_.coversInterior(target)) regrowPlanes();
   }
 }
@@ -293,11 +310,24 @@ void AmoebotSystem::saveState(system::SnapshotWriter& w) const {
     w.u8(p.orientationOffset);
     w.u8(p.expandDir);
   }
-  w.u8(gridsOn_ ? 1 : 0);
-  w.i64(occ_.originX());
-  w.i64(occ_.originY());
-  w.u64(occ_.width());
-  w.u64(occ_.height());
+  if (occ_.tiled()) {
+    // Tag 2 (snapshot v3): the exact allocated-tile set, sorted by raw
+    // key so the byte stream is a pure function of state.
+    w.u8(2);
+    const std::vector<std::uint64_t> keys = occ_.sortedTileKeys();
+    w.u64(keys.size());
+    for (const std::uint64_t key : keys) {
+      w.i64(system::BitGrid::tileXOfKey(key));
+      w.i64(system::BitGrid::tileYOfKey(key));
+    }
+  } else {
+    // Tags 0/1 keep frame v2's exact byte layout.
+    w.u8(gridsOn_ ? 1 : 0);
+    w.i64(occ_.originX());
+    w.i64(occ_.originY());
+    w.u64(occ_.width());
+    w.u64(occ_.height());
+  }
 }
 
 void AmoebotSystem::restoreState(system::SnapshotReader& r) {
@@ -327,23 +357,45 @@ void AmoebotSystem::restoreState(system::SnapshotReader& r) {
                  "snapshot: contracted particle with head != tail");
     particles.push_back(p);
   }
-  const bool dense = r.u8() != 0;
-  const std::int64_t originX = r.i64();
-  const std::int64_t originY = r.i64();
-  const std::uint64_t width = r.u64();
-  const std::uint64_t height = r.u64();
+  const std::uint8_t backend = r.u8();
+  SOPS_REQUIRE(backend <= 2, "snapshot: bad occupancy backend tag");
+  std::vector<std::uint64_t> tileKeys;
+  std::int64_t originX = 0;
+  std::int64_t originY = 0;
+  std::uint64_t width = 0;
+  std::uint64_t height = 0;
+  if (backend == 2) {
+    const std::uint64_t tileCount = r.u64();
+    tileKeys.reserve(static_cast<std::size_t>(tileCount));
+    for (std::uint64_t i = 0; i < tileCount; ++i) {
+      const std::int64_t tx = r.i64();
+      const std::int64_t ty = r.i64();
+      tileKeys.push_back(
+          system::BitGrid::tileKey(static_cast<std::int32_t>(tx),
+                                   static_cast<std::int32_t>(ty)));
+    }
+  } else {
+    originX = r.i64();
+    originY = r.i64();
+    width = r.u64();
+    height = r.u64();
+  }
 
   particles_ = std::move(particles);
   sharded_ = false;
   recountExpanded();
-  if (dense) {
+  if (backend != 0) {
     std::vector<TriPoint> cells;
     cells.reserve(particles_.size() + expandedCount_);
     for (const Particle& p : particles_) {
       cells.push_back(p.tail);
       if (p.expanded) cells.push_back(p.head);
     }
-    occ_.rebuildExact(cells, originX, originY, width, height);
+    if (backend == 2) {
+      occ_.rebuildTiledExact(cells, tileKeys);
+    } else {
+      occ_.rebuildExact(cells, originX, originY, width, height);
+    }
     heads_.allocateLike(occ_);
     expanded_.allocateLike(occ_);
     for (const Particle& p : particles_) {

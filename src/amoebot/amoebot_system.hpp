@@ -27,8 +27,11 @@
 /// gather of `expanded`.  The planes keep ParticleSystem's interior-margin
 /// invariant — every particle cell sits ≥ BitGrid::kInteriorMargin inside
 /// the window, regrown on escape — which licenses the unchecked gathers.
-/// Configurations too spread out for a dense window (BitGrid::kMaxWords)
-/// degrade permanently to the sparse hash index, exactly like
+/// Configurations too spread out for one flat window (BitGrid::kMaxWords)
+/// run on the tiled backend: all three planes share one tile directory
+/// layout (heads_/expanded_ always cover every occ_ tile), so the
+/// word-exclusive stripe discipline carries over.  The sparse hash-index
+/// regime survives only behind forceSparseForTest(), exactly like
 /// ParticleSystem.
 ///
 /// The cell -> (id << 1 | isHead) hash index is still maintained for id
@@ -190,9 +193,21 @@ class AmoebotSystem {
   // --- sharded-execution support (amoebot/parallel_scheduler) ---
 
   /// True while the dense bit planes are live (the sharded runner requires
-  /// them for its stripe geometry; spread-out configurations fall back to
-  /// the hash index and to sequential execution).
+  /// them for its stripe geometry; the forced-sparse test regime falls
+  /// back to the hash index and to sequential execution).
   [[nodiscard]] bool fastPathEnabled() const noexcept { return gridsOn_; }
+
+  /// Which occupancy regime the planes are running: "dense-flat",
+  /// "dense-tiled", or "sparse" (see ParticleSystem::regimeName).
+  [[nodiscard]] const char* regimeName() const noexcept {
+    if (!gridsOn_) return "sparse";
+    return occ_.tiled() ? "dense-tiled" : "dense-flat";
+  }
+
+  /// Pins the sparse (hash-only) regime — the organic fallback no longer
+  /// exists now that plane rebuilds promote to tiled, but tests still
+  /// need to exercise the sparse code paths.
+  void forceSparseForTest();
 
   /// The occupancy plane — the sharded runner derives its word-aligned
   /// stripe decomposition from this window's origin.
@@ -213,9 +228,10 @@ class AmoebotSystem {
   /// expandedCount() so concurrent stripe workers touch only bit-plane
   /// words and per-particle state.  Only meaningful while
   /// fastPathEnabled(); at()/particleAt-style lookups are invalid until
-  /// restoreIdIndex().  If the planes give up mid-section (window
-  /// overflow), the index is rebuilt on the spot and maintenance resumes,
-  /// since the hash then *is* the occupancy source of truth.
+  /// restoreIdIndex().  The planes never give up mid-section: a flat
+  /// window that outgrows BitGrid::kMaxWords promotes to the tiled
+  /// backend (on the scheduler's single-threaded sweep — stripe workers
+  /// never trigger a regrow), and tiled directories only grow.
   void suspendIdIndex();
 
   /// Rebuilds the id index and expandedCount() from particle state and

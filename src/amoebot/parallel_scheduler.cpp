@@ -71,24 +71,25 @@ void ShardedPoissonRunner::sortEvents(std::vector<Event>& events,
                            [](const Event& e) { return e.time; });
 }
 
-void ShardedPoissonRunner::runStripe(std::size_t s, std::int64_t originX,
-                                     double epochEnd) {
-  std::vector<Event>& deferred = stripeDeferred_[s];
+void ShardedPoissonRunner::runStripe(std::size_t slot,
+                                     std::uint64_t stripeIndex,
+                                     std::int64_t originX, double epochEnd) {
+  std::vector<Event>& deferred = stripeDeferred_[slot];
   deferred.clear();
   std::uint64_t executed = 0;
 
   // Event times are independent of system state, so the whole epoch's
   // schedule was drawn up front in one batched pass (fillEpoch); the
   // stripe just gathers its particles' slices and sorts once.
-  std::vector<Event>& events = stripeEvents_[s];
+  std::vector<Event>& events = stripeEvents_[slot];
   events.clear();
-  for (const std::uint32_t i : stripeParticles_[s]) {
+  for (const std::uint32_t i : stripeParticles_[slot]) {
     const std::uint64_t end = draws_.offsets[i + 1];
     for (std::uint64_t k = draws_.offsets[i]; k < end; ++k) {
       events.push_back({draws_.times[k], i});
     }
   }
-  sortEvents(events, sortScratch_[s], now_, epochEnd);
+  sortEvents(events, sortScratch_[slot], now_, epochEnd);
 
   for (const Event& event : events) {
     const std::uint32_t i = event.particle;
@@ -99,7 +100,7 @@ void ShardedPoissonRunner::runStripe(std::size_t s, std::int64_t originX,
     const auto col =
         static_cast<std::uint64_t>(static_cast<std::int64_t>(tail.x) - originX);
     const std::uint64_t inStripe = col & (kStripeColumns - 1);
-    const bool safe = (col >> 6) == s && inStripe >= kHaloColumns &&
+    const bool safe = (col >> 6) == stripeIndex && inStripe >= kHaloColumns &&
                       inStripe < kStripeColumns - kHaloColumns &&
                       sys_.shardSafe(tail);
     if (safe) {
@@ -110,7 +111,7 @@ void ShardedPoissonRunner::runStripe(std::size_t s, std::int64_t originX,
       deferred.push_back(event);
     }
   }
-  stripeActivations_[s] = executed;
+  stripeActivations_[slot] = executed;
 }
 
 std::uint64_t ShardedPoissonRunner::runEpoch() {
@@ -124,53 +125,101 @@ std::uint64_t ShardedPoissonRunner::runEpoch() {
   std::uint64_t executed = 0;
   bool striped = false;
 
+  const bool tiledGrid = sys_.occupancyGrid().tiled();
   if (sys_.fastPathEnabled()) {
     striped = true;
     const system::BitGrid& grid = sys_.occupancyGrid();
     const std::int64_t originX = grid.originX();
-    const std::size_t stripeCount =
-        static_cast<std::size_t>((grid.width() + kStripeColumns - 1) /
-                                 kStripeColumns);
-    if (stripeParticles_.size() < stripeCount) {
-      stripeParticles_.resize(stripeCount);
-      stripeEvents_.resize(stripeCount);
-      stripeDeferred_.resize(stripeCount);
-      stripeActivations_.resize(stripeCount);
-      sortScratch_.resize(stripeCount);
-    }
-    for (auto& list : stripeParticles_) list.clear();
-
-    for (std::size_t i = 0; i < sys_.size(); ++i) {
-      if (draws_.count(i) == 0) continue;
-      const auto col = static_cast<std::uint64_t>(
-          static_cast<std::int64_t>(sys_.particle(i).tail.x) - originX);
-      stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
-    }
 
     activeStripes_.clear();
-    for (std::size_t s = 0; s < stripeCount; ++s) {
-      if (!stripeParticles_[s].empty()) activeStripes_.push_back(s);
+    if (tiledGrid) {
+      // The allocated-tile bounding box can span astronomically many
+      // 64-column stripes, so bucket sparsely: stripe index → buffer
+      // slot, slots assigned in first-touch order by this sequential
+      // pass — the same assignment for every thread count.
+      stripeSlots_.clear();
+      stripeIndexOfSlot_.clear();
+      for (std::size_t i = 0; i < sys_.size(); ++i) {
+        if (draws_.count(i) == 0) continue;
+        const auto col = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(sys_.particle(i).tail.x) - originX);
+        const std::uint64_t stripeIndex = col >> 6;
+        std::size_t slot;
+        if (const std::uint32_t* found = stripeSlots_.find(stripeIndex)) {
+          slot = *found;
+        } else {
+          slot = stripeIndexOfSlot_.size();
+          stripeSlots_.insert(stripeIndex, static_cast<std::uint32_t>(slot));
+          stripeIndexOfSlot_.push_back(stripeIndex);
+          if (stripeParticles_.size() <= slot) {
+            stripeParticles_.resize(slot + 1);
+            stripeEvents_.resize(slot + 1);
+            stripeDeferred_.resize(slot + 1);
+            stripeActivations_.resize(slot + 1);
+            sortScratch_.resize(slot + 1);
+          }
+          stripeParticles_[slot].clear();
+        }
+        stripeParticles_[slot].push_back(static_cast<std::uint32_t>(i));
+      }
+      for (std::size_t slot = 0; slot < stripeIndexOfSlot_.size(); ++slot) {
+        activeStripes_.push_back(slot);
+      }
+      // Canonical merge order: ascending stripe index, matching the flat
+      // path (any fixed order would do — stripes are disjoint in
+      // particles, so the merged schedule is order-independent).
+      std::sort(activeStripes_.begin(), activeStripes_.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return stripeIndexOfSlot_[a] < stripeIndexOfSlot_[b];
+                });
+    } else {
+      // Flat windows keep the dense stripe arrays: stripe count is
+      // bounded by width / 64, and slot == stripe index.
+      const std::size_t stripeCount =
+          static_cast<std::size_t>((grid.width() + kStripeColumns - 1) /
+                                   kStripeColumns);
+      if (stripeParticles_.size() < stripeCount) {
+        stripeParticles_.resize(stripeCount);
+        stripeEvents_.resize(stripeCount);
+        stripeDeferred_.resize(stripeCount);
+        stripeActivations_.resize(stripeCount);
+        sortScratch_.resize(stripeCount);
+      }
+      for (auto& list : stripeParticles_) list.clear();
+
+      for (std::size_t i = 0; i < sys_.size(); ++i) {
+        if (draws_.count(i) == 0) continue;
+        const auto col = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(sys_.particle(i).tail.x) - originX);
+        stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
+      }
+
+      for (std::size_t s = 0; s < stripeCount; ++s) {
+        if (!stripeParticles_[s].empty()) activeStripes_.push_back(s);
+      }
     }
-    core::parallelForIndex(activeStripes_.size(), options_.threads,
-                           [&](std::size_t k) {
-                             runStripe(activeStripes_[k], originX, epochEnd);
-                           });
+    core::parallelForIndex(
+        activeStripes_.size(), options_.threads, [&](std::size_t k) {
+          const std::size_t slot = activeStripes_[k];
+          const std::uint64_t stripeIndex =
+              tiledGrid ? stripeIndexOfSlot_[slot] : slot;
+          runStripe(slot, stripeIndex, originX, epochEnd);
+        });
     // Merge in stripe order (fixed regardless of which thread ran what).
-    // The deferred lists are each already in (time, particle) order, so
-    // an std::merge cascade assembles the sweep schedule without another
-    // sort.
+    // The sweep schedule is every stripe's deferred list concatenated and
+    // re-sorted once with the epoch bucket sort — not a per-stripe
+    // std::merge cascade, which re-copies the growing queue once per
+    // stripe and goes quadratic on wide tiled windows (thousands of
+    // active stripes).  (time, particle) keys are unique, so the sorted
+    // schedule is byte-identical to the cascade's.
     for (const std::size_t s : activeStripes_) {
       executed += stripeActivations_[s];
       const std::vector<Event>& deferred = stripeDeferred_[s];
-      if (deferred.empty()) continue;
-      if (sweepEvents_.empty()) {
-        sweepEvents_ = deferred;
-      } else {
-        mergeBuf_.resize(sweepEvents_.size() + deferred.size());
-        std::merge(sweepEvents_.begin(), sweepEvents_.end(), deferred.begin(),
-                   deferred.end(), mergeBuf_.begin());
-        sweepEvents_.swap(mergeBuf_);
-      }
+      sweepEvents_.insert(sweepEvents_.end(), deferred.begin(),
+                          deferred.end());
+    }
+    if (!sweepEvents_.empty()) {
+      sortEvents(sweepEvents_, sweepScratch_, now_, epochEnd);
     }
   } else {
     // Sparse fallback: no stripe geometry — the whole epoch runs on the

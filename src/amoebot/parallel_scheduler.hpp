@@ -47,10 +47,16 @@
 /// the only global synchronization.  An explicit targetEventsPerEpoch
 /// fixes the target; the default adapts it each epoch from the
 /// deferred-event fraction (core/epoch_control.hpp — a thread-count-
-/// invariant signal, so adaptivity preserves determinism).  Configurations
-/// too spread out for the dense planes (AmoebotSystem::fastPathEnabled()
-/// false) degrade to running every event on the sweep path — same
-/// trajectory contract, no parallelism.
+/// invariant signal, so adaptivity preserves determinism).
+///
+/// Configurations too spread out for one flat window run on BitGrid's
+/// tiled backend: the same word-exclusive stripe discipline (tile columns
+/// are 64-aligned), but stripes are keyed sparsely (util::FlatMap64)
+/// because the allocated-tile bounding box can span astronomically many
+/// columns; slots are assigned in a sequential first-touch pass that is
+/// the same for every thread count.  Only the forced-sparse test regime
+/// (AmoebotSystem::fastPathEnabled() false) degrades to running every
+/// event on the sweep path — same trajectory contract, no parallelism.
 
 #include <cstdint>
 #include <vector>
@@ -62,6 +68,7 @@
 #include "rng/stream_bank.hpp"
 #include "system/snapshot.hpp"
 #include "util/event_sort.hpp"
+#include "util/flat_hash.hpp"
 
 namespace sops::amoebot {
 
@@ -165,23 +172,29 @@ class ShardedPoissonRunner {
   rng::PoissonClockBank::EpochDraws draws_;
   const core::CancelToken* cancel_ = nullptr;
 
-  /// Reused per-epoch buffers.
+  /// Reused per-epoch buffers.  Indexed by buffer *slot*: equal to the
+  /// stripe index over a flat window, assigned first-touch over a tiled
+  /// one (stripeSlots_/stripeIndexOfSlot_ hold the mapping).
   std::vector<std::vector<std::uint32_t>> stripeParticles_;
   std::vector<std::vector<Event>> stripeEvents_;
   std::vector<std::vector<Event>> stripeDeferred_;
   std::vector<std::uint64_t> stripeActivations_;
   std::vector<util::EventSortScratch<Event>> sortScratch_;
   util::EventSortScratch<Event> sweepScratch_;
-  std::vector<std::size_t> activeStripes_;
+  std::vector<std::size_t> activeStripes_;  ///< slots, in merge order
+  util::FlatMap64<std::uint32_t> stripeSlots_;  ///< tiled: stripe idx → slot
+  std::vector<std::uint64_t> stripeIndexOfSlot_;
   std::vector<Event> sweepEvents_;
-  std::vector<Event> mergeBuf_;
 
   /// One epoch [now_, now_ + Δ): batched draw, stripe phase, join,
   /// deferred sweep.  Returns activations executed.
   std::uint64_t runEpoch();
-  /// Processes stripe `s` (events of its interior particles in time order,
-  /// halo events routed to stripeDeferred_[s]).  Runs on a worker thread.
-  void runStripe(std::size_t s, std::int64_t originX, double epochEnd);
+  /// Processes the stripe in buffer slot `slot`, covering the 64 columns
+  /// at `stripeIndex` (events of its interior particles in time order,
+  /// halo events routed to stripeDeferred_[slot]).  Runs on a worker
+  /// thread.
+  void runStripe(std::size_t slot, std::uint64_t stripeIndex,
+                 std::int64_t originX, double epochEnd);
   /// (time, particle) sort shared by the stripe phase and the sweep:
   /// every firing time lies in the epoch window, so the bucket sort in
   /// util/event_sort.hpp applies; per-bucket comparison is Event's own

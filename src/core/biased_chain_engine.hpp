@@ -201,9 +201,11 @@ EngineStepResult chainEventStep(system::ParticleSystem& sys, Model& model,
         edges += decision.delta;
         model.onMoved(sys, particle, l, target);
         if constexpr (ModelNeedsPartnerIds<Model>::value) {
-          // A regrow inside moveParticle invalidates the mirror; the
-          // geometry fingerprint catches it and resyncs.
-          if (ids.syncedWith(sys.grid())) {
+          // A flat regrow inside moveParticle invalidates a Flat mirror;
+          // the geometry fingerprint catches it and resyncs.  A Paged
+          // plane keys absolute coordinates, so it tracks the move even
+          // when the grid just grew a tile.
+          if (ids.tracksMoves(sys.grid())) {
             ids.move(l, target, particle);
           } else {
             ids.sync(sys);

@@ -40,24 +40,29 @@
 namespace sops::core {
 
 /// K shadow bit planes kept geometry-aligned with a ParticleSystem's
-/// occupancy window.  sync() detects window rebuilds (and the sparse
-/// fallback) by fingerprinting the grid geometry and rebuilds the planes
-/// from scratch when it changed — O(n), amortized by the system's own
-/// O(log drift) rebuild schedule.
+/// occupancy grid.  sync() detects geometry changes (and the sparse
+/// fallback) by fingerprinting the grid — origin/size plus the grid's
+/// geometryVersion().  A flat-window change rebuilds the planes from
+/// scratch — O(n), amortized by the system's own O(log drift) rebuild
+/// schedule.  A *tiled* grid never rebuilds, it only allocates tiles, and
+/// plane bits key absolute coordinates — so a fingerprint mismatch while
+/// both sides are tiled means "new tiles only": the planes grow their
+/// directories to match (ensureTilesOf) and keep their content.
 template <std::size_t K>
 class ShadowPlanes {
  public:
   /// True when the dense planes mirror `grid` exactly (same geometry, no
   /// rebuild pending) — the licence for the unchecked gathers below.
   [[nodiscard]] bool syncedWith(const system::BitGrid& grid) const noexcept {
-    return dense_ && grid.enabled() && grid.originX() == originX_ &&
-           grid.originY() == originY_ && grid.width() == width_ &&
-           grid.height() == height_;
+    return dense_ && grid.enabled() &&
+           grid.geometryVersion() == gridVersion_ &&
+           grid.originX() == originX_ && grid.originY() == originY_ &&
+           grid.width() == width_ && grid.height() == height_;
   }
 
   /// Ensures the planes mirror sys.grid(); classOf(particle) ∈ [0, K) maps
   /// each particle to its plane.  Returns false (sparse mode) when the
-  /// system itself runs without a dense window.
+  /// system itself runs without a dense grid.
   template <typename ClassOf>
   bool sync(const system::ParticleSystem& sys, ClassOf&& classOf) {
     const system::BitGrid& grid = sys.grid();
@@ -66,14 +71,18 @@ class ShadowPlanes {
       return false;
     }
     if (syncedWith(grid)) return true;
+    if (dense_ && grid.tiled() && planes_[0].tiled()) {
+      // Tiled growth: the directory gained tiles but no bit moved (tiles
+      // are absolutely anchored), so the planes just follow the directory.
+      for (auto& plane : planes_) plane.ensureTilesOf(grid);
+      fingerprint(grid);
+      return true;
+    }
     for (auto& plane : planes_) plane.allocateLike(grid);
     for (std::size_t i = 0; i < sys.size(); ++i) {
       planes_[static_cast<std::size_t>(classOf(i))].set(sys.position(i));
     }
-    originX_ = grid.originX();
-    originY_ = grid.originY();
-    width_ = grid.width();
-    height_ = grid.height();
+    fingerprint(grid);
     dense_ = true;
     return true;
   }
@@ -91,11 +100,20 @@ class ShadowPlanes {
   }
 
  private:
+  void fingerprint(const system::BitGrid& grid) noexcept {
+    originX_ = grid.originX();
+    originY_ = grid.originY();
+    width_ = grid.width();
+    height_ = grid.height();
+    gridVersion_ = grid.geometryVersion();
+  }
+
   std::array<system::BitGrid, K> planes_;
   std::int64_t originX_ = 0;
   std::int64_t originY_ = 0;
   std::uint64_t width_ = 0;
   std::uint64_t height_ = 0;
+  std::uint64_t gridVersion_ = 0;
   bool dense_ = false;
 };
 
@@ -252,13 +270,16 @@ class SeparationModel {
 
   void onMoved(const system::ParticleSystem& sys, std::size_t particle,
                TriPoint from, TriPoint to) {
-    if (planes_.syncedWith(sys.grid())) {
-      system::BitGrid& plane = planes_.plane(colors_[particle]);
-      plane.clear(from);
-      plane.set(to);
-    } else {
-      planes_.sync(sys, [this](std::size_t i) { return colors_[i]; });
+    // sync() first: a stale fingerprint means the grid rebuilt (flat) or
+    // grew tiles.  After a flat rebuild the planes were reconstructed from
+    // post-move positions, so the clear/set below are no-ops; after tiled
+    // growth they are the move's one real update.
+    if (!planes_.sync(sys, [this](std::size_t i) { return colors_[i]; })) {
+      return;
     }
+    system::BitGrid& plane = planes_.plane(colors_[particle]);
+    plane.clear(from);
+    plane.set(to);
   }
 
   [[nodiscard]] bool auxEnabled() const noexcept {
@@ -302,7 +323,7 @@ class SeparationModel {
           swapPow_[static_cast<std::size_t>(after - before + kMaxSwapDelta)];
       if (threshold >= 1.0 || rng.uniform() < threshold) {
         const std::size_t other =
-            ids.syncedWith(sys.grid())
+            ids.tracksMoves(sys.grid())
                 ? static_cast<std::size_t>(ids.idAtUnchecked(q))
                 : *sys.particleAt(q);
         // Position-based identity check: valid under the sharded runner's
@@ -462,13 +483,14 @@ class AlignmentModel {
 
   void onMoved(const system::ParticleSystem& sys, std::size_t particle,
                TriPoint from, TriPoint to) {
-    if (planes_.syncedWith(sys.grid())) {
-      system::BitGrid& plane = planes_.plane(orientations_[particle]);
-      plane.clear(from);
-      plane.set(to);
-    } else {
-      planes_.sync(sys, [this](std::size_t i) { return orientations_[i]; });
+    // See SeparationModel::onMoved: sync first, then apply (no-ops after a
+    // flat rebuild, the real update after tiled growth).
+    if (!planes_.sync(sys, [this](std::size_t i) { return orientations_[i]; })) {
+      return;
     }
+    system::BitGrid& plane = planes_.plane(orientations_[particle]);
+    plane.clear(from);
+    plane.set(to);
   }
 
   [[nodiscard]] bool auxEnabled() const noexcept {

@@ -94,8 +94,20 @@
 /// During epochs over the dense window the ParticleSystem's cell→id hash
 /// index — the one structure every move would otherwise share — is
 /// suspended (ParticleSystem::suspendIndex) and restored on exit.
-/// Configurations too spread out for the dense window degrade to running
-/// every event on the sweep path: same trajectory contract, no
+///
+/// **Tiled windows.**  Configurations too spread out for one flat window
+/// run on BitGrid's tiled backend: same word-exclusive stripe discipline
+/// (tile columns are 64-aligned, so stripes never split a word), but the
+/// allocated-tile bounding box can span astronomically many columns, so
+/// stripes are keyed sparsely (util::FlatMap64) instead of indexed
+/// densely, with slots assigned in a sequential first-touch pass that is
+/// the same for every thread count.  Pair-move models additionally defer
+/// events whose neighborhood the paged partner-id plane does not cover
+/// (ParticleIdPlane::coversNear) — directory growth, like window growth,
+/// belongs to the sequential pre-phase and sweep only.  The sparse
+/// (hash-only) regime survives solely behind
+/// ParticleSystem::forceSparseForTest() and snapshots of such runs:
+/// every event runs on the sweep path, same trajectory contract, no
 /// parallelism.
 
 #include <algorithm>
@@ -112,6 +124,7 @@
 #include "rng/stream_bank.hpp"
 #include "system/metrics.hpp"
 #include "util/event_sort.hpp"
+#include "util/flat_hash.hpp"
 
 namespace sops::core {
 
@@ -282,6 +295,11 @@ class ShardedChainRunner {
       system::writeEngineState(w, clock_.state(i));
       system::writeEngineState(w, coin_.state(i));
     }
+    // Snapshot v3: the partner-id plane's mode and (when paged) its exact
+    // page directory — the striped deferral predicate is a function of
+    // the allocated-page set, so a re-derived directory would change the
+    // trajectory.
+    if constexpr (kMaintainsIds) partnerIds_.saveState(w);
   }
 
   /// Inverse of saveState on a runner constructed from the same spec
@@ -320,10 +338,18 @@ class ShardedChainRunner {
     (void)checkedParticleDrawBound(system_.size());
     model_.attach(system_);
     if constexpr (kMaintainsIds) {
-      // The restored window geometry can equal the stale fingerprint, so
-      // a plain sync() would keep pre-restore ids.
-      partnerIds_.invalidate();
-      partnerIds_.sync(system_);
+      if (r.version() >= 3) {
+        // v3 records the plane's mode (and the exact page directory when
+        // paged — restoreState rebuilds it key for key).
+        partnerIds_.restoreState(r, system_);
+      } else {
+        // v2 snapshots predate the paged plane, so the plane was flat; a
+        // fresh rebuild is exact there.  The restored window geometry can
+        // equal the stale fingerprint, so a plain sync() would keep
+        // pre-restore ids.
+        partnerIds_.invalidate();
+        partnerIds_.sync(system_);
+      }
     }
     SOPS_REQUIRE(system::countEdges(system_) == edges_,
                  "snapshot: restored edge count disagrees with the "
@@ -373,8 +399,7 @@ class ShardedChainRunner {
   /// RAII index restoration for one run (suspension itself is per-epoch,
   /// decided by runEpoch's regime check): restore must happen even when
   /// an epoch throws, and is idempotent — including after a mid-run
-  /// fallback already restored the index (ParticleSystem::moveParticle,
-  /// or runEpoch's id-plane-overflow branch).
+  /// fallback already restored the index (ParticleSystem::moveParticle).
   class IndexRestore {
    public:
     explicit IndexRestore(system::ParticleSystem& sys) : sys_(sys) {}
@@ -440,27 +465,30 @@ class ShardedChainRunner {
     }
   }
 
-  /// Processes stripe `s`: gathers its particles' pre-drawn firing times
-  /// from the epoch buffer (filled in one batched pass — possibly by the
-  /// overlap helper during the previous sweep), sorts once, executes
-  /// interior events and routes halo/window-edge events to
-  /// stripeDeferred_[s].  Runs on a worker thread; touches only this
-  /// stripe's words, its particles' coin streams, and its own tally.
-  void runStripe(std::size_t s, std::int64_t originX, double epochEnd) {
-    std::vector<Event>& deferred = stripeDeferred_[s];
+  /// Processes the stripe in buffer slot `slot` (covering the 64 columns
+  /// at stripe index `stripeIndex`; the two coincide for flat windows):
+  /// gathers its particles' pre-drawn firing times from the epoch buffer
+  /// (filled in one batched pass — possibly by the overlap helper during
+  /// the previous sweep), sorts once, executes interior events and routes
+  /// halo/window-edge events to stripeDeferred_[slot].  Runs on a worker
+  /// thread; touches only this stripe's words, its particles' coin
+  /// streams, and its own tally.
+  void runStripe(std::size_t slot, std::uint64_t stripeIndex,
+                 std::int64_t originX, double epochEnd) {
+    std::vector<Event>& deferred = stripeDeferred_[slot];
     deferred.clear();
-    StripeTally& tally = stripeTally_[s];
+    StripeTally& tally = stripeTally_[slot];
     tally = StripeTally{};
 
-    std::vector<Event>& events = stripeEvents_[s];
+    std::vector<Event>& events = stripeEvents_[slot];
     events.clear();
-    for (const std::uint32_t i : stripeParticles_[s]) {
+    for (const std::uint32_t i : stripeParticles_[slot]) {
       const std::uint64_t end = draws_.offsets[i + 1];
       for (std::uint64_t k = draws_.offsets[i]; k < end; ++k) {
         events.push_back({draws_.times[k], i});
       }
     }
-    sortEvents(events, sortScratch_[s], now_, epochEnd);
+    sortEvents(events, sortScratch_[slot], now_, epochEnd);
 
     const system::BitGrid& grid = system_.grid();
     for (const Event& event : events) {
@@ -473,10 +501,18 @@ class ShardedChainRunner {
       const auto col = static_cast<std::uint64_t>(
           static_cast<std::int64_t>(pos.x) - originX);
       const std::uint64_t inStripe = col & (kStripeColumns - 1);
+      // Pair-move models also require the partner-id plane to cover the
+      // event's neighborhood (lookups and id moves reach distance ≤ 1).
+      // Flat planes always do; a paged directory answers with a probe.
+      // Both directories are immutable during the stripe phase, so the
+      // predicate is the same for every thread count.
+      bool idsCover = true;
+      if constexpr (kMaintainsIds) idsCover = partnerIds_.coversNear(pos, 1);
       const bool safe =
-          (col >> 6) == s && inStripe >= kHaloColumns &&
+          (col >> 6) == stripeIndex && inStripe >= kHaloColumns &&
           inStripe < kStripeColumns - kHaloColumns &&
-          grid.coversInteriorBy(pos, system::BitGrid::kInteriorMargin + 1);
+          grid.coversInteriorBy(pos, system::BitGrid::kInteriorMargin + 1) &&
+          idsCover;
       if (safe) {
         runEvent(i, tally.stats, tally.edgeDelta);
       } else {
@@ -512,81 +548,128 @@ class ShardedChainRunner {
     std::uint64_t executed = 0;
     bool striped = false;
 
-    // A dense window the id mirror cannot cover (ParticleIdPlane::
-    // kMaxCells, smaller than BitGrid's own cap) forces pair moves onto
-    // the live hash index for partner lookup — so such epochs, like
-    // sparse ones, must run sequentially with the index maintained, not
-    // suspended.  Checked per epoch: a sweep regrow can cross the cap in
-    // either direction.
-    bool idPlaneReady = true;
-    if constexpr (kMaintainsIds) {
-      if (system_.grid().enabled()) idPlaneReady = partnerIds_.sync(system_);
-    }
-
-    if (system_.grid().enabled() && idPlaneReady) {
+    if (system_.grid().enabled()) {
       striped = true;
       // Pre-phase plane sync on the coordinating thread: with the window
       // geometry fixed for the whole stripe phase (window-edge events are
       // deferred), no shadow-plane or id-plane rebuild can trigger inside
-      // a worker.  The id index is the one structure every move shares;
-      // suspend it for the phase (idempotent across epochs).
+      // a worker.  The paged id plane allocates its directory here (or on
+      // the sweep), never inside a stripe — events its coverage misses
+      // are deferred by runStripe's predicate.  The id index is the one
+      // structure every move shares; suspend it for the phase (idempotent
+      // across epochs).
       model_.attach(system_);
+      if constexpr (kMaintainsIds) {
+        const bool ready = partnerIds_.sync(system_);
+        SOPS_DASSERT(ready);  // false only for a disabled grid
+        (void)ready;
+      }
       system_.suspendIndex();
 
       const system::BitGrid& grid = system_.grid();
       const std::int64_t originX = grid.originX();
-      const auto stripeCount = static_cast<std::size_t>(
-          (grid.width() + kStripeColumns - 1) / kStripeColumns);
-      if (stripeParticles_.size() < stripeCount) {
-        stripeParticles_.resize(stripeCount);
-        stripeEvents_.resize(stripeCount);
-        stripeDeferred_.resize(stripeCount);
-        stripeTally_.resize(stripeCount);
-        sortScratch_.resize(stripeCount);
-      }
-      for (auto& list : stripeParticles_) list.clear();
-
-      for (std::size_t i = 0; i < system_.size(); ++i) {
-        if (draws_.count(i) == 0) continue;
-        const auto col = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(system_.position(i).x) - originX);
-        stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
-      }
+      const bool tiledGrid = grid.tiled();
 
       activeStripes_.clear();
-      for (std::size_t s = 0; s < stripeCount; ++s) {
-        if (!stripeParticles_[s].empty()) activeStripes_.push_back(s);
+      if (tiledGrid) {
+        // The allocated-tile bounding box can span astronomically many
+        // 64-column stripes, so bucket sparsely: stripe index → buffer
+        // slot, slots assigned in first-touch order by this sequential
+        // pass — the same assignment for every thread count.  Tile
+        // columns are 64-aligned (kTileWidth is a multiple of 64) and
+        // originX is tile-aligned, so stripe boundaries still never
+        // split a word of any plane.
+        stripeSlots_.clear();
+        stripeIndexOfSlot_.clear();
+        for (std::size_t i = 0; i < system_.size(); ++i) {
+          if (draws_.count(i) == 0) continue;
+          const auto col = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(system_.position(i).x) - originX);
+          const std::uint64_t stripeIndex = col >> 6;
+          std::size_t slot;
+          if (const std::uint32_t* found = stripeSlots_.find(stripeIndex)) {
+            slot = *found;
+          } else {
+            slot = stripeIndexOfSlot_.size();
+            stripeSlots_.insert(stripeIndex,
+                                static_cast<std::uint32_t>(slot));
+            stripeIndexOfSlot_.push_back(stripeIndex);
+            if (stripeParticles_.size() <= slot) {
+              stripeParticles_.resize(slot + 1);
+              stripeEvents_.resize(slot + 1);
+              stripeDeferred_.resize(slot + 1);
+              stripeTally_.resize(slot + 1);
+              sortScratch_.resize(slot + 1);
+            }
+            stripeParticles_[slot].clear();
+          }
+          stripeParticles_[slot].push_back(static_cast<std::uint32_t>(i));
+        }
+        for (std::size_t slot = 0; slot < stripeIndexOfSlot_.size(); ++slot) {
+          activeStripes_.push_back(slot);
+        }
+        // Canonical merge order: ascending stripe index, matching the
+        // flat path (any fixed order would do — stripes are disjoint in
+        // particles, so the merged schedule is order-independent).
+        std::sort(activeStripes_.begin(), activeStripes_.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return stripeIndexOfSlot_[a] < stripeIndexOfSlot_[b];
+                  });
+      } else {
+        // Flat windows keep the dense stripe arrays: stripe count is
+        // bounded by width / 64, and slot == stripe index.
+        const auto stripeCount = static_cast<std::size_t>(
+            (grid.width() + kStripeColumns - 1) / kStripeColumns);
+        if (stripeParticles_.size() < stripeCount) {
+          stripeParticles_.resize(stripeCount);
+          stripeEvents_.resize(stripeCount);
+          stripeDeferred_.resize(stripeCount);
+          stripeTally_.resize(stripeCount);
+          sortScratch_.resize(stripeCount);
+        }
+        for (auto& list : stripeParticles_) list.clear();
+
+        for (std::size_t i = 0; i < system_.size(); ++i) {
+          if (draws_.count(i) == 0) continue;
+          const auto col = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(system_.position(i).x) - originX);
+          stripeParticles_[col >> 6].push_back(static_cast<std::uint32_t>(i));
+        }
+
+        for (std::size_t s = 0; s < stripeCount; ++s) {
+          if (!stripeParticles_[s].empty()) activeStripes_.push_back(s);
+        }
       }
-      core::parallelForIndex(activeStripes_.size(), options_.threads,
-                             [&](std::size_t k) {
-                               runStripe(activeStripes_[k], originX, epochEnd);
-                             });
+      core::parallelForIndex(
+          activeStripes_.size(), options_.threads, [&](std::size_t k) {
+            const std::size_t slot = activeStripes_[k];
+            const std::uint64_t stripeIndex =
+                tiledGrid ? stripeIndexOfSlot_[slot] : slot;
+            runStripe(slot, stripeIndex, originX, epochEnd);
+          });
       // Merge in stripe order (fixed regardless of which thread ran
       // what): totals are sums, so any fixed order gives the same state.
-      // The deferred lists are each already in (time, particle) order, so
-      // an std::merge cascade assembles the sweep schedule without
-      // another sort.
+      // The sweep schedule is assembled by concatenating every stripe's
+      // deferred list and re-sorting once with the epoch bucket sort —
+      // NOT by a per-stripe std::merge cascade, which re-copies the
+      // growing queue once per stripe and goes quadratic on wide tiled
+      // windows (a 3e5-particle line spans ~4700 active stripes; the
+      // cascade was >70 % of its epoch time).  (time, particle) keys are
+      // unique, so the sorted schedule is byte-identical to the cascade's.
       for (const std::size_t s : activeStripes_) {
         executed += stripeTally_[s].stats.steps;
         edges_ += stripeTally_[s].edgeDelta;
         stats_.merge(stripeTally_[s].stats);
         const std::vector<Event>& deferred = stripeDeferred_[s];
-        if (deferred.empty()) continue;
-        if (sweepQueue_.empty()) {
-          sweepQueue_ = deferred;
-        } else {
-          mergeBuf_.resize(sweepQueue_.size() + deferred.size());
-          std::merge(sweepQueue_.begin(), sweepQueue_.end(), deferred.begin(),
-                     deferred.end(), mergeBuf_.begin());
-          sweepQueue_.swap(mergeBuf_);
-        }
+        sweepQueue_.insert(sweepQueue_.end(), deferred.begin(), deferred.end());
+      }
+      if (!sweepQueue_.empty()) {
+        sortEvents(sweepQueue_, sweepScratch_, now_, epochEnd);
       }
     } else {
-      // Sequential regimes — sparse fallback (no stripe geometry) or an
-      // id-plane-overflow window: the whole epoch runs on the sweep path
-      // in pure (time, particle) order with the index live.  A sparse
-      // fallback mid-run has already restored the index (moveParticle
-      // does it on the spot); the overflow regime restores it here.
+      // Sparse regime (forced for tests, or restored from a snapshot of
+      // such a run): no stripe geometry, so the whole epoch runs on the
+      // sweep path in pure (time, particle) order with the index live.
       system_.restoreIndex();
       sweepQueue_.reserve(total);
       for (std::size_t i = 0; i < system_.size(); ++i) {
@@ -626,10 +709,12 @@ class ShardedChainRunner {
     // the coin bank, so it runs concurrently with this loop.
     for (const Event& event : sweepQueue_) {
       if constexpr (kMaintainsIds) {
-        // A sweep regrow can push the window past the id mirror's cap
-        // mid-epoch, deactivating the plane; from then on pair moves
-        // resolve partners through the hash index, which must be live.
-        // When synced this is a fingerprint compare, nothing more.
+        // A sweep regrow can cross ParticleIdPlane::kMaxCells (switching
+        // the mirror between flat and paged) or promote the grid to
+        // tiled; sync() rebuilds the mirror accordingly.  It fails only
+        // for a disabled grid (the forced-sparse regime), where pair
+        // moves resolve partners through the hash index, which must be
+        // live.  When synced this is a fingerprint compare, nothing more.
         if (!partnerIds_.sync(system_)) system_.restoreIndex();
       }
       runEvent(event.particle, stats_, edges_);
@@ -671,16 +756,19 @@ class ShardedChainRunner {
   double pendingEnd_ = 0.0;
   std::unique_ptr<OverlapWorker> overlap_;
 
-  /// Reused per-epoch buffers.
+  /// Reused per-epoch buffers.  Indexed by buffer *slot*: equal to the
+  /// stripe index over a flat window, assigned first-touch over a tiled
+  /// one (stripeSlots_/stripeIndexOfSlot_ hold the mapping).
   std::vector<std::vector<std::uint32_t>> stripeParticles_;
   std::vector<std::vector<Event>> stripeEvents_;
   std::vector<std::vector<Event>> stripeDeferred_;
   std::vector<StripeTally> stripeTally_;
   std::vector<util::EventSortScratch<Event>> sortScratch_;
   util::EventSortScratch<Event> sweepScratch_;
-  std::vector<std::size_t> activeStripes_;
+  std::vector<std::size_t> activeStripes_;  ///< slots, in merge order
+  util::FlatMap64<std::uint32_t> stripeSlots_;  ///< tiled: stripe idx → slot
+  std::vector<std::uint64_t> stripeIndexOfSlot_;
   std::vector<Event> sweepQueue_;
-  std::vector<Event> mergeBuf_;
 };
 
 }  // namespace sops::core

@@ -132,6 +132,9 @@ void JsonlSink::onReplicaEnd(const ReplicaSummary& summary) {
        << ",\"label\":" << jsonEscaped(summary.label)
        << ",\"seed\":" << summary.seed << ",\"steps\":" << summary.steps
        << ",\"wall_seconds\":" << jsonNumber(summary.wallSeconds);
+  if (!summary.regime.empty()) {
+    out_ << ",\"regime\":" << jsonEscaped(summary.regime);
+  }
   for (std::size_t i = 0; i < summary.finalMetrics.size(); ++i) {
     out_ << ',' << jsonEscaped(metricNames_[i]) << ':'
          << jsonNumber(summary.finalMetrics[i]);

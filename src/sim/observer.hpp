@@ -54,6 +54,10 @@ struct ReplicaSummary {
   std::uint64_t steps = 0;  ///< exact steps executed
   std::vector<double> finalMetrics;
   double wallSeconds = 0.0;
+  /// Occupancy regime at the end of the replica ("dense-flat",
+  /// "dense-tiled", "sparse"), or "" when the scenario does not report
+  /// one (ScenarioRun::regime).
+  std::string regime;
   /// The replica's final configuration; valid only for the duration of the
   /// onReplicaEnd call (copy it to keep it).
   const system::ParticleSystem* finalSystem = nullptr;

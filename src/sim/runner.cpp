@@ -1,7 +1,9 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
@@ -40,6 +42,23 @@ constexpr std::size_t kMaxBufferedEventsPerReplica = std::size_t{1} << 22;
   return out;
 }
 
+/// One stderr line, once per process, the first time a replica reports the
+/// degraded sparse occupancy regime (hash-index-only queries — no dense
+/// planes, no striped parallelism).  Dense configurations promote to the
+/// tiled backend instead of degrading, so this fires only for runs resumed
+/// from a sparse-tagged snapshot or drivers wired up unexpectedly.
+void warnIfSparseRegime(const RunSpec& spec, std::size_t replica,
+                        const std::string& regime) {
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (regime != "sparse") return;
+  if (warned.test_and_set()) return;
+  std::fprintf(stderr,
+               "[sops] warning: scenario '%s' replica %zu degraded to the "
+               "sparse occupancy regime (hash-index queries only; no dense "
+               "fast path, no striping)\n",
+               spec.scenario.c_str(), replica);
+}
+
 /// Runs one replica to completion, streaming into `observer`.  Returns the
 /// replica's summary (without the finalSystem pointer, which is only valid
 /// during the onReplicaEnd call).
@@ -56,9 +75,9 @@ ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
   if (!spec.resumePath.empty()) {
     SOPS_REQUIRE(run->supportsSnapshots(),
                  "scenario '" + spec.scenario + "' does not support resume");
-    const std::vector<std::uint8_t> payload =
+    const system::SnapshotData snapshot =
         system::loadResumableSnapshot(spec.resumePath);
-    system::SnapshotReader reader(payload);
+    system::SnapshotReader reader(snapshot.payload, snapshot.version);
     const std::string storedCompat = reader.str();
     const std::string expectedCompat = resumeCompatText(spec);
     SOPS_REQUIRE(storedCompat == expectedCompat,
@@ -78,6 +97,7 @@ ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
                      " steps but the snapshot recorded " +
                      std::to_string(storedSteps));
   }
+  warnIfSparseRegime(spec, replica, run->regime());
 
   // Atomic checkpoint snapshot: the full trajectory-identity key plus the
   // run's complete evolving state, written after every advance (so the
@@ -153,6 +173,8 @@ ReplicaSummary runReplica(const RunSpec& spec, const Scenario& scenario,
   summary.label = spec.scenario + " seed=" + std::to_string(seed);
   summary.seed = seed;
   summary.steps = run->stepsDone();
+  summary.regime = run->regime();
+  warnIfSparseRegime(spec, replica, summary.regime);
   run->sampleMetrics(summary.finalMetrics);
   summary.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -52,6 +52,14 @@ class ScenarioRun {
   /// snapshot sinks and final-state checks.  Not a hot-path call.
   [[nodiscard]] virtual system::ParticleSystem snapshot() const = 0;
 
+  /// The occupancy regime the replica currently executes in —
+  /// "dense-flat" (one flat bitboard window), "dense-tiled" (paged
+  /// tile directory), or "sparse" (hash-index-only degraded mode) —
+  /// or "" for scenarios that do not report one.  The runner copies
+  /// this into ReplicaSummary::regime and warns on stderr the first
+  /// time a run degrades to "sparse".
+  [[nodiscard]] virtual std::string regime() const { return {}; }
+
   /// Installs a cooperative cancel token: once it trips, advance() returns
   /// early — possibly having made no progress — with the run in a
   /// consistent (sampleable, serializable) state.  Scenarios that ignore

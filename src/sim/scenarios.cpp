@@ -158,6 +158,9 @@ class EngineRun : public ScenarioRun {
   [[nodiscard]] system::ParticleSystem snapshot() const override {
     return engine_.system();
   }
+  [[nodiscard]] std::string regime() const override {
+    return engine_.system().regimeName();
+  }
   void setCancelToken(const core::CancelToken* cancel) override {
     cancel_ = cancel;
   }
@@ -202,6 +205,9 @@ class ShardedRun : public ScenarioRun {
   }
   [[nodiscard]] system::ParticleSystem snapshot() const override {
     return runner_.system();
+  }
+  [[nodiscard]] std::string regime() const override {
+    return runner_.system().regimeName();
   }
   void setCancelToken(const core::CancelToken* cancel) override {
     runner_.setCancelToken(cancel);
@@ -443,6 +449,9 @@ class AmoebotRun : public ScenarioRun {
   }
   [[nodiscard]] system::ParticleSystem snapshot() const override {
     return sys_.tailConfiguration();
+  }
+  [[nodiscard]] std::string regime() const override {
+    return sys_.regimeName();
   }
   void setCancelToken(const core::CancelToken* cancel) override {
     runner_->setCancelToken(cancel);

@@ -6,6 +6,10 @@ namespace {
 /// Base margin around the bounding box when (re)building the dense window
 /// (BitGrid::rebuild adds span/4 proportional headroom on top).
 constexpr std::int64_t kGridBaseMargin = 32;
+/// Tile headroom allocated around a particle that escapes the interior of
+/// a tiled grid: > kInteriorMargin + 1 so one ensureRegion() buys several
+/// further moves in the same direction before the next directory touch.
+constexpr std::int64_t kGridEnsureMargin = 8;
 }  // namespace
 
 void ParticleSystem::regrowGrid() {
@@ -13,9 +17,12 @@ void ParticleSystem::regrowGrid() {
     grid_.disable();
     return;
   }
-  if (!grid_.rebuild(positions_, kGridBaseMargin)) {
-    gridGaveUp_ = true;  // sparse fallback from here on
-  }
+  // rebuild() promotes oversized bounding boxes to the tiled backend, so
+  // it only fails (false) on an empty point set — excluded above.  The
+  // sparse regime survives solely behind forceSparseForTest().
+  const bool built = grid_.rebuild(positions_, kGridBaseMargin);
+  SOPS_DASSERT(built);
+  (void)built;
 }
 
 ParticleSystem::ParticleSystem(std::span<const TriPoint> points)
@@ -56,6 +63,11 @@ std::size_t ParticleSystem::add(TriPoint p) {
   positions_.push_back(p);
   if (grid_.enabled() && grid_.coversInterior(p)) {
     grid_.set(p);
+  } else if (grid_.tiled()) {
+    // A tiled grid never rebuilds from scratch: grow the directory around
+    // the new particle and set its bit.
+    grid_.ensureRegion(p, kGridEnsureMargin);
+    grid_.set(p);
   } else if (!gridGaveUp_) {
     regrowGrid();
   }
@@ -94,6 +106,15 @@ void ParticleSystem::moveParticle(std::size_t particle, TriPoint to) {
     if (grid_.coversInterior(to)) {
       grid_.clear(from);
       grid_.set(to);
+    } else if (grid_.tiled()) {
+      // A tiled grid only ever grows: allocating the few tiles around the
+      // escape restores the interior invariant without re-deriving any
+      // geometry, so shadow/id planes stay incrementally valid.  Never
+      // reached from a sharded parallel phase — its deferral predicate
+      // requires coversInteriorBy(pos, margin + 1).
+      grid_.ensureRegion(to, kGridEnsureMargin);
+      grid_.clear(from);
+      grid_.set(to);
     } else {
       regrowGrid();  // positions_ already reflects the move
       // Sparse fallback ends a suspension immediately: without the dense
@@ -118,6 +139,29 @@ void ParticleSystem::restoreWindowGeometry(bool dense, std::int64_t originX,
     gridGaveUp_ = true;
     grid_.disable();
   }
+}
+
+void ParticleSystem::restoreTiledGeometry(
+    std::span<const std::uint64_t> tileKeys) {
+  SOPS_REQUIRE(!indexSuspended_,
+               "restoreTiledGeometry() while the id index is suspended");
+  grid_.rebuildTiledExact(positions_, tileKeys);
+  gridGaveUp_ = false;
+}
+
+void ParticleSystem::forceSparseForTest() {
+  SOPS_REQUIRE(!indexSuspended_,
+               "forceSparseForTest() while the id index is suspended");
+  gridGaveUp_ = true;
+  grid_.disable();
+}
+
+void ParticleSystem::forceTiledForTest() {
+  SOPS_REQUIRE(!indexSuspended_,
+               "forceTiledForTest() while the id index is suspended");
+  SOPS_REQUIRE(!positions_.empty(), "forceTiledForTest() needs particles");
+  gridGaveUp_ = false;
+  grid_.rebuildTiled(positions_, kGridBaseMargin);
 }
 
 bool ParticleSystem::sameArrangement(const ParticleSystem& other) const {

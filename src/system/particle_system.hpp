@@ -80,9 +80,18 @@ class ParticleSystem {
     return index_.contains(lattice::pack(p));
   }
 
-  /// The dense occupancy window (disabled for configurations whose
-  /// bounding box exceeds BitGrid::kMaxWords).
+  /// The dense occupancy grid: a flat window for small bounding boxes,
+  /// the tiled backend for large ones (disabled only when forced sparse).
   [[nodiscard]] const BitGrid& grid() const noexcept { return grid_; }
+
+  /// Which occupancy regime the system is running: "dense-flat" (one flat
+  /// window), "dense-tiled" (tile directory), or "sparse" (hash index
+  /// only — reachable only via forceSparseForTest() or a snapshot of such
+  /// a run).  Surfaced through the sim facade so regime changes are loud.
+  [[nodiscard]] const char* regimeName() const noexcept {
+    if (!grid_.enabled()) return "sparse";
+    return grid_.tiled() ? "dense-tiled" : "dense-flat";
+  }
 
   /// Particle id occupying p, if any.  Invalid while the index is
   /// suspended (see suspendIndex()).
@@ -178,10 +187,26 @@ class ParticleSystem {
                              std::int64_t originY, std::uint64_t width,
                              std::uint64_t height);
 
+  /// Snapshot-restore hook for the tiled backend: rebuilds the tile
+  /// directory EXACTLY as a v3 snapshot recorded it (the sharded runners'
+  /// deferral predicates are functions of the allocated-tile set).
+  void restoreTiledGeometry(std::span<const std::uint64_t> tileKeys);
+
+  /// Pins the sparse (hash-only) regime — the organic fallback no longer
+  /// exists now that rebuild() promotes to tiled, but tests still need to
+  /// exercise the sparse code paths.
+  void forceSparseForTest();
+
+  /// Forces the tiled backend on a system whose bounding box would
+  /// otherwise fit a flat window, so tests can compare the two backends
+  /// on small configurations.
+  void forceTiledForTest();
+
  private:
-  /// Rebuilds the dense window from positions_ (with proportional margin so
-  /// rebuilds stay rare as the configuration drifts).  Falls back to the
-  /// sparse index permanently once a rebuild overflows the window cap.
+  /// Rebuilds the dense grid from positions_: a flat window (with
+  /// proportional margin so rebuilds stay rare as the configuration
+  /// drifts) when the bounding box fits BitGrid::kMaxWords, the tiled
+  /// backend beyond that.
   void regrowGrid();
 
   std::vector<TriPoint> positions_;

@@ -130,11 +130,15 @@ void SnapshotReader::finish() const {
 }
 
 void writeSnapshotFile(const std::string& path,
-                       std::span<const std::uint8_t> payload) {
+                       std::span<const std::uint8_t> payload,
+                       std::uint32_t version) {
+  SOPS_REQUIRE(version >= kMinSnapshotVersion && version <= kSnapshotVersion,
+               "snapshot: cannot write unsupported format version " +
+                   std::to_string(version));
   std::vector<std::uint8_t> frame;
   frame.reserve(kHeaderBytes + payload.size());
   frame.insert(frame.end(), kMagic, kMagic + 8);
-  putLE(frame, kSnapshotVersion, 4);
+  putLE(frame, version, 4);
   putLE(frame, payload.size(), 8);
   putLE(frame, snapshotChecksum(payload), 8);
   frame.insert(frame.end(), payload.begin(), payload.end());
@@ -161,7 +165,7 @@ void writeSnapshotFile(const std::string& path,
   syncParentDirectory(path);
 }
 
-std::vector<std::uint8_t> readSnapshotFile(const std::string& path) {
+SnapshotData readSnapshotFile(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   SOPS_REQUIRE(file != nullptr, "snapshot: cannot open " + path + ": " +
                                     std::strerror(errno));
@@ -179,7 +183,7 @@ std::vector<std::uint8_t> readSnapshotFile(const std::string& path) {
   SOPS_REQUIRE(std::memcmp(frame.data(), kMagic, 8) == 0,
                "snapshot: " + path + " has wrong magic — not a snapshot");
   const auto version = static_cast<std::uint32_t>(getLE(frame.data() + 8, 4));
-  SOPS_REQUIRE(version == kSnapshotVersion,
+  SOPS_REQUIRE(version >= kMinSnapshotVersion && version <= kSnapshotVersion,
                "snapshot: " + path + " has unsupported format version " +
                    std::to_string(version));
   const std::uint64_t length = getLE(frame.data() + 12, 8);
@@ -192,10 +196,10 @@ std::vector<std::uint8_t> readSnapshotFile(const std::string& path) {
   SOPS_REQUIRE(snapshotChecksum(payload) == checksum,
                "snapshot: " + path + " failed its checksum — torn write or "
                "corruption; refusing to resume from it");
-  return payload;
+  return {version, std::move(payload)};
 }
 
-std::vector<std::uint8_t> loadResumableSnapshot(const std::string& path) {
+SnapshotData loadResumableSnapshot(const std::string& path) {
   std::string primaryError;
   try {
     return readSnapshotFile(path);
@@ -221,11 +225,25 @@ void writeParticleSystem(SnapshotWriter& w, const ParticleSystem& sys) {
     w.i64(p.y);
   }
   const BitGrid& grid = sys.grid();
-  w.u8(grid.enabled() ? 1 : 0);
-  w.i64(grid.originX());
-  w.i64(grid.originY());
-  w.u64(grid.width());
-  w.u64(grid.height());
+  if (grid.tiled()) {
+    // Tag 2: the exact allocated-tile set, sorted by raw key so the byte
+    // stream is a pure function of state (the directory's iteration order
+    // is not).
+    w.u8(2);
+    const std::vector<std::uint64_t> keys = grid.sortedTileKeys();
+    w.u64(keys.size());
+    for (const std::uint64_t key : keys) {
+      w.i64(BitGrid::tileXOfKey(key));
+      w.i64(BitGrid::tileYOfKey(key));
+    }
+  } else {
+    // Tags 0/1 keep frame v2's exact byte layout.
+    w.u8(grid.enabled() ? 1 : 0);
+    w.i64(grid.originX());
+    w.i64(grid.originY());
+    w.u64(grid.width());
+    w.u64(grid.height());
+  }
 }
 
 ParticleSystem readParticleSystem(SnapshotReader& r) {
@@ -238,7 +256,23 @@ ParticleSystem readParticleSystem(SnapshotReader& r) {
     points.push_back({static_cast<std::int32_t>(x),
                       static_cast<std::int32_t>(y)});
   }
-  const bool dense = r.u8() != 0;
+  const std::uint8_t backend = r.u8();
+  SOPS_REQUIRE(backend <= 2, "snapshot: bad occupancy backend tag");
+  if (backend == 2) {
+    const std::uint64_t tileCount = r.u64();
+    std::vector<std::uint64_t> keys;
+    keys.reserve(static_cast<std::size_t>(tileCount));
+    for (std::uint64_t i = 0; i < tileCount; ++i) {
+      const std::int64_t tx = r.i64();
+      const std::int64_t ty = r.i64();
+      keys.push_back(BitGrid::tileKey(static_cast<std::int32_t>(tx),
+                                      static_cast<std::int32_t>(ty)));
+    }
+    ParticleSystem sys(points);
+    sys.restoreTiledGeometry(keys);
+    return sys;
+  }
+  const bool dense = backend != 0;
   const std::int64_t originX = r.i64();
   const std::int64_t originY = r.i64();
   const std::uint64_t width = r.u64();

@@ -7,7 +7,7 @@
 /// A snapshot file is a framed payload:
 ///
 ///   bytes 0..7    magic "SOPSSNAP"
-///   bytes 8..11   format version (u32 little-endian, currently 2)
+///   bytes 8..11   format version (u32 little-endian, currently 3)
 ///   bytes 12..19  payload length in bytes (u64 LE)
 ///   bytes 20..27  FNV-1a-64 checksum of the payload (u64 LE)
 ///   bytes 28..    payload
@@ -45,12 +45,22 @@ namespace sops::system {
 [[nodiscard]] std::uint64_t snapshotChecksum(
     std::span<const std::uint8_t> bytes) noexcept;
 
-/// Current frame format version.  v2: the sharded runners serialize their
-/// per-particle streams as bare 256-bit engine states (SoA banks; the
-/// master seed is part of the run spec) plus the adaptive epoch target —
-/// v1 payloads stored full (seed, state) Random pairs and no target, so
-/// they must fail loudly rather than be misread.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Current frame format version.  v3: occupancy serializes a backend tag
+/// (sparse / flat window / tiled directory, with the tiled grid's exact
+/// allocated-tile set), and the sharded chain runner appends its
+/// partner-id plane's mode and paged directory — the tiled deferral
+/// predicates are functions of those directories, so a re-derived one
+/// would change the trajectory.  v2 payloads (flat or sparse only; the
+/// sharded runners' per-particle streams as bare 256-bit engine states
+/// plus the adaptive epoch target) are still accepted: their occupancy
+/// byte layout is a strict subset of v3's, and readers re-derive the id
+/// plane, which is exact for the flat mode v2 runs used.  v1 payloads
+/// stored full (seed, state) Random pairs and no target, so they must
+/// fail loudly rather than be misread.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
+
+/// Oldest frame version readSnapshotFile still accepts.
+inline constexpr std::uint32_t kMinSnapshotVersion = 2;
 
 /// Accumulates a snapshot payload as typed little-endian primitives.
 class SnapshotWriter {
@@ -80,8 +90,15 @@ class SnapshotWriter {
 /// loadResumableSnapshot).
 class SnapshotReader {
  public:
-  explicit SnapshotReader(std::span<const std::uint8_t> payload) noexcept
-      : payload_(payload) {}
+  /// `version` is the frame version the payload was read from (see
+  /// SnapshotData); consumers branch on it for fields newer versions
+  /// appended.  Defaults to current for payloads built in-process.
+  explicit SnapshotReader(std::span<const std::uint8_t> payload,
+                          std::uint32_t version = kSnapshotVersion) noexcept
+      : payload_(payload), version_(version) {}
+
+  /// Frame version of the payload under this reader.
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
 
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();
@@ -102,30 +119,44 @@ class SnapshotReader {
 
   std::span<const std::uint8_t> payload_;
   std::size_t pos_ = 0;
+  std::uint32_t version_ = kSnapshotVersion;
+};
+
+/// A verified snapshot payload together with the frame version it was
+/// framed as — construct the SnapshotReader with both so version-gated
+/// fields resolve correctly.
+struct SnapshotData {
+  std::uint32_t version = kSnapshotVersion;
+  std::vector<std::uint8_t> payload;
 };
 
 /// Writes `payload` to `path` with the frame header, atomically (see file
 /// comment for the tmp/fsync/rotate/rename discipline).  Throws
-/// ContractViolation on any I/O failure.
+/// ContractViolation on any I/O failure.  `version` stamps the frame
+/// header and must be in [kMinSnapshotVersion, kSnapshotVersion] — the
+/// non-default values exist for tests that craft older frames; the writer
+/// does not down-convert the payload bytes.
 void writeSnapshotFile(const std::string& path,
-                       std::span<const std::uint8_t> payload);
+                       std::span<const std::uint8_t> payload,
+                       std::uint32_t version = kSnapshotVersion);
 
-/// Reads and verifies one snapshot file: magic, version, length, checksum.
-/// Throws ContractViolation (naming the path and the failure) on a
-/// missing, torn, truncated, or corrupt file.
-[[nodiscard]] std::vector<std::uint8_t> readSnapshotFile(
-    const std::string& path);
+/// Reads and verifies one snapshot file: magic, version (any supported
+/// one), length, checksum.  Throws ContractViolation (naming the path and
+/// the failure) on a missing, torn, truncated, or corrupt file.
+[[nodiscard]] SnapshotData readSnapshotFile(const std::string& path);
 
 /// readSnapshotFile(path), falling back to `<path>.prev` when the primary
 /// is unreadable or fails verification (the window between rotate and
 /// rename, or a torn write).  Throws only when both fail, with both
 /// errors in the message.
-[[nodiscard]] std::vector<std::uint8_t> loadResumableSnapshot(
-    const std::string& path);
+[[nodiscard]] SnapshotData loadResumableSnapshot(const std::string& path);
 
-/// Serializes a ParticleSystem: positions plus the exact dense-window
-/// geometry (the sharded runners' trajectories depend on it — see
-/// ParticleSystem::restoreWindowGeometry).
+/// Serializes a ParticleSystem: positions plus a backend tag (0 sparse,
+/// 1 flat window, 2 tiled) and the backend's exact geometry — the window
+/// rectangle for flat, the sorted allocated-tile coordinate list for
+/// tiled (the sharded runners' trajectories depend on both — see
+/// ParticleSystem::restoreWindowGeometry / restoreTiledGeometry).  The
+/// sparse and flat encodings are byte-identical to frame v2's.
 void writeParticleSystem(SnapshotWriter& w, const ParticleSystem& sys);
 [[nodiscard]] ParticleSystem readParticleSystem(SnapshotReader& r);
 

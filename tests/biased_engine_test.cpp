@@ -154,11 +154,23 @@ TEST(EngineGolden, SeparationMatchesReferenceChainWithoutSwaps) {
                          noSwaps, 31, 100000);
 }
 
-TEST(EngineGolden, SeparationMatchesReferenceChainOnSparseFallback) {
-  // A 20000-particle line exceeds the dense window cap (with proportional
-  // margin), so ParticleSystem runs on the hash index and the model's
-  // plane-free fallback is what executes.
+TEST(EngineGolden, SeparationMatchesReferenceChainOnTiledWindow) {
+  // A 20000-particle line exceeds the flat window cap (with proportional
+  // margin), so ParticleSystem promotes to the tiled backend — the dense
+  // plane-backed kernel must match the reference chain there too.
   const ParticleSystem start = system::lineConfiguration(20000);
+  ASSERT_TRUE(start.grid().enabled());
+  ASSERT_TRUE(start.grid().tiled());
+  expectSeparationGolden(start, alternatingColors(20000),
+                         separationOptions(4.0, 4.0), 41, 30000);
+}
+
+TEST(EngineGolden, SeparationMatchesReferenceChainOnSparseFallback) {
+  // The sparse regime survives only behind forceSparseForTest(): every
+  // query goes through the hash index and the model's plane-free fallback
+  // is what executes.  It must stay golden too.
+  ParticleSystem start = system::lineConfiguration(20000);
+  start.forceSparseForTest();
   ASSERT_FALSE(start.grid().enabled());
   expectSeparationGolden(start, alternatingColors(20000),
                          separationOptions(4.0, 4.0), 41, 30000);

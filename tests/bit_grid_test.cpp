@@ -43,12 +43,19 @@ TEST(BitGrid, OutOfWindowCellsReadUnoccupied) {
   EXPECT_FALSE(grid.test({INT32_MIN, INT32_MAX}));
 }
 
-TEST(BitGrid, RebuildCapDisablesGrid) {
+TEST(BitGrid, RebuildCapPromotesToTiled) {
   BitGrid grid;
-  // Bounding box ~2^30 × 2^30 cells: far over kMaxWords.
+  // Bounding box ~2^30 × 2^30 cells: far over kMaxWords for a flat
+  // window, so rebuild allocates tiles around the occupied cells instead
+  // of giving up.
   const std::vector<TriPoint> sparse{{0, 0}, {1 << 30, 1 << 30}};
-  EXPECT_FALSE(grid.rebuild(sparse, 0));
-  EXPECT_FALSE(grid.enabled());
+  EXPECT_TRUE(grid.rebuild(sparse, 0));
+  EXPECT_TRUE(grid.enabled());
+  EXPECT_TRUE(grid.tiled());
+  EXPECT_TRUE(grid.test({0, 0}));
+  EXPECT_TRUE(grid.test({1 << 30, 1 << 30}));
+  EXPECT_FALSE(grid.test({5, 5}));
+  EXPECT_FALSE(grid.test({(1 << 30) + 1, 1 << 30}));
 }
 
 TEST(BitGrid, EmptyRebuildDisables) {
@@ -106,10 +113,12 @@ TEST(ParticleSystemGrid, RegrowthOnEscapeKeepsAnswersExact) {
   EXPECT_TRUE(sys.grid().covers(p));
 }
 
-TEST(ParticleSystemGrid, SparseFallbackForHugeBoundingBox) {
+TEST(ParticleSystemGrid, HugeBoundingBoxPromotesToTiled) {
   const std::vector<TriPoint> far{{0, 0}, {1 << 28, 0}};
   const ParticleSystem sys(far);
-  EXPECT_FALSE(sys.grid().enabled());
+  EXPECT_TRUE(sys.grid().enabled());
+  EXPECT_TRUE(sys.grid().tiled());
+  EXPECT_STREQ(sys.regimeName(), "dense-tiled");
   EXPECT_TRUE(sys.occupied({0, 0}));
   EXPECT_TRUE(sys.occupied({1 << 28, 0}));
   EXPECT_FALSE(sys.occupied({5, 5}));

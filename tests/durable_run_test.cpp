@@ -106,8 +106,9 @@ TEST(DurableRunFile, RoundTripsAndVerifiesChecksum) {
   w.u64(99);
   system::writeSnapshotFile(path, w.payload());
 
-  const std::vector<std::uint8_t> payload = system::readSnapshotFile(path);
-  system::SnapshotReader r(payload);
+  const system::SnapshotData snapshot = system::readSnapshotFile(path);
+  EXPECT_EQ(snapshot.version, system::kSnapshotVersion);
+  system::SnapshotReader r(snapshot.payload, snapshot.version);
   EXPECT_EQ(r.str(), "payload under test");
   EXPECT_EQ(r.u64(), 99u);
   r.finish();
@@ -166,9 +167,8 @@ TEST(DurableRunFile, TornPrimaryFallsBackToPrev) {
   // Primary intact: the newer state wins.  (The payload must outlive the
   // reader — SnapshotReader is a view, not an owner.)
   {
-    const std::vector<std::uint8_t> payload =
-        system::loadResumableSnapshot(path);
-    system::SnapshotReader r(payload);
+    const system::SnapshotData snapshot = system::loadResumableSnapshot(path);
+    system::SnapshotReader r(snapshot.payload, snapshot.version);
     EXPECT_EQ(r.u64(), 2u);
   }
   // Tear the primary: the fallback must surface the previous durable
@@ -178,9 +178,8 @@ TEST(DurableRunFile, TornPrimaryFallsBackToPrev) {
     f << "torn";
   }
   {
-    const std::vector<std::uint8_t> payload =
-        system::loadResumableSnapshot(path);
-    system::SnapshotReader r(payload);
+    const system::SnapshotData snapshot = system::loadResumableSnapshot(path);
+    system::SnapshotReader r(snapshot.payload, snapshot.version);
     EXPECT_EQ(r.u64(), 1u);
   }
   // Both torn: loud failure naming both.

@@ -53,12 +53,17 @@ enum class SchedulerKind { Sequential, RoundRobin, Poisson };
 
 void expectGoldenTrajectory(const ParticleSystem& start, double lambda,
                             SchedulerKind kind, std::uint64_t steps,
-                            const FaultPlan& faults = {}) {
+                            const FaultPlan& faults = {},
+                            bool forceSparse = false) {
   // Identically seeded construction draws on both sides.
   rng::Random ctorFast(101);
   rng::Random ctorRef(101);
   AmoebotSystem fast(start, ctorFast);
   ReferenceAmoebotSystem ref(start, ctorRef);
+  if (forceSparse) {
+    fast.forceSparseForTest();
+    ASSERT_FALSE(fast.fastPathEnabled());
+  }
   applyFaults(fast, faults);
   for (const std::size_t id : faults.crashed) ref.markCrashed(id);
   for (const std::size_t id : faults.byzantine) ref.markByzantine(id);
@@ -142,11 +147,10 @@ TEST(LocalGolden, WithCrashAndByzantineFaults) {
                          SchedulerKind::Poisson, 200000, plan);
 }
 
-TEST(LocalGolden, SparseFallbackMatchesReference) {
-  // A configuration too spread out for the dense window (the bit planes
-  // give up and the hash index serves every query): the fallback path must
-  // stay golden too.  The far singleton keeps the bounding box over the
-  // 32 MiB window cap.
+TEST(LocalGolden, TiledWindowMatchesReference) {
+  // A configuration too spread out for one flat window (the far singleton
+  // keeps the bounding box over the 32 MiB flat cap) promotes the bit
+  // planes to the tiled backend: the dense path must stay golden there.
   std::vector<TriPoint> points;
   for (std::int32_t i = 0; i < 20; ++i) points.push_back({i, 0});
   points.push_back({60000, 20000});
@@ -154,9 +158,18 @@ TEST(LocalGolden, SparseFallbackMatchesReference) {
   {
     rng::Random probe(1);
     AmoebotSystem sys(start, probe);
-    ASSERT_FALSE(sys.fastPathEnabled()) << "expected sparse fallback";
+    ASSERT_TRUE(sys.fastPathEnabled()) << "expected tiled promotion";
+    ASSERT_TRUE(sys.occupancyGrid().tiled());
   }
   expectGoldenTrajectory(start, 4.0, SchedulerKind::Sequential, 150000);
+}
+
+TEST(LocalGolden, SparseFallbackMatchesReference) {
+  // The sparse regime survives only behind forceSparseForTest() (the hash
+  // index serves every query): the fallback path must stay golden too.
+  expectGoldenTrajectory(system::lineConfiguration(30), 4.0,
+                         SchedulerKind::Sequential, 150000, {},
+                         /*forceSparse=*/true);
 }
 
 // --- sharded runner determinism ---------------------------------------
