@@ -60,15 +60,16 @@ int main(int argc, char** argv) {
   bench::Table table({"variant", "connected", "holes", "alpha=p/pmin",
                       "accept%"}, 26);
   for (const AblationRow& row : rows) {
-    core::CompressionChain chain(system::lineConfiguration(n), row.options, 1603);
+    core::CompressionChain chain(system::lineConfiguration(n), row.options,
+                                 1603);
     // Track the worst violation seen along the trajectory, not just the end
     // state (holes/disconnection can be transient).
     bool everDisconnected = false;
     std::int64_t maxHoles = 0;
     chain.runWithCheckpoints(iterations, iterations / 60, [&](std::uint64_t) {
       everDisconnected |= !system::isConnected(chain.system());
-      maxHoles = std::max(maxHoles,
-                          static_cast<std::int64_t>(system::countHoles(chain.system())));
+      maxHoles = std::max(maxHoles, static_cast<std::int64_t>(
+                                        system::countHoles(chain.system())));
     });
     const bool connectedNow = system::isConnected(chain.system());
     const double alpha =

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
                bench::fmt(builderAlpha, 2),
                bench::fmtInt(static_cast<std::int64_t>(chain.iterations())),
                bench::fmt(chainAlpha, 2),
-               bench::fmtInt(static_cast<std::int64_t>(chain.stats().accepted))});
+               bench::fmtInt(
+                   static_cast<std::int64_t>(chain.stats().accepted))});
     csv.writeRow({std::to_string(n), std::to_string(built.unitMoves),
                   analysis::formatDouble(builderAlpha),
                   std::to_string(chain.iterations()),

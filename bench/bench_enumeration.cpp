@@ -37,19 +37,22 @@ int main(int argc, char** argv) {
       const auto it = perimeterCounts.find(system::pMax(n));
       trees = it == perimeterCounts.end() ? 0 : it->second;
     }
-    table.row({bench::fmtInt(n), bench::fmtInt(static_cast<std::int64_t>(counts.all)),
+    table.row({bench::fmtInt(n),
+               bench::fmtInt(static_cast<std::int64_t>(counts.all)),
                bench::fmtInt(static_cast<std::int64_t>(counts.holeFree)),
                bench::fmt(bound54, 1), bench::fmt(bound56, 1),
                bench::fmtInt(static_cast<std::int64_t>(trees)),
                bench::fmtInt(n >= 1 ? (std::int64_t{1} << (n - 1)) : 1)});
     csv.writeRow({std::to_string(n), std::to_string(counts.all),
-                  std::to_string(counts.holeFree), analysis::formatDouble(bound54),
+                  std::to_string(counts.holeFree),
+                  analysis::formatDouble(bound54),
                   analysis::formatDouble(bound56)});
   }
   std::printf(
       "\npaper checks: n=3 hole-free = 11 (Fig 11); every count dominates the\n"
       "Lemma 5.4/5.6 lower bounds; trees c_{2n-2} >= 2^{n-1} (Lemma 5.1).\n"
-      "note: the proof of Lemma 5.4 says \"42 configurations on 4 particles\";\n"
+      "note: the proof of Lemma 5.4 says \"42 configurations on 4 "
+      "particles\";\n"
       "exhaustive enumeration (two independent methods) gives 44.\n");
 
   bench::banner("Fig 11", "the 11 hole-free configurations of 3 particles");

@@ -32,7 +32,8 @@ Outcome runWithFaults(std::int64_t n, double lambda, double crashFraction,
   rng::Random shapeRng(seed + 17);
   amoebot::AmoebotSystem sys(system::randomDendrite(n, shapeRng), rng);
   rng::Random faultRng(seed + 1);
-  amoebot::FaultPlan plan = amoebot::randomCrashes(sys.size(), crashFraction, faultRng);
+  amoebot::FaultPlan plan = amoebot::randomCrashes(sys.size(), crashFraction,
+                                                   faultRng);
   const amoebot::FaultPlan byz =
       amoebot::randomByzantine(sys.size(), byzantineFraction, faultRng);
   plan.byzantine = byz.byzantine;
@@ -57,11 +58,13 @@ Outcome runWithFaults(std::int64_t n, double lambda, double crashFraction,
 }  // namespace
 
 int main(int argc, char** argv) {
-  sops::bench::expectNoArgs(argc, argv, "SOPS_FAULT_N, SOPS_FAULT_LAMBDA, SOPS_FAULT_ACTIVATIONS");
+  sops::bench::expectNoArgs(
+      argc, argv, "SOPS_FAULT_N, SOPS_FAULT_LAMBDA, SOPS_FAULT_ACTIVATIONS");
   using namespace sops;
   const auto n = bench::envInt("SOPS_FAULT_N", 100);
   const auto activations =
-      static_cast<std::uint64_t>(bench::envInt("SOPS_FAULT_ACTIVATIONS", 6000000));
+      static_cast<std::uint64_t>(bench::envInt("SOPS_FAULT_ACTIVATIONS",
+                                               6000000));
   const double lambda = bench::envDouble("SOPS_FAULT_LAMBDA", 4.0);
 
   bench::banner("E10 / §3.3", "compression under crash and Byzantine faults");
@@ -78,7 +81,8 @@ int main(int argc, char** argv) {
     table.row({bench::fmt(crash, 2), bench::fmt(byzantine, 2),
                outcome.connected ? bench::fmt(outcome.alpha) : "n/a",
                outcome.connected ? "yes" : "no"});
-    csv.writeRow({analysis::formatDouble(crash), analysis::formatDouble(byzantine),
+    csv.writeRow({analysis::formatDouble(crash),
+                  analysis::formatDouble(byzantine),
                   analysis::formatDouble(outcome.alpha),
                   outcome.connected ? "1" : "0"});
   }

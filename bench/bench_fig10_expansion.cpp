@@ -19,18 +19,23 @@
 #include "system/shapes.hpp"
 
 int main(int argc, char** argv) {
-  sops::bench::expectNoArgs(argc, argv, "SOPS_FIG10_N, SOPS_FIG10_LAMBDA, SOPS_FIG10_CHECKPOINT, SOPS_FIG10_SEEDS, SOPS_SEED, SOPS_THREADS");
+  sops::bench::expectNoArgs(argc, argv,
+                            "SOPS_FIG10_N, SOPS_FIG10_LAMBDA, "
+                            "SOPS_FIG10_CHECKPOINT, SOPS_FIG10_SEEDS, "
+                            "SOPS_SEED, SOPS_THREADS");
   using namespace sops;
   const auto n = bench::envInt("SOPS_FIG10_N", 100);
   const double lambda = bench::envDouble("SOPS_FIG10_LAMBDA", 2.0);
   const auto checkpoint = bench::envInt("SOPS_FIG10_CHECKPOINT", 10000000);
-  const auto seed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
+  const auto seed =
+      static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
   const auto seedCount =
       std::max<std::int64_t>(1, bench::envInt("SOPS_FIG10_SEEDS", 2));
   const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
 
   bench::banner("E2 / Fig 10", "non-compression at lambda=" +
-                                   bench::fmt(lambda, 2) + " (expanded regime)");
+                                   bench::fmt(lambda, 2) +
+                                       " (expanded regime)");
 
   const std::int64_t pMax = system::pMax(n);
 
@@ -74,7 +79,8 @@ int main(int argc, char** argv) {
 
   analysis::CsvWriter csv(bench::csvPath("fig10_expansion.csv"),
                           {"iterations", "perimeter", "alpha", "beta"});
-  bench::Table table({"iterations", "perimeter", "alpha=p/pmin", "beta=p/pmax"});
+  bench::Table table({"iterations", "perimeter", "alpha=p/pmin",
+                      "beta=p/pmax"});
   const auto emitRow = [&](std::uint64_t iterations,
                            const system::ConfigSummary& summary) {
     const double beta = static_cast<double>(summary.perimeter) /

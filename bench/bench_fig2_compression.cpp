@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("paper shape to hold: alpha decreasing toward a small constant\n");
+  std::printf(
+      "paper shape to hold: alpha decreasing toward a small constant\n");
   return 0;
 }

@@ -59,7 +59,8 @@ MoveCensus census(const system::ParticleSystem& sys) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  sops::bench::expectNoArgs(argc, argv, "SOPS_FIG3_BFS_N, SOPS_FIG3_EXHAUSTIVE_N");
+  sops::bench::expectNoArgs(argc, argv,
+                            "SOPS_FIG3_BFS_N, SOPS_FIG3_EXHAUSTIVE_N");
   const auto exhaustiveN =
       static_cast<int>(bench::envInt("SOPS_FIG3_EXHAUSTIVE_N", 9));
 
@@ -78,7 +79,8 @@ int main(int argc, char** argv) {
         const MoveCensus counts = census(system::ParticleSystem(config.points));
         if (counts.property1 == 0 && counts.property2 > 0) ++p2Only;
       }
-      table.row({bench::fmtInt(n), bench::fmtInt(holeFree), bench::fmtInt(p2Only)});
+      table.row({bench::fmtInt(n), bench::fmtInt(holeFree),
+                 bench::fmtInt(p2Only)});
     }
     std::printf(
         "\ncertificate: the paper's Fig 3 phenomenon requires more than %d\n"
@@ -98,7 +100,8 @@ int main(int argc, char** argv) {
         {"ring(3) [holed]", system::ringConfiguration(3)},
         {"dendrite(30)", system::randomDendrite(30, rng)},
     };
-    bench::Table table({"configuration", "P1 moves", "P2 moves", "gap-rejected"},
+    bench::Table table({"configuration", "P1 moves", "P2 moves",
+                        "gap-rejected"},
                        20);
     for (const auto& [name, sys] : cases) {
       const MoveCensus counts = census(sys);
@@ -139,7 +142,8 @@ int main(int argc, char** argv) {
       while (!frontier.empty()) {
         const int state = frontier.front();
         frontier.pop_front();
-        const system::ParticleSystem sys(configs[static_cast<std::size_t>(state)]);
+        const system::ParticleSystem sys(
+            configs[static_cast<std::size_t>(state)]);
         for (std::size_t i = 0; i < sys.size(); ++i) {
           for (const lattice::Direction d : lattice::kAllDirections) {
             const core::MoveEvaluation eval =
@@ -147,7 +151,8 @@ int main(int argc, char** argv) {
             if (eval.targetOccupied || !eval.gapOk || !eval.property1) continue;
             scratch = sys.positions();
             scratch[i] = lattice::neighbor(sys.position(i), d);
-            const auto it = indexOf.find(system::canonicalKeyFromPoints(scratch));
+            const auto it =
+                indexOf.find(system::canonicalKeyFromPoints(scratch));
             if (it == indexOf.end()) continue;
             if (!seen[static_cast<std::size_t>(it->second)]) {
               seen[static_cast<std::size_t>(it->second)] = 1;
@@ -157,10 +162,12 @@ int main(int argc, char** argv) {
           }
         }
       }
-      table.row({bench::fmtInt(n), bench::fmtInt(static_cast<std::int64_t>(configs.size())),
+      table.row({bench::fmtInt(n),
+                 bench::fmtInt(static_cast<std::int64_t>(configs.size())),
                  bench::fmtInt(static_cast<std::int64_t>(reached)),
                  bench::fmtInt(frozen),
-                 reached == configs.size() ? "irreducible" : "NOT irreducible"});
+                 reached == configs.size() ? "irreducible" :
+                     "NOT irreducible"});
     }
     std::printf(
         "\nno frozen hole-free states exist under the full rules (every state\n"

@@ -58,7 +58,8 @@ system::ParticleSystem ringChain(std::int64_t rings) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  sops::bench::expectNoArgs(argc, argv, "SOPS_HOLES_ALPHA, SOPS_HOLES_LAMBDA, SOPS_HOLES_SEEDS");
+  sops::bench::expectNoArgs(
+      argc, argv, "SOPS_HOLES_ALPHA, SOPS_HOLES_LAMBDA, SOPS_HOLES_SEEDS");
   const double lambda = bench::envDouble("SOPS_HOLES_LAMBDA", 4.0);
   const double alpha = bench::envDouble("SOPS_HOLES_ALPHA", 1.75);
   const auto seeds = bench::envInt("SOPS_HOLES_SEEDS", 3);
@@ -68,10 +69,12 @@ int main(int argc, char** argv) {
                     bench::fmt(alpha, 2) + ")");
 
   rng::Random shapeRng(7);
-  const system::ParticleSystem rings = ringChain(9);  // 9 rings, 8 shared? cells
+  const system::ParticleSystem rings =
+      ringChain(9);  // 9 rings, 8 shared? cells
   const auto n = static_cast<std::int64_t>(rings.size());
   const system::ParticleSystem line = system::lineConfiguration(n);
-  const system::ParticleSystem blob = system::perforatedBlob(n, n / 12, shapeRng);
+  const system::ParticleSystem blob =
+      system::perforatedBlob(n, n / 12, shapeRng);
 
   struct Case {
     const char* name;

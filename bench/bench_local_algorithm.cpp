@@ -80,7 +80,8 @@ TvResult measureTv(double lambda, const std::vector<double>& rates,
 int main(int argc, char** argv) {
   sops::bench::expectNoArgs(argc, argv, "SOPS_LOCAL_* (see source)");
   using namespace sops;
-  const auto strides = static_cast<int>(bench::envInt("SOPS_LOCAL_STRIDES", 300000));
+  const auto strides =
+      static_cast<int>(bench::envInt("SOPS_LOCAL_STRIDES", 300000));
   const double lambda = bench::envDouble("SOPS_LOCAL_LAMBDA", 2.0);
 
   bench::banner("E11 / §3.2", "algorithm A versus exact pi on n=4 (44 states)");
@@ -98,7 +99,8 @@ int main(int argc, char** argv) {
                skewed.quiescentTv < 0.03 ? "matches pi" : "MISMATCH"});
   }
   std::printf(
-      "\nfinding: quiescent (all-contracted) configurations sample pi exactly;\n"
+      "\nfinding: quiescent (all-contracted) configurations sample pi "
+      "exactly;\n"
       "raw time-averages carry a small congestion bias (~0.05 TV) because\n"
       "expansion opportunities correlate with perimeter.  Heterogeneous\n"
       "Poisson rates leave pi unchanged, as the paper argues.\n");
@@ -141,14 +143,16 @@ int main(int argc, char** argv) {
                 bench::fmt(aRate, 2)});
   }
 
-  bench::banner("local fast path", "optimized activation vs frozen seed kernel");
+  bench::banner("local fast path",
+                "optimized activation vs frozen seed kernel");
   {
     // Sequential uniform activations so scheduler cost is negligible and
     // the per-activation kernels are what is compared (same contract as
     // the golden tests: both sides consume identical draws).
     const auto steps = static_cast<std::uint64_t>(
         bench::envInt("SOPS_LOCAL_KERNEL_STEPS", 6000000));
-    bench::Table table3({"n", "optimized Mact/s", "reference Mact/s", "speedup"});
+    bench::Table table3({"n", "optimized Mact/s", "reference Mact/s",
+                         "speedup"});
     for (const std::int64_t n : {100LL, 10000LL}) {
       rng::Random ctorFast(9);
       rng::Random ctorRef(9);

@@ -291,7 +291,8 @@ void BM_SeparationStepReference(benchmark::State& state) {
   options.gamma = 4.0;
   const auto n = static_cast<std::size_t>(state.range(0));
   extensions::SeparationChain chain(system::spiralConfiguration(state.range(0)),
-                                    system::alternatingClasses(n, 2), options, 42);
+                                    system::alternatingClasses(n, 2), options,
+                                        42);
   // Equal warmup on both sides so the measured state mix (occupied targets,
   // heterochromatic edges) is the equilibrating blob, not the cold start.
   chain.run(static_cast<std::uint64_t>(10 * state.range(0)));

@@ -22,13 +22,16 @@
 #include "system/shapes.hpp"
 
 int main(int argc, char** argv) {
-  sops::bench::expectNoArgs(argc, argv, "SOPS_PHASE_N, SOPS_PHASE_ITERS, SOPS_PHASE_SEEDS, SOPS_SEED, SOPS_THREADS");
+  sops::bench::expectNoArgs(argc, argv,
+                            "SOPS_PHASE_N, SOPS_PHASE_ITERS, "
+                            "SOPS_PHASE_SEEDS, SOPS_SEED, SOPS_THREADS");
   using namespace sops;
   const auto n = bench::envInt("SOPS_PHASE_N", 100);
   const auto iterations = bench::envInt("SOPS_PHASE_ITERS", 8000000);
   const auto seedCount =
       std::max<std::int64_t>(1, bench::envInt("SOPS_PHASE_SEEDS", 2));
-  const auto baseSeed = static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
+  const auto baseSeed =
+      static_cast<std::uint64_t>(bench::envInt("SOPS_SEED", 1603));
   const auto threads = static_cast<unsigned>(bench::envInt("SOPS_THREADS", 0));
 
   bench::banner("E8 / §6", "quasi-stationary perimeter vs lambda (n=" +
@@ -79,9 +82,10 @@ int main(int argc, char** argv) {
     const char* regime = lambda < 2.17  ? "expansion (Thm 5.7)"
                          : lambda > 3.42 ? "compression (Thm 4.5)"
                                          : "conjectured window";
-    table.row({bench::fmt(lambda, 2), bench::fmt(p / pMin), bench::fmt(p / pMax),
-               regime});
-    csv.writeRow({analysis::formatDouble(lambda), analysis::formatDouble(p / pMin),
+    table.row({bench::fmt(lambda, 2), bench::fmt(p / pMin),
+               bench::fmt(p / pMax), regime});
+    csv.writeRow({analysis::formatDouble(lambda),
+                  analysis::formatDouble(p / pMin),
                   analysis::formatDouble(p / pMax), regime});
   }
   std::printf(

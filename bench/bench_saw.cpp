@@ -16,11 +16,13 @@ int main(int argc, char** argv) {
 
   bench::banner("E9 / Thm 4.2",
                 "hexagonal-lattice self-avoiding walks from a fixed vertex");
-  const std::vector<std::uint64_t> counts = enumeration::hexSawCounts(maxLength);
+  const std::vector<std::uint64_t> counts =
+      enumeration::hexSawCounts(maxLength);
   const double mu = enumeration::hexConnectiveConstant();
 
   analysis::CsvWriter csv(bench::csvPath("saw_counts.csv"),
-                          {"length", "walks", "root_estimate", "ratio_estimate"});
+                          {"length", "walks", "root_estimate",
+                           "ratio_estimate"});
   bench::Table table({"length l", "N_l", "N_l^(1/l)", "N_l/N_{l-1}"});
   for (std::size_t l = 1; l <= counts.size(); ++l) {
     const double root = std::pow(static_cast<double>(counts[l - 1]),
@@ -35,8 +37,10 @@ int main(int argc, char** argv) {
     csv.writeRow({std::to_string(l), std::to_string(counts[l - 1]),
                   analysis::formatDouble(root), analysis::formatDouble(ratio)});
   }
-  std::printf("\nmu_hex = sqrt(2+sqrt(2)) = %.6f; mu^2 = %.6f = compression threshold\n",
-              mu, mu * mu);
+  std::printf(
+      "\nmu_hex = sqrt(2+sqrt(2)) = %.6f; mu^2 = %.6f = compression "
+      "threshold\n",
+      mu, mu * mu);
   std::printf("paper shape: N_l^(1/l) decreasing toward mu (%.4f at l=%d)\n",
               std::pow(static_cast<double>(counts.back()),
                        1.0 / static_cast<double>(counts.size())),

@@ -22,10 +22,12 @@
 #include "system/shapes.hpp"
 
 int main(int argc, char** argv) {
-  sops::bench::expectNoArgs(argc, argv, "SOPS_EXACT_N, SOPS_EXACT_MATRIX_N, SOPS_EXACT_SAMPLES");
+  sops::bench::expectNoArgs(
+      argc, argv, "SOPS_EXACT_N, SOPS_EXACT_MATRIX_N, SOPS_EXACT_SAMPLES");
   using namespace sops;
   const auto n = static_cast<int>(bench::envInt("SOPS_EXACT_N", 6));
-  const std::vector<double> lambdas = {1.0, 1.5, 2.0, 2.17, 3.0, 3.42, 4.0, 6.0};
+  const std::vector<double> lambdas = {1.0, 1.5, 2.0, 2.17, 3.0, 3.42, 4.0,
+                                       6.0};
 
   bench::banner("E5 / Thm 4.5 + Cor 4.6",
                 "exact stationary compression probabilities, n=" +
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(ensemble.maxPerimeter()));
 
   analysis::CsvWriter csv(bench::csvPath("stationary_exact.csv"),
-                          {"lambda", "p_not_compressed_a1.5", "p_expanded_b0.75",
+                          {"lambda", "p_not_compressed_a1.5",
+                           "p_expanded_b0.75",
                            "expected_perimeter"});
   {
     bench::Table table({"lambda", "P(p>=1.5pmin)", "P(p>=2.0pmin)",
@@ -57,7 +60,8 @@ int main(int argc, char** argv) {
       csv.writeRow({analysis::formatDouble(lambda),
                     analysis::formatDouble(notCompressed15),
                     analysis::formatDouble(notExpanded),
-                    analysis::formatDouble(ensemble.expectedPerimeter(lambda))});
+                    analysis::formatDouble(
+                        ensemble.expectedPerimeter(lambda))});
     }
     std::printf(
         "\npaper shape: P(not compressed) decreasing in lambda (Thm 4.5);\n"
@@ -70,7 +74,8 @@ int main(int argc, char** argv) {
                 "transition-matrix audits, n=" + std::to_string(mN));
   core::ChainOptions options;
   options.lambda = 4.0;
-  const enumeration::ChainModel model = enumeration::buildChainModel(mN, options);
+  const enumeration::ChainModel model =
+      enumeration::buildChainModel(mN, options);
   const markov::BalanceAudit audit = markov::auditDetailedBalance(
       model.matrix, model.edgeWeights(options.lambda), model.holeFree);
   std::printf("states (all connected configs): %zu\n", model.stateCount());
@@ -78,8 +83,9 @@ int main(int argc, char** argv) {
               model.matrix.maxRowDefect());
   std::printf("detailed balance vs lambda^e:    %s (max violation %.2e)\n",
               audit.holds ? "HOLDS" : "VIOLATED", audit.maxViolation);
-  std::printf("irreducible on Omega*:           %s\n",
-              model.matrix.stronglyConnectedWithin(model.holeFree) ? "YES" : "NO");
+  std::printf(
+      "irreducible on Omega*:           %s\n",
+      model.matrix.stronglyConnectedWithin(model.holeFree) ? "YES" : "NO");
 
   // Exact mixing times from the line start (the §3.7 discussion, tiny n).
   bench::banner("§3.7", "exact mixing times t_mix(1/4) from the line start");
@@ -89,13 +95,16 @@ int main(int argc, char** argv) {
       for (const double lambda : {2.0, 4.0}) {
         core::ChainOptions opts;
         opts.lambda = lambda;
-        const enumeration::ChainModel m = enumeration::buildChainModel(size, opts);
-        const std::vector<double> pi = markov::normalized(m.edgeWeights(lambda));
+        const enumeration::ChainModel m =
+            enumeration::buildChainModel(size, opts);
+        const std::vector<double> pi =
+            markov::normalized(m.edgeWeights(lambda));
         const auto lineIndex = m.indexOfKey.at(
             system::canonicalKey(system::lineConfiguration(size)));
         const int t =
             markov::mixingTimeFrom(m.matrix, lineIndex, pi, 0.25, 1 << 22);
-        table.row({bench::fmtInt(size), bench::fmt(lambda, 1), bench::fmtInt(t)});
+        table.row({bench::fmtInt(size), bench::fmt(lambda, 1),
+                   bench::fmtInt(t)});
       }
     }
   }
@@ -118,7 +127,8 @@ int main(int argc, char** argv) {
       core::CompressionChain chain(system::lineConfiguration(vN), opts, 77);
       chain.run(50000);
       std::vector<double> empirical(exact.size(), 0.0);
-      const int samples = static_cast<int>(bench::envInt("SOPS_EXACT_SAMPLES", 200000));
+      const int samples =
+          static_cast<int>(bench::envInt("SOPS_EXACT_SAMPLES", 200000));
       for (int s = 0; s < samples; ++s) {
         chain.run(30);
         empirical[indexOf.at(system::canonicalKey(chain.system()))] +=

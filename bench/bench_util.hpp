@@ -79,9 +79,11 @@ inline std::string csvPath(const std::string& fileName) {
 
 /// Prints a header for an experiment section.
 inline void banner(const std::string& id, const std::string& title) {
-  std::printf("\n================================================================\n");
+  static constexpr char kRule[] =
+      "================================================================";
+  std::printf("\n%s\n", kRule);
   std::printf("%s — %s\n", id.c_str(), title.c_str());
-  std::printf("================================================================\n");
+  std::printf("%s\n", kRule);
 }
 
 /// Simple fixed-width row printer: column widths inferred from the header.

@@ -23,8 +23,10 @@ std::string renderColors(const sops::extensions::SeparationChain& chain) {
   using namespace sops;
   const system::ParticleSystem& sys = chain.system();
   const system::BoundingBox box = system::boundingBox(sys);
-  const std::int64_t colMin = 2 * static_cast<std::int64_t>(box.minX) + box.minY;
-  const std::int64_t colMax = 2 * static_cast<std::int64_t>(box.maxX) + box.maxY;
+  const std::int64_t colMin =
+      2 * static_cast<std::int64_t>(box.minX) + box.minY;
+  const std::int64_t colMax =
+      2 * static_cast<std::int64_t>(box.maxX) + box.maxY;
   std::string out;
   for (std::int32_t y = box.maxY; y >= box.minY; --y) {
     std::string row(static_cast<std::size_t>(colMax - colMin + 1), ' ');

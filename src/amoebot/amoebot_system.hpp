@@ -184,7 +184,9 @@ class AmoebotSystem {
 
   /// Number of currently expanded particles (diagnostics; not maintained
   /// while the id index is suspended — restoreIdIndex() recomputes it).
-  [[nodiscard]] std::size_t expandedCount() const noexcept { return expandedCount_; }
+  [[nodiscard]] std::size_t expandedCount() const noexcept {
+    return expandedCount_;
+  }
 
   /// Projection to the chain's state space: contracted particles at their
   /// location, expanded particles at their tails (§3.2, footnote 2).

@@ -5,11 +5,12 @@
 namespace sops::amoebot {
 
 namespace {
-std::vector<std::size_t> pickDistinct(std::size_t particleCount, double fraction,
+std::vector<std::size_t> pickDistinct(std::size_t particleCount,
+                                      double fraction,
                                       rng::Random& rng) {
   SOPS_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction in [0,1]");
-  const auto want = static_cast<std::size_t>(fraction *
-                                             static_cast<double>(particleCount));
+  const auto want = static_cast<std::size_t>(
+      fraction * static_cast<double>(particleCount));
   std::vector<std::size_t> ids(particleCount);
   std::iota(ids.begin(), ids.end(), std::size_t{0});
   rng.shuffle(ids);

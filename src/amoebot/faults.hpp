@@ -23,7 +23,8 @@ struct FaultPlan {
 };
 
 /// Chooses ⌊fraction·n⌋ distinct particles uniformly at random to crash.
-[[nodiscard]] FaultPlan randomCrashes(std::size_t particleCount, double fraction,
+[[nodiscard]] FaultPlan randomCrashes(std::size_t particleCount,
+                                      double fraction,
                                       rng::Random& rng);
 
 /// Chooses ⌊fraction·n⌋ distinct particles to behave Byzantine.

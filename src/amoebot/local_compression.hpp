@@ -56,7 +56,9 @@ class LocalCompressionAlgorithm {
   ActivationResult activate(AmoebotSystem& sys, std::size_t id,
                             rng::Random& rng) const;
 
-  [[nodiscard]] const LocalOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const LocalOptions& options() const noexcept {
+    return options_;
+  }
 
  private:
   /// Per-ring-mask fold of conditions (1)+(2) and the λ^{e'−e} threshold.

@@ -52,7 +52,8 @@ class ReferenceAmoebotSystem {
   ReferenceAmoebotSystem(const system::ParticleSystem& initial,
                          rng::Random& rng)
       : occupancy_(initial.size() * 2) {
-    SOPS_REQUIRE(initial.size() > 0, "ReferenceAmoebotSystem requires particles");
+    SOPS_REQUIRE(initial.size() > 0,
+                 "ReferenceAmoebotSystem requires particles");
     particles_.reserve(initial.size());
     for (std::size_t id = 0; id < initial.size(); ++id) {
       Particle p;

@@ -38,7 +38,8 @@ Activation PoissonScheduler::next() {
   const Event event = queue_.top();
   queue_.pop();
   now_ = event.time;
-  queue_.push({now_ + rng_.exponential(rates_[event.particle]), event.particle});
+  queue_.push({now_ + rng_.exponential(rates_[event.particle]),
+               event.particle});
   return {event.time, event.particle};
 }
 

@@ -76,7 +76,8 @@ class SequentialScheduler {
   }
 
   std::size_t next() {
-    return static_cast<std::size_t>(rng_.below(static_cast<std::uint32_t>(count_)));
+    return static_cast<std::size_t>(
+        rng_.below(static_cast<std::uint32_t>(count_)));
   }
 
  private:
@@ -91,7 +92,9 @@ class RoundRobinScheduler {
   std::size_t next();
 
   /// Number of completed rounds (every particle activated once per round).
-  [[nodiscard]] std::uint64_t roundsCompleted() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t roundsCompleted() const noexcept {
+    return rounds_;
+  }
 
  private:
   std::vector<std::size_t> order_;

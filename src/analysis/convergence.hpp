@@ -16,14 +16,14 @@
 namespace sops::analysis {
 
 /// Sample autocorrelation ρ̂(lag) for lag = 0..maxLag (ρ̂(0) = 1).
-[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> series,
-                                                  std::size_t maxLag);
+[[nodiscard]] std::vector<double> autocorrelation(
+    std::span<const double> series, std::size_t maxLag);
 
 /// Integrated autocorrelation time τ = 1 + 2·Σρ̂(k), summed with Geyer's
 /// initial-positive-sequence truncation (stops at the first non-positive
 /// pair sum).  τ ≈ 1 for i.i.d. samples.
-[[nodiscard]] double integratedAutocorrelationTime(std::span<const double> series,
-                                                   std::size_t maxLag = 0);
+[[nodiscard]] double integratedAutocorrelationTime(
+    std::span<const double> series, std::size_t maxLag = 0);
 
 /// Effective sample size n/τ.
 [[nodiscard]] double effectiveSampleSize(std::span<const double> series);

@@ -16,7 +16,8 @@ namespace sops::analysis {
 class CsvWriter {
  public:
   /// Opens (truncates) the file and writes the header row.
-  CsvWriter(const std::string& path, std::initializer_list<std::string_view> header);
+  CsvWriter(const std::string& path,
+            std::initializer_list<std::string_view> header);
 
   /// Same, for headers assembled at runtime (the sim:: observer sinks
   /// derive columns from each scenario's declared metrics).

@@ -58,8 +58,9 @@ TriPoint medianParticle(const ParticleSystem& sys) {
       cost += lattice::latticeDistance(candidate, other);
     }
     if (bestCost < 0 || cost < bestCost ||
-        (cost == bestCost && (candidate.y < best.y ||
-                              (candidate.y == best.y && candidate.x < best.x)))) {
+        (cost == bestCost &&
+         (candidate.y < best.y ||
+          (candidate.y == best.y && candidate.x < best.x)))) {
       bestCost = cost;
       best = candidate;
     }

@@ -32,7 +32,8 @@ struct HexagonBuildResult {
 };
 
 /// Runs the builder to completion.  Precondition: initial is connected.
-[[nodiscard]] HexagonBuildResult buildHexagon(const system::ParticleSystem& initial);
+[[nodiscard]] HexagonBuildResult buildHexagon(
+    const system::ParticleSystem& initial);
 
 }  // namespace sops::baseline
 

@@ -22,9 +22,9 @@
 ///   static constexpr bool kUniformWeight;  // w depends on e(σ) only
 ///   static constexpr bool kHasAuxMove;     // mixes a second move kind
 ///   const ChainOptions& / ChainOptions chainOptions() const;
-///   void attach(const system::ParticleSystem&);      // validate + build planes
+///   void attach(const system::ParticleSystem&);      // validate + planes
 ///   double movementFactor(sys, particle, l, d, ringMask);  // extra w-ratio
-///   void onMoved(sys, particle, from, to);           // keep aux planes in sync
+///   void onMoved(sys, particle, from, to);           // sync aux planes
 ///   // only when kHasAuxMove:
 ///   bool auxEnabled() const;  double auxProbability() const;
 ///   AuxOutcome auxStep(sys, ids, rng, particle, draw6);  // draws hoisted
@@ -192,7 +192,8 @@ EngineStepResult chainEventStep(system::ParticleSystem& sys, Model& model,
         // w-ratio = λ^{e'−e} (table) × the scenario's extra factor
         // (plane gathers + a power table — no std::pow on this path).
         const double threshold =
-            decision.threshold * model.movementFactor(sys, particle, l, d, mask);
+            decision.threshold * model.movementFactor(sys, particle, l, d,
+                                                      mask);
         accept = threshold >= 1.0 || rng.uniform() < threshold;
       }
       if (accept) {
@@ -255,7 +256,8 @@ class BiasedChainEngine {
     if constexpr (Model::kHasAuxMove) {
       auxMove = model_.auxEnabled() && rng_.bernoulli(model_.auxProbability());
     }
-    const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
+    const auto particle =
+        static_cast<std::size_t>(rng_.below(particleCount32_));
     const int draw6 = static_cast<int>(rng_.below(6));
     result = chainEventStep(system_, model_, partnerIds_, decisions_, greedy_,
                             particle, draw6, auxMove, rng_, edges_);

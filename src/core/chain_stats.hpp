@@ -52,7 +52,8 @@ struct ChainStats {
 
   [[nodiscard]] double acceptanceRate() const noexcept {
     return steps == 0 ? 0.0
-                      : static_cast<double>(accepted) / static_cast<double>(steps);
+                      : static_cast<double>(accepted) /
+                          static_cast<double>(steps);
   }
 
   [[nodiscard]] std::string toString() const;

@@ -6,7 +6,8 @@
 namespace sops::core {
 
 namespace {
-bool propertyPasses(const MoveEvaluation& eval, const ChainOptions& options) noexcept {
+bool propertyPasses(const MoveEvaluation& eval,
+                    const ChainOptions& options) noexcept {
   if (!options.enforceProperties) return true;
   return eval.property1 || (options.allowProperty2 && eval.property2);
 }

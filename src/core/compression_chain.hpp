@@ -50,8 +50,8 @@ struct ChainOptions {
 /// Probability with which M accepts a structurally valid move, per the
 /// Metropolis filter (condition (3)).  Exposed so the exact
 /// transition-matrix builder uses the identical kernel.
-[[nodiscard]] double acceptanceProbability(const MoveEvaluation& eval,
-                                           const ChainOptions& options) noexcept;
+[[nodiscard]] double acceptanceProbability(
+    const MoveEvaluation& eval, const ChainOptions& options) noexcept;
 
 /// Fully resolved per-ring-mask decision, folding kMoveTable together with
 /// a chain's ChainOptions and λ.  A movement step is then: occupancy test
@@ -96,7 +96,8 @@ class CompressionChain {
   /// Runs `iterations` steps, invoking callback(iterationsDone) after every
   /// `checkpointEvery` steps (and once at the end if not aligned).
   template <typename Callback>
-  void runWithCheckpoints(std::uint64_t iterations, std::uint64_t checkpointEvery,
+  void runWithCheckpoints(std::uint64_t iterations,
+                          std::uint64_t checkpointEvery,
                           Callback&& callback) {
     SOPS_REQUIRE(checkpointEvery > 0, "checkpointEvery must be positive");
     std::uint64_t done = 0;
@@ -112,8 +113,12 @@ class CompressionChain {
     return system_;
   }
   [[nodiscard]] const ChainStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const ChainOptions& options() const noexcept { return options_; }
-  [[nodiscard]] std::uint64_t iterations() const noexcept { return stats_.steps; }
+  [[nodiscard]] const ChainOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return stats_.steps;
+  }
 
   /// Current e(σ), maintained incrementally from move deltas — O(1) per
   /// step instead of O(n) recounts.  Tests verify it against

@@ -106,7 +106,8 @@ std::optional<MovePlan> planMoves(const ParticleSystem& source,
 
   // Reconstruct the move chain root..goal in canonical-parent coordinates.
   std::vector<PlannedMove> reversed;
-  for (std::int32_t at = goalIndex; info[static_cast<std::size_t>(at)].parent >= 0;
+  for (std::int32_t at = goalIndex;
+       info[static_cast<std::size_t>(at)].parent >= 0;
        at = info[static_cast<std::size_t>(at)].parent) {
     reversed.push_back({info[static_cast<std::size_t>(at)].moveFrom,
                         info[static_cast<std::size_t>(at)].moveTo});
@@ -139,7 +140,8 @@ std::optional<MovePlan> planToLine(const ParticleSystem& source,
                                    const ChainOptions& options,
                                    std::size_t stateLimit) {
   return planMoves(source,
-                   system::lineConfiguration(static_cast<std::int64_t>(source.size())),
+                   system::lineConfiguration(
+                       static_cast<std::int64_t>(source.size())),
                    options, stateLimit);
 }
 

@@ -40,10 +40,12 @@ using lattice::TriPoint;
 inline constexpr int kRingSize = 8;
 inline constexpr std::uint8_t kCommonMask = 0b0001'0001;  // idx 0 and 4
 inline constexpr std::uint8_t kBeforeMask = 0b0001'1111;  // N(ℓ)\{ℓ'}: idx 0..4
-inline constexpr std::uint8_t kAfterMask = 0b1111'0001;   // N(ℓ')\{ℓ}: idx 4..7,0
+inline constexpr std::uint8_t kAfterMask =
+    0b1111'0001;   // N(ℓ')\{ℓ}: idx 4..7,0
 
 /// The lattice cell at ring index idx for the move (ℓ, d).
-[[nodiscard]] constexpr TriPoint ringCell(TriPoint l, Direction d, int idx) noexcept {
+[[nodiscard]] constexpr TriPoint ringCell(TriPoint l, Direction d,
+                                          int idx) noexcept {
   const TriPoint lPrime = lattice::neighbor(l, d);
   switch (idx) {
     case 0: return lattice::neighbor(l, lattice::rotated(d, 1));
@@ -70,7 +72,8 @@ static_assert(lattice::kEdgeRingSize == kRingSize);
 /// arbitrary occupancy oracle (used by both M and the amoebot layer, which
 /// passes the N*-filtered oracle of Algorithm A).
 template <typename OccupiedFn>
-[[nodiscard]] std::uint8_t ringMask(TriPoint l, Direction d, OccupiedFn&& occupied) {
+[[nodiscard]] std::uint8_t ringMask(TriPoint l, Direction d,
+                                    OccupiedFn&& occupied) {
   const std::array<TriPoint, kRingSize>& offsets = kRingOffsets[index(d)];
   std::uint8_t mask = 0;
   for (int idx = 0; idx < kRingSize; ++idx) {

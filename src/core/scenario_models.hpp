@@ -315,10 +315,12 @@ class SeparationModel {
           planes_.plane(colorP).ringMaskUnchecked(p, lattice::index(d));
       const std::uint8_t ringQ =
           planes_.plane(colorQ).ringMaskUnchecked(p, lattice::index(d));
-      const int before = std::popcount(static_cast<unsigned>(ringP & kBeforeMask)) +
-                         std::popcount(static_cast<unsigned>(ringQ & kAfterMask));
-      const int after = std::popcount(static_cast<unsigned>(ringQ & kBeforeMask)) +
-                        std::popcount(static_cast<unsigned>(ringP & kAfterMask));
+      const int before =
+          std::popcount(static_cast<unsigned>(ringP & kBeforeMask)) +
+          std::popcount(static_cast<unsigned>(ringQ & kAfterMask));
+      const int after =
+          std::popcount(static_cast<unsigned>(ringQ & kBeforeMask)) +
+          std::popcount(static_cast<unsigned>(ringP & kAfterMask));
       const double threshold =
           swapPow_[static_cast<std::size_t>(after - before + kMaxSwapDelta)];
       if (threshold >= 1.0 || rng.uniform() < threshold) {
@@ -485,7 +487,8 @@ class AlignmentModel {
                TriPoint from, TriPoint to) {
     // See SeparationModel::onMoved: sync first, then apply (no-ops after a
     // flat rebuild, the real update after tiled growth).
-    if (!planes_.sync(sys, [this](std::size_t i) { return orientations_[i]; })) {
+    if (!planes_.sync(sys,
+                      [this](std::size_t i) { return orientations_[i]; })) {
       return;
     }
     system::BitGrid& plane = planes_.plane(orientations_[particle]);

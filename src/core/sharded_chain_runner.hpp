@@ -699,7 +699,8 @@ class ShardedChainRunner {
       if (!overlap_) overlap_ = std::make_unique<OverlapWorker>();
       overlapPending_ = true;
       pendingEnd_ = nextEnd;
-      overlap_->submit([this, nextEnd] { clock_.fillEpoch(nextEnd, pending_); });
+      overlap_->submit(
+          [this, nextEnd] { clock_.fillEpoch(nextEnd, pending_); });
     }
 
     // Sequential sweep: all deferred events by *original timestamps* in

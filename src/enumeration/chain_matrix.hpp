@@ -31,7 +31,9 @@ struct ChainModel {
   markov::TransitionMatrix matrix;       ///< exact one-step kernel of M
   std::unordered_map<std::string, std::size_t> indexOfKey;
 
-  [[nodiscard]] std::size_t stateCount() const noexcept { return states.size(); }
+  [[nodiscard]] std::size_t stateCount() const noexcept {
+    return states.size();
+  }
 
   /// λ^{e(σ)} weights aligned with states (zero outside Ω* callers decide).
   [[nodiscard]] std::vector<double> edgeWeights(double lambda) const;
@@ -39,7 +41,8 @@ struct ChainModel {
 
 /// Builds the exact model for n particles under the given chain options.
 /// Intended for n ≤ 6 (the matrix is dense: states² doubles).
-[[nodiscard]] ChainModel buildChainModel(int n, const core::ChainOptions& options);
+[[nodiscard]] ChainModel buildChainModel(int n,
+                                         const core::ChainOptions& options);
 
 }  // namespace sops::enumeration
 

@@ -157,7 +157,8 @@ const char* jensenN50Decimal() noexcept {
 
 double expansionThresholdFromN50() noexcept {
   // (2·N50)^{1/100} computed via logarithms; N50 ≈ 2.430068453e33.
-  const double log10N50 = std::log10(2.430068453031180290203185942420933) + 33.0;
+  const double log10N50 = std::log10(2.430068453031180290203185942420933) +
+      33.0;
   const double log10TwoN50 = std::log10(2.0) + log10N50;
   return std::pow(10.0, log10TwoN50 / 100.0);
 }

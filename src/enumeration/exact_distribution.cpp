@@ -52,7 +52,8 @@ double ExactEnsemble::probPerimeterAtLeast(double lambda,
   return probability;
 }
 
-double ExactEnsemble::probPerimeterAtMost(double lambda, double threshold) const {
+double ExactEnsemble::probPerimeterAtMost(double lambda,
+                                          double threshold) const {
   const std::vector<double> pi = stationary(lambda);
   double probability = 0.0;
   for (std::size_t i = 0; i < configs_.size(); ++i) {

@@ -36,11 +36,13 @@ class ExactEnsemble {
 
   /// P_π(p(σ) ≥ threshold): non-compression probability (Theorem 4.5 uses
   /// threshold = α·p_min).
-  [[nodiscard]] double probPerimeterAtLeast(double lambda, double threshold) const;
+  [[nodiscard]] double probPerimeterAtLeast(double lambda,
+                                            double threshold) const;
 
   /// P_π(p(σ) ≤ threshold): non-expansion probability (Theorem 5.7 uses
   /// threshold = β·p_max).
-  [[nodiscard]] double probPerimeterAtMost(double lambda, double threshold) const;
+  [[nodiscard]] double probPerimeterAtMost(double lambda,
+                                           double threshold) const;
 
   [[nodiscard]] double expectedPerimeter(double lambda) const;
   [[nodiscard]] double expectedEdges(double lambda) const;
@@ -52,8 +54,12 @@ class ExactEnsemble {
   /// Number of configurations with each perimeter (c_k of §4.1).
   [[nodiscard]] std::map<std::int64_t, std::uint64_t> perimeterCounts() const;
 
-  [[nodiscard]] std::int64_t minPerimeter() const noexcept { return minPerimeter_; }
-  [[nodiscard]] std::int64_t maxPerimeter() const noexcept { return maxPerimeter_; }
+  [[nodiscard]] std::int64_t minPerimeter() const noexcept {
+    return minPerimeter_;
+  }
+  [[nodiscard]] std::int64_t maxPerimeter() const noexcept {
+    return maxPerimeter_;
+  }
 
  private:
   int n_;

@@ -71,6 +71,8 @@ double connectiveConstantEstimate(const std::vector<std::uint64_t>& counts) {
   return std::pow(static_cast<double>(counts.back()), 1.0 / l);
 }
 
-double hexConnectiveConstant() noexcept { return std::sqrt(2.0 + std::sqrt(2.0)); }
+double hexConnectiveConstant() noexcept {
+  return std::sqrt(2.0 + std::sqrt(2.0));
+}
 
 }  // namespace sops::enumeration

@@ -33,7 +33,8 @@ using lattice::TriPoint;
 /// Calls visit(cells) for every connected configuration of exactly n
 /// particles (cells are rooted at the half-plane origin, not canonical).
 void redelmeierEnumerate(int n,
-                         const std::function<void(std::span<const TriPoint>)>& visit);
+                         const std::function<void(std::span<const TriPoint>)>&
+                             visit);
 
 /// Lemma 5.1's witnesses: all 2^{n-1} staircase paths (steps East or
 /// NorthEast from the origin).  Every one is a tree configuration with the

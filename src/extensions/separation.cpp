@@ -58,7 +58,8 @@ int SeparationChain::sameColorNeighbors(TriPoint cell, std::uint8_t c,
 
 void SeparationChain::movementStep() {
   const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
-  const Direction d = lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
+  const Direction d =
+      lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
   const TriPoint l = system_.position(particle);
   const core::MoveEvaluation eval = core::evaluateMove(system_, l, d);
   if (eval.targetOccupied || !eval.gapOk || !eval.propertyOk) return;
@@ -77,7 +78,8 @@ void SeparationChain::movementStep() {
 
 void SeparationChain::swapStep() {
   const auto particle = static_cast<std::size_t>(rng_.below(particleCount32_));
-  const Direction d = lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
+  const Direction d =
+      lattice::directionFromIndex(static_cast<int>(rng_.below(6)));
   const TriPoint p = system_.position(particle);
   const TriPoint q = neighbor(p, d);
   const auto other = system_.particleAt(q);
@@ -87,8 +89,10 @@ void SeparationChain::swapStep() {
   if (colorP == colorQ) return;
 
   // Δhom from exchanging the two colors; the p—q edge stays heterochromatic.
-  const int before = sameColorNeighbors(p, colorP, q) + sameColorNeighbors(q, colorQ, p);
-  const int after = sameColorNeighbors(p, colorQ, q) + sameColorNeighbors(q, colorP, p);
+  const int before =
+      sameColorNeighbors(p, colorP, q) + sameColorNeighbors(q, colorQ, p);
+  const int after =
+      sameColorNeighbors(p, colorQ, q) + sameColorNeighbors(q, colorP, p);
   const double threshold = separationSwapThreshold(options_, after - before);
   if (threshold >= 1.0 || rng_.uniform() < threshold) {
     colors_[particle] = colorQ;

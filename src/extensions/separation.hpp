@@ -44,8 +44,8 @@ enum class SeparationMoveKind : std::uint8_t { Movement, Swap };
 /// the shared core::lambdaPower so it cannot drift from the compression
 /// chain's per-mask decision table (at γ = 1 it *is* the chain's threshold,
 /// pinned by Separation.MovementThresholdMatchesCompressionChainAtGammaOne).
-[[nodiscard]] double separationMovementThreshold(const SeparationOptions& options,
-                                                 int edgeDelta, int homDelta);
+[[nodiscard]] double separationMovementThreshold(
+    const SeparationOptions& options, int edgeDelta, int homDelta);
 
 /// The swap-move threshold γ^{Δhom}, same single-source λ^δ helper.
 [[nodiscard]] double separationSwapThreshold(const SeparationOptions& options,
@@ -60,8 +60,9 @@ struct SeparationStats {
 class SeparationChain {
  public:
   /// colors[i] ∈ {0, 1} for particle i of `initial` (must be connected).
-  SeparationChain(system::ParticleSystem initial, std::vector<std::uint8_t> colors,
-                  SeparationOptions options, std::uint64_t seed);
+  SeparationChain(system::ParticleSystem initial,
+                  std::vector<std::uint8_t> colors, SeparationOptions options,
+                  std::uint64_t seed);
 
   /// One step: a fair coin picks movement vs swap (when swaps enabled).
   void step();

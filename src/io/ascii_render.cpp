@@ -13,8 +13,10 @@ std::string renderAscii(const system::ParticleSystem& sys,
 
   // Column of (x, y) in half-cell units: 2x + y, normalized to the minimum
   // over the box (the smallest column in row y is at x = minX).
-  const std::int64_t colMin = 2 * static_cast<std::int64_t>(box.minX) + box.minY;
-  const std::int64_t colMax = 2 * static_cast<std::int64_t>(box.maxX) + box.maxY;
+  const std::int64_t colMin = 2 * static_cast<std::int64_t>(box.minX) +
+      box.minY;
+  const std::int64_t colMax = 2 * static_cast<std::int64_t>(box.maxX) +
+      box.maxY;
   const auto width = static_cast<std::size_t>(colMax - colMin + 1);
 
   std::string out;

@@ -40,7 +40,9 @@ std::string renderSvg(const system::ParticleSystem& sys,
 
   // SVG's y axis points down; flip so the lattice's +y renders upward.
   const auto mapX = [&](double x) { return (x - frame.minX + margin) * scale; };
-  const auto mapY = [&](double y) { return height - (y - frame.minY + margin) * scale; };
+  const auto mapY = [&](double y) {
+    return height - (y - frame.minY + margin) * scale;
+  };
 
   std::ostringstream svg;
   svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
@@ -58,7 +60,8 @@ std::string renderSvg(const system::ParticleSystem& sys,
         const lattice::Cartesian b = lattice::toCartesian(q);
         svg << "  <line x1=\"" << mapX(a.x) << "\" y1=\"" << mapY(a.y)
             << "\" x2=\"" << mapX(b.x) << "\" y2=\"" << mapY(b.y)
-            << "\" stroke=\"" << options.edgeStroke << "\" stroke-width=\"2\"/>\n";
+            << "\" stroke=\"" << options.edgeStroke
+            << "\" stroke-width=\"2\"/>\n";
       }
     }
   }

@@ -12,12 +12,18 @@ Cartesian toCartesian(TriPoint p) noexcept {
 
 // The direction table and the rotation convention must agree: rotating the
 // offset of direction d by 60° CCW must give the offset of d+1.
-static_assert(rotated60(offset(Direction::East)) == offset(Direction::NorthEast));
-static_assert(rotated60(offset(Direction::NorthEast)) == offset(Direction::NorthWest));
-static_assert(rotated60(offset(Direction::NorthWest)) == offset(Direction::West));
-static_assert(rotated60(offset(Direction::West)) == offset(Direction::SouthWest));
-static_assert(rotated60(offset(Direction::SouthWest)) == offset(Direction::SouthEast));
-static_assert(rotated60(offset(Direction::SouthEast)) == offset(Direction::East));
+static_assert(rotated60(offset(Direction::East)) ==
+              offset(Direction::NorthEast));
+static_assert(rotated60(offset(Direction::NorthEast)) ==
+              offset(Direction::NorthWest));
+static_assert(rotated60(offset(Direction::NorthWest)) ==
+              offset(Direction::West));
+static_assert(rotated60(offset(Direction::West)) ==
+              offset(Direction::SouthWest));
+static_assert(rotated60(offset(Direction::SouthWest)) ==
+              offset(Direction::SouthEast));
+static_assert(rotated60(offset(Direction::SouthEast)) ==
+              offset(Direction::East));
 static_assert(offset(opposite(Direction::East)) == -offset(Direction::East));
 static_assert(pack(unpack(0x12345678deadbeefULL)) == 0x12345678deadbeefULL);
 

@@ -45,7 +45,8 @@ struct BalanceAudit {
 
 /// Exact mixing time from the given start state: the least t with
 /// TV(M^t(start,·), pi) ≤ epsilon.  Returns -1 if not reached within maxT.
-[[nodiscard]] int mixingTimeFrom(const TransitionMatrix& matrix, std::size_t start,
+[[nodiscard]] int mixingTimeFrom(const TransitionMatrix& matrix,
+                                 std::size_t start,
                                  std::span<const double> pi, double epsilon,
                                  int maxT = 1 << 22);
 

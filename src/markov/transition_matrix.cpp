@@ -55,7 +55,8 @@ std::vector<char> TransitionMatrix::reachableFrom(std::size_t start) const {
 
 bool TransitionMatrix::stronglyConnectedWithin(
     const std::vector<char>& subset) const {
-  SOPS_REQUIRE(subset.size() == states_, "stronglyConnectedWithin: size mismatch");
+  SOPS_REQUIRE(subset.size() == states_,
+               "stronglyConnectedWithin: size mismatch");
   std::size_t anchor = states_;
   std::size_t members = 0;
   for (std::size_t s = 0; s < states_; ++s) {

@@ -57,7 +57,8 @@ class TransitionMatrix {
 
   /// True iff every state in `subset` can reach every other state in
   /// `subset` using only positive transitions through `subset`.
-  [[nodiscard]] bool stronglyConnectedWithin(const std::vector<char>& subset) const;
+  [[nodiscard]] bool stronglyConnectedWithin(
+      const std::vector<char>& subset) const;
 
  private:
   std::size_t states_;

@@ -40,7 +40,8 @@ template <typename Engine>
 /// heterogeneous-rate draws stay bit-identical to the historical
 /// `Random::exponential` results.
 template <typename Engine>
-[[nodiscard]] double drawExponential(Engine& engine, double rate = 1.0) noexcept {
+[[nodiscard]] double drawExponential(Engine& engine,
+                                     double rate = 1.0) noexcept {
   SOPS_DASSERT(rate > 0.0);
   return -std::log(drawUniformPositive(engine)) / rate;
 }

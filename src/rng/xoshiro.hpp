@@ -16,7 +16,8 @@ namespace sops::rng {
 
 /// Stateless seed expander (splitmix64); also used to derive independent
 /// substreams from a master seed.
-[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+[[nodiscard]] constexpr std::uint64_t splitmix64(
+    std::uint64_t& state) noexcept {
   state += 0x9e3779b97f4a7c15ULL;
   std::uint64_t z = state;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -31,7 +32,8 @@ class Xoshiro256PlusPlus {
 
   /// Seeds all 256 bits of state from a single seed via splitmix64, as
   /// recommended by the generator's authors.
-  explicit Xoshiro256PlusPlus(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+  explicit Xoshiro256PlusPlus(
+      std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
   }
@@ -39,7 +41,8 @@ class Xoshiro256PlusPlus {
   /// Adopts a previously captured 256-bit state verbatim (no seeding pass).
   /// Used by the SoA stream banks, which keep only these four words per
   /// stream and materialize an engine on demand.
-  explicit Xoshiro256PlusPlus(const std::array<std::uint64_t, 4>& state) noexcept
+  explicit Xoshiro256PlusPlus(
+      const std::array<std::uint64_t, 4>& state) noexcept
       : state_(state) {}
 
   static constexpr result_type min() noexcept { return 0; }
@@ -71,7 +74,8 @@ class Xoshiro256PlusPlus {
   }
 
  private:
-  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
 

@@ -463,7 +463,8 @@ class BitGrid {
   /// Bit-index deltas of the 8 ring cells per direction, valid for the
   /// current row stride (flat: strideWords_*64 bits; tiled: kTileWidth):
   /// delta = offset.y * strideBits + offset.x.
-  std::int64_t ringDeltas_[lattice::kNumDirections][lattice::kEdgeRingSize] = {};
+  std::int64_t ringDeltas_[lattice::kNumDirections][lattice::kEdgeRingSize] =
+      {};
   /// Bit-index deltas of the 6 neighbor cells, same convention.
   std::int64_t neighborDeltas_[lattice::kNumDirections] = {};
 

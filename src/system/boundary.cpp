@@ -119,7 +119,8 @@ HexBoundaryDecomposition hexBoundaryCycles(const ParticleSystem& sys) {
   // three corners cannot be pairwise-distinct in a 2-state coloring), so
   // the boundary decomposes into disjoint simple cycles.
   util::FlatMap64<std::array<std::int32_t, 2>> edgesAtFace(sys.size() * 4);
-  const auto registerFace = [&edgesAtFace](std::uint64_t face, std::int32_t edgeId) {
+  const auto registerFace = [&edgesAtFace](std::uint64_t face,
+                                           std::int32_t edgeId) {
     if (auto* slot = edgesAtFace.find(face)) {
       SOPS_REQUIRE((*slot)[1] == -1, "face has more than two boundary edges");
       (*slot)[1] = edgeId;
@@ -159,14 +160,16 @@ HexBoundaryDecomposition hexBoundaryCycles(const ParticleSystem& sys) {
       const auto* pair = edgesAtFace.find(towardFace);
       SOPS_REQUIRE(pair != nullptr && (*pair)[1] != -1,
                    "dangling boundary edge");
-      const std::int32_t next = ((*pair)[0] == current) ? (*pair)[1] : (*pair)[0];
+      const std::int32_t next =
+          ((*pair)[0] == current) ? (*pair)[1] : (*pair)[0];
       if (next == static_cast<std::int32_t>(startEdge)) break;
       const BoundaryEdge& ne = edges[static_cast<std::size_t>(next)];
       towardFace = (ne.faceA == towardFace) ? ne.faceB : ne.faceA;
       current = next;
     }
     if (region == ComplementRegions::kExteriorRegion) {
-      SOPS_REQUIRE(!sawExternal, "connected configuration has two external cycles");
+      SOPS_REQUIRE(!sawExternal,
+                   "connected configuration has two external cycles");
       sawExternal = true;
       result.externalHexLength = length;
     } else {

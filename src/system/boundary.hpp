@@ -37,7 +37,8 @@ struct HexBoundaryDecomposition {
 
 /// Traces all boundary cycles of the dual-hexagon polygon of a connected
 /// configuration.  Precondition: nonempty, connected.
-[[nodiscard]] HexBoundaryDecomposition hexBoundaryCycles(const ParticleSystem& sys);
+[[nodiscard]] HexBoundaryDecomposition hexBoundaryCycles(
+    const ParticleSystem& sys);
 
 /// Perimeter obtained purely by tracing:
 /// (externalHexLength − 6)/2 + Σ_holes (holeHexLength + 6)/2.

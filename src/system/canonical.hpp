@@ -20,7 +20,8 @@ namespace sops::system {
 
 /// Canonical point list: translated so min x = min y = 0, sorted by (y, x).
 [[nodiscard]] std::vector<TriPoint> canonicalPoints(const ParticleSystem& sys);
-[[nodiscard]] std::vector<TriPoint> canonicalPoints(std::vector<TriPoint> points);
+[[nodiscard]] std::vector<TriPoint> canonicalPoints(
+    std::vector<TriPoint> points);
 
 /// Canonical byte-string key (packed canonical points); usable as a map key
 /// for exact dedup in enumeration.

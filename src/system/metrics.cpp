@@ -138,7 +138,8 @@ int countHoles(const ParticleSystem& sys) {
 
 std::int64_t perimeter(const ParticleSystem& sys) {
   SOPS_REQUIRE(!sys.empty(), "perimeter of empty system");
-  SOPS_REQUIRE(isConnected(sys), "perimeter requires a connected configuration");
+  SOPS_REQUIRE(isConnected(sys),
+               "perimeter requires a connected configuration");
   const auto n = static_cast<std::int64_t>(sys.size());
   return perimeterFromCounts(n, countEdges(sys), countHoles(sys));
 }
@@ -155,7 +156,8 @@ std::int64_t pMin(std::int64_t n) {
 
 int graphDiameter(const ParticleSystem& sys) {
   SOPS_REQUIRE(!sys.empty(), "graphDiameter of empty system");
-  SOPS_REQUIRE(isConnected(sys), "graphDiameter requires connected configuration");
+  SOPS_REQUIRE(isConnected(sys),
+               "graphDiameter requires connected configuration");
   int best = 0;
   for (const TriPoint source : sys.positions()) {
     util::FlatMap64<std::int32_t> dist(sys.size());

@@ -63,9 +63,8 @@ struct ComplementRegions {
 [[nodiscard]] std::int64_t perimeter(const ParticleSystem& sys);
 
 /// Perimeter given precomputed pieces (hot-ish paths that already know e/h).
-[[nodiscard]] constexpr std::int64_t perimeterFromCounts(std::int64_t n,
-                                                         std::int64_t edges,
-                                                         std::int64_t holes) noexcept {
+[[nodiscard]] constexpr std::int64_t perimeterFromCounts(
+    std::int64_t n, std::int64_t edges, std::int64_t holes) noexcept {
   return 3 * n - edges - 3 + 3 * holes;
 }
 

@@ -29,8 +29,8 @@ ParticleSystem::ParticleSystem(std::span<const TriPoint> points)
     : index_(points.size()) {
   positions_.reserve(points.size());
   for (const TriPoint p : points) {
-    const bool fresh = index_.insert(lattice::pack(p),
-                                     static_cast<std::int32_t>(positions_.size()));
+    const bool fresh = index_.insert(
+        lattice::pack(p), static_cast<std::int32_t>(positions_.size()));
     SOPS_REQUIRE(fresh, "duplicate particle position");
     positions_.push_back(p);
   }
@@ -58,7 +58,8 @@ void ParticleSystem::restoreIndex() {
 std::size_t ParticleSystem::add(TriPoint p) {
   SOPS_REQUIRE(!indexSuspended_, "add() while the id index is suspended");
   const bool fresh =
-      index_.insert(lattice::pack(p), static_cast<std::int32_t>(positions_.size()));
+      index_.insert(lattice::pack(p),
+                    static_cast<std::int32_t>(positions_.size()));
   SOPS_REQUIRE(fresh, "add() target already occupied");
   positions_.push_back(p);
   if (grid_.enabled() && grid_.coversInterior(p)) {

@@ -95,7 +95,8 @@ class ParticleSystem {
 
   /// Particle id occupying p, if any.  Invalid while the index is
   /// suspended (see suspendIndex()).
-  [[nodiscard]] std::optional<std::size_t> particleAt(TriPoint p) const noexcept {
+  [[nodiscard]] std::optional<std::size_t> particleAt(
+      TriPoint p) const noexcept {
     SOPS_DASSERT(!indexSuspended_);
     const std::int32_t* id = index_.find(lattice::pack(p));
     if (id == nullptr) return std::nullopt;

@@ -77,7 +77,8 @@ ParticleSystem randomConnected(std::int64_t n, rng::Random& rng) {
   sys.add({0, 0});
   while (static_cast<std::int64_t>(sys.size()) < n) {
     const std::size_t host = rng.below(static_cast<std::uint32_t>(sys.size()));
-    const Direction d = lattice::directionFromIndex(static_cast<int>(rng.below(6)));
+    const Direction d =
+        lattice::directionFromIndex(static_cast<int>(rng.below(6)));
     const TriPoint spot = neighbor(sys.position(host), d);
     if (!sys.occupied(spot)) sys.add(spot);
   }
@@ -90,7 +91,8 @@ ParticleSystem randomHoleFree(std::int64_t n, rng::Random& rng) {
   sys.add({0, 0});
   while (static_cast<std::int64_t>(sys.size()) < n) {
     const std::size_t host = rng.below(static_cast<std::uint32_t>(sys.size()));
-    const Direction d = lattice::directionFromIndex(static_cast<int>(rng.below(6)));
+    const Direction d =
+        lattice::directionFromIndex(static_cast<int>(rng.below(6)));
     const TriPoint spot = neighbor(sys.position(host), d);
     if (sys.occupied(spot)) continue;
     const std::size_t id = sys.add(spot);
@@ -103,7 +105,8 @@ std::vector<std::uint8_t> alternatingClasses(std::size_t n, int classes) {
   SOPS_REQUIRE(classes > 0, "alternatingClasses: classes must be positive");
   std::vector<std::uint8_t> labels(n);
   for (std::size_t i = 0; i < n; ++i) {
-    labels[i] = static_cast<std::uint8_t>(i % static_cast<std::size_t>(classes));
+    labels[i] =
+        static_cast<std::uint8_t>(i % static_cast<std::size_t>(classes));
   }
   return labels;
 }
@@ -166,7 +169,8 @@ ParticleSystem randomDendrite(std::int64_t n, rng::Random& rng) {
   std::int64_t attemptsSinceGrowth = 0;
   while (static_cast<std::int64_t>(sys.size()) < n) {
     const std::size_t host = rng.below(static_cast<std::uint32_t>(sys.size()));
-    const Direction d = lattice::directionFromIndex(static_cast<int>(rng.below(6)));
+    const Direction d =
+        lattice::directionFromIndex(static_cast<int>(rng.below(6)));
     const TriPoint spot = neighbor(sys.position(host), d);
     if (!sys.occupied(spot) && sys.neighborCount(spot) == 1) {
       sys.add(spot);

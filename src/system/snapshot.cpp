@@ -116,7 +116,8 @@ std::string SnapshotReader::str() {
 std::vector<std::uint8_t> SnapshotReader::bytes() {
   const std::uint64_t size = u64();
   need(size, "byte-blob body");
-  std::vector<std::uint8_t> v(payload_.begin() + static_cast<std::ptrdiff_t>(pos_),
+  std::vector<std::uint8_t> v(payload_.begin() +
+                              static_cast<std::ptrdiff_t>(pos_),
                               payload_.begin() +
                                   static_cast<std::ptrdiff_t>(pos_ + size));
   pos_ += static_cast<std::size_t>(size);

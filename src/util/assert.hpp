@@ -16,7 +16,8 @@ namespace sops {
 /// Thrown when a precondition, postcondition, or invariant is violated.
 class ContractViolation : public std::logic_error {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
 };
 
 namespace detail {

@@ -14,7 +14,8 @@ namespace {
 using lattice::Direction;
 using lattice::TriPoint;
 
-AmoebotSystem makeSystem(const std::vector<TriPoint>& points, std::uint64_t seed = 1) {
+AmoebotSystem makeSystem(const std::vector<TriPoint>& points,
+                         std::uint64_t seed = 1) {
   rng::Random rng(seed);
   return AmoebotSystem(system::ParticleSystem(points), rng);
 }

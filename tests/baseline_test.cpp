@@ -45,8 +45,10 @@ TEST(HexagonBuilder, SpiralStartNeedsNoMoves) {
 TEST(HexagonBuilder, MoveCostGrowsSuperlinearly) {
   // Relocating Θ(n) particles over Θ(√n)–Θ(n) distances: unit moves for a
   // line start grow clearly faster than n.
-  const std::uint64_t moves20 = buildHexagon(system::lineConfiguration(20)).unitMoves;
-  const std::uint64_t moves80 = buildHexagon(system::lineConfiguration(80)).unitMoves;
+  const std::uint64_t moves20 =
+      buildHexagon(system::lineConfiguration(20)).unitMoves;
+  const std::uint64_t moves80 =
+      buildHexagon(system::lineConfiguration(80)).unitMoves;
   EXPECT_GT(moves80, 4 * moves20);
 }
 
@@ -64,7 +66,8 @@ TEST(GreedyBaseline, GetsStuckAboveStationaryCompression) {
   core::ChainOptions greedyOptions;
   greedyOptions.lambda = 4.0;
   greedyOptions.greedy = true;
-  core::CompressionChain greedy(system::lineConfiguration(60), greedyOptions, 9);
+  core::CompressionChain greedy(system::lineConfiguration(60), greedyOptions,
+                                9);
   core::ChainOptions metropolisOptions;
   metropolisOptions.lambda = 4.0;
   core::CompressionChain metropolis(system::lineConfiguration(60),

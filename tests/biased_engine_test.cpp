@@ -185,7 +185,8 @@ TEST(EngineGolden, SeparationAtGammaOneMatchesCompressionChain) {
   SeparationModel::Options options = separationOptions(4.0, 1.0);
   options.enableSwaps = false;
   const ParticleSystem start = system::lineConfiguration(50);
-  SeparationEngine engine(start, SeparationModel(options, alternatingColors(50)),
+  SeparationEngine engine(start, SeparationModel(options,
+                                                 alternatingColors(50)),
                           1603);
   ChainOptions chainOptions;
   chainOptions.lambda = 4.0;
@@ -220,7 +221,8 @@ TEST(Separation, MovementThresholdMatchesCompressionChainAtGammaOne) {
 TEST(SeparationEngine, PreservesInvariantsAndSegregates) {
   const ParticleSystem start = system::lineConfiguration(40);
   SeparationEngine segregate(
-      start, SeparationModel(separationOptions(4.0, 6.0), alternatingColors(40)),
+      start, SeparationModel(separationOptions(4.0, 6.0),
+                             alternatingColors(40)),
       3);
   SeparationEngine integrate(
       start,
@@ -233,10 +235,12 @@ TEST(SeparationEngine, PreservesInvariantsAndSegregates) {
   EXPECT_TRUE(system::isConnected(segregate.system()));
   EXPECT_EQ(system::countHoles(segregate.system()), 0);
   const double homSeg =
-      static_cast<double>(segregate.model().homogeneousEdges(segregate.system())) /
+      static_cast<double>(
+          segregate.model().homogeneousEdges(segregate.system())) /
       static_cast<double>(system::countEdges(segregate.system()));
   const double homInt =
-      static_cast<double>(integrate.model().homogeneousEdges(integrate.system())) /
+      static_cast<double>(
+          integrate.model().homogeneousEdges(integrate.system())) /
       static_cast<double>(system::countEdges(integrate.system()));
   EXPECT_GT(homSeg, homInt + 0.2);
 }
@@ -263,7 +267,8 @@ TEST(AlignmentEngine, PreservesInvariantsAndAligns) {
       static_cast<double>(aligned.model().alignedEdges(aligned.system())) /
       static_cast<double>(system::countEdges(aligned.system()));
   const double aliPara =
-      static_cast<double>(disordered.model().alignedEdges(disordered.system())) /
+      static_cast<double>(
+          disordered.model().alignedEdges(disordered.system())) /
       static_cast<double>(system::countEdges(disordered.system()));
   // κ = 6 should drive most edges to a common orientation; κ < 1 keeps the
   // system near the 1/6 random-agreement baseline.
@@ -307,8 +312,9 @@ std::vector<ScenarioReplicaSpec<SeparationModel>> separationGrid(
     };
     spec.finish = [](const SeparationEngine& engine,
                      std::vector<std::pair<std::string, double>>& metrics) {
-      metrics.emplace_back("perimeter",
-                           static_cast<double>(system::perimeter(engine.system())));
+      metrics.emplace_back(
+          "perimeter",
+          static_cast<double>(system::perimeter(engine.system())));
     };
     specs.push_back(std::move(spec));
   }

@@ -144,7 +144,8 @@ TEST(ChainMatrixMixing, MixingTimeGrowsWithLambdaContrast) {
   const ChainModel mild = buildChainModel(4, paperOptions(1.5));
   const ChainModel strong = buildChainModel(4, paperOptions(8.0));
   const auto mixAt = [](const ChainModel& model, double lambda) {
-    const std::vector<double> pi = markov::normalized(model.edgeWeights(lambda));
+    const std::vector<double> pi =
+        markov::normalized(model.edgeWeights(lambda));
     return markov::mixingTimeFrom(model.matrix, 0, pi, 0.25, 1 << 20);
   };
   const int mildT = mixAt(mild, 1.5);

@@ -189,7 +189,8 @@ TEST(ChainBehavior, StaysExpandedAtLambdaOne) {
   CompressionChain chain(system::lineConfiguration(50), withLambda(1.0), 43);
   chain.run(1500000);
   const auto p = system::perimeter(chain.system());
-  EXPECT_GT(static_cast<double>(p), 0.55 * static_cast<double>(system::pMax(50)));
+  EXPECT_GT(static_cast<double>(p), 0.55 *
+            static_cast<double>(system::pMax(50)));
 }
 
 TEST(ChainBehavior, GreedyOptionOnlyMovesWeaklyUphill) {
@@ -208,8 +209,8 @@ TEST(ChainBehavior, GreedyOptionOnlyMovesWeaklyUphill) {
 TEST(ChainBehavior, RunWithCheckpointsCoversAllIterations) {
   CompressionChain chain(system::lineConfiguration(10), withLambda(2.0), 3);
   std::vector<std::uint64_t> seen;
-  chain.runWithCheckpoints(2500, 1000,
-                           [&seen](std::uint64_t done) { seen.push_back(done); });
+  chain.runWithCheckpoints(
+      2500, 1000, [&seen](std::uint64_t done) { seen.push_back(done); });
   EXPECT_EQ(seen, (std::vector<std::uint64_t>{1000, 2000, 2500}));
   EXPECT_EQ(chain.iterations(), 2500u);
 }

@@ -181,7 +181,8 @@ TEST(ExactEnsemble, EdgeAndPerimeterWeightingsAgree) {
   }
   for (std::size_t i = 0; i < ensemble.configs().size(); ++i) {
     const double byPerimeter =
-        std::pow(lambda, -static_cast<double>(ensemble.configs()[i].perimeter)) /
+        std::pow(lambda,
+                 -static_cast<double>(ensemble.configs()[i].perimeter)) /
         zPerimeter;
     EXPECT_NEAR(byEdges[i], byPerimeter, 1e-12);
   }

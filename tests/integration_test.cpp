@@ -128,7 +128,8 @@ TEST(Integration, P1OnlyAblationShrinksTheValidMoveSet) {
             core::evaluateMove(sys, sys.position(i), d);
         const bool validFull = core::acceptanceProbability(eval, full) > 0.0;
         const bool validP1 = core::acceptanceProbability(eval, p1Only) > 0.0;
-        ASSERT_LE(validP1, validFull);  // subset, configuration by configuration
+        ASSERT_LE(validP1,
+                  validFull);  // subset, configuration by configuration
         fullMoves += validFull ? 1 : 0;
         p1Moves += validP1 ? 1 : 0;
       }

@@ -134,7 +134,8 @@ TEST(LocalAlgorithm, CompressesLikeM) {
   for (int i = 0; i < 2500000; ++i) {
     algo.activate(sys, scheduler.next().particle, coin);
   }
-  const std::int64_t finalPerimeter = system::perimeter(sys.tailConfiguration());
+  const std::int64_t finalPerimeter =
+      system::perimeter(sys.tailConfiguration());
   EXPECT_LT(finalPerimeter, initial / 2);
 }
 

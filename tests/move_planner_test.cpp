@@ -39,7 +39,8 @@ TEST(MovePlanner, SpiralToLineWitnessesLemma37) {
   const auto plan = planToLine(spiral);
   ASSERT_TRUE(plan.has_value());
   EXPECT_FALSE(plan->moves.empty());
-  const ParticleSystem final = replayPlan(spiral, *plan);  // validates each move
+  const ParticleSystem final = replayPlan(spiral,
+                                          *plan);  // validates each move
   EXPECT_EQ(system::canonicalKey(final),
             system::canonicalKey(system::lineConfiguration(7)));
 }
@@ -113,7 +114,8 @@ TEST(MovePlanner, PlansAreShortestInStateGraph) {
 
 TEST(MovePlanner, RejectsMismatchedSizes) {
   EXPECT_THROW(
-      (void)planMoves(system::lineConfiguration(4), system::lineConfiguration(5)),
+      (void)planMoves(system::lineConfiguration(4),
+                      system::lineConfiguration(5)),
       ContractViolation);
 }
 

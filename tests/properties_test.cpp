@@ -21,7 +21,8 @@ using system::ParticleSystem;
 
 /// Builds the particle set encoded by `mask` around the move (l, d); the
 /// moving particle itself sits at l.
-std::vector<TriPoint> configFromMask(TriPoint l, Direction d, std::uint8_t mask) {
+std::vector<TriPoint> configFromMask(TriPoint l, Direction d,
+                                     std::uint8_t mask) {
   std::vector<TriPoint> points{l};
   for (int idx = 0; idx < kRingSize; ++idx) {
     if ((mask >> idx) & 1u) points.push_back(ringCell(l, d, idx));
@@ -46,7 +47,8 @@ std::vector<TriPoint> unionNeighborhood(TriPoint l, TriPoint lPrime) {
 /// Reference Property 1: |S| ∈ {1,2} and every particle of N(ℓ∪ℓ') reaches
 /// a particle of S by a path inside N(ℓ∪ℓ') — implemented as literal BFS
 /// over occupied cells with real lattice adjacency.
-bool referenceProperty1(const ParticleSystem& sys, TriPoint l, TriPoint lPrime) {
+bool referenceProperty1(const ParticleSystem& sys, TriPoint l,
+                        TriPoint lPrime) {
   std::vector<TriPoint> common;
   for (const Direction a : kAllDirections) {
     const TriPoint q = neighbor(l, a);
@@ -79,7 +81,8 @@ bool referenceProperty1(const ParticleSystem& sys, TriPoint l, TriPoint lPrime) 
 
 /// Reference Property 2: |S| = 0, each of N(ℓ)\{ℓ'} and N(ℓ')\{ℓ} is
 /// nonempty and internally connected — literal BFS again.
-bool referenceProperty2(const ParticleSystem& sys, TriPoint l, TriPoint lPrime) {
+bool referenceProperty2(const ParticleSystem& sys, TriPoint l,
+                        TriPoint lPrime) {
   for (const Direction a : kAllDirections) {
     const TriPoint q = neighbor(l, a);
     if (lattice::areAdjacent(q, lPrime) && sys.occupied(q)) return false;
@@ -160,7 +163,8 @@ TEST(RingGeometry, BeforeAfterMasksMatchGeometry) {
     for (int idx = 0; idx < kRingSize; ++idx) {
       const TriPoint c = ringCell(l, d, idx);
       EXPECT_EQ(lattice::areAdjacent(c, l), (kBeforeMask >> idx) & 1u) << idx;
-      EXPECT_EQ(lattice::areAdjacent(c, lPrime), (kAfterMask >> idx) & 1u) << idx;
+      EXPECT_EQ(lattice::areAdjacent(c, lPrime), (kAfterMask >> idx) & 1u)
+          << idx;
     }
   }
 }

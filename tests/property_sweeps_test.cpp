@@ -54,7 +54,8 @@ TEST_P(KernelLambdaSweep, ExactKernelAuditsAtEveryLambda) {
   const double lambda = GetParam();
   core::ChainOptions options;
   options.lambda = lambda;
-  const enumeration::ChainModel model = enumeration::buildChainModel(4, options);
+  const enumeration::ChainModel model = enumeration::buildChainModel(4,
+      options);
   EXPECT_LT(model.matrix.maxRowDefect(), 1e-12);
   const markov::BalanceAudit audit = markov::auditDetailedBalance(
       model.matrix, model.edgeWeights(lambda), model.holeFree);
@@ -205,8 +206,10 @@ TEST_P(PMinSweep, SpiralAttainsFormula) {
 INSTANTIATE_TEST_SUITE_P(Sizes, PMinSweep,
                          ::testing::Values<std::int64_t>(1, 2, 3, 4, 5, 6, 7, 8,
                                                          19, 20, 37, 38, 61, 91,
-                                                         127, 169, 217, 271, 331,
-                                                         397, 1000, 1001, 2500));
+                                                         127, 169, 217, 271,
+                                                             331,
+                                                         397, 1000, 1001,
+                                                             2500));
 
 }  // namespace
 }  // namespace sops

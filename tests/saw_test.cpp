@@ -69,7 +69,8 @@ TEST(HexSaw, RootEstimatesDecreaseTowardMu) {
   double previous = 1e300;
   for (std::size_t l = 4; l <= counts.size(); l += 2) {
     const double estimate =
-        std::pow(static_cast<double>(counts[l - 1]), 1.0 / static_cast<double>(l));
+        std::pow(static_cast<double>(counts[l - 1]), 1.0 /
+                 static_cast<double>(l));
     EXPECT_LT(estimate, previous) << "l=" << l;
     previous = estimate;
   }

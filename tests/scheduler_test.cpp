@@ -130,7 +130,8 @@ TEST(SequentialScheduler, UniformSelection) {
   SequentialScheduler scheduler(6, rng::Random(6));
   std::vector<int> counts(6, 0);
   for (int i = 0; i < 60000; ++i) ++counts[scheduler.next()];
-  for (const int c : counts) EXPECT_NEAR(static_cast<double>(c), 10000.0, 500.0);
+  for (const int c : counts) EXPECT_NEAR(static_cast<double>(c), 10000.0,
+                                         500.0);
 }
 
 TEST(RoundRobinScheduler, EveryParticleOncePerRound) {

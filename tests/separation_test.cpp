@@ -12,7 +12,9 @@ namespace {
 
 std::vector<std::uint8_t> alternatingColors(std::size_t n) {
   std::vector<std::uint8_t> colors(n);
-  for (std::size_t i = 0; i < n; ++i) colors[i] = static_cast<std::uint8_t>(i % 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    colors[i] = static_cast<std::uint8_t>(i % 2);
+  }
   return colors;
 }
 
@@ -73,13 +75,16 @@ TEST(Separation, HighGammaSegregatesColors) {
   // more monochromatic edges than γ=1/6 (integration).
   const auto start = system::lineConfiguration(40);
   SeparationChain segregate(start, alternatingColors(40), options(4.0, 6.0), 3);
-  SeparationChain integrate(start, alternatingColors(40), options(4.0, 1.0 / 6.0), 3);
+  SeparationChain integrate(start, alternatingColors(40),
+                            options(4.0, 1.0 / 6.0), 3);
   segregate.run(2000000);
   integrate.run(2000000);
-  const double homSeg = static_cast<double>(segregate.homogeneousEdges()) /
-                        static_cast<double>(system::countEdges(segregate.system()));
-  const double homInt = static_cast<double>(integrate.homogeneousEdges()) /
-                        static_cast<double>(system::countEdges(integrate.system()));
+  const double homSeg =
+      static_cast<double>(segregate.homogeneousEdges()) /
+      static_cast<double>(system::countEdges(segregate.system()));
+  const double homInt =
+      static_cast<double>(integrate.homogeneousEdges()) /
+      static_cast<double>(system::countEdges(integrate.system()));
   EXPECT_GT(homSeg, homInt + 0.2);
 }
 

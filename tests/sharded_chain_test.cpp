@@ -235,7 +235,9 @@ TEST(ShardedChain, ThreadInvariantAcrossEpochConfigurations) {
       EXPECT_EQ(targets[i], targets[0])
           << "target " << config.target << " ramped " << config.ramped;
     }
-    if (config.target != 0) EXPECT_EQ(targets[0], config.target);
+    if (config.target != 0) {
+      EXPECT_EQ(targets[0], config.target);
+    }
   }
 }
 

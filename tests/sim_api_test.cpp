@@ -195,7 +195,8 @@ TEST(SimRunSpec, JsonSpecIsEquivalent) {
 }
 
 TEST(SimRunSpec, RejectsBadReservedValues) {
-  EXPECT_THROW((void)RunSpec::parse("steps=10"), ContractViolation);  // no scenario
+  EXPECT_THROW((void)RunSpec::parse("steps=10"),
+               ContractViolation);  // no scenario
   EXPECT_THROW((void)RunSpec::parse("scenario=compression shape=cube"),
                ContractViolation);
   EXPECT_THROW((void)RunSpec::parse("scenario=compression n=0"),

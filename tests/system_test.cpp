@@ -240,7 +240,8 @@ TEST(Shapes, SpiralCellsAreDistinctAndContiguous) {
   const std::vector<TriPoint> cells = spiralCells(64);
   for (std::size_t i = 1; i < cells.size(); ++i) {
     const ParticleSystem prefix(
-        std::vector<TriPoint>(cells.begin(), cells.begin() + static_cast<long>(i)));
+        std::vector<TriPoint>(cells.begin(), cells.begin() +
+                              static_cast<long>(i)));
     ASSERT_TRUE(isConnected(prefix)) << "prefix " << i;
   }
 }
@@ -276,7 +277,8 @@ TEST(Canonical, DistinguishesRotations) {
   // Configurations differing by rotation are distinct (§2.2).
   const std::vector<TriPoint> horizontal{{0, 0}, {1, 0}, {2, 0}};
   const std::vector<TriPoint> diagonal{{0, 0}, {0, 1}, {0, 2}};
-  EXPECT_NE(canonicalKeyFromPoints(horizontal), canonicalKeyFromPoints(diagonal));
+  EXPECT_NE(canonicalKeyFromPoints(horizontal),
+            canonicalKeyFromPoints(diagonal));
 }
 
 TEST(Canonical, PointsAreNormalizedAndSorted) {

@@ -113,7 +113,9 @@ TEST(FlatMap, ChurnMatchesReferenceImplementation) {
 
 TEST(FlatMap, ForEachVisitsEverything) {
   FlatMap64<int> map;
-  for (int k = 1; k <= 100; ++k) map.insert(static_cast<std::uint64_t>(k), k * k);
+  for (int k = 1; k <= 100; ++k) {
+    map.insert(static_cast<std::uint64_t>(k), k * k);
+  }
   std::uint64_t keySum = 0;
   long valueSum = 0;
   map.forEach([&](std::uint64_t key, int value) {
@@ -210,7 +212,8 @@ TEST(EventSort, MatchesStdSortOnUniformTimes) {
     std::vector<Timed> v;
     v.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      v.push_back({lo + (hi - lo) * r.uniform(), static_cast<std::uint32_t>(i)});
+      v.push_back({lo + (hi - lo) * r.uniform(),
+                   static_cast<std::uint32_t>(i)});
     }
     expectMatchesStdSort(std::move(v), lo, hi);
   }

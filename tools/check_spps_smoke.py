@@ -203,7 +203,8 @@ def check_crash_resume(spps, workdir, scenario, extra):
     if result.returncode != 0:
         fail(f"{scenario}: reference run exited {result.returncode}")
 
-    resumed, reference = final_csv_row(resumed_csv), final_csv_row(reference_csv)
+    resumed = final_csv_row(resumed_csv)
+    reference = final_csv_row(reference_csv)
     if resumed != reference:
         fail(f"{scenario}: resumed trajectory diverged\n"
              f"  resumed:   {resumed}\n  reference: {reference}")
