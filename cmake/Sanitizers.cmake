@@ -1,0 +1,73 @@
+# Sanitizer and warning wiring for the sops build.
+#
+# Replaces the ad-hoc -fsanitize=... CMAKE_CXX_FLAGS strings that used to
+# live in ci.yml with two cache options, so every consumer (CI jobs, local
+# reproduction of a CI failure, IDE builds) configures sanitizers the same
+# way:
+#
+#   cmake -B build -S . -DSOPS_SANITIZE=address,undefined   # ASan+UBSan
+#   cmake -B build -S . -DSOPS_SANITIZE=thread              # TSan
+#   cmake -B build -S . -DSOPS_WERROR=ON                    # -Wall -Wextra -Werror
+#
+# Sanitizer flags are applied directory-wide (add_compile_options /
+# add_link_options) so FetchContent dependencies are instrumented too —
+# mixing instrumented and uninstrumented TUs silently blinds ASan to
+# container overflows across the boundary.  Warnings-as-errors, by
+# contrast, are scoped to an interface target (sops::warnings) linked only
+# into this repo's own targets: third-party code is not ours to keep
+# warning-clean, and a gtest release warning must not break our gate.
+#
+# Also exports compile_commands.json unconditionally — clang-tidy and the
+# static-analysis CI job consume it, and there is no cost to always
+# producing it.
+
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+set(SOPS_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to enable: address, undefined, leak, thread")
+option(SOPS_WERROR "Compile sops targets with -Wall -Wextra -Werror" OFF)
+
+set(_sops_known_sanitizers address undefined leak thread)
+
+if(SOPS_SANITIZE)
+  string(REPLACE "," ";" _sops_san_list "${SOPS_SANITIZE}")
+  foreach(_san IN LISTS _sops_san_list)
+    if(NOT _san IN_LIST _sops_known_sanitizers)
+      message(FATAL_ERROR
+        "SOPS_SANITIZE: unknown sanitizer '${_san}' "
+        "(supported: address, undefined, leak, thread)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _sops_san_list AND
+     ("address" IN_LIST _sops_san_list OR "leak" IN_LIST _sops_san_list))
+    message(FATAL_ERROR
+      "SOPS_SANITIZE: thread cannot be combined with address/leak "
+      "(TSan and ASan shadow memory are mutually exclusive)")
+  endif()
+
+  string(REPLACE ";" "," _sops_san_csv "${_sops_san_list}")
+  add_compile_options(-fsanitize=${_sops_san_csv} -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${_sops_san_csv})
+  if("undefined" IN_LIST _sops_san_list)
+    # UB findings must abort the test, not print-and-continue: a recovered
+    # signed overflow in the chain kernel would leave the trajectory silently
+    # wrong for the rest of the run.
+    add_compile_options(-fno-sanitize-recover=all)
+  endif()
+  message(STATUS "sops: sanitizers enabled: ${_sops_san_csv}")
+endif()
+
+# Interface target carrying the warning profile for this repo's own code.
+# Linked into the library, tests, benches, tools, and examples by
+# sops_apply_warnings(); FetchContent'd dependencies never see it.
+add_library(sops_warnings INTERFACE)
+add_library(sops::warnings ALIAS sops_warnings)
+if(SOPS_WERROR)
+  target_compile_options(sops_warnings INTERFACE -Wall -Wextra -Werror)
+else()
+  target_compile_options(sops_warnings INTERFACE -Wall -Wextra)
+endif()
+
+function(sops_apply_warnings target)
+  target_link_libraries(${target} PRIVATE sops::warnings)
+endfunction()

@@ -138,7 +138,12 @@ void writeSnapshotFile(const std::string& path,
                    std::to_string(version));
   std::vector<std::uint8_t> frame;
   frame.reserve(kHeaderBytes + payload.size());
-  frame.insert(frame.end(), kMagic, kMagic + 8);
+  // Byte-wise on purpose: the const char* range-insert overload trips
+  // gcc 12's -Wstringop-overflow analysis under sanitizer
+  // instrumentation (false positive through the inlined memmove).
+  for (const char byte : kMagic) {
+    frame.push_back(static_cast<std::uint8_t>(byte));
+  }
   putLE(frame, version, 4);
   putLE(frame, payload.size(), 8);
   putLE(frame, snapshotChecksum(payload), 8);
