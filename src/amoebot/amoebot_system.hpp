@@ -40,6 +40,7 @@
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "lattice/direction.hpp"
@@ -69,6 +70,13 @@ struct Particle {
   /// re-deriving it from coordinates on the contraction path).
   std::uint8_t expandDir = 0;
 };
+// saveState() serializes a Particle as tail/head coordinates, one packed
+// flags byte (expanded/flag/mirrored/crashed/byzantine), and the two u8s
+// — every member exactly once.  Pinning the layout turns "someone added a
+// member" into a compile error here, where saveState/restoreState and the
+// kFlag* bits must be extended in the same change.
+static_assert(std::is_trivially_copyable_v<Particle> &&
+              sizeof(Particle) == 2 * sizeof(TriPoint) + 8);
 
 /// Private-port translation table: kPortTable[offset][mirrored][port] is
 /// the global direction of port `port` under orientation (offset,

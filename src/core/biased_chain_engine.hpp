@@ -42,9 +42,10 @@
 /// The move body itself lives in the free chainEventStep() below, shared
 /// with core::ShardedChainRunner (the multi-core Poissonized execution of
 /// the same models, core/sharded_chain_runner.hpp) so the two execution
-/// disciplines cannot drift.  Models may additionally declare
-/// kInteractionRadius (see ModelInteractionRadius) to size the sharded
-/// runner's halo bands.
+/// disciplines cannot drift.  The whole contract above is enforced at
+/// compile time as the ChainWeightModel concept in
+/// core/model_contract.hpp, which also owns AuxOutcome and the
+/// ModelNeedsPartnerIds / ModelInteractionRadius traits.
 
 #include <array>
 #include <cstdint>
@@ -56,6 +57,7 @@
 #include "core/compression_chain.hpp"
 #include "core/draw_guard.hpp"
 #include "core/id_plane.hpp"
+#include "core/model_contract.hpp"
 #include "core/move_table.hpp"
 #include "rng/random.hpp"
 #include "system/metrics.hpp"
@@ -63,13 +65,6 @@
 #include "system/snapshot.hpp"
 
 namespace sops::core {
-
-/// Outcome of a scenario's auxiliary move (swap, rotation, ...).
-enum class AuxOutcome : std::uint8_t {
-  Skipped,   ///< proposal was structurally void (no partner, same color, ...)
-  Rejected,  ///< reached the filter and failed the Metropolis draw
-  Accepted,  ///< applied
-};
 
 struct EngineStats {
   std::uint64_t steps = 0;  ///< total steps, movement and auxiliary
@@ -87,6 +82,14 @@ struct EngineStats {
     auxAccepted += other.auxAccepted;
   }
 };
+// writeEngineStats/readEngineStats below spell out exactly nine u64
+// fields (1 + ChainStats's 6 + 2).  Pinning both layouts makes "someone
+// added a tally" a compile error here, next to the functions that must
+// grow with it, instead of a snapshot that silently drops the new field.
+static_assert(std::is_trivially_copyable_v<ChainStats> &&
+              sizeof(ChainStats) == 6 * sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<EngineStats> &&
+              sizeof(EngineStats) == 9 * sizeof(std::uint64_t));
 
 /// Snapshot round-trip of the engine's outcome tallies (every field of
 /// EngineStats/ChainStats explicitly, so a field added there without a
@@ -124,29 +127,6 @@ struct EngineStepResult {
   AuxOutcome aux = AuxOutcome::Skipped;
 };
 
-/// Detects the optional kNeedsPartnerIds contract member (absent = false),
-/// so existing models need no change to keep compiling.
-template <typename Model, typename = void>
-struct ModelNeedsPartnerIds : std::false_type {};
-template <typename Model>
-struct ModelNeedsPartnerIds<Model,
-                            std::void_t<decltype(Model::kNeedsPartnerIds)>>
-    : std::bool_constant<Model::kNeedsPartnerIds> {};
-
-/// Detects the optional kInteractionRadius contract member: the largest
-/// column distance (|Δx|) any read or write of one event spans from the
-/// activated particle's cell.  A movement move alone needs 2 (the 8-cell
-/// ring); a pair aux move whose partner sits one cell over and whose edge
-/// ring is gathered around that partner needs 3.  The sharded chain
-/// runner sizes its stripe halo bands from this; models that don't
-/// declare it get the conservative pair-move value.
-template <typename Model, typename = void>
-struct ModelInteractionRadius : std::integral_constant<int, 3> {};
-template <typename Model>
-struct ModelInteractionRadius<Model,
-                              std::void_t<decltype(Model::kInteractionRadius)>>
-    : std::integral_constant<int, Model::kInteractionRadius> {};
-
 /// One chain event, given the already-hoisted draws: the move body shared
 /// verbatim by BiasedChainEngine::step() (which selects the particle
 /// uniformly from its single RNG) and ShardedChainRunner (which selects it
@@ -155,6 +135,7 @@ struct ModelInteractionRadius<Model,
 /// `edges`, and draws the Metropolis uniform lazily from `rng`.  Outcome
 /// accounting is left to the caller so stripe workers can tally locally.
 template <typename Model>
+  requires ChainWeightModel<Model>
 EngineStepResult chainEventStep(system::ParticleSystem& sys, Model& model,
                                 ParticleIdPlane& ids,
                                 const std::array<MoveDecision, 256>& decisions,
@@ -223,6 +204,7 @@ EngineStepResult chainEventStep(system::ParticleSystem& sys, Model& model,
 }
 
 template <typename Model>
+  requires ChainWeightModel<Model>
 class BiasedChainEngine {
  public:
   BiasedChainEngine(system::ParticleSystem initial, Model model,

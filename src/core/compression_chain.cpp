@@ -24,17 +24,11 @@ std::array<MoveDecision, 256> buildDecisionTable(const ChainOptions& options) {
     MoveDecision& decision = decisions[static_cast<std::size_t>(m)];
     decision.delta = entry.delta;
     decision.threshold = lambdaPower(options.lambda, entry.delta);
-    const bool propertyOk =
-        !options.enforceProperties ||
-        (entry.flags & kMoveProperty1) != 0 ||
-        (options.allowProperty2 && (entry.flags & kMoveProperty2) != 0);
-    if (options.enforceGapCondition && (entry.flags & kMoveGapOk) == 0) {
-      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedGap);
-    } else if (!propertyOk) {
-      decision.stage = static_cast<std::uint8_t>(StepOutcome::RejectedProperty);
-    } else {
-      decision.stage = kDecisionFilterStage;
-    }
+    // The structural stage comes from the constexpr fold proven in the
+    // header; only the λ-dependent threshold is computed here.
+    decision.stage =
+        decisionStage(entry, options.enforceGapCondition,
+                      options.enforceProperties, options.allowProperty2);
     decision.acceptNoDraw =
         options.greedy ? entry.delta >= 0 : decision.threshold >= 1.0;
   }

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "core/chain_stats.hpp"
 #include "core/move_table.hpp"
@@ -68,6 +69,72 @@ struct MoveDecision {
   bool acceptNoDraw;
 };
 inline constexpr std::uint8_t kDecisionFilterStage = 0xFF;
+// "One 16-byte load" is a layout contract, not a figure of speech: the
+// step's inner branch reads threshold/delta/stage/acceptNoDraw from one
+// cache-resident row.  Pinning the size keeps a well-meaning field
+// addition from silently doubling the table's cache footprint.
+static_assert(std::is_trivially_copyable_v<MoveDecision> &&
+              sizeof(MoveDecision) == 16);
+
+/// The structural half of a decision — which rejection stage a mask stops
+/// at, or kDecisionFilterStage if it reaches the Metropolis filter —
+/// folded from a move-table entry and the ablation switches.  constexpr
+/// and shared with buildDecisionTable, so the proofs below cover the very
+/// fold the runtime table is built from.  (The numeric half — threshold =
+/// λ^δ via lambdaPower — deliberately stays runtime: std::pow is not a
+/// constant expression and must not be reimplemented even a ulp apart.)
+[[nodiscard]] constexpr std::uint8_t decisionStage(
+    const MoveTableEntry& entry, bool enforceGapCondition,
+    bool enforceProperties, bool allowProperty2) noexcept {
+  const bool propertyOk = !enforceProperties ||
+                          (entry.flags & kMoveProperty1) != 0 ||
+                          (allowProperty2 && (entry.flags & kMoveProperty2));
+  if (enforceGapCondition && (entry.flags & kMoveGapOk) == 0) {
+    return static_cast<std::uint8_t>(StepOutcome::RejectedGap);
+  }
+  if (!propertyOk) {
+    return static_cast<std::uint8_t>(StepOutcome::RejectedProperty);
+  }
+  return kDecisionFilterStage;
+}
+
+// Stage-fold proofs over all 256 masks × the ablation lattice.  The
+// paper's chain (all switches on) must route a mask to the filter exactly
+// when the move table says it is structurally valid, blame e = 5 before
+// blaming the properties (the StepOutcome histogram tests depend on that
+// precedence), and each ablation switch must disable exactly its own
+// rejection stage.
+static_assert([] {
+  constexpr auto kGap =
+      static_cast<std::uint8_t>(StepOutcome::RejectedGap);
+  constexpr auto kProp =
+      static_cast<std::uint8_t>(StepOutcome::RejectedProperty);
+  for (int m = 0; m < 256; ++m) {
+    const MoveTableEntry& e = kMoveTable[static_cast<std::size_t>(m)];
+    const bool p1 = (e.flags & kMoveProperty1) != 0;
+    const bool p2 = (e.flags & kMoveProperty2) != 0;
+    const bool gapOk = (e.flags & kMoveGapOk) != 0;
+    // Paper defaults: filter iff kMoveStructOk, gap checked first.
+    const std::uint8_t full = decisionStage(e, true, true, true);
+    if ((full == kDecisionFilterStage) != ((e.flags & kMoveStructOk) != 0)) {
+      return false;
+    }
+    if (!gapOk && full != kGap) return false;
+    if (gapOk && !(p1 || p2) && full != kProp) return false;
+    // Fig 3 ablation: disallowing Property 2 rejects the P2-only masks.
+    const std::uint8_t noP2 = decisionStage(e, true, true, false);
+    if (gapOk && (noP2 == kDecisionFilterStage) != p1) return false;
+    // Dropping a condition must never introduce its rejection stage.
+    if (decisionStage(e, false, true, true) == kGap) return false;
+    if (decisionStage(e, true, false, true) == kProp) return false;
+    // With both structural conditions off, everything reaches the filter.
+    if (decisionStage(e, false, false, true) != kDecisionFilterStage) {
+      return false;
+    }
+  }
+  return true;
+}(), "decision-stage fold must match the move table across the ablation "
+     "switches");
 
 /// Builds the 256-entry decision table for the given options — the single
 /// fold shared by CompressionChain and BiasedChainEngine, so the ablation

@@ -41,12 +41,15 @@
 #include <string>
 #include <vector>
 
+#include "lattice/tri_point.hpp"
 #include "system/particle_system.hpp"
 #include "system/snapshot.hpp"
 #include "util/assert.hpp"
 #include "util/flat_hash.hpp"
 
 namespace sops::core {
+
+using lattice::TriPoint;
 
 class ParticleIdPlane {
  public:

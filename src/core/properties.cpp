@@ -4,38 +4,9 @@
 
 namespace sops::core {
 
-bool property1Holds(std::uint8_t mask) noexcept {
-  if ((mask & kCommonMask) == 0) return false;  // S is empty
-  if (mask == 0xFF) return true;                // single all-ring arc
-  // Every maximal cyclic run of set bits must contain idx 0 or idx 4.
-  for (int i = 0; i < kRingSize; ++i) {
-    const bool set = (mask >> i) & 1u;
-    const bool prevSet = (mask >> ((i + kRingSize - 1) % kRingSize)) & 1u;
-    if (!set || prevSet) continue;  // not the start of a run
-    bool touchesCommon = false;
-    for (int j = i; (mask >> (j % kRingSize)) & 1u; ++j) {
-      const int idx = j % kRingSize;
-      if (idx == 0 || idx == 4) {
-        touchesCommon = true;
-        break;
-      }
-    }
-    if (!touchesCommon) return false;
-  }
-  return true;
-}
-
-bool property2Holds(std::uint8_t mask) noexcept {
-  if ((mask & kCommonMask) != 0) return false;  // requires S = ∅
-  const std::uint8_t sideL = mask & 0b0000'1110;  // idx 1..3 (N(ℓ) side)
-  const std::uint8_t sideR = mask & 0b1110'0000;  // idx 5..7 (N(ℓ') side)
-  if (sideL == 0 || sideR == 0) return false;
-  // On the 3-cell path {1,2,3} the only disconnected occupied pattern is
-  // {1,3} without 2; likewise {5,7} without 6.
-  if (sideL == 0b0000'1010) return false;
-  if (sideR == 0b1010'0000) return false;
-  return true;
-}
+// property1Holds / property2Holds moved to the header as constexpr so the
+// move table can be built and proven at compile time; only the
+// ParticleSystem-coupled evaluation remains out of line.
 
 MoveEvaluation evaluateMove(const system::ParticleSystem& sys, TriPoint l,
                             Direction d) {

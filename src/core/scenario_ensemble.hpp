@@ -26,6 +26,7 @@
 namespace sops::core {
 
 template <typename Model>
+  requires ChainWeightModel<Model>
 struct ScenarioReplicaSpec {
   /// Free-form tag carried into the result (e.g. "gamma=4.0 seed=7").
   std::string label;
@@ -60,6 +61,7 @@ struct ScenarioReplicaResult {
 /// hardware_concurrency); results are in spec order and independent of the
 /// thread count.
 template <typename Model>
+  requires ChainWeightModel<Model>
 [[nodiscard]] std::vector<ScenarioReplicaResult<Model>> runScenarioEnsemble(
     std::span<const ScenarioReplicaSpec<Model>> specs, unsigned threads = 0) {
   std::vector<ScenarioReplicaResult<Model>> results(specs.size());

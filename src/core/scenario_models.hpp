@@ -573,6 +573,13 @@ class AlignmentModel {
   std::array<double, 2 * kMaxRotationDelta + 1> rotationPow_{};
 };
 
+// Every shipped model satisfies the full contract — asserted here, next
+// to the definitions, so a drifted member is reported against the model
+// rather than at the first engine instantiation in some distant TU.
+static_assert(ChainWeightModel<CompressionModel>);
+static_assert(ChainWeightModel<SeparationModel>);
+static_assert(ChainWeightModel<AlignmentModel>);
+
 /// Engine aliases for the shipped scenarios.
 using CompressionEngine = BiasedChainEngine<CompressionModel>;
 using SeparationEngine = BiasedChainEngine<SeparationModel>;

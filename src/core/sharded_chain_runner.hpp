@@ -149,6 +149,7 @@ struct ShardedChainOptions {
 };
 
 template <typename Model>
+  requires ChainWeightModel<Model>
 class ShardedChainRunner {
  public:
   ShardedChainRunner(system::ParticleSystem initial, Model model,

@@ -14,6 +14,7 @@
 #include <compare>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "lattice/direction.hpp"
@@ -47,6 +48,12 @@ struct TriPoint {
     return {-a.x, -a.y};
   }
 };
+
+// Snapshot payloads serialize positions as the two axial coordinates in
+// field order; an added member or a widened coordinate must show up here
+// as a deliberate layout change, not as silent snapshot drift.
+static_assert(std::is_trivially_copyable_v<TriPoint> &&
+              sizeof(TriPoint) == 2 * sizeof(std::int32_t));
 
 /// Offset of one lattice step in direction d.
 [[nodiscard]] constexpr TriPoint offset(Direction d) noexcept {

@@ -130,6 +130,7 @@ void addShardedKeys(ParamSchema& schema) {
 /// One replica of any weight-model engine: advance() is engine.run(), and
 /// a per-scenario sampler maps the engine onto the declared metrics.
 template <typename Model>
+  requires core::ChainWeightModel<Model>
 class EngineRun : public ScenarioRun {
  public:
   using Engine = core::BiasedChainEngine<Model>;
@@ -188,6 +189,7 @@ class EngineRun : public ScenarioRun {
 /// stats()/model() surface, so a metric cannot drift between the two
 /// execution disciplines.
 template <typename Model>
+  requires core::ChainWeightModel<Model>
 class ShardedRun : public ScenarioRun {
  public:
   using Runner = core::ShardedChainRunner<Model>;
@@ -229,6 +231,7 @@ class ShardedRun : public ScenarioRun {
 /// ≤ 1 is the sequential engine (the draw-for-draw historical path),
 /// threads > 1 the sharded runner with that stripe budget.
 template <typename Model, typename EngineSampler, typename ShardedSampler>
+  requires core::ChainWeightModel<Model>
 std::unique_ptr<ScenarioRun> makeChainRun(system::ParticleSystem initial,
                                           Model model, const RunSpec& spec,
                                           std::uint64_t replicaSeed,

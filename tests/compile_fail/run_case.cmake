@@ -1,0 +1,35 @@
+# Driver for one compile-fail contract case (`cmake -P`, invoked by the
+# CompileFail.* ctests).  Expects:
+#   SOPS_SOURCE_DIR    repo root
+#   SOPS_CASE          control | wrong-serialize | missing-radius
+#   SOPS_CXX_COMPILER  compiler the main build was configured with
+#   SOPS_WORK_DIR      scratch build directory (recreated every run)
+#
+# The actual try_compile lives in tests/compile_fail/CMakeLists.txt; this
+# script configures that mini-project from scratch so each ctest run
+# re-evaluates the probe instead of trusting a cached result.
+
+foreach(_var SOPS_SOURCE_DIR SOPS_CASE SOPS_CXX_COMPILER SOPS_WORK_DIR)
+  if(NOT DEFINED ${_var})
+    message(FATAL_ERROR "run_case.cmake: ${_var} is not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${SOPS_WORK_DIR})
+file(MAKE_DIRECTORY ${SOPS_WORK_DIR})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+          -S ${SOPS_SOURCE_DIR}/tests/compile_fail
+          -B ${SOPS_WORK_DIR}
+          -DCMAKE_CXX_COMPILER=${SOPS_CXX_COMPILER}
+          -DSOPS_SOURCE_DIR=${SOPS_SOURCE_DIR}
+          -DSOPS_CASE=${SOPS_CASE}
+  RESULT_VARIABLE _result
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err)
+
+if(NOT _result EQUAL 0)
+  message(FATAL_ERROR
+    "compile-fail case '${SOPS_CASE}' failed:\n${_out}\n${_err}")
+endif()

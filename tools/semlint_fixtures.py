@@ -1,0 +1,55 @@
+"""Paired fixtures shared by test_sops_lint.py and test_sops_semlint.py.
+
+Each snippet is a hazard the AST lint (tools/sops_semlint.py) must flag
+and the textual lint (tools/sops_lint.py) structurally cannot see.  Both
+test suites import the same constants: test_sops_lint.py asserts the
+textual lint reports nothing (documenting the gap), test_sops_semlint.py
+asserts the semantic lint reports the finding.  Keeping one copy makes
+the pairing a fact rather than a convention — the two suites cannot
+drift onto different snippets.
+"""
+
+# An unordered map laundered through a using-alias, a member typedef, and
+# auto: no line contains both "unordered" and an iteration construct, so
+# the textual unordered-iteration rule (which keys on names declared with
+# an unordered type in the same file) has nothing to match.
+ALIAS_LAUNDERED_UNORDERED = """\
+#include <cstddef>
+#include <unordered_map>
+
+using Histogram = std::unordered_map<int, long>;
+
+struct Tally {
+  using Counts = Histogram;
+  Counts counts;
+};
+
+long trajectoryFold(const Tally& tally) {
+  long acc = 0;
+  const auto& laundered = tally.counts;
+  for (const auto& kv : laundered) {
+    acc += kv.second;
+  }
+  return acc;
+}
+"""
+
+# A std::map keyed by pointer: iteration order is address order, which is
+# run-to-run nondeterministic (ASLR, allocation order).  Textually this
+# is an ordered container, so the textual lint is clean by design; only
+# the key *type* reveals the hazard.
+POINTER_KEYED_MAP_WALK = """\
+#include <map>
+
+struct Stripe {
+  int index;
+};
+
+int pointerKeyedWalk(const std::map<const Stripe*, int>& weights) {
+  int total = 0;
+  for (const auto& entry : weights) {
+    total += entry.second * entry.first->index;
+  }
+  return total;
+}
+"""

@@ -32,15 +32,23 @@ repo's own contracts (rationale in DESIGN.md, "Correctness tooling"):
                          through Observer sinks and std::cerr; stray
                          stdout writes corrupt machine-read sink output
                          (spps prints CSV/JSONL to configured streams).
+  getenv-in-library      std::getenv / getenv / secure_getenv in library
+                         code: an environment-dependent value feeding a
+                         run is invisible to the RunSpec, so two runs of
+                         the same spec can disagree — configuration must
+                         arrive through the spec/params surface, where it
+                         is recorded and replayable.
 
 Scope: the determinism rules (nondeterministic-seed, wall-clock,
 unordered-iteration) apply to the trajectory-owning directories
-src/core, src/amoebot, src/rng, src/sim.  bare-assert and stdout-io
-apply to all of src/ — the whole library is linked into spps, whose
-stdout is a data channel, and NDEBUG-stripped contracts are a hazard
-everywhere.  tests/, bench/, tools/, examples/ are out of scope: they
-own their processes' stdout and their nondeterminism cannot leak into a
-library trajectory.
+src/core, src/amoebot, src/rng, src/sim.  bare-assert, stdout-io, and
+getenv-in-library apply to all of src/ — the whole library is linked
+into spps, whose stdout is a data channel, NDEBUG-stripped contracts are
+a hazard everywhere, and env-dependent configuration anywhere in the
+library escapes the spec.  tests/, bench/, tools/, examples/ are out of
+scope: they own their processes' stdout, their nondeterminism cannot
+leak into a library trajectory, and bench/ layeredParams-style env
+knobs are explicitly that layer's business.
 
 Escape hatch — same line or the line directly above the violation:
 
@@ -269,6 +277,19 @@ def check_stdout_io(path, lines, raw_lines):
                           "stdout write in library code — report through "
                           "Observer sinks or std::cerr; spps's stdout is a "
                           "machine-read data channel")
+
+
+@rule("getenv-in-library", LIBRARY_DIRS)
+def check_getenv(path, lines, raw_lines):
+    pattern = re.compile(
+        r"(?<![A-Za-z0-9_])(?:std\s*::\s*)?(?:secure_)?getenv\s*\(")
+    for lineno, line in enumerate(lines, 1):
+        if pattern.search(line):
+            yield Finding(path, lineno, "getenv-in-library",
+                          "environment read in library code — env-dependent "
+                          "values escape the RunSpec and make runs "
+                          "unreplayable; route configuration through the "
+                          "spec/params surface")
 
 
 def collect_allows(raw_lines, path):

@@ -19,6 +19,9 @@ import unittest
 
 TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(TOOLS_DIR)
+sys.path.insert(0, TOOLS_DIR)
+
+import semlint_fixtures  # noqa: E402
 
 
 def run_lint(*args):
@@ -208,6 +211,34 @@ class LintRuleTest(unittest.TestCase):
                         "void h() { std::fprintf(stderr, \"x\"); }\n")
         self.assert_clean(self.lint())
 
+    # getenv-in-library ----------------------------------------------------
+
+    def test_getenv_is_a_finding_everywhere_in_src(self):
+        # Library-wide scope: src/io is outside the trajectory dirs but
+        # still in the library linked into spps.
+        self.tree.write("src/io/env.cpp",
+                        "#include <cstdlib>\n"
+                        "const char* f() { return std::getenv(\"HOME\"); }\n"
+                        "const char* g() { return getenv(\"SOPS_X\"); }\n")
+        result = self.lint()
+        self.assert_finding(result, "getenv-in-library", "env.cpp:2")
+        self.assertIn("env.cpp:3", result.stdout)
+
+    def test_getenv_in_bench_is_out_of_scope(self):
+        # bench/ layeredParams-style env knobs are that layer's business;
+        # only library code is held to the spec-only configuration rule.
+        self.tree.write("bench/params.cpp",
+                        "#include <cstdlib>\n"
+                        "const char* f() { return std::getenv(\"BENCH_N\"); }\n")
+        self.tree.write("src/core/clean.cpp", "int f();\n")
+        self.assert_clean(self.lint())
+
+    def test_identifiers_containing_getenv_are_not_findings(self):
+        self.tree.write("src/core/ok.cpp",
+                        "const char* my_getenv_cache(int);\n"
+                        "const char* f() { return my_getenv_cache(1); }\n")
+        self.assert_clean(self.lint())
+
     # comments / strings never trip rules ----------------------------------
 
     def test_matches_inside_comments_and_strings_are_ignored(self):
@@ -305,6 +336,41 @@ class CliContractTest(unittest.TestCase):
             self.assertIn("no sources found", result.stderr)
         finally:
             tree.cleanup()
+
+
+class TextualLintGapTest(unittest.TestCase):
+    """The documented blind spots the AST lint exists for.
+
+    These fixtures (shared verbatim with test_sops_semlint.py via
+    semlint_fixtures.py) MUST come back clean from the textual lint: they
+    are hazards laundered through types, which text cannot see.  If a
+    future textual rule starts catching one, the pairing contract in the
+    acceptance criteria changes — update both suites deliberately.
+    """
+
+    def setUp(self):
+        self.tree = FixtureTree()
+
+    def tearDown(self):
+        self.tree.cleanup()
+
+    def test_alias_laundered_unordered_iteration_is_missed(self):
+        self.tree.write("src/core/laundered.cpp",
+                        semlint_fixtures.ALIAS_LAUNDERED_UNORDERED)
+        result = run_lint("--root", self.tree.root)
+        self.assertEqual(result.returncode, 0,
+                         "sops_lint caught the alias-laundered fixture — "
+                         "the semlint pairing needs updating:\n"
+                         + result.stdout)
+
+    def test_pointer_keyed_map_walk_is_missed(self):
+        self.tree.write("src/core/ptrwalk.cpp",
+                        semlint_fixtures.POINTER_KEYED_MAP_WALK)
+        result = run_lint("--root", self.tree.root)
+        self.assertEqual(result.returncode, 0,
+                         "sops_lint caught the pointer-keyed fixture — "
+                         "the semlint pairing needs updating:\n"
+                         + result.stdout)
 
 
 class ShippedTreeTest(unittest.TestCase):
